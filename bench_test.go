@@ -1,0 +1,215 @@
+// Benchmarks: one testing.B target per experiment in DESIGN.md's index
+// (E1-E13), each regenerating its paper table at Quick scale, plus
+// ablation benches for the design choices DESIGN.md calls out and
+// microbenchmarks of the hot substrate paths.
+//
+// Round counts (the paper's metric) are attached to each benchmark via
+// b.ReportMetric as "rounds"; wall-clock ns/op measures the simulator.
+package gossip_test
+
+import (
+	"strconv"
+	"testing"
+
+	"gossip/internal/conductance"
+	"gossip/internal/experiments"
+	proto "gossip/internal/gossip"
+	"gossip/internal/graphgen"
+	"gossip/internal/guessing"
+	"gossip/internal/spanner"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Config{Quick: true, Trials: 1, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Theorem5(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2GuessSingleton(b *testing.B)   { benchExperiment(b, "E2") }
+func BenchmarkE3GuessRandom(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4DeltaLower(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5ConductanceLower(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6Tradeoff(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7PushPullUpper(b *testing.B)    { benchExperiment(b, "E7") }
+func BenchmarkE8Spanner(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE9Pattern(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10Unified(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11DTG(b *testing.B)             { benchExperiment(b, "E11") }
+func BenchmarkE12RR(b *testing.B)              { benchExperiment(b, "E12") }
+func BenchmarkE13NoPull(b *testing.B)          { benchExperiment(b, "E13") }
+func BenchmarkE14Robustness(b *testing.B)      { benchExperiment(b, "E14") }
+func BenchmarkE15Messages(b *testing.B)        { benchExperiment(b, "E15") }
+func BenchmarkE16BoundedIn(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17LocalBroadcast(b *testing.B)  { benchExperiment(b, "E17") }
+func BenchmarkE18Blocking(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19Curves(b *testing.B)          { benchExperiment(b, "E19") }
+func BenchmarkE20Bandwidth(b *testing.B)       { benchExperiment(b, "E20") }
+func BenchmarkE21Jitter(b *testing.B)          { benchExperiment(b, "E21") }
+func BenchmarkE22FaultTolerant(b *testing.B)   { benchExperiment(b, "E22") }
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationSpannerK varies the clustering depth k: small k keeps
+// more edges (small stretch, large out-degree), large k sparsifies harder.
+func BenchmarkAblationSpannerK(b *testing.B) {
+	g := graphgen.Clique(128, 1)
+	for _, k := range []int{2, 4, 7, 14} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			var edges, outdeg int
+			for i := 0; i < b.N; i++ {
+				sp, err := spanner.Build(g, spanner.Options{K: k, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges, outdeg = sp.NumEdges(), sp.MaxOutDegree()
+			}
+			b.ReportMetric(float64(edges), "edges")
+			b.ReportMetric(float64(outdeg), "outdeg")
+		})
+	}
+}
+
+// BenchmarkAblationRRFilter compares RR Broadcast with and without the
+// latency-<=k edge filter on a dumbbell whose bridge is slow: filtering
+// avoids burning rounds on the slow edge when k excludes it.
+func BenchmarkAblationRRFilter(b *testing.B) {
+	g := graphgen.Dumbbell(12, 40)
+	sp, err := spanner.Build(g, spanner.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{10, 200} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := proto.RunRR(g, proto.RROptions{
+					Spanner: sp, K: k, Seed: uint64(i + 1), MaxRounds: 1 << 19,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationGuessStrategy quantifies the Lemma 8 log m gap between
+// the adaptive fresh strategy and the push-pull-like random strategy.
+func BenchmarkAblationGuessStrategy(b *testing.B) {
+	const m = 96
+	p := 6.0 / m
+	strategies := map[string]func(i int) guessing.Strategy{
+		"fresh": func(i int) guessing.Strategy {
+			return guessing.NewFreshStrategy(m, graphgen.NewRand(uint64(i+1)))
+		},
+		"random": func(i int) guessing.Strategy {
+			return guessing.NewRandomStrategy(m, graphgen.NewRand(uint64(i+1)))
+		},
+	}
+	for name, mk := range strategies {
+		b.Run(name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				rng := graphgen.NewRand(uint64(i + 77))
+				game, err := guessing.NewGame(m, guessing.RandomTarget(m, p, rng))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds, _, err := guessing.Play(game, mk(i), 1000*m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rounds
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationPushPullVsUnified measures the Theorem 31 combination
+// overhead versus bare push-pull on a topology where push-pull wins.
+func BenchmarkAblationPushPullVsUnified(b *testing.B) {
+	g := graphgen.Clique(64, 1)
+	b.Run("push-pull", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := proto.RunPushPull(g, 0, uint64(i+1), 1<<18); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unified", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := proto.Unified(g, proto.UnifiedOptions{
+				Source: 0, KnownLatencies: true, Seed: uint64(i + 1), MaxRounds: 1 << 18,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Substrate microbenchmarks -------------------------------------------
+
+func BenchmarkSimPushPullRound(b *testing.B) {
+	g := graphgen.Clique(256, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.RunPushPull(g, 0, uint64(i+1), 1<<16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConductanceExact(b *testing.B) {
+	rng := graphgen.NewRand(1)
+	g, err := graphgen.ErdosRenyi(16, 0.4, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphgen.AssignRandomLatencies(g, 1, 16, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := conductance.Exact(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConductanceEstimate(b *testing.B) {
+	rng := graphgen.NewRand(2)
+	g, err := graphgen.ErdosRenyi(200, 0.05, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphgen.AssignRandomLatencies(g, 1, 32, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := conductance.Estimate(g, conductance.EstimateOptions{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpannerBuild(b *testing.B) {
+	g := graphgen.Clique(256, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spanner.Build(g, spanner.Options{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(key string, v int) string {
+	return key + "=" + strconv.Itoa(v)
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's evaluation: every
+// theorem-level table in DESIGN.md's experiment index (E1-E13).
+//
+// Usage:
+//
+//	experiments [-id E7] [-quick] [-trials N] [-seed S] [-csv]
+//
+// Without -id it runs every experiment in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossip/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id     = flag.String("id", "", "run a single experiment (e.g. E7); empty = all")
+		quick  = flag.Bool("quick", false, "smaller problem sizes")
+		trials = flag.Int("trials", 0, "trials per data point (0 = default)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	var list []experiments.Experiment
+	if *id != "" {
+		e, err := experiments.Get(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		list = []experiments.Experiment{e}
+	} else {
+		list = experiments.All()
+	}
+	for _, e := range list {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+		if *csv {
+			if err := tbl.CSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		} else {
+			fmt.Printf("[%s]\n", e.Source)
+			if err := tbl.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		fmt.Println()
+	}
+	return 0
+}

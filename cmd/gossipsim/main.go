@@ -1,0 +1,192 @@
+// Command gossipsim runs one dissemination algorithm on one generated
+// topology and prints the round/message accounting.
+//
+// Usage:
+//
+//	gossipsim -graph dumbbell -n 16 -latency 64 -algo auto -seed 3
+//
+// Graphs: clique, star, path, cycle, grid, tree, er, regular, dumbbell,
+// ring, gadget. Algorithms: auto, push-pull, spanner, pattern, flood.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gossip/internal/core"
+	"gossip/internal/gossip"
+	"gossip/internal/graph"
+	"gossip/internal/graphgen"
+	"gossip/internal/viz"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		graphName = flag.String("graph", "clique", "topology: clique|star|path|cycle|grid|tree|er|regular|dumbbell|ring|gadget")
+		n         = flag.Int("n", 16, "node count (per side for dumbbell/gadget; per layer for ring)")
+		latency   = flag.Int("latency", 1, "uniform/slow edge latency, depending on topology")
+		p         = flag.Float64("p", 0.3, "edge or target probability for er/gadget")
+		layers    = flag.Int("layers", 6, "ring layers")
+		algoName  = flag.String("algo", "auto", "algorithm: auto|push-pull|spanner|pattern|flood")
+		source    = flag.Int("source", 0, "rumor source")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		known     = flag.Bool("known", false, "nodes know adjacent latencies (Section 4 model)")
+		analyze   = flag.Bool("analyze", true, "print the conductance profile")
+		curve     = flag.Bool("curve", false, "print the push-pull spreading curve as a sparkline")
+		loadPath  = flag.String("load", "", "load the graph from an edge-list file instead of generating")
+		savePath  = flag.String("save", "", "save the generated graph to an edge-list file")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	if *loadPath != "" {
+		f, ferr := os.Open(*loadPath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			return 1
+		}
+		g, err = graph.Load(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		*graphName = *loadPath
+	} else {
+		g, err = buildGraph(*graphName, *n, *latency, *p, *layers, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *savePath != "" {
+		f, ferr := os.Create(*savePath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			return 1
+		}
+		if err := g.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("saved graph to %s\n", *savePath)
+	}
+	fmt.Printf("graph: %s  n=%d m=%d Δ=%d D=%d ℓmax=%d\n",
+		*graphName, g.N(), g.M(), g.MaxDegree(), g.WeightedDiameter(), g.MaxLatency())
+
+	if *analyze {
+		prof, err := core.Analyze(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		exact := "estimated"
+		if prof.Conductance.Exact {
+			exact = "exact"
+		}
+		fmt.Printf("conductance (%s): φ*=%.4f ℓ*=%d φavg=%.5f L=%d\n",
+			exact, prof.Conductance.PhiStar, prof.Conductance.EllStar,
+			prof.Conductance.PhiAvg, prof.Conductance.NonEmptyClasses)
+		fmt.Printf("bounds: lower=%.0f push-pull=%.0f spanner(known)=%.0f pattern=%.0f unified=%.0f\n",
+			prof.Bounds.Lower, prof.Bounds.PushPull, prof.Bounds.SpannerKnown,
+			prof.Bounds.Pattern, prof.Bounds.Unified)
+	}
+
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	out, err := core.Disseminate(g, core.Options{
+		Algorithm:      algo,
+		Source:         *source,
+		KnownLatencies: *known,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("run: algorithm=%s rounds=%d exchanges=%d completed=%v\n",
+		out.Algorithm, out.Rounds, out.Exchanges, out.Completed)
+	if *curve {
+		res, err := gossip.RunPushPull(g, *source, *seed, 1<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(viz.Curve("push-pull spread", res.SpreadCurve(), 48))
+	}
+	if !out.Completed {
+		return 2
+	}
+	return 0
+}
+
+func parseAlgo(name string) (core.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "auto":
+		return core.Auto, nil
+	case "push-pull", "pushpull":
+		return core.PushPull, nil
+	case "spanner":
+		return core.Spanner, nil
+	case "pattern":
+		return core.Pattern, nil
+	case "flood":
+		return core.Flood, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func buildGraph(name string, n, latency int, p float64, layers int, seed uint64) (*graph.Graph, error) {
+	rng := graphgen.NewRand(seed)
+	switch strings.ToLower(name) {
+	case "clique":
+		return graphgen.Clique(n, latency), nil
+	case "star":
+		return graphgen.Star(n, latency), nil
+	case "path":
+		return graphgen.Path(n, latency), nil
+	case "cycle":
+		return graphgen.Cycle(n, latency), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graphgen.Grid(side, side, latency), nil
+	case "tree":
+		return graphgen.BinaryTree(n, latency), nil
+	case "er":
+		return graphgen.ErdosRenyi(n, p, latency, rng)
+	case "regular":
+		return graphgen.RandomRegular(n, 4, latency, rng)
+	case "dumbbell":
+		return graphgen.Dumbbell(n, latency), nil
+	case "ring":
+		ring, err := graphgen.NewRingNetwork(layers, n, latency, rng)
+		if err != nil {
+			return nil, err
+		}
+		return ring.Graph, nil
+	case "gadget":
+		net, err := graphgen.NewTheorem10Network(n, 1, latency, p, rng)
+		if err != nil {
+			return nil, err
+		}
+		return net.Graph, nil
+	default:
+		return nil, fmt.Errorf("unknown graph %q", name)
+	}
+}

@@ -1,0 +1,94 @@
+// Command guessgame plays the Section 3.1 guessing game and reports the
+// round counts for both Alice strategies, next to the Lemma 7/8
+// predictions.
+//
+// Usage:
+//
+//	guessgame -m 64 -predicate random -p 0.0625 -trials 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"gossip/internal/graphgen"
+	"gossip/internal/guessing"
+	"gossip/internal/stats"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		m         = flag.Int("m", 64, "side size (the game has 2m nodes)")
+		predicate = flag.String("predicate", "singleton", "target predicate: singleton|random")
+		p         = flag.Float64("p", 0.0625, "target probability for random predicate")
+		trials    = flag.Int("trials", 20, "trials to average")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	maxRounds := 1000 * *m
+	var fresh, random []float64
+	for trial := 0; trial < *trials; trial++ {
+		rng := graphgen.NewRand(*seed + uint64(trial)*7919)
+		var target map[guessing.Pair]bool
+		switch *predicate {
+		case "singleton":
+			target = guessing.SingletonTarget(*m, rng)
+		case "random":
+			target = guessing.RandomTarget(*m, *p, rng)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown predicate %q\n", *predicate)
+			return 1
+		}
+		for name, mk := range map[string]func() guessing.Strategy{
+			"fresh":  func() guessing.Strategy { return guessing.NewFreshStrategy(*m, rng) },
+			"random": func() guessing.Strategy { return guessing.NewRandomStrategy(*m, rng) },
+		} {
+			game, err := guessing.NewGame(*m, cloneTarget(target))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			rounds, solved, err := guessing.Play(game, mk(), maxRounds)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if !solved {
+				rounds = maxRounds
+			}
+			if name == "fresh" {
+				fresh = append(fresh, float64(rounds))
+			} else {
+				random = append(random, float64(rounds))
+			}
+		}
+	}
+	fmt.Printf("guessing game: m=%d predicate=%s trials=%d\n", *m, *predicate, *trials)
+	fmt.Printf("  fresh strategy : mean %.1f rounds (median %.1f)\n",
+		stats.Mean(fresh), stats.Summarize(fresh).Median)
+	fmt.Printf("  random strategy: mean %.1f rounds (median %.1f)\n",
+		stats.Mean(random), stats.Summarize(random).Median)
+	switch *predicate {
+	case "singleton":
+		fmt.Printf("  Lemma 7 prediction: Θ(m) = Θ(%d)\n", *m)
+	case "random":
+		fmt.Printf("  Lemma 8 prediction: fresh Θ(1/p) = %.0f, random Θ(log m/p) = %.0f\n",
+			1 / *p, math.Log(float64(*m)) / *p)
+	}
+	return 0
+}
+
+func cloneTarget(t map[guessing.Pair]bool) map[guessing.Pair]bool {
+	out := make(map[guessing.Pair]bool, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// P2P publish-subscribe: rumor spreading on an overlay with a tail of
+// slow peers.
+//
+// A peer-to-peer overlay is a random regular graph (an expander — great
+// classical conductance). A fraction of links cross slow residential
+// connections. The example publishes from one peer and compares
+// strategies, then shows the Theorem 29 prediction: push-pull's time
+// tracks (ℓ*/φ*)·ln n, not the classical 1/φ·ln n, as the slow fraction
+// grows.
+//
+// Run with:
+//
+//	go run ./examples/p2p
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gossip"
+	"gossip/internal/conductance"
+	proto "gossip/internal/gossip"
+	"gossip/internal/graphgen"
+	"gossip/internal/stats"
+)
+
+func main() {
+	const n = 64
+	const degree = 6
+	const slowLatency = 24
+
+	fmt.Printf("p2p overlay: %d peers, %d-regular expander, slow links have latency %d\n",
+		n, degree, slowLatency)
+	fmt.Println()
+	fmt.Printf("%-12s %-14s %-14s %-12s %-12s\n",
+		"slow frac", "push-pull", "(ℓ*/φ*)ln n", "ratio", "unified")
+
+	for _, slowPct := range []int{0, 10, 30, 60} {
+		rng := graphgen.NewRand(uint64(100 + slowPct))
+		g, err := graphgen.RandomRegular(n, degree, 1, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			if rng.IntN(100) < slowPct {
+				if err := g.SetLatency(e.U, e.V, slowLatency); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		cond, err := conductance.Estimate(g, conductance.EstimateOptions{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound, err := proto.PushPullBound(cond.PhiStar, cond.EllStar, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rounds []float64
+		for seed := uint64(0); seed < 5; seed++ {
+			out, err := gossip.Disseminate(g, gossip.Options{
+				Algorithm: gossip.PushPull, Source: 0, Seed: seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rounds = append(rounds, float64(out.Rounds))
+		}
+		uni, err := gossip.Disseminate(g, gossip.Options{
+			Algorithm: gossip.Auto, Source: 0, KnownLatencies: true, Seed: 9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := stats.Mean(rounds)
+		fmt.Printf("%-12d %-14.1f %-14.1f %-12.3f %-12d\n",
+			slowPct, mean, bound, mean/bound, uni.Rounds)
+	}
+	fmt.Println()
+	fmt.Println("classical conductance barely changes with the slow fraction (same topology),")
+	fmt.Println("but ℓ* grows — exactly the effect the critical weighted conductance captures")
+}

@@ -1,0 +1,72 @@
+package gossip_test
+
+import (
+	"testing"
+
+	"gossip"
+)
+
+// buildRingWithChord builds the quickstart topology: a fast ring plus one
+// slow chord.
+func buildRingWithChord(t *testing.T) *gossip.Graph {
+	t.Helper()
+	g := gossip.NewGraph(6)
+	for v := 0; v < 6; v++ {
+		g.MustAddEdge(v, (v+1)%6, 1)
+	}
+	g.MustAddEdge(0, 3, 100)
+	return g
+}
+
+func TestFacadeAnalyze(t *testing.T) {
+	g := buildRingWithChord(t)
+	p, err := gossip.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 6 || p.M != 7 {
+		t.Fatalf("profile: %+v", p)
+	}
+	// The slow chord is useless: the critical latency is 1 (the fast
+	// ring carries the bottleneck) and D ignores the latency-100 edge.
+	if p.Conductance.EllStar != 1 {
+		t.Fatalf("ℓ* = %d, want 1", p.Conductance.EllStar)
+	}
+	if p.Diameter != 3 {
+		t.Fatalf("D = %d, want 3", p.Diameter)
+	}
+	if err := p.Conductance.CheckTheorem5(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDisseminateAllAlgorithms(t *testing.T) {
+	g := buildRingWithChord(t)
+	for _, algo := range []gossip.Algorithm{
+		gossip.Auto, gossip.PushPull, gossip.Spanner, gossip.Pattern, gossip.Flood,
+	} {
+		out, err := gossip.Disseminate(g, gossip.Options{
+			Algorithm:      algo,
+			Source:         2,
+			KnownLatencies: true,
+			Seed:           5,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !out.Completed || out.Rounds <= 0 {
+			t.Fatalf("%v: %+v", algo, out)
+		}
+	}
+}
+
+func TestFacadeGraphValidation(t *testing.T) {
+	g := gossip.NewGraph(3)
+	if err := g.AddEdge(0, 1, 0); err == nil {
+		t.Fatal("zero latency accepted")
+	}
+	g.MustAddEdge(0, 1, 1)
+	if _, err := gossip.Analyze(g); err == nil {
+		t.Fatal("disconnected graph accepted by Analyze")
+	}
+}

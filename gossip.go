@@ -1,0 +1,89 @@
+// Package gossip is a Go reproduction of "Slow links, fast links, and the
+// cost of gossip" (Sourav, Robinson, Gilbert; ICDCS 2018): information
+// dissemination in networks whose edges have latencies.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Build a latency graph with NewGraph (or the generators in
+//     internal/graphgen via the cmd tools).
+//   - Analyze computes the weighted-conductance profile: the critical
+//     weighted conductance φ* with critical latency ℓ* (Definition 2),
+//     the average weighted conductance φavg (Definition 4), and the
+//     paper's predicted dissemination bounds.
+//   - Disseminate runs a dissemination algorithm: push-pull (Theorem 29),
+//     the spanner pipeline (Theorem 25), the deterministic pattern
+//     schedule (Lemma 28), or the unified Theorem 31 combination.
+//
+// Quickstart:
+//
+//	g := gossip.NewGraph(4)
+//	g.MustAddEdge(0, 1, 1)   // fast link
+//	g.MustAddEdge(1, 2, 1)
+//	g.MustAddEdge(2, 3, 1)
+//	g.MustAddEdge(0, 3, 50)  // slow direct link
+//	profile, _ := gossip.Analyze(g)
+//	out, _ := gossip.Disseminate(g, gossip.Options{Source: 0, Seed: 1})
+package gossip
+
+import (
+	"gossip/internal/conductance"
+	"gossip/internal/core"
+	"gossip/internal/graph"
+)
+
+// Graph is a connected undirected graph with positive integer edge
+// latencies (the paper's network model).
+type Graph = graph.Graph
+
+// Edge is an undirected edge with a latency.
+type Edge = graph.Edge
+
+// NodeID identifies a node (nodes are numbered 0..N-1).
+type NodeID = graph.NodeID
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Profile is the output of Analyze: structure, conductance and bounds.
+type Profile = core.Profile
+
+// Bounds collects the paper's round-complexity predictions for a graph.
+type Bounds = core.Bounds
+
+// ConductanceResult carries φ*, ℓ*, φavg, the per-latency φℓ map and the
+// number of non-empty latency classes L.
+type ConductanceResult = conductance.Result
+
+// Analyze profiles a latency graph: exact conductance by cut enumeration
+// for small graphs, candidate-cut estimation for large ones, plus the
+// paper's predicted bounds.
+func Analyze(g *Graph) (*Profile, error) { return core.Analyze(g) }
+
+// Algorithm selects a dissemination strategy.
+type Algorithm = core.Algorithm
+
+// Dissemination strategies.
+const (
+	// Auto runs push-pull and the spanner pipeline side by side and
+	// reports the faster arm (Theorem 31).
+	Auto = core.Auto
+	// PushPull is the classical random phone-call protocol (Theorem 29).
+	PushPull = core.PushPull
+	// Spanner is ℓ-DTG discovery + directed Baswana-Sen spanner + RR
+	// broadcast (Theorem 25), with guess-and-double when D is unknown.
+	Spanner = core.Spanner
+	// Pattern is the deterministic T(k) schedule (Lemma 28).
+	Pattern = core.Pattern
+	// Flood is the push-only baseline of footnote 3.
+	Flood = core.Flood
+)
+
+// Options configures Disseminate.
+type Options = core.Options
+
+// Outcome reports a dissemination run.
+type Outcome = core.Outcome
+
+// Disseminate runs the selected dissemination algorithm on g and reports
+// rounds until every node is informed.
+func Disseminate(g *Graph, opts Options) (Outcome, error) { return core.Disseminate(g, opts) }

@@ -1,0 +1,247 @@
+package bitset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len() = %d, want 100", s.Len())
+	}
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count() = %d, want 0", s.Count())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("Contains(%d) before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("!Contains(%d) after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count() = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count() = %d, want 7", s.Count())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count() = %d, want 1", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Contains(10) },
+		func() { s.Remove(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := New(200), New(200)
+	a.Add(1)
+	a.Add(100)
+	b.Add(100)
+	b.Add(199)
+	a.UnionWith(b)
+	want := []int{1, 100, 199}
+	got := a.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice() = %v, want %v", got, want)
+		}
+	}
+	// b unchanged
+	if b.Count() != 2 {
+		t.Fatalf("b.Count() = %d, want 2", b.Count())
+	}
+}
+
+func TestUnionWithNil(t *testing.T) {
+	a := New(10)
+	a.Add(3)
+	a.UnionWith(nil)
+	if a.Count() != 1 {
+		t.Fatal("union with nil changed set")
+	}
+}
+
+func TestMismatchedCapacityPanics(t *testing.T) {
+	a, b := New(10), New(20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched union")
+		}
+	}()
+	a.UnionWith(b)
+}
+
+func TestIntersectAndDifference(t *testing.T) {
+	a, b := New(64), New(64)
+	for i := 0; i < 10; i++ {
+		a.Add(i)
+	}
+	for i := 5; i < 15; i++ {
+		b.Add(i)
+	}
+	c := a.Clone()
+	c.IntersectWith(b)
+	if c.Count() != 5 {
+		t.Fatalf("intersection Count() = %d, want 5", c.Count())
+	}
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if d.Count() != 5 {
+		t.Fatalf("difference Count() = %d, want 5", d.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if !d.Contains(i) {
+			t.Fatalf("difference missing %d", i)
+		}
+	}
+}
+
+func TestEqualSubset(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Add(69)
+	b.Add(69)
+	if !a.Equal(b) {
+		t.Fatal("equal sets not Equal")
+	}
+	b.Add(1)
+	if a.Equal(b) {
+		t.Fatal("unequal sets Equal")
+	}
+	if !a.SubsetOf(b) {
+		t.Fatal("a not subset of superset")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("superset reported as subset")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("sets of different capacity Equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Add(5)
+	c := a.Clone()
+	c.Add(6)
+	if a.Contains(6) {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestFillClearFull(t *testing.T) {
+	s := New(67)
+	s.Fill()
+	if !s.Full() {
+		t.Fatal("filled set not Full")
+	}
+	if s.Count() != 67 {
+		t.Fatalf("Count() = %d, want 67", s.Count())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("cleared set not empty")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(300)
+	want := []int{2, 64, 65, 128, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(5)
+	if got := s.String(); got != "{1, 5}" {
+		t.Fatalf("String() = %q, want {1, 5}", got)
+	}
+}
+
+// TestQuickUnionCommutes property-tests that union is commutative and
+// idempotent and that Count matches a reference implementation.
+func TestQuickUnionCommutes(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		const n = 257
+		a, b := New(n), New(n)
+		ra := rand.New(rand.NewPCG(seedA, 1))
+		rb := rand.New(rand.NewPCG(seedB, 2))
+		ref := make(map[int]bool)
+		for i := 0; i < 64; i++ {
+			x, y := ra.IntN(n), rb.IntN(n)
+			a.Add(x)
+			b.Add(y)
+			ref[x] = true
+			ref[y] = true
+		}
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		again := ab.Clone()
+		again.UnionWith(b)
+		if !again.Equal(ab) {
+			return false
+		}
+		return ab.Count() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package conductance implements the paper's weighted-conductance
+// machinery: the weight-ℓ conductance φℓ (Definition 1), the critical
+// weighted conductance φ* and critical latency ℓ* (Definition 2), the
+// latency classes and average weighted conductance φavg (Definitions 3-4),
+// and the Theorem 5 relation between them.
+//
+// Exact values enumerate all cuts and are exponential in n; Estimate
+// evaluates a polynomial family of candidate cuts (spectral sweeps, ball
+// sweeps, singletons) and returns upper bounds that are exact on the
+// structured families used in the experiments.
+package conductance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gossip/internal/graph"
+)
+
+// Result bundles every conductance quantity for one graph.
+type Result struct {
+	// PhiStar is the critical weighted conductance φ* and EllStar the
+	// critical latency ℓ* (Definition 2): φℓ/ℓ is maximal at ℓ = ℓ*.
+	PhiStar float64
+	EllStar int
+	// PhiAvg is the average weighted conductance (Definition 4).
+	PhiAvg float64
+	// PhiL maps each distinct edge latency ℓ to the weight-ℓ
+	// conductance φℓ(G).
+	PhiL map[int]float64
+	// NonEmptyClasses is L: the number of non-empty latency classes.
+	NonEmptyClasses int
+	// MaxLatency is ℓmax.
+	MaxLatency int
+	// Exact records whether the values came from full cut enumeration.
+	Exact bool
+	// CriticalCut is one side (by membership) of a cut achieving
+	// φ_{ℓ*}(G) — the bottleneck the critical conductance describes.
+	CriticalCut []bool
+	// AvgCut is one side of a cut achieving φavg(G).
+	AvgCut []bool
+}
+
+// Classes returns ceil(log2(ℓmax)), the number of possible latency classes.
+func (r Result) Classes() int { return numClasses(r.MaxLatency) }
+
+// CheckTheorem5 returns an error unless φ*/2ℓ* <= φavg <= L·φ*/ℓ*
+// (Theorem 5) holds up to floating-point slack.
+func (r Result) CheckTheorem5() error {
+	const eps = 1e-9
+	lower := r.PhiStar / (2 * float64(r.EllStar))
+	upper := float64(r.NonEmptyClasses) * r.PhiStar / float64(r.EllStar)
+	if r.PhiAvg < lower-eps {
+		return fmt.Errorf("conductance: φavg=%.6g < φ*/2ℓ*=%.6g", r.PhiAvg, lower)
+	}
+	if r.PhiAvg > upper+eps {
+		return fmt.Errorf("conductance: φavg=%.6g > Lφ*/ℓ*=%.6g", r.PhiAvg, upper)
+	}
+	return nil
+}
+
+// LatencyClass returns the 1-based latency class of an edge latency
+// (Definition 3): class 1 holds latencies <= 2, class i holds latencies in
+// (2^(i-1), 2^i].
+func LatencyClass(latency int) int {
+	if latency < 1 {
+		panic(fmt.Sprintf("conductance: latency %d < 1", latency))
+	}
+	if latency <= 2 {
+		return 1
+	}
+	c := 1
+	bound := 2
+	for bound < latency {
+		bound *= 2
+		c++
+	}
+	return c
+}
+
+// numClasses returns ceil(log2(ℓmax)) with a minimum of 1, matching the
+// paper's dlog(ℓmax)e count of possible classes.
+func numClasses(maxLatency int) int {
+	if maxLatency <= 2 {
+		return 1
+	}
+	return LatencyClass(maxLatency)
+}
+
+// Cut describes a 2-partition of the node set by membership of side U.
+type Cut struct {
+	InU []bool
+}
+
+// NewCut builds a cut from the node IDs in U.
+func NewCut(n int, u []graph.NodeID) Cut {
+	in := make([]bool, n)
+	for _, id := range u {
+		in[id] = true
+	}
+	return Cut{InU: in}
+}
+
+// valid reports whether both sides are non-empty.
+func (c Cut) valid(n int) bool {
+	count := 0
+	for _, b := range c.InU {
+		if b {
+			count++
+		}
+	}
+	return count > 0 && count < n
+}
+
+// WeightLCutConductance returns φℓ(C) = |Eℓ(C)| / min(Vol(U), Vol(V\U))
+// (Definition 1) for a specific cut.
+func WeightLCutConductance(g *graph.Graph, c Cut, l int) float64 {
+	if !c.valid(g.N()) {
+		panic("conductance: cut has an empty side")
+	}
+	cutEdges := 0
+	g.ForEachEdge(func(e graph.Edge) {
+		if c.InU[e.U] != c.InU[e.V] && e.Latency <= l {
+			cutEdges++
+		}
+	})
+	volU := g.Volume(c.InU)
+	volRest := 2*g.M() - volU
+	return float64(cutEdges) / float64(min(volU, volRest))
+}
+
+// AvgCutConductance returns φavg(C) (Definition 3): the class-weighted
+// count of cut edges divided by the smaller volume.
+func AvgCutConductance(g *graph.Graph, c Cut) float64 {
+	if !c.valid(g.N()) {
+		panic("conductance: cut has an empty side")
+	}
+	sum := 0.0
+	g.ForEachEdge(func(e graph.Edge) {
+		if c.InU[e.U] != c.InU[e.V] {
+			sum += 1 / math.Pow(2, float64(LatencyClass(e.Latency)))
+		}
+	})
+	volU := g.Volume(c.InU)
+	volRest := 2*g.M() - volU
+	return sum / float64(min(volU, volRest))
+}
+
+// criticalFromPhiL picks φ* and ℓ* from the per-latency map by maximizing
+// φℓ/ℓ. Sweeping only the distinct edge latencies is lossless: φℓ is a
+// step function that changes only at edge latency values, and between
+// steps φℓ/ℓ decreases in ℓ, so the maximum is attained at a distinct
+// latency value.
+func criticalFromPhiL(phiL map[int]float64) (float64, int) {
+	bestRatio := math.Inf(-1)
+	bestPhi, bestEll := 0.0, 1
+	lats := make([]int, 0, len(phiL))
+	for l := range phiL {
+		lats = append(lats, l)
+	}
+	sort.Ints(lats)
+	for _, l := range lats {
+		ratio := phiL[l] / float64(l)
+		if ratio > bestRatio {
+			bestRatio = ratio
+			bestPhi = phiL[l]
+			bestEll = l
+		}
+	}
+	return bestPhi, bestEll
+}
+
+// countNonEmptyClasses returns L for the graph: the number of latency
+// classes containing at least one edge.
+func countNonEmptyClasses(g *graph.Graph) int {
+	seen := make(map[int]bool)
+	g.ForEachEdge(func(e graph.Edge) { seen[LatencyClass(e.Latency)] = true })
+	return len(seen)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package conductance
+
+import (
+	"testing"
+
+	"gossip/internal/graphgen"
+)
+
+// The dumbbell's critical cut must separate the two cliques.
+func TestExactCriticalCutIsBridgeCut(t *testing.T) {
+	g := graphgen.Dumbbell(5, 20)
+	res, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalCut == nil {
+		t.Fatal("no critical cut recorded")
+	}
+	// Verify the recorded cut actually attains φ_{ℓ*}.
+	got := WeightLCutConductance(g, Cut{InU: res.CriticalCut}, res.EllStar)
+	if diff := got - res.PhiL[res.EllStar]; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("recorded cut has φ = %v, want %v", got, res.PhiL[res.EllStar])
+	}
+	// All of clique A on one side, clique B on the other.
+	side0 := res.CriticalCut[0]
+	for u := 1; u < 5; u++ {
+		if res.CriticalCut[u] != side0 {
+			t.Fatalf("clique A split by critical cut: %v", res.CriticalCut)
+		}
+	}
+	for u := 5; u < 10; u++ {
+		if res.CriticalCut[u] == side0 {
+			t.Fatalf("clique B not separated: %v", res.CriticalCut)
+		}
+	}
+}
+
+func TestExactAvgCutAttainsPhiAvg(t *testing.T) {
+	rng := graphgen.NewRand(19)
+	g, err := graphgen.ErdosRenyi(12, 0.5, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphgen.AssignRandomLatencies(g, 1, 20, rng)
+	res, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := AvgCutConductance(g, Cut{InU: res.AvgCut})
+	if diff := got - res.PhiAvg; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("recorded avg cut has φavg = %v, want %v", got, res.PhiAvg)
+	}
+}
+
+// The estimator's recorded cuts must attain its reported values too.
+func TestEstimateCutsConsistent(t *testing.T) {
+	g := graphgen.Dumbbell(14, 40) // 28 nodes: estimation path
+	res, err := Estimate(g, EstimateOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalCut != nil {
+		got := WeightLCutConductance(g, Cut{InU: res.CriticalCut}, res.EllStar)
+		if diff := got - res.PhiL[res.EllStar]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("estimator critical cut φ = %v, reported %v", got, res.PhiL[res.EllStar])
+		}
+	}
+	if res.AvgCut != nil {
+		got := AvgCutConductance(g, Cut{InU: res.AvgCut})
+		if diff := got - res.PhiAvg; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("estimator avg cut φavg = %v, reported %v", got, res.PhiAvg)
+		}
+	}
+}
+
+func TestEstimateDisconnectedWitness(t *testing.T) {
+	g := graphgen.Dumbbell(13, 50) // estimation path; G_1 disconnected
+	res, err := Estimate(g, EstimateOptions{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PhiL[1] != 0 {
+		t.Fatalf("φ_1 = %v", res.PhiL[1])
+	}
+	if res.EllStar == 1 {
+		t.Fatal("ℓ* should not be the zero-conductance class")
+	}
+}

@@ -1,0 +1,366 @@
+package conductance
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"gossip/internal/graph"
+)
+
+// EstimateOptions tunes the candidate-cut search.
+type EstimateOptions struct {
+	// Seed drives the spectral power iteration start vectors.
+	Seed uint64
+	// PowerIterations for the Fiedler-vector approximation (default 150).
+	PowerIterations int
+	// MaxSpectralLatencies caps how many distinct latency thresholds get
+	// their own spectral sweep (default 8; thresholds are spread evenly
+	// over the distinct latencies).
+	MaxSpectralLatencies int
+	// BallSeeds is the number of Dijkstra-ball sweep sources (default 4).
+	BallSeeds int
+}
+
+func (o EstimateOptions) withDefaults() EstimateOptions {
+	if o.PowerIterations == 0 {
+		o.PowerIterations = 150
+	}
+	if o.MaxSpectralLatencies == 0 {
+		o.MaxSpectralLatencies = 8
+	}
+	if o.BallSeeds == 0 {
+		o.BallSeeds = 4
+	}
+	return o
+}
+
+// Compute returns exact values for small graphs and candidate-cut upper
+// bounds for larger ones.
+func Compute(g *graph.Graph) (Result, error) {
+	if g.N() <= MaxExactN {
+		return Exact(g)
+	}
+	return Estimate(g, EstimateOptions{Seed: 1})
+}
+
+// Estimate evaluates a polynomial family of candidate cuts — spectral
+// sweep cuts on each latency-filtered subgraph G_ℓ, Dijkstra-ball sweeps,
+// and singletons — and reports the minimum over that family. The results
+// are upper bounds on the true φℓ and φavg (the family usually contains
+// the bottleneck cut for structured graphs).
+func Estimate(g *graph.Graph, opts EstimateOptions) (Result, error) {
+	n := g.N()
+	if n < 2 {
+		return Result{}, fmt.Errorf("conductance: need at least 2 nodes")
+	}
+	lats := g.DistinctLatencies()
+	if len(lats) == 0 {
+		return Result{}, fmt.Errorf("conductance: graph has no edges")
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed*2654435761+1))
+
+	est := newEvaluator(g, lats)
+
+	// Disconnected G_ℓ means φℓ = 0 exactly (a component boundary has no
+	// latency-<=ℓ edges crossing it).
+	for i, l := range lats {
+		comp := componentOf(g.SubgraphMaxLatency(l))
+		if !isSingleComponent(comp, n) {
+			est.minPhiL[i] = 0
+			// That same component cut is also a candidate for φavg and
+			// for higher thresholds, and is the witness for φℓ = 0.
+			cut := make([]bool, n)
+			for u, c := range comp {
+				cut[u] = c == comp[0]
+			}
+			est.argCut[i] = cut
+			est.evalCut(cut)
+		}
+	}
+
+	// Spectral sweeps on a spread of thresholds.
+	thresholds := spreadThresholds(lats, opts.MaxSpectralLatencies)
+	for _, l := range thresholds {
+		sub := g.SubgraphMaxLatency(l)
+		order := spectralOrder(sub, opts.PowerIterations, rng)
+		est.evalSweep(order)
+	}
+	// Full-graph spectral sweep (weights ignored) for good measure.
+	est.evalSweep(spectralOrder(g, opts.PowerIterations, rng))
+
+	// Dijkstra ball sweeps from random seeds.
+	for i := 0; i < opts.BallSeeds; i++ {
+		src := rng.IntN(n)
+		dist := g.Distances(src)
+		order := make([]int, n)
+		for u := range order {
+			order[u] = u
+		}
+		sort.Slice(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
+		est.evalSweep(order)
+	}
+
+	// Singleton cuts.
+	single := make([]bool, n)
+	for u := 0; u < n; u++ {
+		single[u] = true
+		est.evalCut(single)
+		single[u] = false
+	}
+
+	phiL := make(map[int]float64, len(lats))
+	for i, l := range lats {
+		phiL[l] = est.minPhiL[i]
+	}
+	phiStar, ellStar := criticalFromPhiL(phiL)
+	res := Result{
+		PhiStar:         phiStar,
+		EllStar:         ellStar,
+		PhiAvg:          est.minAvg,
+		PhiL:            phiL,
+		NonEmptyClasses: countNonEmptyClasses(g),
+		MaxLatency:      g.MaxLatency(),
+		Exact:           false,
+		AvgCut:          est.avgCut,
+	}
+	res.CriticalCut = est.argCut[est.latIndex[ellStar]]
+	return res, nil
+}
+
+// evaluator accumulates the running minima over candidate cuts.
+type evaluator struct {
+	g        *graph.Graph
+	lats     []int
+	latIndex map[int]int
+	deg      []int
+	totalVol int
+	minPhiL  []float64
+	minAvg   float64
+	// argCut[i] is a copy of the best cut seen for latency index i;
+	// avgCut the best for φavg.
+	argCut [][]bool
+	avgCut []bool
+}
+
+func newEvaluator(g *graph.Graph, lats []int) *evaluator {
+	e := &evaluator{
+		g:        g,
+		lats:     lats,
+		latIndex: make(map[int]int, len(lats)),
+		deg:      make([]int, g.N()),
+		totalVol: 2 * g.M(),
+		minPhiL:  make([]float64, len(lats)),
+		minAvg:   math.Inf(1),
+	}
+	for i, l := range lats {
+		e.latIndex[l] = i
+	}
+	for u := 0; u < g.N(); u++ {
+		e.deg[u] = g.Degree(u)
+	}
+	for i := range e.minPhiL {
+		e.minPhiL[i] = math.Inf(1)
+	}
+	e.argCut = make([][]bool, len(lats))
+	return e
+}
+
+// evalCut scores a single cut (O(m)).
+func (e *evaluator) evalCut(inU []bool) {
+	volU := 0
+	for u, in := range inU {
+		if in {
+			volU += e.deg[u]
+		}
+	}
+	if volU == 0 || volU == e.totalVol {
+		return
+	}
+	latCount := make([]int, len(e.lats))
+	avgSum := 0.0
+	e.g.ForEachEdge(func(ed graph.Edge) {
+		if inU[ed.U] != inU[ed.V] {
+			latCount[e.latIndex[ed.Latency]]++
+			avgSum += 1 / math.Pow(2, float64(LatencyClass(ed.Latency)))
+		}
+	})
+	e.apply(latCount, avgSum, volU, inU)
+}
+
+// evalSweep scores all n-1 prefix cuts of an ordering incrementally
+// (O(m + n·|lats|) total).
+func (e *evaluator) evalSweep(order []int) {
+	n := e.g.N()
+	inU := make([]bool, n)
+	latCount := make([]int, len(e.lats))
+	classSum := 0.0
+	volU := 0
+	for k := 0; k < n-1; k++ {
+		v := order[k]
+		inU[v] = true
+		volU += e.deg[v]
+		for _, nb := range e.g.Neighbors(v) {
+			idx := e.latIndex[nb.Latency]
+			delta := 1
+			if inU[nb.ID] {
+				delta = -1 // edge no longer crosses the cut
+			}
+			latCount[idx] += delta
+			classSum += float64(delta) / math.Pow(2, float64(LatencyClass(nb.Latency)))
+		}
+		e.apply(latCount, classSum, volU, inU)
+	}
+}
+
+func (e *evaluator) apply(latCount []int, avgSum float64, volU int, inU []bool) {
+	s := float64(min(volU, e.totalVol-volU))
+	if s <= 0 {
+		return
+	}
+	var snapshot []bool
+	snap := func() []bool {
+		if snapshot == nil {
+			snapshot = append([]bool(nil), inU...)
+		}
+		return snapshot
+	}
+	prefix := 0
+	for i := range e.lats {
+		prefix += latCount[i]
+		if phi := float64(prefix) / s; phi < e.minPhiL[i] {
+			e.minPhiL[i] = phi
+			e.argCut[i] = snap()
+		}
+	}
+	// Guard tiny negative drift from incremental float updates.
+	if avgSum < 0 {
+		avgSum = 0
+	}
+	if avg := avgSum / s; avg < e.minAvg {
+		e.minAvg = avg
+		e.avgCut = snap()
+	}
+}
+
+// spectralOrder approximates the Fiedler ordering of g: the coordinates of
+// the second eigenvector of the lazy random walk matrix, obtained by power
+// iteration with deflation of the stationary component.
+func spectralOrder(g *graph.Graph, iters int, rng *rand.Rand) []int {
+	n := g.N()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	deg := make([]float64, n)
+	totalDeg := 0.0
+	for u := 0; u < n; u++ {
+		deg[u] = float64(g.Degree(u))
+		totalDeg += deg[u]
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		// Deflate the stationary (degree-weighted constant) direction.
+		if totalDeg > 0 {
+			dot := 0.0
+			for u := 0; u < n; u++ {
+				dot += x[u] * deg[u]
+			}
+			shift := dot / totalDeg
+			for u := 0; u < n; u++ {
+				x[u] -= shift
+			}
+		}
+		// One lazy walk step: x' = x/2 + (D^-1 A x)/2.
+		for u := 0; u < n; u++ {
+			sum := 0.0
+			for _, nb := range g.Neighbors(u) {
+				sum += x[nb.ID]
+			}
+			if deg[u] > 0 {
+				next[u] = x[u]/2 + sum/(2*deg[u])
+			} else {
+				next[u] = x[u]
+			}
+		}
+		// Normalize to keep magnitudes sane.
+		norm := 0.0
+		for _, v := range next {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			break
+		}
+		for u := range next {
+			x[u] = next[u] / norm
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return x[order[a]] < x[order[b]] })
+	return order
+}
+
+// spreadThresholds picks up to k thresholds spread over the distinct
+// latencies, always including the smallest and largest.
+func spreadThresholds(lats []int, k int) []int {
+	if len(lats) <= k {
+		return lats
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		idx := i * (len(lats) - 1) / (k - 1)
+		out = append(out, lats[idx])
+	}
+	// Dedup (possible with integer division).
+	seen := make(map[int]bool)
+	uniq := out[:0]
+	for _, l := range out {
+		if !seen[l] {
+			seen[l] = true
+			uniq = append(uniq, l)
+		}
+	}
+	return uniq
+}
+
+// componentOf labels each node with a component representative.
+func componentOf(g *graph.Graph) []int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		stack := []int{start}
+		comp[start] = start
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range g.Neighbors(u) {
+				if comp[nb.ID] < 0 {
+					comp[nb.ID] = start
+					stack = append(stack, nb.ID)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+func isSingleComponent(comp []int, n int) bool {
+	for _, c := range comp {
+		if c != comp[0] {
+			return false
+		}
+	}
+	return n > 0
+}

@@ -1,0 +1,269 @@
+// Package core is the top of the library: it combines the weighted-
+// conductance analysis (Section 2) with the dissemination algorithms
+// (Sections 4-6) behind a single API. Analyze profiles a latency graph
+// and reports the paper's predicted bounds; Disseminate runs a chosen
+// (or automatically chosen, per Theorem 31) dissemination algorithm.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gossip/internal/conductance"
+	"gossip/internal/gossip"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// Profile is the structural and conductance analysis of a latency graph.
+type Profile struct {
+	// N, M, MaxDegree, MaxLatency are basic structure.
+	N, M, MaxDegree, MaxLatency int
+	// Diameter is the weighted diameter D.
+	Diameter int64
+	// Conductance carries φ*, ℓ*, φavg, the φℓ map and L.
+	Conductance conductance.Result
+	// Bounds are the paper's predictions for this graph.
+	Bounds Bounds
+}
+
+// Bounds collects the paper's round-complexity predictions.
+type Bounds struct {
+	// Lower is Ω(min(D+Δ, ℓ*/φ*)) — the Theorem 13 lower bound shape.
+	Lower float64
+	// PushPull is O((ℓ*/φ*)·ln n) — Theorem 29.
+	PushPull float64
+	// PushPullAvg is O((L/φavg)·ln n) — Corollary 30.
+	PushPullAvg float64
+	// SpannerKnown is O(D·log³ n) — Theorem 25.
+	SpannerKnown float64
+	// SpannerUnknown is O((D+Δ)·log³ n) — Section 5.2.
+	SpannerUnknown float64
+	// Pattern is O(D·log² n·log D) — Lemma 28.
+	Pattern float64
+	// Unified is O(min(SpannerUnknown, PushPull)) — Theorem 31.
+	Unified float64
+}
+
+// Analyze profiles g: exact conductance for small graphs, candidate-cut
+// estimation for larger ones.
+func Analyze(g *graph.Graph) (*Profile, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	cond, err := conductance.Compute(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	p := &Profile{
+		N:           g.N(),
+		M:           g.M(),
+		MaxDegree:   g.MaxDegree(),
+		MaxLatency:  g.MaxLatency(),
+		Diameter:    g.WeightedDiameter(),
+		Conductance: cond,
+	}
+	p.Bounds = computeBounds(p)
+	return p, nil
+}
+
+func computeBounds(p *Profile) Bounds {
+	ln := math.Log(float64(p.N))
+	log2 := math.Log2(float64(p.N))
+	d := float64(p.Diameter)
+	var b Bounds
+	critical := math.Inf(1)
+	if p.Conductance.PhiStar > 0 {
+		critical = float64(p.Conductance.EllStar) / p.Conductance.PhiStar
+	}
+	b.Lower = math.Min(d+float64(p.MaxDegree), critical)
+	b.PushPull = critical * ln
+	if p.Conductance.PhiAvg > 0 {
+		b.PushPullAvg = float64(p.Conductance.NonEmptyClasses) / p.Conductance.PhiAvg * ln
+	} else {
+		b.PushPullAvg = math.Inf(1)
+	}
+	b.SpannerKnown = d * log2 * log2 * log2
+	b.SpannerUnknown = (d + float64(p.MaxDegree)) * log2 * log2 * log2
+	if d > 1 {
+		b.Pattern = d * log2 * log2 * math.Log2(d)
+	} else {
+		b.Pattern = log2 * log2
+	}
+	b.Unified = math.Min(b.SpannerUnknown, b.PushPull)
+	return b
+}
+
+// Algorithm selects a dissemination strategy.
+type Algorithm int
+
+const (
+	// Auto runs the Theorem 31 combination (push-pull and the spanner
+	// algorithm side by side, reporting the faster arm).
+	Auto Algorithm = iota + 1
+	// PushPull is the random phone-call protocol.
+	PushPull
+	// Spanner is the DTG + Baswana-Sen + RR pipeline.
+	Spanner
+	// Pattern is the deterministic T(k) schedule.
+	Pattern
+	// Flood is the push-only baseline.
+	Flood
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case PushPull:
+		return "push-pull"
+	case Spanner:
+		return "spanner"
+	case Pattern:
+		return "pattern"
+	case Flood:
+		return "flood"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Disseminate.
+type Options struct {
+	// Algorithm defaults to Auto.
+	Algorithm Algorithm
+	// Source is the rumor source (one-to-all protocols).
+	Source graph.NodeID
+	// KnownLatencies selects the Section 4 model.
+	KnownLatencies bool
+	// D, when positive and known, skips guess-and-double for the
+	// spanner/pattern pipelines.
+	D         int
+	Seed      uint64
+	MaxRounds int
+	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt);
+	// completion is judged over survivors.
+	CrashAt []int
+	// FaultTolerant switches the spanner pipeline to the Superstep
+	// primitive with timeouts (the Section 7 extension). Only meaningful
+	// for Spanner and Auto.
+	FaultTolerant bool
+}
+
+// Outcome reports a dissemination run.
+type Outcome struct {
+	// Algorithm is the strategy that produced Rounds (for Auto, the
+	// winning arm).
+	Algorithm Algorithm
+	// Rounds until dissemination completed (-1 if it did not).
+	Rounds    int
+	Completed bool
+	// Exchanges counts initiated exchanges.
+	Exchanges int64
+}
+
+// Disseminate runs the selected dissemination algorithm on g.
+func Disseminate(g *graph.Graph, opts Options) (Outcome, error) {
+	if opts.Algorithm == 0 {
+		opts.Algorithm = Auto
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = sim.DefaultMaxRounds
+	}
+	switch opts.Algorithm {
+	case PushPull:
+		var res sim.Result
+		var err error
+		if opts.CrashAt != nil {
+			res, err = gossip.RunPushPullWithCrashes(g, opts.Source, opts.CrashAt, opts.Seed, opts.MaxRounds)
+		} else {
+			res, err = gossip.RunPushPull(g, opts.Source, opts.Seed, opts.MaxRounds)
+		}
+		if err != nil {
+			return Outcome{}, err
+		}
+		return fromSim(PushPull, res), nil
+	case Flood:
+		res, err := gossip.RunFlood(g, opts.Source, true, opts.Seed, opts.MaxRounds)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return fromSim(Flood, res), nil
+	case Spanner:
+		spOpts := gossip.SpannerOptions{
+			D:              opts.D,
+			KnownLatencies: opts.KnownLatencies,
+			Seed:           opts.Seed,
+			MaxPhaseRounds: opts.MaxRounds,
+			CrashAt:        opts.CrashAt,
+		}
+		if opts.FaultTolerant {
+			spOpts.UseSuperstep = true
+			spOpts.LBTimeout = defaultLBTimeout(g)
+		}
+		res, err := gossip.SpannerBroadcast(g, spOpts)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return fromBroadcast(Spanner, res), nil
+	case Pattern:
+		res, err := gossip.PatternBroadcast(g, gossip.PatternOptions{
+			D:              opts.D,
+			Seed:           opts.Seed,
+			MaxPhaseRounds: opts.MaxRounds,
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		return fromBroadcast(Pattern, res), nil
+	case Auto:
+		res, err := gossip.Unified(g, gossip.UnifiedOptions{
+			Source:         opts.Source,
+			KnownLatencies: opts.KnownLatencies,
+			D:              opts.D,
+			Seed:           opts.Seed,
+			MaxRounds:      opts.MaxRounds,
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		out := Outcome{
+			Algorithm: PushPull,
+			Rounds:    res.Rounds,
+			Completed: res.Rounds >= 0,
+			Exchanges: res.PushPull.Exchanges + res.Spanner.Exchanges,
+		}
+		if res.Winner == "spanner" {
+			out.Algorithm = Spanner
+		}
+		if !out.Completed {
+			out.Rounds = -1
+		}
+		return out, nil
+	default:
+		return Outcome{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// defaultLBTimeout picks a timeout safely above any single round trip:
+// twice the largest edge latency plus slack.
+func defaultLBTimeout(g *graph.Graph) int {
+	return 2*g.MaxLatency() + 4
+}
+
+func fromSim(a Algorithm, res sim.Result) Outcome {
+	out := Outcome{Algorithm: a, Rounds: res.Rounds, Completed: res.Completed, Exchanges: res.Exchanges}
+	if !res.Completed {
+		out.Rounds = -1
+	}
+	return out
+}
+
+func fromBroadcast(a Algorithm, res gossip.BroadcastResult) Outcome {
+	out := Outcome{Algorithm: a, Rounds: res.Rounds, Completed: res.Completed, Exchanges: res.Exchanges}
+	if !res.Completed {
+		out.Rounds = -1
+	}
+	return out
+}

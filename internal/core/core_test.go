@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gossip/internal/graphgen"
+)
+
+func TestAnalyzeClique(t *testing.T) {
+	g := graphgen.Clique(10, 1)
+	p, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 10 || p.M != 45 || p.MaxDegree != 9 || p.Diameter != 1 {
+		t.Fatalf("profile basics wrong: %+v", p)
+	}
+	if p.Conductance.EllStar != 1 {
+		t.Fatalf("ℓ* = %d", p.Conductance.EllStar)
+	}
+	if p.Bounds.PushPull <= 0 || math.IsInf(p.Bounds.PushPull, 1) {
+		t.Fatalf("push-pull bound = %v", p.Bounds.PushPull)
+	}
+	if p.Bounds.Lower > p.Bounds.PushPull {
+		t.Fatalf("lower bound %v above push-pull upper %v on a clique", p.Bounds.Lower, p.Bounds.PushPull)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	g := graphgen.Path(3, 1)
+	sub := g.SubgraphMaxLatency(0) // edgeless, disconnected
+	if _, err := Analyze(sub); err == nil {
+		t.Fatal("expected error for disconnected graph")
+	}
+}
+
+func TestDisseminateAlgorithms(t *testing.T) {
+	g := graphgen.Grid(4, 4, 2)
+	algos := []Algorithm{PushPull, Spanner, Pattern, Flood, Auto}
+	for _, a := range algos {
+		t.Run(a.String(), func(t *testing.T) {
+			out, err := Disseminate(g, Options{
+				Algorithm:      a,
+				Source:         0,
+				KnownLatencies: true,
+				Seed:           1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Completed {
+				t.Fatalf("%v incomplete: %+v", a, out)
+			}
+			if out.Rounds <= 0 {
+				t.Fatalf("%v rounds = %d", a, out.Rounds)
+			}
+		})
+	}
+}
+
+func TestDisseminateDefaultsToAuto(t *testing.T) {
+	g := graphgen.Clique(8, 1)
+	out, err := Disseminate(g, Options{Source: 0, KnownLatencies: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("auto dissemination incomplete")
+	}
+	if out.Algorithm != PushPull && out.Algorithm != Spanner {
+		t.Fatalf("auto winner = %v", out.Algorithm)
+	}
+}
+
+func TestDisseminateUnknownAlgorithm(t *testing.T) {
+	g := graphgen.Clique(4, 1)
+	if _, err := Disseminate(g, Options{Algorithm: Algorithm(99)}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		Auto: "auto", PushPull: "push-pull", Spanner: "spanner",
+		Pattern: "pattern", Flood: "flood", Algorithm(42): "algorithm(42)",
+	}
+	for a, want := range names {
+		if got := a.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	// On any graph, Unified <= PushPull and Unified <= SpannerUnknown.
+	rng := graphgen.NewRand(9)
+	g, err := graphgen.ErdosRenyi(14, 0.4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphgen.AssignRandomLatencies(g, 1, 12, rng)
+	p, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bounds.Unified > p.Bounds.PushPull+1e-9 || p.Bounds.Unified > p.Bounds.SpannerUnknown+1e-9 {
+		t.Fatalf("unified bound not the min: %+v", p.Bounds)
+	}
+	if p.Bounds.SpannerKnown > p.Bounds.SpannerUnknown+1e-9 {
+		t.Fatal("known-latency bound above unknown-latency bound")
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"gossip/internal/graphgen"
+)
+
+func TestDisseminateWithCrashes(t *testing.T) {
+	g := graphgen.Clique(12, 1)
+	crashAt := make([]int, 12)
+	for i := range crashAt {
+		crashAt[i] = -1
+	}
+	crashAt[3] = 2
+	out, err := Disseminate(g, Options{
+		Algorithm: PushPull, Source: 0, Seed: 1, CrashAt: crashAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("survivor dissemination incomplete: %+v", out)
+	}
+}
+
+func TestDisseminateFaultTolerantSpanner(t *testing.T) {
+	g := graphgen.Clique(12, 2)
+	crashAt := make([]int, 12)
+	for i := range crashAt {
+		crashAt[i] = -1
+	}
+	crashAt[1] = 5
+	out, err := Disseminate(g, Options{
+		Algorithm: Spanner, KnownLatencies: true, Seed: 2,
+		CrashAt: crashAt, FaultTolerant: true, MaxRounds: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("fault-tolerant spanner incomplete: %+v", out)
+	}
+}
+
+func TestDefaultLBTimeout(t *testing.T) {
+	g := graphgen.Clique(4, 8)
+	if got := defaultLBTimeout(g); got != 20 {
+		t.Fatalf("defaultLBTimeout = %d, want 2*8+4", got)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import "fmt"
+
+// Config tunes experiment scale.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Trials is the number of repetitions averaged per data point
+	// (default 5, or 3 under Quick).
+	Trials int
+	// Quick shrinks problem sizes for CI and benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 5
+		if c.Quick {
+			c.Trials = 3
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Experiment binds a paper claim to a runnable measurement.
+type Experiment struct {
+	ID    string
+	Title string
+	// Source cites the theorem/lemma/figure reproduced.
+	Source string
+	Run    func(cfg Config) (*Table, error)
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	return []Experiment{
+		expE1Theorem5,
+		expE2GuessSingleton,
+		expE3GuessRandom,
+		expE4DeltaLower,
+		expE5ConductanceLower,
+		expE6Tradeoff,
+		expE7PushPullUpper,
+		expE8Spanner,
+		expE9Pattern,
+		expE10Unified,
+		expE11DTG,
+		expE12RR,
+		expE13NoPull,
+		expE14Robustness,
+		expE15Messages,
+		expE16BoundedIn,
+		expE17LocalBroadcast,
+		expE18Blocking,
+		expE19Curves,
+		expE20Bandwidth,
+		expE21Jitter,
+		expE22FaultTolerant,
+	}
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 22 {
+		t.Fatalf("registered %d experiments, want 22", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Source == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestGet(t *testing.T) {
+	e, err := Get("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "E1" {
+		t.Fatalf("Get(E1) = %s", e.ID)
+	}
+	if _, err := Get("E99"); err == nil {
+		t.Fatal("expected error for unknown ID")
+	}
+}
+
+// Every experiment must run to completion in Quick mode and produce a
+// well-formed table. This is the repository's end-to-end integration
+// test: it exercises generators, conductance, the simulator, every
+// protocol and the guessing game.
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short")
+	}
+	cfg := Config{Seed: 7, Quick: true, Trials: 2}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Fatalf("%s row width %d != headers %d", e.ID, len(row), len(tbl.Headers))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("%s render missing ID", e.ID)
+			}
+		})
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Claim:   "x",
+		Headers: []string{"a", "b"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x,y", 10000.0)
+	tbl.AddNote("note %d", 1)
+	var txt bytes.Buffer
+	if err := tbl.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	for _, want := range []string{"T — demo", "claim: x", "2.500", "note: note 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := tbl.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), `"x,y"`) {
+		t.Fatalf("CSV escaping broken:\n%s", csv.String())
+	}
+	if !strings.HasPrefix(csv.String(), "a,b\n") {
+		t.Fatalf("CSV header broken:\n%s", csv.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Trials != 5 || c.Seed != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.Trials != 3 {
+		t.Fatalf("quick trials = %d", q.Trials)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {12345, "12345"}, {99.5, "99.5"}, {1.23456, "1.235"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.v); got != tt.want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

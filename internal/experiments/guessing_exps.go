@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"math"
+
+	"gossip/internal/graphgen"
+	"gossip/internal/guessing"
+	"gossip/internal/stats"
+)
+
+// expE2GuessSingleton measures the Lemma 7 shape: with a singleton
+// target, the number of rounds grows linearly in m even for the adaptive
+// fresh-pair strategy.
+var expE2GuessSingleton = Experiment{
+	ID:     "E2",
+	Title:  "guessing game, singleton target",
+	Source: "Lemma 7",
+	Run:    runE2,
+}
+
+func runE2(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ms := []int{8, 16, 32, 64, 128}
+	if cfg.Quick {
+		ms = []int{8, 16, 32}
+	}
+	tbl := &Table{
+		ID:      "E2",
+		Title:   "guessing game, singleton target",
+		Claim:   "any ε-error protocol needs Ω(m) rounds (Lemma 7)",
+		Headers: []string{"m", "mean rounds", "rounds/m", "worst-case m/2"},
+	}
+	var xs, ys []float64
+	for _, m := range ms {
+		var rounds []float64
+		for trial := 0; trial < cfg.Trials*4; trial++ {
+			rng := graphgen.NewRand(cfg.Seed + uint64(m*1000+trial))
+			game, err := guessing.NewGame(m, guessing.SingletonTarget(m, rng))
+			if err != nil {
+				return nil, err
+			}
+			r, solved, err := guessing.Play(game, guessing.NewFreshStrategy(m, rng), 10*m)
+			if err != nil {
+				return nil, err
+			}
+			if !solved {
+				r = 10 * m
+			}
+			rounds = append(rounds, float64(r))
+		}
+		mean := stats.Mean(rounds)
+		tbl.AddRow(m, mean, mean/float64(m), float64(m)/2)
+		xs = append(xs, float64(m))
+		ys = append(ys, mean)
+	}
+	if exp, _, r2, err := stats.PowerLawFit(xs, ys); err == nil {
+		tbl.AddNote("fitted rounds ~ m^%.2f (R²=%.3f); Lemma 7 predicts exponent 1", exp, r2)
+	}
+	return tbl, nil
+}
+
+// expE3GuessRandom measures the Lemma 8 gap: for Random_p targets the
+// adaptive fresh strategy needs Θ(1/p) rounds while the random
+// (push-pull-like) strategy needs Θ(log m / p).
+var expE3GuessRandom = Experiment{
+	ID:     "E3",
+	Title:  "guessing game, Random_p target",
+	Source: "Lemma 8 (a) and (b)",
+	Run:    runE3,
+}
+
+func runE3(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m := 128
+	if cfg.Quick {
+		m = 48
+	}
+	cs := []float64{4, 8, 16, 32}
+	tbl := &Table{
+		ID:    "E3",
+		Title: "guessing game, Random_p target",
+		Claim: "general protocols need Ω(1/p); random guessing needs Ω(log m/p) (Lemma 8)",
+		Headers: []string{
+			"m", "p", "fresh rounds", "1/p", "fresh·p", "random rounds", "ln(m)/p", "random/fresh",
+		},
+	}
+	var invP, freshMeans, randMeans []float64
+	for _, c := range cs {
+		p := c / float64(m)
+		var fresh, random []float64
+		for trial := 0; trial < cfg.Trials*2; trial++ {
+			rng := graphgen.NewRand(cfg.Seed + uint64(int(c)*997+trial))
+			target := guessing.RandomTarget(m, p, rng)
+			gameF, err := guessing.NewGame(m, clonePairs(target))
+			if err != nil {
+				return nil, err
+			}
+			rF, okF, err := guessing.Play(gameF, guessing.NewFreshStrategy(m, rng), 500*m)
+			if err != nil {
+				return nil, err
+			}
+			gameR, err := guessing.NewGame(m, clonePairs(target))
+			if err != nil {
+				return nil, err
+			}
+			rR, okR, err := guessing.Play(gameR, guessing.NewRandomStrategy(m, rng), 500*m)
+			if err != nil {
+				return nil, err
+			}
+			if okF {
+				fresh = append(fresh, float64(rF))
+			}
+			if okR {
+				random = append(random, float64(rR))
+			}
+		}
+		fm, rm := stats.Mean(fresh), stats.Mean(random)
+		tbl.AddRow(m, p, fm, 1/p, fm*p, rm, math.Log(float64(m))/p, rm/fm)
+		invP = append(invP, 1/p)
+		freshMeans = append(freshMeans, fm)
+		randMeans = append(randMeans, rm)
+	}
+	if exp, _, r2, err := stats.PowerLawFit(invP, freshMeans); err == nil {
+		tbl.AddNote("fresh rounds ~ (1/p)^%.2f (R²=%.3f); Lemma 8a predicts exponent 1", exp, r2)
+	}
+	if exp, _, r2, err := stats.PowerLawFit(invP, randMeans); err == nil {
+		tbl.AddNote("random rounds ~ (1/p)^%.2f (R²=%.3f); Lemma 8b predicts exponent 1 with a log m factor", exp, r2)
+	}
+	return tbl, nil
+}
+
+func clonePairs(t map[guessing.Pair]bool) map[guessing.Pair]bool {
+	out := make(map[guessing.Pair]bool, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package gossip
+
+import (
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// Discover is the latency-discovery protocol of Section 5.2: each node
+// contacts its neighbors one per round (Δ activations) and then waits for
+// responses. Responses arriving within the phase budget reveal the edge's
+// latency; edges that stay silent are slower than the budget and are
+// exactly the edges the subsequent phases ignore.
+type Discover struct {
+	nv   *sim.NodeView
+	next int
+}
+
+var (
+	_ sim.Protocol     = (*Discover)(nil)
+	_ sim.DoneReporter = (*Discover)(nil)
+)
+
+// NewDiscover returns the discovery protocol for one node.
+func NewDiscover(nv *sim.NodeView) *Discover { return &Discover{nv: nv} }
+
+// Activate probes the next neighbor.
+func (d *Discover) Activate(int) (int, bool) {
+	if d.next >= d.nv.Degree() {
+		return 0, false
+	}
+	idx := d.next
+	d.next++
+	return idx, true
+}
+
+// OnDeliver is a no-op; the simulator records discovered latencies.
+func (d *Discover) OnDeliver(sim.Delivery) {}
+
+// Done reports that all probes have been sent (responses may still be in
+// flight; the phase budget bounds how long we wait for them).
+func (d *Discover) Done() bool { return d.next >= d.nv.Degree() }
+
+// RunDiscovery runs a discovery phase with the given round budget
+// (typically Δ + current diameter guess). The returned result's Rounds is
+// always the budget: discovery cost is paid in full.
+func RunDiscovery(g *graph.Graph, budget int, seed uint64, initial []*bitset.Set) (sim.Result, error) {
+	res, err := sim.Run(sim.Config{
+		Graph:         g,
+		Seed:          seed,
+		MaxRounds:     budget,
+		Mode:          sim.AllToAll,
+		InitialRumors: initial,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewDiscover(nv) }, sim.StopNever())
+	if err != nil {
+		return res, err
+	}
+	res.Rounds = budget
+	res.Completed = true
+	return res, nil
+}

@@ -1,0 +1,26 @@
+// Package gossip implements every dissemination algorithm in the paper:
+//
+//   - PushPull — the classical random phone-call protocol (Theorem 29):
+//     each node contacts a uniformly random neighbor every round.
+//   - Flood — the push-only baseline of footnote 3, used to demonstrate
+//     the Ω(nD) star lower bound without pull.
+//   - DTG — Haeupler's deterministic tree gossip adapted to latencies
+//     (the ℓ-DTG protocol of Section 4.1.1 / Appendix A.1), implemented
+//     as a per-node blocking state machine.
+//   - RR Broadcast — round-robin propagation over the out-edges of a
+//     directed spanner (Algorithm 1, Lemma 21).
+//   - Spanner Broadcast — ℓ-DTG neighborhood discovery, oriented
+//     Baswana-Sen spanner, then RR Broadcast (Algorithm 2, Theorem 25),
+//     with the guess-and-double wrapper and Termination_Check
+//     (Algorithms 3-4) for unknown diameter.
+//   - Pattern Broadcast — the deterministic T(k) schedule of ℓ-DTG
+//     invocations (Algorithm 5, Lemmas 26-28).
+//   - Latency discovery and the unified algorithm (Section 5.2,
+//     Theorem 31).
+//
+// Single-phase protocols implement sim.Protocol directly. Multi-phase
+// algorithms are procedures composing sequential sim.Run phases that
+// carry rumor state forward; the phase boundary stands in for the fixed
+// per-phase round budgets of the real algorithms (quiescence never
+// exceeds the analytic budget, and both numbers are reported).
+package gossip

@@ -1,0 +1,154 @@
+package gossip
+
+import (
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// DTG is the ℓ-DTG local broadcast protocol (Appendix A.1, Algorithm 6):
+// Haeupler's Deterministic Tree Gossip run on the subgraph G_ℓ of edges
+// with latency <= ℓ, with every send followed by a wait for the edge's
+// round trip.
+//
+// Per node: while some G_ℓ-neighbor's rumor is missing, link to one such
+// new neighbor u_i and run the pipelined sequence
+// PUSH(u_i..u_1) · PULL(u_1..u_i) · PULL(u_1..u_i) · PUSH(u_i..u_1),
+// blocking on each exchange. Iteration counts are O(log n) because i-trees
+// grow exponentially, giving O(ℓ log² n) total time.
+//
+// The protocol keeps a phase-local heard set L (reset each invocation) so
+// repeated DTG phases of Spanner/Pattern Broadcast each pay their full
+// schedule, exactly as the real algorithm re-disseminates fresh
+// neighborhood data every repetition. L rides on exchange metadata.
+type DTG struct {
+	nv  *sim.NodeView
+	ell int
+	// eligible holds the adjacency indices of G_ℓ neighbors.
+	eligible []int
+	// heard is the phase-local knowledge set L.
+	heard *bitset.Set
+	// contacted are the linked neighbors u_1..u_i (adjacency indices).
+	contacted []int
+	// seq is the remaining send sequence of the current iteration.
+	seq []int
+	// pending is the adjacency index of the in-flight exchange, or -1.
+	pending int
+	done    bool
+}
+
+var (
+	_ sim.Protocol     = (*DTG)(nil)
+	_ sim.MetaProducer = (*DTG)(nil)
+	_ sim.DoneReporter = (*DTG)(nil)
+)
+
+// NewDTG returns the ℓ-DTG protocol for one node. ell <= 0 means no
+// latency filter. Latencies must be known (Section 4 model) or already
+// discovered; edges of unknown latency are treated as outside G_ℓ.
+func NewDTG(nv *sim.NodeView, ell int) *DTG {
+	d := &DTG{nv: nv, ell: ell, heard: bitset.New(nv.N()), pending: -1}
+	d.heard.Add(nv.ID())
+	for i := 0; i < nv.Degree(); i++ {
+		lat, known := nv.Latency(i)
+		if !known {
+			continue
+		}
+		if ell <= 0 || lat <= ell {
+			d.eligible = append(d.eligible, i)
+		}
+	}
+	return d
+}
+
+// Meta snapshots the node's phase-local heard set for the peer.
+func (d *DTG) Meta() any { return d.heard.Clone() }
+
+// Done reports local termination: every G_ℓ neighbor has been heard.
+func (d *DTG) Done() bool { return d.done }
+
+// Activate drives the blocking send schedule.
+func (d *DTG) Activate(int) (int, bool) {
+	if d.done || d.pending >= 0 {
+		return 0, false
+	}
+	if len(d.seq) == 0 && !d.startIteration() {
+		return 0, false
+	}
+	idx := d.seq[0]
+	d.seq = d.seq[1:]
+	d.pending = idx
+	return idx, true
+}
+
+// startIteration links one new neighbor and lays out the iteration's
+// PUSH/PULL/PULL/PUSH schedule; it reports false when the node is done.
+func (d *DTG) startIteration() bool {
+	newIdx := -1
+	for _, i := range d.eligible {
+		if !d.heard.Contains(d.nv.NeighborID(i)) {
+			newIdx = i
+			break
+		}
+	}
+	if newIdx < 0 {
+		d.done = true
+		return false
+	}
+	d.contacted = append(d.contacted, newIdx)
+	i := len(d.contacted)
+	seq := make([]int, 0, 4*i)
+	for j := i - 1; j >= 0; j-- { // PUSH: u_i .. u_1
+		seq = append(seq, d.contacted[j])
+	}
+	for j := 0; j < i; j++ { // PULL: u_1 .. u_i
+		seq = append(seq, d.contacted[j])
+	}
+	for j := 0; j < i; j++ { // second PULL
+		seq = append(seq, d.contacted[j])
+	}
+	for j := i - 1; j >= 0; j-- { // second PUSH
+		seq = append(seq, d.contacted[j])
+	}
+	d.seq = seq
+	return true
+}
+
+// OnDeliver merges the peer's heard set and unblocks the state machine.
+func (d *DTG) OnDeliver(dv sim.Delivery) {
+	if peer, ok := dv.PeerMeta.(*bitset.Set); ok {
+		d.heard.UnionWith(peer)
+	}
+	d.heard.Add(dv.Peer)
+	if dv.Initiator && dv.NeighborIndex == d.pending {
+		d.pending = -1
+	}
+}
+
+// DTGOptions configures one ℓ-DTG phase run.
+type DTGOptions struct {
+	Ell       int
+	Seed      uint64
+	MaxRounds int
+	// InitialRumors carries state from a previous phase (nil seeds
+	// AllToAll).
+	InitialRumors []*bitset.Set
+	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt). DTG
+	// has no timeout mechanism, so a node waiting on a crashed peer
+	// stalls — the fragility the paper's Section 6 notes.
+	CrashAt []int
+}
+
+// RunDTG runs one ℓ-DTG phase to quiescence (every node's local
+// broadcast complete) and returns the simulation result.
+func RunDTG(g *graph.Graph, opts DTGOptions) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:          g,
+		Seed:           opts.Seed,
+		KnownLatencies: true,
+		MaxRounds:      opts.MaxRounds,
+		Mode:           sim.AllToAll,
+		InitialRumors:  opts.InitialRumors,
+		CrashAt:        opts.CrashAt,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewDTG(nv, opts.Ell) }, sim.StopAllDone())
+}

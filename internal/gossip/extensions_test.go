@@ -1,0 +1,176 @@
+package gossip
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/graphgen"
+)
+
+func TestPushPullBlockingSlower(t *testing.T) {
+	// On a slow-edged clique the blocking variant cannot pipeline, so it
+	// should need at least as many rounds on average.
+	g := graphgen.Clique(16, 8)
+	sumNB, sumB := 0, 0
+	for seed := uint64(0); seed < 5; seed++ {
+		nb, err := RunPushPull(g, 0, seed, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, err := RunPushPullBlocking(g, 0, seed, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nb.Completed || !bl.Completed {
+			t.Fatal("incomplete")
+		}
+		sumNB += nb.Rounds
+		sumB += bl.Rounds
+	}
+	if sumB < sumNB {
+		t.Fatalf("blocking (%d) beat non-blocking (%d) overall; expected the opposite", sumB, sumNB)
+	}
+}
+
+func TestPushPullMultiSource(t *testing.T) {
+	g := graphgen.Cycle(16, 2)
+	single, err := RunPushPull(g, 0, 3, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunPushPullMultiSource(g, []graph.NodeID{0, 8}, 3, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !multi.Completed {
+		t.Fatal("multi-source incomplete")
+	}
+	// Two antipodal sources should not be slower than one (they cover
+	// half the ring each, though the all-sources criterion adds work).
+	if multi.Rounds > 2*single.Rounds+4 {
+		t.Fatalf("multi-source %d much slower than single %d", multi.Rounds, single.Rounds)
+	}
+}
+
+func TestPushPullWithCrashesInformsSurvivors(t *testing.T) {
+	g := graphgen.Clique(16, 1)
+	crashAt := make([]int, 16)
+	for i := range crashAt {
+		crashAt[i] = -1
+	}
+	crashAt[5], crashAt[6] = 2, 2
+	res, err := RunPushPullWithCrashes(g, 0, crashAt, 7, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("survivors not informed")
+	}
+}
+
+func TestPushPullBoundedInDegreeStar(t *testing.T) {
+	// Cap 1 on a star serializes the center: Θ(n) rounds.
+	n := 17
+	g := graphgen.Star(n, 1)
+	capped, err := RunPushPullBoundedInDegree(g, 0, 1, 5, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := RunPushPullBoundedInDegree(g, 0, 0, 5, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Completed || !free.Completed {
+		t.Fatal("incomplete")
+	}
+	if capped.Rounds < (n-1)/2 {
+		t.Fatalf("capped rounds = %d, expected Θ(n)", capped.Rounds)
+	}
+	if free.Rounds > 4 {
+		t.Fatalf("uncapped rounds = %d on a star", free.Rounds)
+	}
+	if capped.Dropped == 0 {
+		t.Fatal("no drops recorded under cap")
+	}
+}
+
+func TestSpannerBroadcastWithMidRunCrashes(t *testing.T) {
+	g := graphgen.Clique(16, 2)
+	crashAt := make([]int, 16)
+	for i := range crashAt {
+		crashAt[i] = -1
+	}
+	crashAt[1] = 5
+	res, err := SpannerBroadcast(g, SpannerOptions{
+		KnownLatencies: true, Seed: 3, MaxPhaseRounds: 4096, CrashAt: crashAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors must end up complete on a redundant clique spanner, at
+	// some round-count inflation versus the crash-free run.
+	if !res.Completed {
+		t.Fatalf("survivor dissemination incomplete: %+v", res)
+	}
+}
+
+func TestShiftCrashes(t *testing.T) {
+	in := []int{-1, 0, 5, 10}
+	out := shiftCrashes(in, 5)
+	want := []int{-1, 0, 0, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("shiftCrashes = %v, want %v", out, want)
+		}
+	}
+	if shiftCrashes(nil, 3) != nil {
+		t.Fatal("nil schedule must stay nil")
+	}
+}
+
+func TestRumorsFullAlive(t *testing.T) {
+	g := graphgen.Clique(4, 1)
+	_ = g
+	res, err := RunDTG(graphgen.Clique(4, 1), DTGOptions{Ell: 1, Seed: 1, MaxRounds: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rumors := res.FinalRumors()
+	if !rumorsFullAlive(rumors, nil) {
+		t.Fatal("complete run not full")
+	}
+	// Mark node 3 dead: fullness over survivors must ignore it.
+	rumors[3].Clear()
+	if rumorsFullAlive(rumors, []int{-1, -1, -1, 0}) != true {
+		t.Fatal("alive-fullness should ignore the crashed node")
+	}
+	rumors[0].Remove(1)
+	if rumorsFullAlive(rumors, []int{-1, -1, -1, 0}) {
+		t.Fatal("missing survivor rumor not detected")
+	}
+}
+
+func TestSpreadCurveFromPushPull(t *testing.T) {
+	g := graphgen.Clique(32, 1)
+	res, err := RunPushPull(g, 0, 9, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := res.SpreadCurve()
+	if len(curve) != res.Rounds+1 {
+		t.Fatalf("curve length %d for %d rounds", len(curve), res.Rounds)
+	}
+	if curve[0] < 1 || curve[len(curve)-1] != 32 {
+		t.Fatalf("curve endpoints wrong: %v", curve)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatal("curve not monotone")
+		}
+	}
+	// Epidemic S-shape: the half-time is before the final round on a
+	// clique (exponential growth phase then stragglers).
+	if ht := res.HalfTime(); ht < 0 || ht > res.Rounds {
+		t.Fatalf("HalfTime = %d", ht)
+	}
+}

@@ -1,0 +1,59 @@
+package gossip
+
+import (
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// Flood is the push-only baseline of footnote 3: an informed node offers
+// the rumor to its neighbors one by one; uninformed nodes never initiate,
+// so there is no pull. In Blocking mode a node waits for each exchange to
+// complete before starting the next (classical store-and-forward
+// flooding); this is the regime where a star with slow edges costs Ω(nD).
+type Flood struct {
+	nv       *sim.NodeView
+	source   graph.NodeID
+	blocking bool
+	next     int // next adjacency index to contact
+	inflight bool
+}
+
+var _ sim.Protocol = (*Flood)(nil)
+
+// NewFlood returns the flooding protocol. Nodes activate only once they
+// hold source's rumor.
+func NewFlood(nv *sim.NodeView, source graph.NodeID, blocking bool) *Flood {
+	return &Flood{nv: nv, source: source, blocking: blocking}
+}
+
+// Activate contacts the next neighbor in round-robin order while informed.
+func (f *Flood) Activate(int) (int, bool) {
+	if !f.nv.Knows(f.source) || f.nv.Degree() == 0 {
+		return 0, false
+	}
+	if f.blocking && f.inflight {
+		return 0, false
+	}
+	idx := f.next % f.nv.Degree()
+	f.next++
+	f.inflight = true
+	return idx, true
+}
+
+// OnDeliver clears the blocking window when our own exchange returns.
+func (f *Flood) OnDeliver(d sim.Delivery) {
+	if d.Initiator {
+		f.inflight = false
+	}
+}
+
+// RunFlood runs one-to-all flooding from source.
+func RunFlood(g *graph.Graph, source graph.NodeID, blocking bool, seed uint64, maxRounds int) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:     g,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+		Mode:      sim.OneToAll,
+		Source:    source,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewFlood(nv, source, blocking) }, sim.StopAllInformed(source))
+}

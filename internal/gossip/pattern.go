@@ -1,0 +1,135 @@
+package gossip
+
+import (
+	"fmt"
+
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// PatternSequence returns the ℓ-parameters of the recursive schedule T(k)
+// of Section 4.2 (k must be a power of two):
+//
+//	T(1) = [1]
+//	T(k) = T(k/2) · k · T(k/2)
+//
+// e.g. T(8) = 1,2,1,4,1,2,1,8,1,2,1,4,1,2,1.
+func PatternSequence(k int) ([]int, error) {
+	if k < 1 || k&(k-1) != 0 {
+		return nil, fmt.Errorf("gossip: pattern parameter %d is not a power of two", k)
+	}
+	if k == 1 {
+		return []int{1}, nil
+	}
+	half, err := PatternSequence(k / 2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, 2*len(half)+1)
+	out = append(out, half...)
+	out = append(out, k)
+	out = append(out, half...)
+	return out, nil
+}
+
+// PatternOptions configures PatternBroadcast.
+type PatternOptions struct {
+	// D is the known weighted diameter; 0 engages guess-and-double.
+	D    int
+	Seed uint64
+	// MaxPhaseRounds caps each ℓ-DTG phase.
+	MaxPhaseRounds int
+	// SkipCheck drops the Termination_Check pass for known D.
+	SkipCheck bool
+}
+
+// PatternBroadcast runs Algorithm 5: execute the schedule T(k) of ℓ-DTG
+// invocations (Lemma 26 guarantees all pairs within distance k have
+// exchanged rumors afterwards), doubling k with a Termination_Check pass
+// (one more T(k) execution, the broadcast the check prescribes) until
+// dissemination completes. Unlike Spanner Broadcast it is deterministic
+// and needs no bound on n.
+func PatternBroadcast(g *graph.Graph, opts PatternOptions) (BroadcastResult, error) {
+	var out BroadcastResult
+	if err := g.Validate(); err != nil {
+		return out, fmt.Errorf("gossip: pattern broadcast: %w", err)
+	}
+	known := opts.D > 0
+	guess := 1
+	if known {
+		guess = nextPow2(opts.D)
+	}
+	cap64 := int64(g.N()) * int64(g.MaxLatency()) * 4
+	var rumors []*bitset.Set
+	for {
+		var err error
+		rumors, err = runPattern(g, guess, opts, &out, rumors, "t")
+		if err != nil {
+			return out, err
+		}
+		done := rumorsFull(rumors, g.N())
+		if !opts.SkipCheck || !known {
+			rumors, err = runPattern(g, guess, opts, &out, rumors, "check")
+			if err != nil {
+				return out, err
+			}
+			done = rumorsFull(rumors, g.N())
+		}
+		out.FinalGuess = guess
+		if done {
+			out.Completed = true
+			return out, nil
+		}
+		if known {
+			return out, nil
+		}
+		guess *= 2
+		if int64(guess) > cap64 {
+			return out, nil
+		}
+	}
+}
+
+// runPattern executes one full T(guess) schedule.
+func runPattern(g *graph.Graph, guess int, opts PatternOptions, out *BroadcastResult, rumors []*bitset.Set, tag string) ([]*bitset.Set, error) {
+	seqEll, err := PatternSequence(guess)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := opts.MaxPhaseRounds
+	if maxRounds <= 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+	total := 0
+	exch := int64(0)
+	payload := int64(0)
+	for i, ell := range seqEll {
+		res, err := RunDTG(g, DTGOptions{
+			Ell:           ell,
+			Seed:          opts.Seed + uint64(i)*31 + 7,
+			MaxRounds:     maxRounds,
+			InitialRumors: rumors,
+		})
+		if err != nil {
+			return nil, err
+		}
+		total += res.Rounds
+		exch += res.Exchanges
+		payload += res.RumorPayload
+		rumors = res.FinalRumors()
+	}
+	out.Phases = append(out.Phases, Phase{Name: fmt.Sprintf("%s(k=%d)", tag, guess), Rounds: total, Exchanges: exch, Payload: payload})
+	out.Rounds += total
+	out.Exchanges += exch
+	out.RumorPayload += payload
+	return rumors, nil
+}
+
+func nextPow2(x int) int {
+	v := 1
+	for v < x {
+		v <<= 1
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+package gossip
+
+import (
+	"fmt"
+	"math"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// PushPull is the classical random phone-call protocol: in every round the
+// node initiates an exchange with a uniformly random neighbor. In the
+// paper's combined model a single exchange both pushes and pulls.
+//
+// The model is non-blocking (footnote: "each node can initiate a new
+// exchange in every round, even if previous messages have not yet been
+// delivered"); the Blocking variant waits for each exchange to complete
+// before the next initiation, an ablation of exactly that footnote.
+type PushPull struct {
+	nv       *sim.NodeView
+	blocking bool
+	inflight bool
+}
+
+var _ sim.Protocol = (*PushPull)(nil)
+
+// NewPushPull returns the non-blocking push-pull protocol for one node.
+func NewPushPull(nv *sim.NodeView) *PushPull { return &PushPull{nv: nv} }
+
+// NewPushPullBlocking returns the blocking variant: at most one exchange
+// in flight per node.
+func NewPushPullBlocking(nv *sim.NodeView) *PushPull {
+	return &PushPull{nv: nv, blocking: true}
+}
+
+// Activate picks a uniformly random neighbor.
+func (p *PushPull) Activate(int) (int, bool) {
+	d := p.nv.Degree()
+	if d == 0 || (p.blocking && p.inflight) {
+		return 0, false
+	}
+	p.inflight = true
+	return p.nv.RNG().IntN(d), true
+}
+
+// OnDeliver clears the blocking window when our own exchange returns.
+func (p *PushPull) OnDeliver(d sim.Delivery) {
+	if d.Initiator {
+		p.inflight = false
+	}
+}
+
+// RunPushPull runs one-to-all push-pull from source and returns the
+// simulation result.
+func RunPushPull(g *graph.Graph, source graph.NodeID, seed uint64, maxRounds int) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:     g,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+		Mode:      sim.OneToAll,
+		Source:    source,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewPushPull(nv) }, sim.StopAllInformed(source))
+}
+
+// RunPushPullLocalBroadcast runs push-pull in all-to-all mode until every
+// node holds every graph neighbor's rumor (local broadcast), returning
+// the rounds used.
+func RunPushPullLocalBroadcast(g *graph.Graph, seed uint64, maxRounds int) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:     g,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+		Mode:      sim.AllToAll,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewPushPull(nv) }, sim.StopLocalBroadcast())
+}
+
+// RunPushPullBlocking runs the blocking ablation of one-to-all push-pull.
+func RunPushPullBlocking(g *graph.Graph, source graph.NodeID, seed uint64, maxRounds int) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:     g,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+		Mode:      sim.OneToAll,
+		Source:    source,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewPushPullBlocking(nv) }, sim.StopAllInformed(source))
+}
+
+// RunPushPullMultiSource runs push-pull with several simultaneous sources
+// until every node holds every source's rumor.
+func RunPushPullMultiSource(g *graph.Graph, sources []graph.NodeID, seed uint64, maxRounds int) (sim.Result, error) {
+	stops := make([]sim.StopFunc, len(sources))
+	for i, s := range sources {
+		stops[i] = sim.StopAllInformed(s)
+	}
+	return sim.Run(sim.Config{
+		Graph:     g,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+		Mode:      sim.OneToAll,
+		Sources:   sources,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewPushPull(nv) }, sim.StopAnd(stops...))
+}
+
+// RunPushPullWithCrashes runs one-to-all push-pull under fail-stop
+// crashes (crashAt[u] is the round node u dies; negative = never) until
+// every surviving node is informed.
+func RunPushPullWithCrashes(g *graph.Graph, source graph.NodeID, crashAt []int, seed uint64, maxRounds int) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:     g,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+		Mode:      sim.OneToAll,
+		Source:    source,
+		CrashAt:   crashAt,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewPushPull(nv) }, sim.StopAllAliveInformed(source))
+}
+
+// RunPushPullBoundedInDegree runs one-to-all push-pull where each node
+// accepts at most maxIn incoming connections per round (the restricted
+// model of Daum et al. raised in the paper's conclusion).
+func RunPushPullBoundedInDegree(g *graph.Graph, source graph.NodeID, maxIn int, seed uint64, maxRounds int) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:         g,
+		Seed:          seed,
+		MaxRounds:     maxRounds,
+		Mode:          sim.OneToAll,
+		Source:        source,
+		MaxInPerRound: maxIn,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewPushPull(nv) }, sim.StopAllInformed(source))
+}
+
+// RunPushPullAllToAll runs push-pull until every node holds every rumor.
+func RunPushPullAllToAll(g *graph.Graph, seed uint64, maxRounds int) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:     g,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+		Mode:      sim.AllToAll,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewPushPull(nv) }, sim.StopAllHaveAll())
+}
+
+// PushPullBound returns the Theorem 29 upper bound (ℓ*/φ*)·ln n given the
+// graph's critical conductance quantities.
+func PushPullBound(phiStar float64, ellStar, n int) (float64, error) {
+	if phiStar <= 0 {
+		return 0, fmt.Errorf("gossip: non-positive φ* %v", phiStar)
+	}
+	return float64(ellStar) / phiStar * math.Log(float64(n)), nil
+}

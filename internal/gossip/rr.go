@@ -1,0 +1,105 @@
+package gossip
+
+import (
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+	"gossip/internal/spanner"
+)
+
+// RR is the round-robin broadcast of Algorithm 1: each node cycles through
+// its directed-spanner out-edges of latency <= k, initiating one exchange
+// per round, for budget rounds in total. Lemma 21 shows k·Δout + k rounds
+// suffice to exchange rumors between any two nodes within distance k.
+type RR struct {
+	out    []int // adjacency indices of usable out-edges
+	budget int
+	steps  int
+}
+
+var (
+	_ sim.Protocol     = (*RR)(nil)
+	_ sim.DoneReporter = (*RR)(nil)
+)
+
+// NewRR returns the RR protocol for one node. outIdx are the node's
+// spanner out-edge adjacency indices (already filtered to latency <= k).
+func NewRR(outIdx []int, budget int) *RR {
+	return &RR{out: outIdx, budget: budget}
+}
+
+// Activate cycles through out-edges until the budget is exhausted.
+func (r *RR) Activate(int) (int, bool) {
+	if r.steps >= r.budget || len(r.out) == 0 {
+		return 0, false
+	}
+	idx := r.out[r.steps%len(r.out)]
+	r.steps++
+	return idx, true
+}
+
+// OnDeliver is a no-op; the simulator merges rumors.
+func (r *RR) OnDeliver(sim.Delivery) {}
+
+// Done reports budget exhaustion.
+func (r *RR) Done() bool { return r.steps >= r.budget || len(r.out) == 0 }
+
+// RROptions configures one RR Broadcast phase.
+type RROptions struct {
+	// Spanner supplies the out-edge orientation.
+	Spanner *spanner.Spanner
+	// K is the Algorithm 1 parameter: only out-edges with latency <= K
+	// are used and the budget is K·Δout + K (Δout measured over usable
+	// edges) unless Budget overrides it.
+	K int
+	// Budget overrides the Lemma 21 budget when positive.
+	Budget        int
+	Seed          uint64
+	MaxRounds     int
+	InitialRumors []*bitset.Set
+	// Stop ends the phase early (defaults to budget exhaustion).
+	Stop sim.StopFunc
+	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt).
+	CrashAt []int
+}
+
+// RunRR runs one RR Broadcast phase.
+func RunRR(g *graph.Graph, opts RROptions) (sim.Result, error) {
+	outIdx := make([][]int, g.N())
+	maxOut := 0
+	for u := 0; u < g.N(); u++ {
+		nbrs := g.Neighbors(u)
+		pos := make(map[graph.NodeID]int, len(nbrs))
+		for i, nb := range nbrs {
+			pos[nb.ID] = i
+		}
+		for _, e := range opts.Spanner.Out[u] {
+			if opts.K > 0 && e.Latency > opts.K {
+				continue
+			}
+			outIdx[u] = append(outIdx[u], pos[e.ID])
+		}
+		if len(outIdx[u]) > maxOut {
+			maxOut = len(outIdx[u])
+		}
+	}
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = opts.K*maxOut + opts.K
+	}
+	stop := opts.Stop
+	if stop == nil {
+		stop = sim.StopAllDone()
+	} else {
+		stop = sim.StopOr(stop, sim.StopAllDone())
+	}
+	return sim.Run(sim.Config{
+		Graph:          g,
+		Seed:           opts.Seed,
+		KnownLatencies: true,
+		MaxRounds:      opts.MaxRounds,
+		Mode:           sim.AllToAll,
+		InitialRumors:  opts.InitialRumors,
+		CrashAt:        opts.CrashAt,
+	}, func(nv *sim.NodeView) sim.Protocol { return NewRR(outIdx[nv.ID()], budget) }, stop)
+}

@@ -1,0 +1,317 @@
+package gossip
+
+import (
+	"fmt"
+
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+	"gossip/internal/spanner"
+)
+
+// Phase records the cost of one phase of a composed broadcast algorithm.
+type Phase struct {
+	Name      string
+	Rounds    int
+	Exchanges int64
+	// Payload is the rumor-units bandwidth the phase consumed.
+	Payload int64
+}
+
+// BroadcastResult summarizes a multi-phase broadcast execution.
+type BroadcastResult struct {
+	// Completed reports whether all-to-all dissemination finished.
+	Completed bool
+	// Rounds is the total simulated time across phases.
+	Rounds int
+	// Exchanges is the total number of exchanges across phases.
+	Exchanges int64
+	// RumorPayload is the total rumor-units bandwidth across phases.
+	RumorPayload int64
+	// Phases itemizes the run.
+	Phases []Phase
+	// FinalGuess is the diameter guess in force when the run ended
+	// (equal to the supplied D when it was known).
+	FinalGuess int
+	// SpannerEdges and SpannerMaxOut describe the last spanner built.
+	SpannerEdges, SpannerMaxOut int
+}
+
+func (r *BroadcastResult) addPhase(name string, res sim.Result) {
+	r.Phases = append(r.Phases, Phase{Name: name, Rounds: res.Rounds, Exchanges: res.Exchanges, Payload: res.RumorPayload})
+	r.Rounds += res.Rounds
+	r.Exchanges += res.Exchanges
+	r.RumorPayload += res.RumorPayload
+}
+
+// SpannerOptions configures SpannerBroadcast.
+type SpannerOptions struct {
+	// D is the known weighted diameter; 0 means unknown, engaging the
+	// guess-and-double wrapper of Section 4.1.4.
+	D int
+	// KnownLatencies selects the Section 4 model. When false, every
+	// guess is preceded by a latency-discovery phase (Section 5.2's
+	// "tweaked" variant) whose budget is Δ + guess.
+	KnownLatencies bool
+	Seed           uint64
+	// MaxPhaseRounds caps each phase (default sim.DefaultMaxRounds).
+	MaxPhaseRounds int
+	// SkipCheck drops the Termination_Check accounting phase; useful for
+	// measuring the bare pipeline when D is known.
+	SkipCheck bool
+	// UseSuperstep swaps the DTG neighborhood-gathering phases for the
+	// randomized Superstep primitive (Censor-Hillel et al. style); with
+	// LBTimeout > 0 the primitive abandons stalled exchanges, making the
+	// pipeline crash-tolerant (this repository's Section 7 extension).
+	UseSuperstep bool
+	LBTimeout    int
+	// CrashAt injects fail-stop crashes at absolute rounds (measured
+	// against the pipeline's cumulative round count; each phase receives
+	// the schedule shifted by the rounds already consumed). Completion
+	// is judged over surviving nodes. The pipeline has no recovery
+	// mechanism — Section 6 calls out exactly this fragility versus
+	// push-pull: DTG stalls forever on a dead peer.
+	CrashAt []int
+}
+
+// shiftCrashes rebases an absolute crash schedule to a phase that starts
+// after offset rounds have already elapsed.
+func shiftCrashes(crashAt []int, offset int) []int {
+	if crashAt == nil {
+		return nil
+	}
+	out := make([]int, len(crashAt))
+	for i, r := range crashAt {
+		switch {
+		case r < 0:
+			out[i] = -1
+		case r <= offset:
+			out[i] = 0
+		default:
+			out[i] = r - offset
+		}
+	}
+	return out
+}
+
+// SpannerBroadcast runs Algorithm 2 (known D) or Algorithm 4 (unknown D):
+// ceil(log2 n) repetitions of D-DTG to collect the log n-hop
+// neighborhood, a local oriented Baswana-Sen spanner construction on G_D,
+// and RR Broadcast with parameter O(D log n) — plus Termination_Check
+// and diameter doubling when D is unknown. The Termination_Check decision
+// (Algorithm 3: equal rumor sets and no raised flags everywhere) is
+// evaluated from global state; Lemma 24 proves the distributed predicate
+// agrees with it, and its communication cost is charged as one extra RR
+// phase.
+func SpannerBroadcast(g *graph.Graph, opts SpannerOptions) (BroadcastResult, error) {
+	var out BroadcastResult
+	if err := g.Validate(); err != nil {
+		return out, fmt.Errorf("gossip: spanner broadcast: %w", err)
+	}
+	known := opts.D > 0
+	guess := opts.D
+	if !known {
+		guess = 1
+	}
+	// Diameter never exceeds (n-1)·ℓmax; one more doubling detects it.
+	cap64 := int64(g.N()) * int64(g.MaxLatency()) * 2
+	var rumors []*bitset.Set
+	for {
+		res, err := spannerPipeline(g, guess, opts, &out, rumors)
+		if err != nil {
+			return out, err
+		}
+		rumors = res
+		done := rumorsFullAlive(rumors, opts.CrashAt)
+		if !opts.SkipCheck || !known {
+			// Termination_Check: one more RR-style broadcast pass.
+			check, sp, err := runRRPhase(g, guess, opts, rumors, out.Rounds, fmt.Sprintf("check(k=%d)", guess))
+			if err != nil {
+				return out, err
+			}
+			out.addPhase(check.name, check.res)
+			out.SpannerEdges, out.SpannerMaxOut = sp.NumEdges(), sp.MaxOutDegree()
+			rumors = check.res.FinalRumors()
+			done = rumorsFullAlive(rumors, opts.CrashAt)
+		}
+		out.FinalGuess = guess
+		if done {
+			out.Completed = true
+			return out, nil
+		}
+		if known {
+			return out, nil // a known correct D that fails is a bug upstream
+		}
+		guess *= 2
+		if int64(guess) > cap64 {
+			return out, nil
+		}
+	}
+}
+
+// spannerPipeline runs the DTG repetitions and the RR broadcast for one
+// diameter guess, returning the carried rumor sets.
+func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *BroadcastResult, rumors []*bitset.Set) ([]*bitset.Set, error) {
+	maxRounds := opts.MaxPhaseRounds
+	if maxRounds <= 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+	if !opts.KnownLatencies {
+		budget := g.MaxDegree() + guess
+		res, err := RunDiscovery(g, budget, opts.Seed, rumors)
+		if err != nil {
+			return nil, err
+		}
+		out.addPhase(fmt.Sprintf("discover(k=%d)", guess), res)
+		rumors = res.FinalRumors()
+	}
+	reps := log2CeilInt(g.N())
+	if reps < 1 {
+		reps = 1
+	}
+	for rep := 0; rep < reps; rep++ {
+		var res sim.Result
+		var err error
+		name := fmt.Sprintf("dtg(ℓ=%d,#%d)", guess, rep+1)
+		if opts.UseSuperstep {
+			name = fmt.Sprintf("superstep(ℓ=%d,#%d)", guess, rep+1)
+			res, err = RunSuperstep(g, SuperstepOptions{
+				Ell:           guess,
+				Timeout:       opts.LBTimeout,
+				Seed:          opts.Seed + uint64(rep) + 1,
+				MaxRounds:     maxRounds,
+				InitialRumors: rumors,
+				CrashAt:       shiftCrashes(opts.CrashAt, out.Rounds),
+			})
+		} else {
+			res, err = RunDTG(g, DTGOptions{
+				Ell:           guess,
+				Seed:          opts.Seed + uint64(rep) + 1,
+				MaxRounds:     maxRounds,
+				InitialRumors: rumors,
+				CrashAt:       shiftCrashes(opts.CrashAt, out.Rounds),
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.addPhase(name, res)
+		rumors = res.FinalRumors()
+	}
+	rr, sp, err := runRRPhase(g, guess, opts, rumors, out.Rounds, fmt.Sprintf("rr(k=%d)", guess))
+	if err != nil {
+		return nil, err
+	}
+	out.addPhase(rr.name, rr.res)
+	out.SpannerEdges, out.SpannerMaxOut = sp.NumEdges(), sp.MaxOutDegree()
+	return rr.res.FinalRumors(), nil
+}
+
+type phaseRun struct {
+	name string
+	res  sim.Result
+}
+
+// runRRPhase builds the spanner for G_guess and runs one RR Broadcast
+// with parameter k = guess·(2·ceil(log2 n) - 1): the spanner stretch bound
+// applied to the diameter guess. offset is the pipeline's cumulative
+// round count, used to rebase the crash schedule.
+func runRRPhase(g *graph.Graph, guess int, opts SpannerOptions, rumors []*bitset.Set, offset int, name string) (phaseRun, *spanner.Spanner, error) {
+	kCluster := log2CeilInt(g.N())
+	if kCluster < 1 {
+		kCluster = 1
+	}
+	sp, err := spanner.Build(g, spanner.Options{
+		K:          kCluster,
+		Seed:       opts.Seed ^ 0x5bd1e995,
+		MaxLatency: guess,
+	})
+	if err != nil {
+		return phaseRun{}, nil, err
+	}
+	kRR := guess * (2*kCluster - 1)
+	maxRounds := opts.MaxPhaseRounds
+	if maxRounds <= 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+	phaseCrash := shiftCrashes(opts.CrashAt, offset)
+	stop := sim.StopAllHaveAll()
+	if phaseCrash != nil {
+		stop = stopAliveHaveAlive(phaseCrash)
+	}
+	res, err := RunRR(g, RROptions{
+		Spanner:       sp,
+		K:             kRR,
+		Seed:          opts.Seed ^ 0x27d4eb2f,
+		MaxRounds:     maxRounds,
+		InitialRumors: rumors,
+		Stop:          stop,
+		CrashAt:       phaseCrash,
+	})
+	if err != nil {
+		return phaseRun{}, nil, err
+	}
+	return phaseRun{name: name, res: res}, sp, nil
+}
+
+// rumorsFull reports whether every node holds all n rumors.
+func rumorsFull(rumors []*bitset.Set, n int) bool {
+	if rumors == nil {
+		return false
+	}
+	for _, r := range rumors {
+		if r.Count() != n {
+			return false
+		}
+	}
+	return true
+}
+
+// rumorsFullAlive reports whether every surviving node holds every
+// surviving node's rumor; with no crash schedule it is rumorsFull.
+func rumorsFullAlive(rumors []*bitset.Set, crashAt []int) bool {
+	if rumors == nil {
+		return false
+	}
+	if crashAt == nil {
+		return rumorsFull(rumors, len(rumors))
+	}
+	for u, r := range rumors {
+		if crashAt[u] >= 0 {
+			continue
+		}
+		for v := range rumors {
+			if crashAt[v] < 0 && !r.Contains(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stopAliveHaveAlive stops when every surviving node holds every
+// surviving node's rumor.
+func stopAliveHaveAlive(crashAt []int) sim.StopFunc {
+	return func(w *sim.World) bool {
+		for u, nv := range w.Views {
+			if crashAt[u] >= 0 {
+				continue
+			}
+			for v := range w.Views {
+				if crashAt[v] < 0 && !nv.Rumors().Contains(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+func log2CeilInt(x int) int {
+	k, v := 0, 1
+	for v < x {
+		v <<= 1
+		k++
+	}
+	return k
+}

@@ -1,0 +1,144 @@
+package gossip
+
+import (
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// Superstep is the randomized local broadcast primitive in the style of
+// Censor-Hillel et al. [5] (the alternative to DTG that the paper's
+// Section 4.1.1 mentions): in every step each node with unheard G_ℓ
+// neighbors initiates an exchange with one of them chosen uniformly at
+// random, blocking until it completes. Like DTG it maintains a
+// phase-local heard set carried on exchange metadata, so repeated phases
+// re-pay their schedule.
+//
+// The Timeout field is this repository's fault-tolerance extension (the
+// paper's Section 7 future work): when positive, a node abandons an
+// exchange that has not completed within Timeout rounds and moves on,
+// treating the peer as unreachable. This bounds the damage of fail-stop
+// crashes that stall the plain (timeout-free) primitive forever.
+type Superstep struct {
+	nv       *sim.NodeView
+	ell      int
+	timeout  int
+	eligible []int
+	heard    *bitset.Set
+	// abandoned marks neighbors given up on after a timeout.
+	abandoned map[int]bool
+	pending   int
+	pendingAt int
+	done      bool
+}
+
+var (
+	_ sim.Protocol     = (*Superstep)(nil)
+	_ sim.MetaProducer = (*Superstep)(nil)
+	_ sim.DoneReporter = (*Superstep)(nil)
+	_ sim.Waiter       = (*Superstep)(nil)
+)
+
+// Waiting keeps the simulator alive while a timeout is pending so the
+// abandonment timer can fire even when every other node is silent.
+func (s *Superstep) Waiting() bool {
+	return !s.done && s.timeout > 0 && s.pending >= 0
+}
+
+// NewSuperstep returns the randomized local broadcast protocol for one
+// node. ell <= 0 disables the latency filter; timeout <= 0 disables
+// abandonment.
+func NewSuperstep(nv *sim.NodeView, ell, timeout int) *Superstep {
+	s := &Superstep{
+		nv:        nv,
+		ell:       ell,
+		timeout:   timeout,
+		heard:     bitset.New(nv.N()),
+		abandoned: make(map[int]bool),
+		pending:   -1,
+	}
+	s.heard.Add(nv.ID())
+	for i := 0; i < nv.Degree(); i++ {
+		lat, known := nv.Latency(i)
+		if !known {
+			continue
+		}
+		if ell <= 0 || lat <= ell {
+			s.eligible = append(s.eligible, i)
+		}
+	}
+	return s
+}
+
+// Meta snapshots the phase-local heard set.
+func (s *Superstep) Meta() any { return s.heard.Clone() }
+
+// Done reports local termination (all eligible neighbors heard or
+// abandoned).
+func (s *Superstep) Done() bool { return s.done }
+
+// Activate initiates an exchange with a random unheard neighbor.
+func (s *Superstep) Activate(round int) (int, bool) {
+	if s.done {
+		return 0, false
+	}
+	if s.pending >= 0 {
+		if s.timeout > 0 && round-s.pendingAt >= s.timeout {
+			// Fault-tolerance extension: give up on the stalled peer.
+			s.abandoned[s.pending] = true
+			s.pending = -1
+		} else {
+			return 0, false
+		}
+	}
+	var fresh []int
+	for _, i := range s.eligible {
+		if !s.abandoned[i] && !s.heard.Contains(s.nv.NeighborID(i)) {
+			fresh = append(fresh, i)
+		}
+	}
+	if len(fresh) == 0 {
+		s.done = true
+		return 0, false
+	}
+	idx := fresh[s.nv.RNG().IntN(len(fresh))]
+	s.pending = idx
+	s.pendingAt = round
+	return idx, true
+}
+
+// OnDeliver merges the peer's heard set and unblocks the node.
+func (s *Superstep) OnDeliver(dv sim.Delivery) {
+	if peer, ok := dv.PeerMeta.(*bitset.Set); ok {
+		s.heard.UnionWith(peer)
+	}
+	s.heard.Add(dv.Peer)
+	if dv.Initiator && dv.NeighborIndex == s.pending {
+		s.pending = -1
+	}
+}
+
+// SuperstepOptions configures one randomized local-broadcast phase.
+type SuperstepOptions struct {
+	Ell           int
+	Timeout       int
+	Seed          uint64
+	MaxRounds     int
+	InitialRumors []*bitset.Set
+	CrashAt       []int
+}
+
+// RunSuperstep runs one randomized local-broadcast phase to quiescence.
+func RunSuperstep(g *graph.Graph, opts SuperstepOptions) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Graph:          g,
+		Seed:           opts.Seed,
+		KnownLatencies: true,
+		MaxRounds:      opts.MaxRounds,
+		Mode:           sim.AllToAll,
+		InitialRumors:  opts.InitialRumors,
+		CrashAt:        opts.CrashAt,
+	}, func(nv *sim.NodeView) sim.Protocol {
+		return NewSuperstep(nv, opts.Ell, opts.Timeout)
+	}, sim.StopAllDone())
+}

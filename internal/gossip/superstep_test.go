@@ -1,0 +1,155 @@
+package gossip
+
+import (
+	"testing"
+
+	"gossip/internal/graphgen"
+)
+
+func TestSuperstepSolvesLocalBroadcast(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ell  int
+	}{
+		{"clique", 1},
+		{"weighted", 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := graphgen.Clique(16, tc.ell)
+			res, err := RunSuperstep(g, SuperstepOptions{Ell: tc.ell, Seed: 1, MaxRounds: 1 << 18})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatal("incomplete")
+			}
+			rumors := res.FinalRumors()
+			for u := 0; u < g.N(); u++ {
+				for _, nb := range g.Neighbors(u) {
+					if nb.Latency <= tc.ell && !rumors[u].Contains(nb.ID) {
+						t.Fatalf("node %d missing neighbor %d", u, nb.ID)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSuperstepRespectsFilter(t *testing.T) {
+	g := graphgen.Dumbbell(6, 100)
+	res, err := RunSuperstep(g, SuperstepOptions{Ell: 1, Seed: 2, MaxRounds: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if res.Rounds >= 100 {
+		t.Fatalf("used the slow bridge: %d rounds", res.Rounds)
+	}
+}
+
+func TestSuperstepStallsOnCrashWithoutTimeout(t *testing.T) {
+	g := graphgen.Clique(8, 2)
+	crashAt := []int{-1, 1, -1, -1, -1, -1, -1, -1}
+	res, err := RunSuperstep(g, SuperstepOptions{Ell: 2, Seed: 3, MaxRounds: 2000, CrashAt: crashAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 dies at round 1; without a timeout, any survivor whose
+	// in-flight exchange with node 1 was dropped stalls forever, so the
+	// phase cannot reach all-done.
+	if res.Completed {
+		t.Fatal("expected a stalled (incomplete) phase without timeout")
+	}
+}
+
+func TestSuperstepTimeoutRecovers(t *testing.T) {
+	g := graphgen.Clique(8, 2)
+	crashAt := []int{-1, 1, -1, -1, -1, -1, -1, -1}
+	res, err := RunSuperstep(g, SuperstepOptions{
+		Ell: 2, Timeout: 6, Seed: 3, MaxRounds: 2000, CrashAt: crashAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("timeout variant did not recover from the crash")
+	}
+	// Survivors must have completed local broadcast among themselves.
+	rumors := res.FinalRumors()
+	for u := 0; u < g.N(); u++ {
+		if u == 1 {
+			continue
+		}
+		for _, nb := range g.Neighbors(u) {
+			if nb.ID == 1 {
+				continue
+			}
+			if !rumors[u].Contains(nb.ID) {
+				t.Fatalf("survivor %d missing survivor %d", u, nb.ID)
+			}
+		}
+	}
+}
+
+func TestSuperstepComparableToDTG(t *testing.T) {
+	// Both primitives solve the same problem; neither should be more
+	// than ~10x the other on a clique.
+	g := graphgen.Clique(32, 4)
+	dtg, err := RunDTG(g, DTGOptions{Ell: 4, Seed: 5, MaxRounds: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := RunSuperstep(g, SuperstepOptions{Ell: 4, Seed: 5, MaxRounds: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dtg.Completed || !ss.Completed {
+		t.Fatal("incomplete")
+	}
+	if ss.Rounds > 10*dtg.Rounds+20 || dtg.Rounds > 10*ss.Rounds+20 {
+		t.Fatalf("primitives diverge: dtg=%d superstep=%d", dtg.Rounds, ss.Rounds)
+	}
+}
+
+func TestSpannerBroadcastWithSuperstep(t *testing.T) {
+	g := graphgen.Grid(4, 4, 2)
+	res, err := SpannerBroadcast(g, SpannerOptions{
+		KnownLatencies: true, Seed: 7, UseSuperstep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("superstep pipeline incomplete: %+v", res)
+	}
+	foundSS := false
+	for _, p := range res.Phases {
+		if len(p.Name) >= 9 && p.Name[:9] == "superstep" {
+			foundSS = true
+		}
+	}
+	if !foundSS {
+		t.Fatal("no superstep phase recorded")
+	}
+}
+
+func TestSpannerBroadcastTimeoutSurvivesCrashes(t *testing.T) {
+	g := graphgen.Clique(16, 2)
+	crashAt := make([]int, 16)
+	for i := range crashAt {
+		crashAt[i] = -1
+	}
+	crashAt[1], crashAt[2] = 5, 5
+	res, err := SpannerBroadcast(g, SpannerOptions{
+		KnownLatencies: true, Seed: 9, UseSuperstep: true, LBTimeout: 8,
+		MaxPhaseRounds: 4096, CrashAt: crashAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("fault-tolerant pipeline incomplete: %+v", res)
+	}
+}

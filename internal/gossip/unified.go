@@ -1,0 +1,76 @@
+package gossip
+
+import (
+	"fmt"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// UnifiedResult reports both arms of the Theorem 31 algorithm.
+type UnifiedResult struct {
+	// Rounds is min(push-pull, spanner path): the paper runs both in
+	// parallel, which costs at most twice the faster arm; we report the
+	// faster arm's completion time.
+	Rounds int
+	// Winner names the faster arm: "push-pull" or "spanner".
+	Winner string
+	// PushPull is the push-pull arm's result.
+	PushPull sim.Result
+	// Spanner is the spanner-broadcast arm's result.
+	Spanner BroadcastResult
+}
+
+// UnifiedOptions configures Unified.
+type UnifiedOptions struct {
+	Source graph.NodeID
+	// KnownLatencies selects the Section 4 model for the spanner arm.
+	KnownLatencies bool
+	// D, when positive and latencies are known, skips guess-and-double.
+	D         int
+	Seed      uint64
+	MaxRounds int
+}
+
+// Unified runs the Theorem 31 algorithm: push-pull and the spanner-based
+// broadcast in parallel, taking whichever finishes first. With unknown
+// latencies the spanner arm prepends latency discovery (Section 5.2),
+// achieving O(min((D+Δ)·log³n, (ℓ*/φ*)·log n)).
+func Unified(g *graph.Graph, opts UnifiedOptions) (UnifiedResult, error) {
+	var out UnifiedResult
+	pp, err := RunPushPull(g, opts.Source, opts.Seed, opts.MaxRounds)
+	if err != nil {
+		return out, fmt.Errorf("gossip: unified push-pull arm: %w", err)
+	}
+	out.PushPull = pp
+	sb, err := SpannerBroadcast(g, SpannerOptions{
+		D:              opts.D,
+		KnownLatencies: opts.KnownLatencies,
+		Seed:           opts.Seed + 1,
+		MaxPhaseRounds: opts.MaxRounds,
+	})
+	if err != nil {
+		return out, fmt.Errorf("gossip: unified spanner arm: %w", err)
+	}
+	out.Spanner = sb
+	ppRounds := pp.Rounds
+	if !pp.Completed {
+		ppRounds = int(^uint(0) >> 2)
+	}
+	sbRounds := sb.Rounds
+	if !sb.Completed {
+		sbRounds = int(^uint(0) >> 2)
+	}
+	if ppRounds <= sbRounds {
+		out.Rounds = ppRounds
+		out.Winner = "push-pull"
+	} else {
+		out.Rounds = sbRounds
+		out.Winner = "spanner"
+	}
+	if !pp.Completed && !sb.Completed {
+		out.Rounds = -1
+		out.Winner = "none"
+	}
+	return out, nil
+}

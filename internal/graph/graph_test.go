@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 2, 5)
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name    string
+		u, v    int
+		lat     int
+		wantErr bool
+	}{
+		{"valid", 0, 1, 1, false},
+		{"duplicate", 0, 1, 2, true},
+		{"duplicate reversed", 1, 0, 2, true},
+		{"self loop", 2, 2, 1, true},
+		{"zero latency", 1, 2, 0, true},
+		{"negative latency", 1, 2, -3, true},
+		{"out of range", 0, 3, 1, true},
+		{"negative node", -1, 0, 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := g.AddEdge(tt.u, tt.v, tt.lat)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("AddEdge(%d,%d,%d) err = %v, wantErr %v", tt.u, tt.v, tt.lat, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestLatencyLookup(t *testing.T) {
+	g := mustTriangle(t)
+	if l, ok := g.Latency(2, 0); !ok || l != 5 {
+		t.Fatalf("Latency(2,0) = %d,%v want 5,true", l, ok)
+	}
+	if _, ok := g.Latency(0, 0); ok {
+		t.Fatal("Latency of missing edge reported ok")
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestSetLatency(t *testing.T) {
+	g := mustTriangle(t)
+	if err := g.SetLatency(0, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := g.Latency(0, 2); l != 9 {
+		t.Fatalf("latency after SetLatency = %d, want 9", l)
+	}
+	// Adjacency copies must agree.
+	for _, nb := range g.Neighbors(0) {
+		if nb.ID == 2 && nb.Latency != 9 {
+			t.Fatalf("adjacency latency = %d, want 9", nb.Latency)
+		}
+	}
+	if err := g.SetLatency(0, 1, 0); err == nil {
+		t.Fatal("expected error for non-positive latency")
+	}
+	if err := g.SetLatency(0, 0, 1); err == nil {
+		t.Fatal("expected error for missing edge")
+	}
+}
+
+func TestDegreesAndVolume(t *testing.T) {
+	g := mustTriangle(t)
+	if g.Degree(0) != 2 || g.MaxDegree() != 2 {
+		t.Fatal("degree bookkeeping wrong")
+	}
+	vol := g.Volume([]bool{true, true, false})
+	if vol != 4 {
+		t.Fatalf("Volume = %d, want 4", vol)
+	}
+}
+
+func TestSubgraphMaxLatency(t *testing.T) {
+	g := mustTriangle(t)
+	sub := g.SubgraphMaxLatency(2)
+	if sub.M() != 2 {
+		t.Fatalf("G_2 has %d edges, want 2", sub.M())
+	}
+	if sub.HasEdge(0, 2) {
+		t.Fatal("G_2 contains the latency-5 edge")
+	}
+	if sub.N() != g.N() {
+		t.Fatal("G_ℓ changed the node set")
+	}
+}
+
+func TestDistinctLatenciesAndMax(t *testing.T) {
+	g := mustTriangle(t)
+	lats := g.DistinctLatencies()
+	want := []int{1, 2, 5}
+	if len(lats) != 3 {
+		t.Fatalf("DistinctLatencies = %v", lats)
+	}
+	for i := range want {
+		if lats[i] != want[i] {
+			t.Fatalf("DistinctLatencies = %v, want %v", lats, want)
+		}
+	}
+	if g.MaxLatency() != 5 {
+		t.Fatalf("MaxLatency = %d", g.MaxLatency())
+	}
+}
+
+func TestConnectedAndValidate(t *testing.T) {
+	g := mustTriangle(t)
+	if !g.Connected() {
+		t.Fatal("triangle not connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := New(4)
+	h.MustAddEdge(0, 1, 1)
+	if h.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if err := h.Validate(); err == nil {
+		t.Fatal("expected validation error for disconnected graph")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := mustTriangle(t)
+	c := g.Clone()
+	if err := c.SetLatency(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := g.Latency(0, 1); l != 1 {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	// Path 0-1-2-3 with latencies 1,2,3 plus shortcut 0-3 latency 10.
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(2, 3, 3)
+	g.MustAddEdge(0, 3, 10)
+	d := g.Distances(0)
+	want := []int64{0, 1, 3, 6}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Distances(0) = %v, want %v", d, want)
+		}
+	}
+	if g.WeightedDiameter() != 6 {
+		t.Fatalf("WeightedDiameter = %d, want 6", g.WeightedDiameter())
+	}
+}
+
+func TestDistancesPreferMultiHop(t *testing.T) {
+	// Direct slow edge vs fast two-hop path: the paper's motivating case.
+	g := New(3)
+	g.MustAddEdge(0, 2, 100)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	if d := g.Distances(0); d[2] != 2 {
+		t.Fatalf("dist(0,2) = %d, want 2 via the fast path", d[2])
+	}
+}
+
+func TestHopDistancesAndDiameter(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 5)
+	g.MustAddEdge(2, 3, 5)
+	hd := g.HopDistances(0)
+	if hd[3] != 3 {
+		t.Fatalf("hop dist = %v", hd)
+	}
+	if g.HopDiameter() != 3 {
+		t.Fatalf("HopDiameter = %d, want 3", g.HopDiameter())
+	}
+	if g.WeightedDiameter() != 15 {
+		t.Fatalf("WeightedDiameter = %d, want 15", g.WeightedDiameter())
+	}
+}
+
+func TestHopDiameterDisconnected(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	if g.HopDiameter() != -1 {
+		t.Fatal("disconnected HopDiameter should be -1")
+	}
+}
+
+func TestEccentricityUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	if g.Eccentricity(0) < Infinity {
+		t.Fatal("eccentricity with unreachable node should be Infinity")
+	}
+}
+
+func TestKHopNeighborhood(t *testing.T) {
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		g.MustAddEdge(v-1, v, 1)
+	}
+	nh := g.KHopNeighborhood(0, 2)
+	if len(nh) != 3 {
+		t.Fatalf("2-hop neighborhood of path head = %v", nh)
+	}
+}
+
+func TestWeightedDiameterLowerIsLowerBound(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 4)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 2)
+	g.MustAddEdge(0, 5, 1)
+	lower := g.WeightedDiameterLower()
+	exact := g.WeightedDiameter()
+	if lower > exact {
+		t.Fatalf("double-sweep %d exceeds exact diameter %d", lower, exact)
+	}
+}
+
+// Property: on random paths with random latencies, the diameter equals
+// the sum of latencies when no shortcut exists.
+func TestQuickPathDiameter(t *testing.T) {
+	f := func(rawLats []uint8) bool {
+		if len(rawLats) == 0 || len(rawLats) > 50 {
+			return true
+		}
+		g := New(len(rawLats) + 1)
+		sum := int64(0)
+		for i, rl := range rawLats {
+			lat := int(rl%30) + 1
+			g.MustAddEdge(i, i+1, lat)
+			sum += int64(lat)
+		}
+		return g.WeightedDiameter() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Save serializes the graph as a plain-text edge list:
+//
+//	# comment lines allowed
+//	n <nodes>
+//	e <u> <v> <latency>
+//
+// Edges are written in canonical (u, v) order so output is deterministic.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.n); err != nil {
+		return err
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d %d\n", e.U, e.V, e.Latency); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses a graph in the Save format. Blank lines and lines
+// starting with '#' are ignored. The "n" line must precede every "e"
+// line.
+func Load(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate n line", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'n <nodes>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+			}
+			g = New(n)
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before n line", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v> <latency>'", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			lat, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: non-integer field", lineNo)
+			}
+			if err := g.AddEdge(u, v, lat); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return g, nil
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Infinity is the distance reported for unreachable nodes.
+const Infinity = math.MaxInt64 / 4
+
+// distItem is a priority-queue entry for Dijkstra.
+type distItem struct {
+	node NodeID
+	dist int64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Distances returns the weighted shortest-path distance (sum of latencies)
+// from src to every node. Unreachable nodes get Infinity.
+func (g *Graph) Distances(src NodeID) []int64 {
+	dist := make([]int64, g.n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	h := &distHeap{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + int64(e.latency)
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(h, distItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// HopDistances returns unweighted (hop-count) BFS distances from src.
+func (g *Graph) HopDistances(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if dist[e.to] < 0 {
+				dist[e.to] = dist[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum weighted distance from src to any node,
+// or Infinity when some node is unreachable.
+func (g *Graph) Eccentricity(src NodeID) int64 {
+	max := int64(0)
+	for _, d := range g.Distances(src) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// WeightedDiameter returns the exact weighted diameter D: the maximum over
+// all pairs of the shortest-path distance. It runs Dijkstra from every
+// node (O(n·m·log n)), which is fine at experiment scale.
+// Returns Infinity for disconnected graphs.
+func (g *Graph) WeightedDiameter() int64 {
+	max := int64(0)
+	for u := 0; u < g.n; u++ {
+		if ecc := g.Eccentricity(u); ecc > max {
+			max = ecc
+		}
+	}
+	return max
+}
+
+// WeightedDiameterLower returns a diameter lower bound using a double
+// sweep (eccentricity of the farthest node from node 0); exact on trees
+// and usually tight in practice, at the cost of two Dijkstra runs.
+func (g *Graph) WeightedDiameterLower() int64 {
+	d0 := g.Distances(0)
+	far := NodeID(0)
+	for u, d := range d0 {
+		if d > d0[far] && d < Infinity {
+			far = u
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// HopDiameter returns the exact unweighted diameter (max BFS ecc), or -1
+// for disconnected graphs.
+func (g *Graph) HopDiameter() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		for _, d := range g.HopDistances(u) {
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// KHopNeighborhood returns all nodes within k hops of src (including src).
+func (g *Graph) KHopNeighborhood(src NodeID, k int) []NodeID {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	out := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == k {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if dist[e.to] < 0 {
+				dist[e.to] = dist[u] + 1
+				queue = append(queue, e.to)
+				out = append(out, e.to)
+			}
+		}
+	}
+	return out
+}

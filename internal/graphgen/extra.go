@@ -1,0 +1,162 @@
+package graphgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"gossip/internal/graph"
+)
+
+// Hypercube returns the d-dimensional hypercube (n = 2^d nodes) with
+// uniform latency — the classic low-diameter, log-degree topology.
+func Hypercube(dim, latency int) (*graph.Graph, error) {
+	if dim < 1 || dim > 20 {
+		return nil, fmt.Errorf("graphgen: hypercube dimension %d out of range [1,20]", dim)
+	}
+	n := 1 << uint(dim)
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.MustAddEdge(u, v, latency)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Torus returns the rows x cols torus (grid with wraparound) with uniform
+// latency.
+func Torus(rows, cols, latency int) (*graph.Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graphgen: torus needs both sides >= 3, got %dx%d", rows, cols)
+	}
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return (r%rows)*cols + (c % cols) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustAddEdge(id(r, c), id(r, c+1), latency)
+			g.MustAddEdge(id(r, c), id(r+1, c), latency)
+		}
+	}
+	return g, nil
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where each
+// node connects to its k nearest neighbors per side, with each edge
+// rewired to a random endpoint with probability beta. Rewiring that would
+// create a duplicate or self-loop is skipped, so degrees vary slightly.
+func WattsStrogatz(n, k int, beta float64, latency int, rng *rand.Rand) (*graph.Graph, error) {
+	if k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("graphgen: watts-strogatz needs 1 <= k and 2k < n, got n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graphgen: beta %v outside [0,1]", beta)
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			target := v
+			if rng.Float64() < beta {
+				target = rng.IntN(n)
+			}
+			if target == u || g.HasEdge(u, target) {
+				target = v // fall back to the lattice edge
+			}
+			if target != u && !g.HasEdge(u, target) {
+				g.MustAddEdge(u, target, latency)
+			}
+		}
+	}
+	if !g.Connected() {
+		// Rare at moderate beta; stitch the ring back together.
+		for u := 0; u < n; u++ {
+			v := (u + 1) % n
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, latency)
+			}
+		}
+	}
+	return g, nil
+}
+
+// ChungLu returns a power-law random graph (the social-network topology
+// of the Doerr et al. line of work the paper cites): node u gets weight
+// (u+1)^(-1/(gamma-1)) and edge (u,v) appears with probability
+// min(1, w_u·w_v·m/ (Σw)²·... ) scaled so the expected edge count is
+// roughly targetM. The result is connectivity-repaired with a spanning
+// ring.
+func ChungLu(n int, gamma float64, targetM int, latency int, rng *rand.Rand) (*graph.Graph, error) {
+	if gamma <= 2 {
+		return nil, fmt.Errorf("graphgen: chung-lu exponent %v must exceed 2", gamma)
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("graphgen: chung-lu needs n >= 3")
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for u := 0; u < n; u++ {
+		w[u] = math.Pow(float64(u+1), -1/(gamma-1))
+		sum += w[u]
+	}
+	scale := 2 * float64(targetM) / (sum * sum)
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := w[u] * w[v] * scale
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, latency)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		v := (u + 1) % n
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, latency)
+		}
+	}
+	return g, nil
+}
+
+// BarbellChain returns c cliques of size s chained by bridge edges of the
+// given latency — a multi-bottleneck generalization of the dumbbell.
+func BarbellChain(cliques, size, bridgeLatency int) (*graph.Graph, error) {
+	if cliques < 2 || size < 2 {
+		return nil, fmt.Errorf("graphgen: barbell chain needs >= 2 cliques of size >= 2")
+	}
+	g := graph.New(cliques * size)
+	id := func(c, i int) int { return c*size + i }
+	for c := 0; c < cliques; c++ {
+		for a := 0; a < size; a++ {
+			for b := a + 1; b < size; b++ {
+				g.MustAddEdge(id(c, a), id(c, b), 1)
+			}
+		}
+		if c+1 < cliques {
+			g.MustAddEdge(id(c, size-1), id(c+1, 0), bridgeLatency)
+		}
+	}
+	return g, nil
+}
+
+// DegreeHistogram returns the sorted distinct degrees and their counts —
+// handy for verifying heavy-tailed generators.
+func DegreeHistogram(g *graph.Graph) ([]int, map[int]int) {
+	counts := make(map[int]int)
+	for u := 0; u < g.N(); u++ {
+		counts[g.Degree(u)]++
+	}
+	degrees := make([]int, 0, len(counts))
+	for d := range counts {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	return degrees, counts
+}

@@ -1,0 +1,137 @@
+// Package guessing implements the combinatorial guessing game of Section
+// 3.1: Alice submits up to 2m bipartite pairs per round; the oracle
+// reveals the target pairs she hit and removes every target pair sharing
+// the B-endpoint of a hit (update rule (3)). The game ends when the
+// target set is empty.
+//
+// Lemma 7: a singleton target forces Ω(m) rounds. Lemma 8: a Random_p
+// target forces Ω(1/p) rounds for any protocol and Ω(log m / p) for the
+// random strategy that mirrors push-pull.
+package guessing
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Pair is an element of A x B, by side-local indices in [0, m).
+type Pair struct {
+	A, B int
+}
+
+// Game holds the oracle's state for Guessing(2m, P).
+type Game struct {
+	m      int
+	target map[Pair]bool
+	// bLive[b] counts remaining target pairs with B-component b.
+	bLive  map[int]int
+	rounds int
+	// guesses counts individual submitted pairs.
+	guesses int64
+}
+
+// NewGame starts a game with the given target set.
+func NewGame(m int, target map[Pair]bool) (*Game, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("guessing: m=%d < 1", m)
+	}
+	g := &Game{m: m, target: make(map[Pair]bool, len(target)), bLive: make(map[int]int)}
+	for p := range target {
+		if p.A < 0 || p.A >= m || p.B < 0 || p.B >= m {
+			return nil, fmt.Errorf("guessing: target pair %v out of range [0,%d)", p, m)
+		}
+		g.target[p] = true
+		g.bLive[p.B]++
+	}
+	return g, nil
+}
+
+// M returns the side size m.
+func (g *Game) M() int { return g.m }
+
+// Remaining returns the current target set size.
+func (g *Game) Remaining() int { return len(g.target) }
+
+// Solved reports an empty target set.
+func (g *Game) Solved() bool { return len(g.target) == 0 }
+
+// Rounds returns the number of rounds played so far.
+func (g *Game) Rounds() int { return g.rounds }
+
+// Guesses returns the total number of submitted pairs.
+func (g *Game) Guesses() int64 { return g.guesses }
+
+// Submit plays one round with Alice's guesses (at most 2m pairs) and
+// returns the hits X_r ∩ T_r. Per update rule (3), every target pair
+// whose B-component was hit is removed.
+func (g *Game) Submit(guesses []Pair) ([]Pair, error) {
+	if len(guesses) > 2*g.m {
+		return nil, fmt.Errorf("guessing: %d guesses exceed the per-round cap %d", len(guesses), 2*g.m)
+	}
+	g.rounds++
+	g.guesses += int64(len(guesses))
+	var hits []Pair
+	hitB := make(map[int]bool)
+	for _, p := range guesses {
+		if g.target[p] {
+			hits = append(hits, p)
+			hitB[p.B] = true
+		}
+	}
+	if len(hitB) > 0 {
+		for p := range g.target {
+			if hitB[p.B] {
+				delete(g.target, p)
+				g.bLive[p.B]--
+				if g.bLive[p.B] == 0 {
+					delete(g.bLive, p.B)
+				}
+			}
+		}
+	}
+	return hits, nil
+}
+
+// SingletonTarget returns a uniformly random one-pair target set.
+func SingletonTarget(m int, rng *rand.Rand) map[Pair]bool {
+	return map[Pair]bool{{A: rng.IntN(m), B: rng.IntN(m)}: true}
+}
+
+// RandomTarget is the predicate Random_p: each pair joins independently
+// with probability p.
+func RandomTarget(m int, p float64, rng *rand.Rand) map[Pair]bool {
+	t := make(map[Pair]bool)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if rng.Float64() < p {
+				t[Pair{A: a, B: b}] = true
+			}
+		}
+	}
+	return t
+}
+
+// Strategy generates Alice's guesses; Feedback reports the oracle's
+// answer for the round.
+type Strategy interface {
+	// Guesses returns at most 2m pairs for the current round.
+	Guesses() []Pair
+	// Feedback receives the hits from the previous Guesses call.
+	Feedback(hits []Pair)
+}
+
+// Play runs strategy s against the game until solved or maxRounds,
+// returning the rounds used and whether the game was solved.
+func Play(g *Game, s Strategy, maxRounds int) (int, bool, error) {
+	for r := 0; r < maxRounds; r++ {
+		if g.Solved() {
+			return g.Rounds(), true, nil
+		}
+		hits, err := g.Submit(s.Guesses())
+		if err != nil {
+			return g.Rounds(), false, err
+		}
+		s.Feedback(hits)
+	}
+	return g.Rounds(), g.Solved(), nil
+}

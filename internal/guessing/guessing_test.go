@@ -1,0 +1,260 @@
+package guessing
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newRng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+1)) }
+
+func TestGameBasics(t *testing.T) {
+	target := map[Pair]bool{{A: 1, B: 2}: true}
+	g, err := NewGame(4, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Solved() {
+		t.Fatal("fresh game solved")
+	}
+	hits, err := g.Submit([]Pair{{A: 0, B: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 || g.Solved() {
+		t.Fatal("miss should not solve")
+	}
+	hits, err = g.Submit([]Pair{{A: 1, B: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || !g.Solved() {
+		t.Fatal("hit should solve singleton game")
+	}
+	if g.Rounds() != 2 || g.Guesses() != 2 {
+		t.Fatalf("rounds/guesses = %d/%d", g.Rounds(), g.Guesses())
+	}
+}
+
+// Update rule (3): hitting (a,b) removes every target pair with the same
+// B-component, but not pairs with other B-components.
+func TestOracleUpdateRule(t *testing.T) {
+	target := map[Pair]bool{
+		{A: 0, B: 0}: true,
+		{A: 1, B: 0}: true,
+		{A: 2, B: 0}: true,
+		{A: 0, B: 1}: true,
+	}
+	g, err := NewGame(3, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := g.Submit([]Pair{{A: 1, B: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if g.Remaining() != 1 {
+		t.Fatalf("remaining = %d, want only (0,1)", g.Remaining())
+	}
+	// The remaining pair has B=1; hitting B=0 again changes nothing.
+	if _, err := g.Submit([]Pair{{A: 0, B: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Remaining() != 1 {
+		t.Fatal("already-cleared endpoint removed more pairs")
+	}
+}
+
+func TestSubmitCapEnforced(t *testing.T) {
+	g, err := NewGame(2, map[Pair]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guesses := make([]Pair, 5) // cap is 2m = 4
+	if _, err := g.Submit(guesses); err == nil {
+		t.Fatal("expected cap error")
+	}
+}
+
+func TestNewGameValidation(t *testing.T) {
+	if _, err := NewGame(0, nil); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if _, err := NewGame(2, map[Pair]bool{{A: 5, B: 0}: true}); err == nil {
+		t.Fatal("out-of-range target should error")
+	}
+}
+
+func TestTargetGenerators(t *testing.T) {
+	rng := newRng(1)
+	st := SingletonTarget(10, rng)
+	if len(st) != 1 {
+		t.Fatalf("singleton size %d", len(st))
+	}
+	rt := RandomTarget(40, 0.25, rng)
+	if len(rt) < 200 || len(rt) > 600 {
+		t.Fatalf("Random_0.25 on 40x40 gave %d, expected ~400", len(rt))
+	}
+}
+
+func TestFreshSolvesSingleton(t *testing.T) {
+	rng := newRng(2)
+	m := 16
+	game, err := NewGame(m, SingletonTarget(m, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewFreshStrategy(m, rng)
+	rounds, solved, err := Play(game, s, 10*m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solved {
+		t.Fatal("fresh strategy failed to solve singleton game")
+	}
+	// Fresh pairs at 2m per round over m² pairs: at most m/2 rounds.
+	if rounds > m/2+1 {
+		t.Fatalf("rounds = %d, exceeds worst case %d", rounds, m/2+1)
+	}
+}
+
+func TestRandomSolvesSingletonEventually(t *testing.T) {
+	rng := newRng(3)
+	m := 8
+	game, err := NewGame(m, SingletonTarget(m, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewRandomStrategy(m, rng)
+	_, solved, err := Play(game, s, 100*m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solved {
+		t.Fatal("random strategy failed within generous horizon")
+	}
+}
+
+// Lemma 7 shape: fresh-strategy solve time for singleton targets grows
+// linearly in m.
+func TestSingletonRoundsGrowLinearly(t *testing.T) {
+	mean := func(m int) float64 {
+		total := 0
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			rng := newRng(uint64(1000*m + i))
+			game, err := NewGame(m, SingletonTarget(m, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rounds, solved, err := Play(game, NewFreshStrategy(m, rng), 10*m)
+			if err != nil || !solved {
+				t.Fatalf("play failed: %v", err)
+			}
+			total += rounds
+		}
+		return float64(total) / trials
+	}
+	small, large := mean(8), mean(32)
+	ratio := large / small
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("4x m gave %vx rounds; want ~4x (linear)", ratio)
+	}
+}
+
+// Lemma 8 shape: for Random_p targets the random strategy needs more
+// rounds than the fresh strategy (the log m gap).
+func TestRandomSlowerThanFresh(t *testing.T) {
+	m := 48
+	p := 4.0 / float64(m)
+	meanRounds := func(mk func(*rand.Rand) Strategy) float64 {
+		total := 0
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			rng := newRng(uint64(7000 + i))
+			game, err := NewGame(m, RandomTarget(m, p, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rounds, solved, err := Play(game, mk(rng), 200*m)
+			if err != nil || !solved {
+				t.Fatalf("play failed: solved=%v err=%v", solved, err)
+			}
+			total += rounds
+		}
+		return float64(total) / trials
+	}
+	fresh := meanRounds(func(r *rand.Rand) Strategy { return NewFreshStrategy(m, r) })
+	random := meanRounds(func(r *rand.Rand) Strategy { return NewRandomStrategy(m, r) })
+	if random <= fresh {
+		t.Fatalf("random (%v) should be slower than fresh (%v)", random, fresh)
+	}
+}
+
+func TestPlayHorizon(t *testing.T) {
+	rng := newRng(5)
+	m := 64
+	game, err := NewGame(m, SingletonTarget(m, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, solved, err := Play(game, NewRandomStrategy(m, rng), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solved {
+		t.Skip("lucky first-round hit; acceptable")
+	}
+}
+
+// Property: the target set size never increases and every hit's
+// B-endpoint disappears from the live set.
+func TestQuickTargetMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := newRng(seed)
+		m := 6 + int(seed%6)
+		game, err := NewGame(m, RandomTarget(m, 0.3, rng))
+		if err != nil {
+			return false
+		}
+		prev := game.Remaining()
+		s := NewRandomStrategy(m, rng)
+		for r := 0; r < 50 && !game.Solved(); r++ {
+			hits, err := game.Submit(s.Guesses())
+			if err != nil {
+				return false
+			}
+			if game.Remaining() > prev {
+				return false
+			}
+			prev = game.Remaining()
+			s.Feedback(hits)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FreshStrategy must never repeat a guess.
+func TestFreshNeverRepeats(t *testing.T) {
+	m := 12
+	s := NewFreshStrategy(m, newRng(9))
+	seen := map[Pair]bool{}
+	for r := 0; r < m; r++ {
+		for _, p := range s.Guesses() {
+			if seen[p] {
+				t.Fatalf("repeated guess %v in round %d", p, r)
+			}
+			seen[p] = true
+		}
+		s.Feedback(nil)
+	}
+	if len(seen) != m*m {
+		t.Fatalf("covered %d pairs, want %d", len(seen), m*m)
+	}
+}

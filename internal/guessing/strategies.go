@@ -1,0 +1,98 @@
+package guessing
+
+import "math/rand/v2"
+
+// RandomStrategy mirrors the push-pull protocol (Lemma 8b): each round it
+// guesses, for every a in A, a uniformly random partner b, and for every
+// b in B, a uniformly random partner a — 2m oblivious guesses.
+type RandomStrategy struct {
+	m   int
+	rng *rand.Rand
+}
+
+var _ Strategy = (*RandomStrategy)(nil)
+
+// NewRandomStrategy returns the push-pull-analogue strategy.
+func NewRandomStrategy(m int, rng *rand.Rand) *RandomStrategy {
+	return &RandomStrategy{m: m, rng: rng}
+}
+
+// Guesses draws one random partner per endpoint.
+func (s *RandomStrategy) Guesses() []Pair {
+	out := make([]Pair, 0, 2*s.m)
+	for a := 0; a < s.m; a++ {
+		out = append(out, Pair{A: a, B: s.rng.IntN(s.m)})
+	}
+	for b := 0; b < s.m; b++ {
+		out = append(out, Pair{A: s.rng.IntN(s.m), B: b})
+	}
+	return out
+}
+
+// Feedback is ignored: the strategy is oblivious.
+func (s *RandomStrategy) Feedback([]Pair) {}
+
+// FreshStrategy is the near-optimal general protocol used in the Lemma 7
+// and Lemma 8a analyses: it never repeats a guess and stops probing a
+// B-endpoint once it has been hit (its remaining target pairs are gone by
+// update rule (3)). Guesses rotate round-robin over the still-live
+// B-endpoints so all are probed evenly.
+type FreshStrategy struct {
+	m int
+	// nextA[b] is the next untried A-partner slot for endpoint b.
+	nextA []int
+	// offset[b] randomizes endpoint b's probe order across trials.
+	offset []int
+	// done[b] marks endpoints hit (or exhausted).
+	done []bool
+	// cursor rotates over B-endpoints across rounds.
+	cursor int
+}
+
+var _ Strategy = (*FreshStrategy)(nil)
+
+// NewFreshStrategy returns the fresh-pair strategy. The rng shuffles each
+// endpoint's probe order so runs differ across trials.
+func NewFreshStrategy(m int, rng *rand.Rand) *FreshStrategy {
+	s := &FreshStrategy{m: m, nextA: make([]int, m), offset: make([]int, m), done: make([]bool, m)}
+	for b := range s.offset {
+		s.offset[b] = rng.IntN(m)
+	}
+	return s
+}
+
+// Guesses emits up to 2m fresh pairs. Capacity is spread round-robin over
+// the live endpoints in repeated passes, so as endpoints finish, the
+// remaining stragglers absorb the freed guessing capacity — this
+// adaptivity is what separates the Θ(1/p) general bound from the random
+// strategy's Θ(log m / p).
+func (s *FreshStrategy) Guesses() []Pair {
+	out := make([]Pair, 0, 2*s.m)
+	for len(out) < 2*s.m {
+		progress := false
+		for scanned := 0; scanned < s.m && len(out) < 2*s.m; scanned++ {
+			b := (s.cursor + scanned) % s.m
+			if s.done[b] || s.nextA[b] >= s.m {
+				continue
+			}
+			// The offset varies which A partners each endpoint tries
+			// first, without ever repeating a pair for that endpoint.
+			a := (s.nextA[b] + s.offset[b]) % s.m
+			s.nextA[b]++
+			out = append(out, Pair{A: a, B: b})
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	s.cursor = (s.cursor + 1) % s.m
+	return out
+}
+
+// Feedback retires every hit B-endpoint.
+func (s *FreshStrategy) Feedback(hits []Pair) {
+	for _, p := range hits {
+		s.done[p.B] = true
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+// SpreadCurve derives the spreading curve from InformedAt: element t is
+// the number of nodes that held the watched rumor by round t, for
+// t = 0..Rounds. Nodes never informed do not contribute.
+func (r Result) SpreadCurve() []int {
+	if r.Rounds < 0 {
+		return nil
+	}
+	curve := make([]int, r.Rounds+1)
+	for _, at := range r.InformedAt {
+		if at >= 0 && at <= r.Rounds {
+			curve[at]++
+		}
+	}
+	for t := 1; t <= r.Rounds; t++ {
+		curve[t] += curve[t-1]
+	}
+	return curve
+}
+
+// HalfTime returns the first round by which at least half of the nodes
+// were informed, or -1 when that never happened.
+func (r Result) HalfTime() int {
+	curve := r.SpreadCurve()
+	half := (len(r.InformedAt) + 1) / 2
+	for t, c := range curve {
+		if c >= half {
+			return t
+		}
+	}
+	return -1
+}

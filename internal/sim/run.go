@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+)
+
+// DefaultMaxRounds is the safety horizon when Config.MaxRounds is zero.
+const DefaultMaxRounds = 1 << 20
+
+// Factory builds the protocol instance for one node. It runs once per
+// node before round 0.
+type Factory func(nv *NodeView) Protocol
+
+// StopFunc decides when the simulation is finished. It runs after the
+// deliveries of each round have been applied.
+type StopFunc func(w *World) bool
+
+// World is the global state a StopFunc may inspect.
+type World struct {
+	Graph  *graph.Graph
+	Views  []*NodeView
+	Protos []Protocol
+	Round  int
+	// crashAt mirrors Config.CrashAt (nil when no failures configured).
+	crashAt []int
+}
+
+// Alive reports whether node u has not crashed as of the current round.
+func (w *World) Alive(u graph.NodeID) bool {
+	return w.crashAt == nil || w.crashAt[u] < 0 || w.Round < w.crashAt[u]
+}
+
+// exchange is an in-flight bidirectional rumor swap.
+type exchange struct {
+	deliver   int
+	initRound int
+	seq       int64
+	u, v      graph.NodeID // u initiated
+	uIdx      int          // adjacency index of v at u
+	vIdx      int          // adjacency index of u at v
+	latency   int
+	uSnap     *bitset.Set // u's rumors at initiation
+	vSnap     *bitset.Set // v's rumors at initiation
+	uMeta     any
+	vMeta     any
+}
+
+// exchangeHeap orders exchanges by (deliver, seq) so delivery order is
+// deterministic.
+type exchangeHeap []*exchange
+
+func (h exchangeHeap) Len() int { return len(h) }
+func (h exchangeHeap) Less(i, j int) bool {
+	if h[i].deliver != h[j].deliver {
+		return h[i].deliver < h[j].deliver
+	}
+	return h[i].seq < h[j].seq
+}
+func (h exchangeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *exchangeHeap) Push(x interface{}) { *h = append(*h, x.(*exchange)) }
+func (h *exchangeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Run executes the simulation until stop returns true or the horizon is
+// reached.
+func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
+	if cfg.Graph == nil {
+		return Result{}, fmt.Errorf("sim: nil graph")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: invalid graph: %w", err)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = OneToAll
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	g := cfg.Graph
+	n := g.N()
+	if cfg.Source < 0 || cfg.Source >= n {
+		return Result{}, fmt.Errorf("sim: source %d out of range", cfg.Source)
+	}
+	for _, s := range cfg.Sources {
+		if s < 0 || s >= n {
+			return Result{}, fmt.Errorf("sim: source %d out of range", s)
+		}
+	}
+	if cfg.CrashAt != nil && len(cfg.CrashAt) != n {
+		return Result{}, fmt.Errorf("sim: %d crash entries for %d nodes", len(cfg.CrashAt), n)
+	}
+
+	views := make([]*NodeView, n)
+	protos := make([]Protocol, n)
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(u)
+		known := make([]int, len(nbrs))
+		for i := range known {
+			if cfg.KnownLatencies {
+				known[i] = nbrs[i].Latency
+			} else {
+				known[i] = -1
+			}
+		}
+		views[u] = &NodeView{
+			id:    u,
+			n:     n,
+			g:     g,
+			nbrs:  nbrs,
+			known: known,
+			rum:   bitset.New(n),
+			rng:   rand.New(rand.NewPCG(cfg.Seed, uint64(u)*0x9e3779b97f4a7c15+1)),
+		}
+	}
+	watched := cfg.Source
+	if len(cfg.Sources) > 0 {
+		watched = cfg.Sources[0]
+	}
+	informedAt := make([]int, n)
+	for i := range informedAt {
+		informedAt[i] = -1
+	}
+	switch {
+	case cfg.InitialRumors != nil:
+		if len(cfg.InitialRumors) != n {
+			return Result{}, fmt.Errorf("sim: %d initial rumor sets for %d nodes", len(cfg.InitialRumors), n)
+		}
+		for u := 0; u < n; u++ {
+			views[u].rum.UnionWith(cfg.InitialRumors[u])
+			if views[u].rum.Contains(watched) {
+				informedAt[u] = 0
+			}
+		}
+	case cfg.Mode == OneToAll && len(cfg.Sources) > 0:
+		for _, s := range cfg.Sources {
+			views[s].rum.Add(s)
+		}
+		informedAt[watched] = 0
+	case cfg.Mode == OneToAll:
+		views[cfg.Source].rum.Add(cfg.Source)
+		informedAt[cfg.Source] = 0
+	case cfg.Mode == AllToAll:
+		for u := 0; u < n; u++ {
+			views[u].rum.Add(u)
+		}
+		informedAt[watched] = 0
+	default:
+		return Result{}, fmt.Errorf("sim: unknown rumor mode %d", cfg.Mode)
+	}
+	for u := 0; u < n; u++ {
+		protos[u] = factory(views[u])
+		if protos[u] == nil {
+			return Result{}, fmt.Errorf("sim: factory returned nil protocol for node %d", u)
+		}
+	}
+
+	world := &World{Graph: g, Views: views, Protos: protos, crashAt: cfg.CrashAt}
+	crashed := func(u graph.NodeID, round int) bool {
+		return cfg.CrashAt != nil && cfg.CrashAt[u] >= 0 && round >= cfg.CrashAt[u]
+	}
+	if cfg.LatencyJitter < 0 || cfg.LatencyJitter >= 1 {
+		if cfg.LatencyJitter != 0 {
+			return Result{}, fmt.Errorf("sim: latency jitter %v outside [0,1)", cfg.LatencyJitter)
+		}
+	}
+	jitterRNG := rand.New(rand.NewPCG(cfg.Seed^0xdeadbeefcafe, 0x5851f42d4c957f2d))
+	actualLatency := func(nominal int) int {
+		if cfg.LatencyJitter == 0 {
+			return nominal
+		}
+		f := 1 + cfg.LatencyJitter*(2*jitterRNG.Float64()-1)
+		l := int(float64(nominal)*f + 0.5)
+		if l < 1 {
+			l = 1
+		}
+		return l
+	}
+	var (
+		pending exchangeHeap
+		seq     int64
+		res     Result
+	)
+	res.InformedAt = informedAt
+	res.World = world
+	heap.Init(&pending)
+
+	deliverOne := func(ex *exchange) {
+		// A fail-stop endpoint neither responds nor forwards: the whole
+		// exchange is lost if either side is down at completion time.
+		if crashed(ex.u, ex.deliver) || crashed(ex.v, ex.deliver) {
+			res.Dropped++
+			return
+		}
+		res.RumorPayload += int64(ex.uSnap.Count()) + int64(ex.vSnap.Count())
+		for _, side := range [2]struct {
+			self, peer       graph.NodeID
+			selfIdx, peerIdx int
+			snap             *bitset.Set
+			meta             any
+			initiator        bool
+		}{
+			{ex.u, ex.v, ex.uIdx, ex.vIdx, ex.vSnap, ex.vMeta, true},
+			{ex.v, ex.u, ex.vIdx, ex.uIdx, ex.uSnap, ex.uMeta, false},
+		} {
+			nv := views[side.self]
+			before := nv.rum.Count()
+			nv.rum.UnionWith(side.snap)
+			gained := nv.rum.Count() - before
+			nv.known[side.selfIdx] = ex.latency
+			if informedAt[side.self] < 0 && nv.rum.Contains(watched) {
+				informedAt[side.self] = ex.deliver
+			}
+			protos[side.self].OnDeliver(Delivery{
+				Round:         ex.deliver,
+				InitRound:     ex.initRound,
+				Peer:          side.peer,
+				NeighborIndex: side.selfIdx,
+				Latency:       ex.latency,
+				Initiator:     side.initiator,
+				PeerRumors:    side.snap,
+				NewRumors:     gained,
+				PeerMeta:      side.meta,
+			})
+		}
+	}
+
+	for round := 0; round <= cfg.MaxRounds; round++ {
+		world.Round = round
+		for pending.Len() > 0 && pending[0].deliver <= round {
+			deliverOne(heap.Pop(&pending).(*exchange))
+		}
+		if stop(world) {
+			res.Rounds = round
+			res.Completed = true
+			return res, nil
+		}
+		idle := true
+		var inCount []int
+		if cfg.MaxInPerRound > 0 {
+			inCount = make([]int, n)
+		}
+		for u := 0; u < n; u++ {
+			if crashed(u, round) {
+				continue
+			}
+			idx, ok := protos[u].Activate(round)
+			if !ok {
+				continue
+			}
+			nv := views[u]
+			if idx < 0 || idx >= len(nv.nbrs) {
+				return res, fmt.Errorf("sim: node %d activated invalid neighbor index %d", u, idx)
+			}
+			idle = false
+			v := nv.nbrs[idx].ID
+			if inCount != nil {
+				if inCount[v] >= cfg.MaxInPerRound {
+					// Bounded in-degree: the connection is refused; the
+					// attempt still costs a message.
+					res.Messages++
+					res.Dropped++
+					continue
+				}
+				inCount[v]++
+			}
+			lat := actualLatency(nv.nbrs[idx].Latency)
+			vIdx := views[v].NeighborIndex(u)
+			ex := &exchange{
+				deliver:   round + lat,
+				initRound: round,
+				seq:       seq,
+				u:         u,
+				v:         v,
+				uIdx:      idx,
+				vIdx:      vIdx,
+				latency:   lat,
+				uSnap:     nv.rum.Clone(),
+				vSnap:     views[v].rum.Clone(),
+			}
+			seq++
+			if mp, ok := protos[u].(MetaProducer); ok {
+				ex.uMeta = mp.Meta()
+			}
+			if mp, ok := protos[v].(MetaProducer); ok {
+				ex.vMeta = mp.Meta()
+			}
+			heap.Push(&pending, ex)
+			res.Exchanges++
+			res.Messages += 2
+		}
+		if idle && pending.Len() == 0 {
+			// Nothing in flight and nobody acted this round. Unless a
+			// protocol is waiting on an internal timer (Waiter), nobody
+			// will ever act again and the run is over.
+			waiting := false
+			for u := 0; u < n; u++ {
+				if w, ok := protos[u].(Waiter); ok && !crashed(u, round) && w.Waiting() {
+					waiting = true
+					break
+				}
+			}
+			if !waiting {
+				res.Rounds = round
+				res.Completed = stop(world)
+				return res, nil
+			}
+		}
+	}
+	res.Rounds = cfg.MaxRounds
+	res.Completed = false
+	return res, nil
+}

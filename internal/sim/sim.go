@@ -1,0 +1,240 @@
+// Package sim is a deterministic discrete-event simulator for the paper's
+// network model (Section 1, "Model"): synchronous rounds, one exchange
+// initiation per node per round, bidirectional rumor exchange over an edge
+// of latency ℓ completing ℓ rounds later, non-blocking initiations.
+//
+// Exchange semantics. When node u activates edge (u,v) at round t, the
+// simulator snapshots both endpoints' rumor sets at t and merges each
+// snapshot into the opposite endpoint at round t+ℓ. Information therefore
+// crosses an edge in exactly ℓ rounds in either direction and a round trip
+// costs ℓ in total, matching the paper's collapsed round-trip model
+// (footnote 3: equivalent within constant factors to send-then-respond).
+//
+// The simulator owns the rumor sets (every protocol in the paper exchanges
+// "all rumors known", so the transport is protocol-independent); protocol
+// implementations control only the activation schedule and may attach
+// small metadata to exchanges.
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Graph is the network. Required.
+	Graph *graph.Graph
+	// Seed drives all per-node randomness.
+	Seed uint64
+	// KnownLatencies exposes adjacent edge latencies to nodes from round
+	// zero (the Section 4 model). Otherwise latencies are discovered
+	// when an exchange on the edge completes.
+	KnownLatencies bool
+	// MaxRounds is the safety horizon; the run fails (Completed=false)
+	// when the stop condition has not been met by then. Default 1<<20.
+	MaxRounds int
+	// Mode selects the initial rumor assignment.
+	Mode RumorMode
+	// Source is the rumor source for OneToAll mode.
+	Source graph.NodeID
+	// InitialRumors, when non-nil, seeds each node's rumor set instead
+	// of Mode's default assignment (the sets are cloned). This is how
+	// multi-phase algorithms carry state across sequential sim.Run
+	// phases.
+	InitialRumors []*bitset.Set
+	// Sources, when non-empty in OneToAll mode, seeds several sources
+	// (multi-source dissemination); Source is ignored and completion is
+	// judged against all of them.
+	Sources []graph.NodeID
+	// CrashAt[u], when non-nil, is the round at which node u fails
+	// (negative = never). A crashed node stops initiating, and any
+	// exchange involving it that would complete at or after the crash
+	// round is lost entirely — matching a fail-stop node that neither
+	// responds nor forwards. Stop conditions should quantify over alive
+	// nodes (see StopAllAliveInformed).
+	CrashAt []int
+	// MaxInPerRound, when positive, caps how many incoming exchange
+	// initiations a node accepts per round (the bounded in-degree model
+	// of Daum et al. discussed in the paper's conclusion). Initiations
+	// beyond the cap are dropped: the messages are counted but nothing
+	// is delivered.
+	MaxInPerRound int
+	// LatencyJitter in [0,1) perturbs each exchange's actual completion
+	// time to round(ℓ·(1+U[-j,+j])), minimum 1 — the fluctuating link
+	// quality of the paper's footnote 2. Nominal latencies are what
+	// nodes know in KnownLatencies mode; discovery observes the
+	// perturbed value of the measuring exchange, so planned schedules
+	// can be stale.
+	LatencyJitter float64
+}
+
+// RumorMode selects how rumors are seeded.
+type RumorMode int
+
+const (
+	// OneToAll seeds only Config.Source with its rumor.
+	OneToAll RumorMode = iota + 1
+	// AllToAll seeds every node with its own rumor.
+	AllToAll
+)
+
+// Delivery describes one completed exchange from the perspective of one
+// endpoint. The simulator has already merged PeerRumors into the node's
+// rumor set when OnDeliver is invoked.
+type Delivery struct {
+	// Round is the completion round (initiation round + edge latency).
+	Round int
+	// InitRound is the round the exchange was initiated.
+	InitRound int
+	// Peer is the other endpoint.
+	Peer graph.NodeID
+	// NeighborIndex is the adjacency index of Peer at this node.
+	NeighborIndex int
+	// Latency is the latency of the traversed edge (now discovered).
+	Latency int
+	// Initiator reports whether this node initiated the exchange.
+	Initiator bool
+	// PeerRumors is the peer's rumor set snapshot at initiation time.
+	// Treat as read-only.
+	PeerRumors *bitset.Set
+	// NewRumors counts rumors this delivery added to the node.
+	NewRumors int
+	// PeerMeta is the peer protocol's metadata snapshot (nil unless the
+	// peer protocol implements MetaProducer).
+	PeerMeta any
+}
+
+// Protocol is a per-node gossip protocol. The simulator calls Activate
+// once per node per round (the model's "choose one neighbor" step) and
+// OnDeliver when an exchange involving the node completes.
+type Protocol interface {
+	// Activate returns the adjacency index of the neighbor to contact
+	// this round, or ok=false to stay silent.
+	Activate(round int) (neighborIndex int, ok bool)
+	// OnDeliver reports a completed exchange.
+	OnDeliver(d Delivery)
+}
+
+// MetaProducer is an optional Protocol extension: Meta is sampled at
+// exchange initiation and delivered to the peer alongside the rumors.
+type MetaProducer interface {
+	Meta() any
+}
+
+// DoneReporter is an optional Protocol extension used by quiescence-based
+// stop conditions: Done reports that this node's protocol has terminated.
+type DoneReporter interface {
+	Done() bool
+}
+
+// Waiter is an optional Protocol extension for protocols with internal
+// timers (e.g. timeouts): while Waiting returns true the simulator will
+// not declare quiescence even when no activations or deliveries are
+// pending, so the protocol gets future Activate calls to fire its timer.
+type Waiter interface {
+	Waiting() bool
+}
+
+// NodeView is the node-local world handed to a protocol: identity,
+// adjacency, (possibly discovered) latencies, the node's rumor set and a
+// private RNG stream.
+type NodeView struct {
+	id    graph.NodeID
+	n     int
+	g     *graph.Graph
+	nbrs  []graph.Neighbor
+	known []int // latency per adjacency index; -1 = not yet discovered
+	rum   *bitset.Set
+	rng   *rand.Rand
+}
+
+// ID returns the node's identity.
+func (nv *NodeView) ID() graph.NodeID { return nv.id }
+
+// N returns the network size (the paper's nodes know a polynomial bound
+// on n; we expose n itself and note that every algorithm below uses it
+// only inside logarithms, where a polynomial bound changes constants).
+func (nv *NodeView) N() int { return nv.n }
+
+// Degree returns the node's degree.
+func (nv *NodeView) Degree() int { return len(nv.nbrs) }
+
+// NeighborID returns the node ID of the i-th neighbor.
+func (nv *NodeView) NeighborID(i int) graph.NodeID { return nv.nbrs[i].ID }
+
+// NeighborIndex returns the adjacency index of the given neighbor ID, or
+// -1 when id is not adjacent.
+func (nv *NodeView) NeighborIndex(id graph.NodeID) int {
+	for i, nb := range nv.nbrs {
+		if nb.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Latency returns the latency of the edge to the i-th neighbor and
+// whether the node knows it (true always in KnownLatencies mode; after
+// discovery otherwise).
+func (nv *NodeView) Latency(i int) (int, bool) {
+	l := nv.known[i]
+	if l < 0 {
+		return 0, false
+	}
+	return l, true
+}
+
+// Rumors returns the node's rumor set. Protocols must treat it as
+// read-only; the simulator owns mutation.
+func (nv *NodeView) Rumors() *bitset.Set { return nv.rum }
+
+// Knows reports whether the node holds rumor r.
+func (nv *NodeView) Knows(r int) bool { return nv.rum.Contains(r) }
+
+// RNG returns the node's private deterministic random stream.
+func (nv *NodeView) RNG() *rand.Rand { return nv.rng }
+
+// Result summarizes a run.
+type Result struct {
+	// Rounds is the round at which the stop condition first held
+	// (deliveries at round r are visible to a stop check at r).
+	Rounds int
+	// Completed is false when the horizon was hit first.
+	Completed bool
+	// Exchanges counts initiated exchanges; Messages counts directed
+	// messages (2 per exchange, per the bidirectional model).
+	Exchanges int64
+	Messages  int64
+	// Dropped counts exchanges lost to crashes or the in-degree cap.
+	Dropped int64
+	// RumorPayload totals the rumor units carried by delivered
+	// exchanges (both directions): the bandwidth cost of full-state
+	// gossip, which Section 6 contrasts against push-pull's ability to
+	// run with small messages.
+	RumorPayload int64
+	// InformedAt[u] is the first round node u held the watched rumor
+	// (Config.Source's rumor in OneToAll mode; u's own otherwise gives 0),
+	// or -1 if never.
+	InformedAt []int
+	// World exposes the final global state (rumor sets, protocols) so
+	// multi-phase procedures can inspect and carry it forward.
+	World *World
+}
+
+// FinalRumors returns clones of every node's rumor set at the end of the
+// run, suitable for Config.InitialRumors of a follow-up phase.
+func (r Result) FinalRumors() []*bitset.Set {
+	out := make([]*bitset.Set, len(r.World.Views))
+	for i, nv := range r.World.Views {
+		out[i] = nv.rum.Clone()
+	}
+	return out
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("result{rounds=%d completed=%v exchanges=%d}", r.Rounds, r.Completed, r.Exchanges)
+}

@@ -1,0 +1,118 @@
+package sim
+
+import "gossip/internal/graph"
+
+// StopAllInformed stops when every node holds rumor r (one-to-all
+// dissemination of source r's rumor).
+func StopAllInformed(r graph.NodeID) StopFunc {
+	return func(w *World) bool {
+		for _, nv := range w.Views {
+			if !nv.rum.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StopAllHaveAll stops when every node holds every rumor (all-to-all
+// dissemination; use with Config.Mode == AllToAll).
+func StopAllHaveAll() StopFunc {
+	return func(w *World) bool {
+		for _, nv := range w.Views {
+			if !nv.rum.Full() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StopLocalBroadcast stops when every node holds the rumor of each of its
+// graph neighbors (the paper's local broadcast; use with AllToAll mode).
+func StopLocalBroadcast() StopFunc {
+	return func(w *World) bool {
+		for _, nv := range w.Views {
+			for _, nb := range nv.nbrs {
+				if !nv.rum.Contains(nb.ID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// StopEllLocalBroadcast stops when every node holds the rumor of each
+// neighbor reachable by an edge of latency <= ell (the ℓ-local broadcast
+// problem of Section 4.1.1).
+func StopEllLocalBroadcast(ell int) StopFunc {
+	return func(w *World) bool {
+		for _, nv := range w.Views {
+			for _, nb := range nv.nbrs {
+				if nb.Latency <= ell && !nv.rum.Contains(nb.ID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// StopAllAliveInformed stops when every node still alive holds rumor r
+// (the meaningful completion criterion under fail-stop crashes: crashed
+// nodes can never be informed).
+func StopAllAliveInformed(r graph.NodeID) StopFunc {
+	return func(w *World) bool {
+		for u, nv := range w.Views {
+			if w.Alive(u) && !nv.rum.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StopAllDone stops when every live node's protocol implementing
+// DoneReporter reports done (protocols without DoneReporter count as
+// done; crashed nodes are excluded — their state can never change).
+func StopAllDone() StopFunc {
+	return func(w *World) bool {
+		for u, p := range w.Protos {
+			if !w.Alive(u) {
+				continue
+			}
+			if dr, ok := p.(DoneReporter); ok && !dr.Done() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StopAnd stops when all constituent conditions hold.
+func StopAnd(fns ...StopFunc) StopFunc {
+	return func(w *World) bool {
+		for _, fn := range fns {
+			if !fn(w) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StopOr stops when any constituent condition holds.
+func StopOr(fns ...StopFunc) StopFunc {
+	return func(w *World) bool {
+		for _, fn := range fns {
+			if fn(w) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// StopNever runs to the horizon (useful for fixed-budget executions).
+func StopNever() StopFunc { return func(*World) bool { return false } }

@@ -1,0 +1,335 @@
+// Package spanner implements the directed (2k-1)-spanner construction of
+// Section 4.1.2: Baswana-Sen clustering adapted so that every edge added
+// to the spanner is oriented away from the node that added it, which keeps
+// the maximum out-degree at O(n^(1/k) log n) w.h.p. (Lemma 19) — O(log n)
+// for k = ceil(log2 n).
+//
+// The construction is centralized. The paper runs it as a local
+// computation at every node after the ℓ-DTG phases have collected the
+// (k+1)-hop neighborhood (Theorem 20); cluster-center coin flips are a
+// deterministic function of (iteration, centerID) under a shared seed,
+// which is equivalent to each center flipping one coin and broadcasting it
+// within the collected neighborhood.
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"gossip/internal/graph"
+)
+
+// Spanner is the oriented spanner: Out[v] lists v's outgoing spanner
+// edges. The undirected spanner is the union of all oriented edges.
+type Spanner struct {
+	// K is the clustering depth; the undirected stretch is 2K-1.
+	K int
+	// Out[v] holds v's out-edges with their latencies.
+	Out [][]graph.Neighbor
+	n   int
+}
+
+// Options configures Build.
+type Options struct {
+	// K is the number of clustering iterations (stretch 2K-1).
+	// Default ceil(log2 n).
+	K int
+	// NHat is the network-size estimate nˆ used for the sampling
+	// probability nˆ^(-1/k); the paper only needs n <= nˆ <= poly(n).
+	// Default n.
+	NHat int
+	// Seed drives the shared cluster-sampling coins.
+	Seed uint64
+	// MaxLatency, when positive, restricts the construction to edges of
+	// latency <= MaxLatency (the G_k subgraph used by RR Broadcast).
+	MaxLatency int
+}
+
+// edgeKey orders edges by (latency, endpoints) — the distinct-weight
+// tie-break the paper prescribes ("use the unique node IDs to break ties").
+type edgeKey struct {
+	lat  int
+	u, v graph.NodeID
+}
+
+func keyOf(u, v graph.NodeID, lat int) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{lat: lat, u: u, v: v}
+}
+
+func (a edgeKey) less(b edgeKey) bool {
+	if a.lat != b.lat {
+		return a.lat < b.lat
+	}
+	if a.u != b.u {
+		return a.u < b.u
+	}
+	return a.v < b.v
+}
+
+// Build runs the oriented Baswana-Sen construction on g.
+func Build(g *graph.Graph, opts Options) (*Spanner, error) {
+	n := g.N()
+	if n < 1 {
+		return nil, fmt.Errorf("spanner: empty graph")
+	}
+	k := opts.K
+	if k <= 0 {
+		k = log2Ceil(n)
+		if k < 1 {
+			k = 1
+		}
+	}
+	nHat := opts.NHat
+	if nHat <= 0 {
+		nHat = n
+	}
+	if nHat < n {
+		return nil, fmt.Errorf("spanner: nHat=%d below n=%d", nHat, n)
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xabcdef1234567891))
+	sampleP := math.Pow(float64(nHat), -1.0/float64(k))
+
+	sp := &Spanner{K: k, Out: make([][]graph.Neighbor, n), n: n}
+	addOut := func(from, to graph.NodeID, lat int) {
+		for _, e := range sp.Out[from] {
+			if e.ID == to {
+				return
+			}
+		}
+		sp.Out[from] = append(sp.Out[from], graph.Neighbor{ID: to, Latency: lat})
+	}
+
+	// alive[u] maps neighbor -> latency for edges still under
+	// consideration; both endpoint entries are removed together.
+	alive := make([]map[graph.NodeID]int, n)
+	for u := 0; u < n; u++ {
+		alive[u] = make(map[graph.NodeID]int)
+	}
+	g.ForEachEdge(func(e graph.Edge) {
+		if opts.MaxLatency > 0 && e.Latency > opts.MaxLatency {
+			return
+		}
+		alive[e.U][e.V] = e.Latency
+		alive[e.V][e.U] = e.Latency
+	})
+	// cluster[v] is the center of v's current cluster, or -1 once v has
+	// fallen out of the clustering (Rule 1 fired for v).
+	cluster := make([]graph.NodeID, n)
+	for v := range cluster {
+		cluster[v] = v // iteration 0: every node is its own center
+	}
+
+	for it := 1; it < k; it++ {
+		// Sample the surviving centers. A deterministic pass in center
+		// order keeps runs reproducible.
+		sampled := make(map[graph.NodeID]bool)
+		centers := activeCenters(cluster)
+		for _, c := range centers {
+			if rng.Float64() < sampleP {
+				sampled[c] = true
+			}
+		}
+		next := make([]graph.NodeID, n)
+		for v := range next {
+			next[v] = -1
+		}
+		// Members of sampled clusters stay put.
+		for v := 0; v < n; v++ {
+			if cluster[v] >= 0 && sampled[cluster[v]] {
+				next[v] = cluster[v]
+			}
+		}
+		for v := 0; v < n; v++ {
+			if cluster[v] < 0 || next[v] >= 0 {
+				continue // out of the clustering, or in a sampled cluster
+			}
+			// Group v's alive edges by the neighbor's current cluster.
+			best := bestEdgePerCluster(v, alive[v], cluster)
+			// Q: adjacent *sampled* clusters.
+			var bestSampled *clusterEdge
+			for i := range best {
+				ce := &best[i]
+				if sampled[ce.center] {
+					if bestSampled == nil || ce.key.less(bestSampled.key) {
+						bestSampled = ce
+					}
+				}
+			}
+			if bestSampled == nil {
+				// Rule 1: no adjacent sampled cluster. Keep the least
+				// weight edge to every adjacent cluster, discard the
+				// rest, and leave the clustering.
+				for _, ce := range best {
+					addOut(v, ce.to, ce.lat)
+					discardClusterEdges(v, alive, cluster, ce.center)
+				}
+				next[v] = -1
+			} else {
+				// Rule 2: join the closest sampled cluster via e_v, and
+				// keep one edge to every adjacent cluster strictly
+				// cheaper than e_v; discard all edges into the
+				// processed clusters.
+				addOut(v, bestSampled.to, bestSampled.lat)
+				next[v] = bestSampled.center
+				for _, ce := range best {
+					if ce.center == bestSampled.center {
+						continue
+					}
+					if ce.key.less(bestSampled.key) {
+						addOut(v, ce.to, ce.lat)
+						discardClusterEdges(v, alive, cluster, ce.center)
+					}
+				}
+				// All edges into the joined cluster leave consideration:
+				// e_v is already in the spanner and future iterations
+				// only look at inter-cluster edges.
+				discardClusterEdges(v, alive, cluster, bestSampled.center)
+			}
+		}
+		cluster = next
+	}
+
+	// Final iteration: every node keeps its least weight edge to each
+	// adjacent surviving cluster.
+	for v := 0; v < n; v++ {
+		for _, ce := range bestEdgePerCluster(v, alive[v], cluster) {
+			addOut(v, ce.to, ce.lat)
+		}
+	}
+	for v := range sp.Out {
+		sort.Slice(sp.Out[v], func(i, j int) bool { return sp.Out[v][i].ID < sp.Out[v][j].ID })
+	}
+	return sp, nil
+}
+
+// clusterEdge is the cheapest alive edge from a node into one cluster.
+type clusterEdge struct {
+	center graph.NodeID
+	to     graph.NodeID
+	lat    int
+	key    edgeKey
+}
+
+// bestEdgePerCluster returns, for every cluster adjacent to v over alive
+// edges, the minimum-key edge into it, in deterministic center order.
+func bestEdgePerCluster(v graph.NodeID, adj map[graph.NodeID]int, cluster []graph.NodeID) []clusterEdge {
+	best := make(map[graph.NodeID]clusterEdge)
+	for u, lat := range adj {
+		c := cluster[u]
+		if c < 0 {
+			continue // neighbor has left the clustering
+		}
+		k := keyOf(v, u, lat)
+		if cur, ok := best[c]; !ok || k.less(cur.key) {
+			best[c] = clusterEdge{center: c, to: u, lat: lat, key: k}
+		}
+	}
+	out := make([]clusterEdge, 0, len(best))
+	for _, ce := range best {
+		out = append(out, ce)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].center < out[j].center })
+	return out
+}
+
+// discardClusterEdges removes every alive edge from v into cluster c.
+func discardClusterEdges(v graph.NodeID, alive []map[graph.NodeID]int, cluster []graph.NodeID, c graph.NodeID) {
+	for u := range alive[v] {
+		if cluster[u] == c {
+			delete(alive[v], u)
+			delete(alive[u], v)
+		}
+	}
+}
+
+// activeCenters returns the distinct non-negative cluster centers.
+func activeCenters(cluster []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	for _, c := range cluster {
+		if c >= 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumEdges returns the number of distinct undirected spanner edges.
+func (s *Spanner) NumEdges() int {
+	seen := make(map[[2]graph.NodeID]bool)
+	for u, outs := range s.Out {
+		for _, e := range outs {
+			a, b := u, e.ID
+			if a > b {
+				a, b = b, a
+			}
+			seen[[2]graph.NodeID{a, b}] = true
+		}
+	}
+	return len(seen)
+}
+
+// MaxOutDegree returns the maximum out-degree over all nodes.
+func (s *Spanner) MaxOutDegree() int {
+	max := 0
+	for _, outs := range s.Out {
+		if len(outs) > max {
+			max = len(outs)
+		}
+	}
+	return max
+}
+
+// AsGraph returns the undirected spanner as a graph on the same node set.
+func (s *Spanner) AsGraph() *graph.Graph {
+	g := graph.New(s.n)
+	for u, outs := range s.Out {
+		for _, e := range outs {
+			if !g.HasEdge(u, e.ID) {
+				g.MustAddEdge(u, e.ID, e.Latency)
+			}
+		}
+	}
+	return g
+}
+
+// Stretch samples up to pairs node pairs and returns the maximum observed
+// ratio spanner-distance / graph-distance (both weighted). A correct
+// (2k-1)-spanner never exceeds 2K-1.
+func (s *Spanner) Stretch(g *graph.Graph, pairs int, rng *rand.Rand) float64 {
+	sg := s.AsGraph()
+	worst := 1.0
+	for i := 0; i < pairs; i++ {
+		u := rng.IntN(g.N())
+		dg := g.Distances(u)
+		ds := sg.Distances(u)
+		for v := 0; v < g.N(); v++ {
+			if v == u || dg[v] <= 0 || dg[v] >= graph.Infinity {
+				continue
+			}
+			if ds[v] >= graph.Infinity {
+				return math.Inf(1)
+			}
+			if r := float64(ds[v]) / float64(dg[v]); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+func log2Ceil(x int) int {
+	k, v := 0, 1
+	for v < x {
+		v <<= 1
+		k++
+	}
+	return k
+}

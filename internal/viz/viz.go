@@ -1,0 +1,134 @@
+// Package viz renders tiny text visualizations — sparklines and
+// horizontal bar charts — used by the CLI tools and examples to show
+// spreading curves and experiment series without any plotting
+// dependency.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparkLevels are the eight block characters from lowest to highest.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a unicode sparkline. Values are scaled to the
+// min..max range; an empty input yields an empty string.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// SparklineInts is Sparkline for integer series.
+func SparklineInts(xs []int) string {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Sparkline(fs)
+}
+
+// Downsample reduces xs to at most width points by taking the maximum of
+// each bucket (so peaks survive), preserving order.
+func Downsample(xs []float64, width int) []float64 {
+	if width <= 0 || len(xs) <= width {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(xs) / width
+		hi := (i + 1) * len(xs) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		max := xs[lo]
+		for _, x := range xs[lo:hi] {
+			if x > max {
+				max = x
+			}
+		}
+		out[i] = max
+	}
+	return out
+}
+
+// BarRow is one labeled bar.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders labeled horizontal bars scaled to width characters,
+// with the numeric value appended. Negative values are clamped to zero.
+func BarChart(rows []BarRow, width int) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, r := range rows {
+		if r.Value > maxVal {
+			maxVal = r.Value
+		}
+		if len(r.Label) > maxLabel {
+			maxLabel = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		v := r.Value
+		if v < 0 {
+			v = 0
+		}
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s %s%s %.4g\n", maxLabel, r.Label,
+			strings.Repeat("█", bar), strings.Repeat("·", width-bar), r.Value)
+	}
+	return b.String()
+}
+
+// Curve renders an integer time series (e.g. a spreading curve) as a
+// sparkline with a compact caption: final value and length.
+func Curve(name string, xs []int, width int) string {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	ds := Downsample(fs, width)
+	last := 0
+	if len(xs) > 0 {
+		last = xs[len(xs)-1]
+	}
+	return fmt.Sprintf("%s %s (%d rounds, final %d)", name, Sparkline(ds), len(xs)-1, last)
+}
