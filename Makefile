@@ -1,0 +1,40 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml so local and CI
+# invocations stay in lockstep.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — the CI bench smoke. It exercises the
+# parallel experiment runner (BenchmarkAblationGridWorkers) alongside the
+# per-experiment and substrate benchmarks.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate the paper's evaluation tables across all cores and drop JSON
+# artifacts in ./results.
+experiments:
+	$(GO) run ./cmd/experiments -progress -out results
+
+clean:
+	rm -rf results

@@ -8,6 +8,7 @@
 package gossip_test
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -25,10 +26,33 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(experiments.Config{Quick: true, Trials: 1, Seed: uint64(i + 1)}); err != nil {
+		if _, err := e.Run(ctx, experiments.Config{Quick: true, Trials: 1, Seed: uint64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAblationGridWorkers pits the parallel runner against its own
+// serial schedule on the E18 ablation grid (the trial-heaviest ablation):
+// the workers=N variant should approach N× on idle multicore hardware,
+// with byte-identical results (see experiments.TestWorkerCountDeterminism).
+func BenchmarkAblationGridWorkers(b *testing.B) {
+	e, err := experiments.Get("E18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.Config{Quick: true, Trials: 2, Seed: 1, Workers: workers}
+				if _, err := e.Run(ctx, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,66 +1,172 @@
 // Command experiments regenerates the paper's evaluation: every
-// theorem-level table in DESIGN.md's experiment index (E1-E13).
+// theorem-level table in DESIGN.md's experiment index (E1-E22), fanned
+// across cores by the deterministic parallel runner.
 //
 // Usage:
 //
-//	experiments [-id E7] [-quick] [-trials N] [-seed S] [-csv]
+//	experiments [-id E7] [-quick] [-trials N] [-seed S] [-parallel W]
+//	            [-timeout D] [-csv] [-json] [-out DIR] [-progress]
 //
-// Without -id it runs every experiment in order.
+// Without -id it runs every experiment in order. Results are identical
+// at any -parallel value: each trial's RNG seed is a hash of its grid
+// coordinates, never of scheduling order. -json replaces the text tables
+// with JSON artifacts on stdout; -out additionally writes one
+// <ID>.json artifact per experiment into DIR.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"gossip/internal/experiments"
 )
 
-func main() {
-	os.Exit(run())
+// options holds the parsed command line.
+type options struct {
+	id       string
+	quick    bool
+	trials   int
+	seed     uint64
+	csv      bool
+	jsonOut  bool
+	outDir   string
+	parallel int
+	timeout  time.Duration
+	progress bool
 }
 
-func run() int {
-	var (
-		id     = flag.String("id", "", "run a single experiment (e.g. E7); empty = all")
-		quick  = flag.Bool("quick", false, "smaller problem sizes")
-		trials = flag.Int("trials", 0, "trials per data point (0 = default)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-	)
-	flag.Parse()
+// parseArgs parses the command line into options. Split from main so the
+// flag surface is regression-tested.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.StringVar(&o.id, "id", "", "run a single experiment (e.g. E7); empty = all")
+	fs.BoolVar(&o.quick, "quick", false, "smaller problem sizes")
+	fs.IntVar(&o.trials, "trials", 0, "trials per data point (0 = default)")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned text")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit JSON artifacts instead of aligned text")
+	fs.StringVar(&o.outDir, "out", "", "also write one <ID>.json artifact per experiment into this directory")
+	fs.IntVar(&o.parallel, "parallel", 0, "worker goroutines per experiment grid (0 = GOMAXPROCS)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "abort the whole run after this duration, checked between trials (0 = none)")
+	fs.BoolVar(&o.progress, "progress", false, "report per-experiment trial progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.csv && o.jsonOut {
+		return options{}, fmt.Errorf("-csv and -json are mutually exclusive")
+	}
+	return o, nil
+}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opts, err := parseArgs(args)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+
 	var list []experiments.Experiment
-	if *id != "" {
-		e, err := experiments.Get(*id)
+	if opts.id != "" {
+		e, err := experiments.Get(opts.id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		list = []experiments.Experiment{e}
 	} else {
 		list = experiments.All()
 	}
-	for _, e := range list {
-		tbl, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+
+	if opts.outDir != "" {
+		if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		if *csv {
-			if err := tbl.CSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
+	}
+
+	start := time.Now()
+	for _, e := range list {
+		cfg := experiments.Config{
+			Seed:    opts.seed,
+			Trials:  opts.trials,
+			Quick:   opts.quick,
+			Workers: opts.parallel,
+		}
+		if opts.progress {
+			id := e.ID
+			cfg.Progress = func(done, total int) {
+				fmt.Fprintf(stderr, "\r%s: %d/%d trials", id, done, total)
+				if done == total {
+					fmt.Fprintln(stderr)
+				}
 			}
-		} else {
-			fmt.Printf("[%s]\n", e.Source)
-			if err := tbl.Render(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+		}
+		tbl, err := experiments.RunOne(ctx, cfg, e)
+		if err != nil {
+			if opts.progress {
+				fmt.Fprintln(stderr) // terminate the \r progress line
+			}
+			fmt.Fprintf(stderr, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+		switch {
+		case opts.jsonOut:
+			err = tbl.JSON(stdout)
+		case opts.csv:
+			err = tbl.CSV(stdout)
+		default:
+			fmt.Fprintf(stdout, "[%s]\n", tbl.Source)
+			err = tbl.Render(stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if opts.outDir != "" {
+			if err := writeArtifact(opts.outDir, tbl); err != nil {
+				fmt.Fprintln(stderr, err)
 				return 1
 			}
 		}
-		fmt.Println()
+		if !opts.jsonOut && !opts.csv {
+			fmt.Fprintln(stdout)
+		}
+	}
+	if opts.progress {
+		fmt.Fprintf(stderr, "%d experiment(s) in %v\n", len(list), time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+func writeArtifact(dir string, tbl *experiments.Table) error {
+	path := filepath.Join(dir, tbl.ID+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tbl.JSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

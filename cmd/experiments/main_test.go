@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseArgs(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-id", "E7", "-quick", "-trials", "2", "-seed", "9",
+		"-parallel", "4", "-timeout", "30s", "-json", "-out", "res", "-progress",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.id != "E7" || !o.quick || o.trials != 2 || o.seed != 9 ||
+		o.parallel != 4 || o.timeout != 30*time.Second || !o.jsonOut ||
+		o.outDir != "res" || !o.progress {
+		t.Fatalf("parsed %+v", o)
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.id != "" || o.quick || o.trials != 0 || o.seed != 1 ||
+		o.parallel != 0 || o.timeout != 0 || o.csv || o.jsonOut || o.progress {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"-csv", "-json"},
+		{"positional"},
+		{"-trials", "abc"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Fatalf("parseArgs(%v) accepted", args)
+		}
+	}
+}
+
+func TestRunSingleExperimentJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-id", "E2", "-quick", "-trials", "1", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var decoded struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("stdout not JSON: %v\n%s", err, out.String())
+	}
+	if decoded.ID != "E2" {
+		t.Fatalf("id = %q", decoded.ID)
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"-id", "E2", "-quick", "-trials", "1", "-out", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "E2") {
+		t.Fatalf("text table missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "E2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatalf("artifact not valid JSON:\n%s", raw)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-id", "E99"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+}

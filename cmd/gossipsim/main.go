@@ -22,32 +22,71 @@ import (
 	"gossip/internal/viz"
 )
 
+// options holds the parsed command line.
+type options struct {
+	graphName string
+	n         int
+	latency   int
+	p         float64
+	layers    int
+	algoName  string
+	algo      core.Algorithm
+	source    int
+	seed      uint64
+	known     bool
+	analyze   bool
+	curve     bool
+	loadPath  string
+	savePath  string
+}
+
+// parseArgs parses the command line into options. Split from main so the
+// flag surface is regression-tested.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
+	fs.StringVar(&o.graphName, "graph", "clique", "topology: clique|star|path|cycle|grid|tree|er|regular|dumbbell|ring|gadget")
+	fs.IntVar(&o.n, "n", 16, "node count (per side for dumbbell/gadget; per layer for ring)")
+	fs.IntVar(&o.latency, "latency", 1, "uniform/slow edge latency, depending on topology")
+	fs.Float64Var(&o.p, "p", 0.3, "edge or target probability for er/gadget")
+	fs.IntVar(&o.layers, "layers", 6, "ring layers")
+	fs.StringVar(&o.algoName, "algo", "auto", "algorithm: auto|push-pull|spanner|pattern|flood")
+	fs.IntVar(&o.source, "source", 0, "rumor source")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	fs.BoolVar(&o.known, "known", false, "nodes know adjacent latencies (Section 4 model)")
+	fs.BoolVar(&o.analyze, "analyze", true, "print the conductance profile")
+	fs.BoolVar(&o.curve, "curve", false, "print the push-pull spreading curve as a sparkline")
+	fs.StringVar(&o.loadPath, "load", "", "load the graph from an edge-list file instead of generating")
+	fs.StringVar(&o.savePath, "save", "", "save the generated graph to an edge-list file")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	algo, err := parseAlgo(o.algoName)
+	if err != nil {
+		return options{}, err
+	}
+	o.algo = algo
+	return o, nil
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
-	var (
-		graphName = flag.String("graph", "clique", "topology: clique|star|path|cycle|grid|tree|er|regular|dumbbell|ring|gadget")
-		n         = flag.Int("n", 16, "node count (per side for dumbbell/gadget; per layer for ring)")
-		latency   = flag.Int("latency", 1, "uniform/slow edge latency, depending on topology")
-		p         = flag.Float64("p", 0.3, "edge or target probability for er/gadget")
-		layers    = flag.Int("layers", 6, "ring layers")
-		algoName  = flag.String("algo", "auto", "algorithm: auto|push-pull|spanner|pattern|flood")
-		source    = flag.Int("source", 0, "rumor source")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		known     = flag.Bool("known", false, "nodes know adjacent latencies (Section 4 model)")
-		analyze   = flag.Bool("analyze", true, "print the conductance profile")
-		curve     = flag.Bool("curve", false, "print the push-pull spreading curve as a sparkline")
-		loadPath  = flag.String("load", "", "load the graph from an edge-list file instead of generating")
-		savePath  = flag.String("save", "", "save the generated graph to an edge-list file")
-	)
-	flag.Parse()
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	var g *graph.Graph
-	var err error
-	if *loadPath != "" {
-		f, ferr := os.Open(*loadPath)
+	graphName := opts.graphName
+	if opts.loadPath != "" {
+		f, ferr := os.Open(opts.loadPath)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, ferr)
 			return 1
@@ -56,16 +95,16 @@ func run() int {
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
-		*graphName = *loadPath
+		graphName = opts.loadPath
 	} else {
-		g, err = buildGraph(*graphName, *n, *latency, *p, *layers, *seed)
+		g, err = buildGraph(opts.graphName, opts.n, opts.latency, opts.p, opts.layers, opts.seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if *savePath != "" {
-		f, ferr := os.Create(*savePath)
+	if opts.savePath != "" {
+		f, ferr := os.Create(opts.savePath)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, ferr)
 			return 1
@@ -78,12 +117,12 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		fmt.Printf("saved graph to %s\n", *savePath)
+		fmt.Printf("saved graph to %s\n", opts.savePath)
 	}
 	fmt.Printf("graph: %s  n=%d m=%d Δ=%d D=%d ℓmax=%d\n",
-		*graphName, g.N(), g.M(), g.MaxDegree(), g.WeightedDiameter(), g.MaxLatency())
+		graphName, g.N(), g.M(), g.MaxDegree(), g.WeightedDiameter(), g.MaxLatency())
 
-	if *analyze {
+	if opts.analyze {
 		prof, err := core.Analyze(g)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -101,16 +140,11 @@ func run() int {
 			prof.Bounds.Pattern, prof.Bounds.Unified)
 	}
 
-	algo, err := parseAlgo(*algoName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
 	out, err := core.Disseminate(g, core.Options{
-		Algorithm:      algo,
-		Source:         *source,
-		KnownLatencies: *known,
-		Seed:           *seed,
+		Algorithm:      opts.algo,
+		Source:         opts.source,
+		KnownLatencies: opts.known,
+		Seed:           opts.seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,8 +152,8 @@ func run() int {
 	}
 	fmt.Printf("run: algorithm=%s rounds=%d exchanges=%d completed=%v\n",
 		out.Algorithm, out.Rounds, out.Exchanges, out.Completed)
-	if *curve {
-		res, err := gossip.RunPushPull(g, *source, *seed, 1<<20)
+	if opts.curve {
+		res, err := gossip.RunPushPull(g, opts.source, opts.seed, 1<<20)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

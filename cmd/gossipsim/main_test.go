@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+
+	"gossip/internal/core"
+)
+
+func TestParseArgs(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-graph", "dumbbell", "-n", "16", "-latency", "64",
+		"-algo", "push-pull", "-seed", "3", "-known", "-curve", "-analyze=false",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.graphName != "dumbbell" || o.n != 16 || o.latency != 64 ||
+		o.algoName != "push-pull" || o.algo != core.PushPull ||
+		o.seed != 3 || !o.known || !o.curve || o.analyze {
+		t.Fatalf("parsed %+v", o)
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.graphName != "clique" || o.n != 16 || o.latency != 1 || o.p != 0.3 ||
+		o.layers != 6 || o.algoName != "auto" || o.seed != 1 || !o.analyze {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"-algo", "nosuchalgo"},
+		{"positional"},
+		{"-n", "abc"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Fatalf("parseArgs(%v) accepted", args)
+		}
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]core.Algorithm{
+		"auto":      core.Auto,
+		"push-pull": core.PushPull,
+		"pushpull":  core.PushPull,
+		"SPANNER":   core.Spanner,
+		"pattern":   core.Pattern,
+		"flood":     core.Flood,
+	}
+	for name, want := range cases {
+		got, err := parseAlgo(name)
+		if err != nil {
+			t.Fatalf("parseAlgo(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("parseAlgo(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := parseAlgo("bogus"); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+func TestBuildGraphFamilies(t *testing.T) {
+	for _, name := range []string{
+		"clique", "star", "path", "cycle", "grid", "tree", "er",
+		"regular", "dumbbell", "ring", "gadget",
+	} {
+		g, err := buildGraph(name, 8, 2, 0.5, 3, 1)
+		if err != nil {
+			t.Fatalf("buildGraph(%q): %v", name, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("buildGraph(%q): empty graph", name)
+		}
+	}
+	if _, err := buildGraph("bogus", 8, 1, 0.3, 3, 1); err == nil {
+		t.Fatal("bogus graph accepted")
+	}
+}

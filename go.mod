@@ -1,0 +1,3 @@
+module gossip
+
+go 1.24

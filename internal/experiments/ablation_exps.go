@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gossip/internal/gossip"
 	"gossip/internal/graph"
 	"gossip/internal/graphgen"
+	"gossip/internal/runner"
 	"gossip/internal/sim"
-	"gossip/internal/stats"
 	"gossip/internal/viz"
 )
 
@@ -21,7 +22,7 @@ var expE17LocalBroadcast = Experiment{
 	Run:    runE17,
 }
 
-func runE17(cfg Config) (*Table, error) {
+func runE17(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	rng := graphgen.NewRand(cfg.Seed)
 	er, err := graphgen.ErdosRenyi(24, 0.3, 1, rng)
@@ -39,6 +40,35 @@ func runE17(cfg Config) (*Table, error) {
 		{"grid(6x6,ℓ=2)", graphgen.Grid(6, 6, 2), 2},
 		{"er(24,rand ℓ≤8)", er, 8},
 	}
+	names := cellNames(len(cases), func(i int) string { return cases[i].name })
+	cells, err := runGrid(ctx, cfg, "E17", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			cse := cases[c.CellIndex]
+			d, err := gossip.RunDTG(cse.g, gossip.DTGOptions{
+				Ell: cse.ell, Seed: seed, MaxRounds: 1 << 19,
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			s, err := gossip.RunSuperstep(cse.g, gossip.SuperstepOptions{
+				Ell: cse.ell, Seed: seed, MaxRounds: 1 << 19,
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !d.Completed || !s.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete")
+			}
+			return runner.V(map[string]float64{
+				"dtg_rounds": float64(d.Rounds),
+				"dtg_exch":   float64(d.Exchanges),
+				"ss_rounds":  float64(s.Rounds),
+				"ss_exch":    float64(s.Exchanges),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E17: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E17",
 		Title: "local broadcast primitives: DTG vs Superstep",
@@ -47,30 +77,10 @@ func runE17(cfg Config) (*Table, error) {
 			"graph", "ℓ", "DTG rounds", "DTG exch", "Superstep rounds", "SS exch",
 		},
 	}
-	for _, c := range cases {
-		var dr, de, sr, se []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			d, err := gossip.RunDTG(c.g, gossip.DTGOptions{
-				Ell: c.ell, Seed: cfg.Seed + uint64(trial), MaxRounds: 1 << 19,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s, err := gossip.RunSuperstep(c.g, gossip.SuperstepOptions{
-				Ell: c.ell, Seed: cfg.Seed + uint64(trial), MaxRounds: 1 << 19,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if !d.Completed || !s.Completed {
-				return nil, fmt.Errorf("E17 %s: incomplete", c.name)
-			}
-			dr = append(dr, float64(d.Rounds))
-			de = append(de, float64(d.Exchanges))
-			sr = append(sr, float64(s.Rounds))
-			se = append(se, float64(s.Exchanges))
-		}
-		tbl.AddRow(c.name, c.ell, stats.Mean(dr), stats.Mean(de), stats.Mean(sr), stats.Mean(se))
+	for i, cse := range cases {
+		c := &cells[i]
+		tbl.AddRow(cse.name, cse.ell, c.Mean("dtg_rounds"), c.Mean("dtg_exch"),
+			c.Mean("ss_rounds"), c.Mean("ss_exch"))
 	}
 	tbl.AddNote("DTG is deterministic and pipelines aggressively; Superstep trades determinism for simplicity and supports timeouts (see E22)")
 	return tbl, nil
@@ -86,16 +96,8 @@ var expE18Blocking = Experiment{
 	Run:    runE18,
 }
 
-func runE18(cfg Config) (*Table, error) {
+func runE18(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	tbl := &Table{
-		ID:    "E18",
-		Title: "non-blocking vs blocking push-pull",
-		Claim: "non-blocking initiation pipelines slow edges; blocking pays them serially",
-		Headers: []string{
-			"graph", "non-blocking", "blocking", "blocking/non-blocking",
-		},
-	}
 	cases := []struct {
 		name string
 		g    *graph.Graph
@@ -104,25 +106,41 @@ func runE18(cfg Config) (*Table, error) {
 		{"clique(24,ℓ=16)", graphgen.Clique(24, 16)},
 		{"dumbbell(10,ℓ=64)", graphgen.Dumbbell(10, 64)},
 	}
-	for _, c := range cases {
-		var nb, bl []float64
-		for trial := 0; trial < cfg.Trials*2; trial++ {
-			a, err := gossip.RunPushPull(c.g, 0, cfg.Seed+uint64(trial), 1<<20)
+	names := cellNames(len(cases), func(i int) string { return cases[i].name })
+	cells, err := runGrid(ctx, cfg, "E18", names, cfg.Trials*2,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			g := cases[c.CellIndex].g
+			a, err := gossip.RunPushPull(g, 0, seed, 1<<20)
 			if err != nil {
-				return nil, err
+				return runner.Sample{}, err
 			}
-			b, err := gossip.RunPushPullBlocking(c.g, 0, cfg.Seed+uint64(trial), 1<<20)
+			b, err := gossip.RunPushPullBlocking(g, 0, seed, 1<<20)
 			if err != nil {
-				return nil, err
+				return runner.Sample{}, err
 			}
 			if !a.Completed || !b.Completed {
-				return nil, fmt.Errorf("E18 %s: incomplete", c.name)
+				return runner.Sample{}, fmt.Errorf("incomplete")
 			}
-			nb = append(nb, float64(a.Rounds))
-			bl = append(bl, float64(b.Rounds))
-		}
-		mn, mb := stats.Mean(nb), stats.Mean(bl)
-		tbl.AddRow(c.name, mn, mb, mb/mn)
+			return runner.V(map[string]float64{
+				"nb": float64(a.Rounds),
+				"bl": float64(b.Rounds),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E18: %w", err)
+	}
+	tbl := &Table{
+		ID:    "E18",
+		Title: "non-blocking vs blocking push-pull",
+		Claim: "non-blocking initiation pipelines slow edges; blocking pays them serially",
+		Headers: []string{
+			"graph", "non-blocking", "blocking", "blocking/non-blocking",
+		},
+	}
+	for i, cse := range cases {
+		c := &cells[i]
+		mn, mb := c.Mean("nb"), c.Mean("bl")
+		tbl.AddRow(cse.name, mn, mb, mb/mn)
 	}
 	tbl.AddNote("with unit latencies the variants coincide; with slow edges blocking wastes the latency window — the reason the model allows pipelined initiations")
 	return tbl, nil
@@ -138,7 +156,7 @@ var expE19Curves = Experiment{
 	Run:    runE19,
 }
 
-func runE19(cfg Config) (*Table, error) {
+func runE19(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	rng := graphgen.NewRand(cfg.Seed)
 	ring, err := graphgen.NewRingNetwork(8, 4, 32, rng)
@@ -153,6 +171,30 @@ func runE19(cfg Config) (*Table, error) {
 		{"dumbbell(32,ℓ=64)", graphgen.Dumbbell(32, 64)},
 		{"ring(8,4,ℓ=32)", ring.Graph},
 	}
+	names := cellNames(len(cases), func(i int) string { return cases[i].name })
+	cells, err := runGrid(ctx, cfg, "E19", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			res, err := gossip.RunPushPull(cases[c.CellIndex].g, 0, seed, 1<<20)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !res.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete")
+			}
+			ht := res.HalfTime()
+			return runner.Sample{
+				Values: map[string]float64{
+					"rounds":   float64(res.Rounds),
+					"halftime": float64(ht),
+				},
+				Labels: map[string]string{
+					"curve": viz.SparklineInts(downsampleInts(res.SpreadCurve(), 24)),
+				},
+			}, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E19: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E19",
 		Title: "spreading curves across topologies",
@@ -161,18 +203,10 @@ func runE19(cfg Config) (*Table, error) {
 			"graph", "rounds", "half-time", "half/total", "curve",
 		},
 	}
-	for _, c := range cases {
-		res, err := gossip.RunPushPull(c.g, 0, cfg.Seed+11, 1<<20)
-		if err != nil {
-			return nil, err
-		}
-		if !res.Completed {
-			return nil, fmt.Errorf("E19 %s: incomplete", c.name)
-		}
-		curve := res.SpreadCurve()
-		ht := res.HalfTime()
-		tbl.AddRow(c.name, res.Rounds, ht, float64(ht)/float64(res.Rounds),
-			viz.SparklineInts(downsampleInts(curve, 24)))
+	for i := range cells {
+		c := &cells[i]
+		rounds, ht := c.Mean("rounds"), c.Mean("halftime")
+		tbl.AddRow(c.Name, int(rounds), int(ht), ht/rounds, c.Label("curve"))
 	}
 	tbl.AddNote("the clique saturates almost immediately after half-time (S-curve); the dumbbell plateaus at n/2 until the latency-ℓ* bridge delivers — the ℓ*/φ* bottleneck made visible")
 	return tbl, nil
@@ -201,8 +235,43 @@ var expE20Bandwidth = Experiment{
 	Run:    runE20,
 }
 
-func runE20(cfg Config) (*Table, error) {
+func runE20(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid(5x5,ℓ=2)", graphgen.Grid(5, 5, 2)},
+		{"clique(24,ℓ=2)", graphgen.Clique(24, 2)},
+	}
+	names := cellNames(len(cases), func(i int) string { return cases[i].name })
+	cells, err := runGrid(ctx, cfg, "E20", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			g := cases[c.CellIndex].g
+			pp, err := gossip.RunPushPullAllToAll(g, seed, 1<<20)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !pp.Completed {
+				return runner.Sample{}, fmt.Errorf("push-pull incomplete")
+			}
+			sp, err := gossip.SpannerBroadcast(g, gossip.SpannerOptions{
+				KnownLatencies: true, Seed: seed + 1, SkipCheck: true,
+				D: int(g.WeightedDiameter()),
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			return runner.V(map[string]float64{
+				"pp_rounds":  float64(pp.Rounds),
+				"pp_payload": float64(pp.RumorPayload),
+				"sp_rounds":  float64(sp.Rounds),
+				"sp_payload": float64(sp.RumorPayload),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E20: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E20",
 		Title: "bandwidth: rumor payload of push-pull vs spanner pipeline",
@@ -211,30 +280,11 @@ func runE20(cfg Config) (*Table, error) {
 			"graph", "pp rounds", "pp payload", "sp rounds", "sp payload", "payload ratio",
 		},
 	}
-	cases := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"grid(5x5,ℓ=2)", graphgen.Grid(5, 5, 2)},
-		{"clique(24,ℓ=2)", graphgen.Clique(24, 2)},
-	}
-	for _, c := range cases {
-		pp, err := gossip.RunPushPullAllToAll(c.g, cfg.Seed+1, 1<<20)
-		if err != nil {
-			return nil, err
-		}
-		if !pp.Completed {
-			return nil, fmt.Errorf("E20 %s: push-pull incomplete", c.name)
-		}
-		sp, err := gossip.SpannerBroadcast(c.g, gossip.SpannerOptions{
-			KnownLatencies: true, Seed: cfg.Seed + 2, SkipCheck: true,
-			D: int(c.g.WeightedDiameter()),
-		})
-		if err != nil {
-			return nil, err
-		}
-		ratio := float64(sp.RumorPayload) / float64(pp.RumorPayload)
-		tbl.AddRow(c.name, pp.Rounds, pp.RumorPayload, sp.Rounds, sp.RumorPayload, ratio)
+	for i := range cells {
+		c := &cells[i]
+		tbl.AddRow(c.Name, int(c.Mean("pp_rounds")), int(c.Mean("pp_payload")),
+			int(c.Mean("sp_rounds")), int(c.Mean("sp_payload")),
+			c.Mean("sp_payload")/c.Mean("pp_payload"))
 	}
 	tbl.AddNote("payload counts rumor units actually carried by delivered exchanges; the pipeline's repeated DTG phases dominate push-pull's bandwidth")
 	return tbl, nil
@@ -249,9 +299,39 @@ var expE21Jitter = Experiment{
 	Run:    runE21,
 }
 
-func runE21(cfg Config) (*Table, error) {
+func runE21(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	g := graphgen.Grid(5, 5, 4)
+	jitters := []float64{0, 0.2, 0.5}
+	names := cellNames(len(jitters), func(i int) string { return fmt.Sprintf("jitter=%g", jitters[i]) })
+	cells, err := runGrid(ctx, cfg, "E21", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			jitter := jitters[c.CellIndex]
+			pp, err := sim.Run(sim.Config{
+				Graph: g, Seed: seed, MaxRounds: 1 << 19,
+				Mode: sim.OneToAll, Source: 0, LatencyJitter: jitter,
+			}, func(nv *sim.NodeView) sim.Protocol { return gossip.NewPushPull(nv) },
+				sim.StopAllInformed(0))
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			dtg, err := sim.Run(sim.Config{
+				Graph: g, Seed: seed, MaxRounds: 1 << 19, KnownLatencies: true,
+				Mode: sim.AllToAll, LatencyJitter: jitter,
+			}, func(nv *sim.NodeView) sim.Protocol { return gossip.NewDTG(nv, 8) },
+				sim.StopAllDone())
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			return runner.V(map[string]float64{
+				"pp":     float64(pp.Rounds),
+				"dtg":    float64(dtg.Rounds),
+				"dtg_ok": b2f(dtg.Completed),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E21: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E21",
 		Title: "latency jitter: planning with stale information",
@@ -260,32 +340,9 @@ func runE21(cfg Config) (*Table, error) {
 			"jitter", "push-pull rounds", "dtg rounds", "dtg complete",
 		},
 	}
-	for _, jitter := range []float64{0, 0.2, 0.5} {
-		var ppRounds, dtgRounds []float64
-		dtgOK := true
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed + uint64(trial)*17
-			pp, err := sim.Run(sim.Config{
-				Graph: g, Seed: seed, MaxRounds: 1 << 19,
-				Mode: sim.OneToAll, Source: 0, LatencyJitter: jitter,
-			}, func(nv *sim.NodeView) sim.Protocol { return gossip.NewPushPull(nv) },
-				sim.StopAllInformed(0))
-			if err != nil {
-				return nil, err
-			}
-			dtg, err := sim.Run(sim.Config{
-				Graph: g, Seed: seed, MaxRounds: 1 << 19, KnownLatencies: true,
-				Mode: sim.AllToAll, LatencyJitter: jitter,
-			}, func(nv *sim.NodeView) sim.Protocol { return gossip.NewDTG(nv, 8) },
-				sim.StopAllDone())
-			if err != nil {
-				return nil, err
-			}
-			ppRounds = append(ppRounds, float64(pp.Rounds))
-			dtgRounds = append(dtgRounds, float64(dtg.Rounds))
-			dtgOK = dtgOK && dtg.Completed
-		}
-		tbl.AddRow(jitter, stats.Mean(ppRounds), stats.Mean(dtgRounds), dtgOK)
+	for i, jitter := range jitters {
+		c := &cells[i]
+		tbl.AddRow(jitter, c.Mean("pp"), c.Mean("dtg"), c.Min("dtg_ok") == 1)
 	}
 	tbl.AddNote("nominal latencies stay within the ℓ filter under these jitter levels, so DTG still completes; its waits simply stretch with the realized round trips")
 	return tbl, nil
@@ -302,9 +359,45 @@ var expE22FaultTolerant = Experiment{
 	Run:    runE22,
 }
 
-func runE22(cfg Config) (*Table, error) {
+func runE22(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	n := 24
+	crashCounts := []int{0, 2, 4}
+	names := cellNames(len(crashCounts), func(i int) string { return fmt.Sprintf("crashed=%d", crashCounts[i]) })
+	cells, err := runGrid(ctx, cfg, "E22", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			crashes := crashCounts[c.CellIndex]
+			crashAt := make([]int, n)
+			for u := range crashAt {
+				crashAt[u] = -1
+			}
+			for i := 0; i < crashes; i++ {
+				crashAt[1+i] = 5
+			}
+			g := graphgen.Clique(n, 2)
+			plain, err := gossip.SpannerBroadcast(g, gossip.SpannerOptions{
+				KnownLatencies: true, Seed: seed, MaxPhaseRounds: 4096, CrashAt: crashAt,
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			robust, err := gossip.SpannerBroadcast(g, gossip.SpannerOptions{
+				KnownLatencies: true, Seed: seed, MaxPhaseRounds: 4096,
+				CrashAt: crashAt, UseSuperstep: true, LBTimeout: 8,
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			return runner.V(map[string]float64{
+				"plain":     float64(plain.Rounds),
+				"plain_ok":  b2f(plain.Completed),
+				"robust":    float64(robust.Rounds),
+				"robust_ok": b2f(robust.Completed),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E22: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E22",
 		Title: "fault-tolerant pipeline: Superstep+timeout vs plain DTG",
@@ -313,29 +406,10 @@ func runE22(cfg Config) (*Table, error) {
 			"crashed@5", "dtg rounds", "dtg complete", "ss+timeout rounds", "ss complete",
 		},
 	}
-	for _, crashes := range []int{0, 2, 4} {
-		crashAt := make([]int, n)
-		for u := range crashAt {
-			crashAt[u] = -1
-		}
-		for i := 0; i < crashes; i++ {
-			crashAt[1+i] = 5
-		}
-		g := graphgen.Clique(n, 2)
-		plain, err := gossip.SpannerBroadcast(g, gossip.SpannerOptions{
-			KnownLatencies: true, Seed: cfg.Seed, MaxPhaseRounds: 4096, CrashAt: crashAt,
-		})
-		if err != nil {
-			return nil, err
-		}
-		robust, err := gossip.SpannerBroadcast(g, gossip.SpannerOptions{
-			KnownLatencies: true, Seed: cfg.Seed, MaxPhaseRounds: 4096,
-			CrashAt: crashAt, UseSuperstep: true, LBTimeout: 8,
-		})
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(crashes, plain.Rounds, plain.Completed, robust.Rounds, robust.Completed)
+	for i, crashes := range crashCounts {
+		c := &cells[i]
+		tbl.AddRow(crashes, int(c.Mean("plain")), c.Min("plain_ok") == 1,
+			int(c.Mean("robust")), c.Min("robust_ok") == 1)
 	}
 	tbl.AddNote("the plain pipeline leans on RR redundancy to finish despite stalled DTG phases; the timeout variant keeps the local-broadcast phases themselves healthy")
 	return tbl, nil

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gossip/internal/conductance"
 	"gossip/internal/graph"
 	"gossip/internal/graphgen"
+	"gossip/internal/runner"
 )
 
 // expE1Theorem5 verifies the Theorem 5 sandwich
@@ -17,13 +19,9 @@ var expE1Theorem5 = Experiment{
 	Run:    runE1,
 }
 
-func runE1(cfg Config) (*Table, error) {
+func runE1(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	rng := graphgen.NewRand(cfg.Seed)
-	type namedGraph struct {
-		name string
-		g    *graph.Graph
-	}
 	er, err := graphgen.ErdosRenyi(14, 0.4, 1, rng)
 	if err != nil {
 		return nil, err
@@ -33,7 +31,10 @@ func runE1(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cases := []namedGraph{
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
 		{"clique(10,ℓ=1)", graphgen.Clique(10, 1)},
 		{"clique(10,ℓ=7)", graphgen.Clique(10, 7)},
 		{"dumbbell(8,ℓ=32)", graphgen.Dumbbell(8, 32)},
@@ -42,6 +43,26 @@ func runE1(cfg Config) (*Table, error) {
 		{"grid(4x4,ℓ=2)", graphgen.Grid(4, 4, 2)},
 		{"er(14,rand ℓ≤32)", er},
 		{"ring(k=4,s=4,ℓ=12)", ring.Graph},
+	}
+	names := cellNames(len(cases), func(i int) string { return cases[i].name })
+	// Exact cut enumeration is deterministic, so one trial per cell; the
+	// runner still fans the eight enumerations across cores.
+	cells, err := runGrid(ctx, cfg, "E1", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			res, err := conductance.Exact(cases[c.CellIndex].g)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			return runner.V(map[string]float64{
+				"phiStar": res.PhiStar,
+				"ellStar": float64(res.EllStar),
+				"classes": float64(res.NonEmptyClasses),
+				"phiAvg":  res.PhiAvg,
+				"holds":   b2f(res.CheckTheorem5() == nil),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E1: %w", err)
 	}
 	tbl := &Table{
 		ID:    "E1",
@@ -52,18 +73,17 @@ func runE1(cfg Config) (*Table, error) {
 		},
 	}
 	violations := 0
-	for _, c := range cases {
-		res, err := conductance.Exact(c.g)
-		if err != nil {
-			return nil, fmt.Errorf("E1 %s: %w", c.name, err)
-		}
-		lower := res.PhiStar / (2 * float64(res.EllStar))
-		upper := float64(res.NonEmptyClasses) * res.PhiStar / float64(res.EllStar)
-		holds := res.CheckTheorem5() == nil
+	for i := range cells {
+		c := &cells[i]
+		phiStar, ellStar := c.Mean("phiStar"), c.Mean("ellStar")
+		lower := phiStar / (2 * ellStar)
+		upper := c.Mean("classes") * phiStar / ellStar
+		holds := c.Min("holds") == 1
 		if !holds {
 			violations++
 		}
-		tbl.AddRow(c.name, res.PhiStar, res.EllStar, res.NonEmptyClasses, res.PhiAvg, lower, upper, holds)
+		tbl.AddRow(c.Name, phiStar, int(ellStar), int(c.Mean("classes")),
+			c.Mean("phiAvg"), lower, upper, holds)
 	}
 	if violations == 0 {
 		tbl.AddNote("Theorem 5 holds on all %d families (exact cut enumeration)", len(cases))

@@ -1,16 +1,29 @@
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"gossip/internal/runner"
+)
 
 // Config tunes experiment scale.
 type Config struct {
-	// Seed drives all randomness.
+	// Seed drives all randomness. Each trial's RNG seed is derived from
+	// a stable hash of (Seed, experiment, cell, trial) — see
+	// runner.DeriveSeed — so results do not depend on scheduling.
 	Seed uint64
 	// Trials is the number of repetitions averaged per data point
 	// (default 5, or 3 under Quick).
 	Trials int
 	// Quick shrinks problem sizes for CI and benchmarks.
 	Quick bool
+	// Workers caps the goroutine pool fanning trials across cores
+	// (0 = GOMAXPROCS). Results are identical at any worker count.
+	Workers int
+	// Progress, when non-nil, receives per-experiment trial completion
+	// counts (serialized by the runner).
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -26,13 +39,59 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// runGrid fans an experiment's trial grid across the configured worker
+// pool and returns per-cell samples in declaration order.
+func runGrid(ctx context.Context, cfg Config, exp string, cells []string, trialsPerCell int, fn runner.TrialFunc) ([]runner.Cell, error) {
+	return runner.Run(ctx, runner.Grid{
+		Exp:    exp,
+		Cells:  cells,
+		Trials: trialsPerCell,
+		Run:    fn,
+	}, runner.Options{
+		BaseSeed: cfg.Seed,
+		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
+	})
+}
+
+// cellNames builds the n cell names of a single-axis grid.
+func cellNames(n int, f func(i int) string) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = f(i)
+	}
+	return names
+}
+
+// b2f encodes a per-trial boolean as a 0/1 metric; aggregate with
+// Cell.Min to ask "did it hold on every trial".
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Experiment binds a paper claim to a runnable measurement.
 type Experiment struct {
 	ID    string
 	Title string
 	// Source cites the theorem/lemma/figure reproduced.
 	Source string
-	Run    func(cfg Config) (*Table, error)
+	Run    func(ctx context.Context, cfg Config) (*Table, error)
+}
+
+// RunOne executes e and stamps provenance (the paper source) onto the
+// resulting table so renderers and JSON artifacts carry the citation.
+func RunOne(ctx context.Context, cfg Config, e Experiment) (*Table, error) {
+	tbl, err := e.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tbl.Source == "" {
+		tbl.Source = e.Source
+	}
+	return tbl, nil
 }
 
 // All returns every experiment in ID order.

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestAllRegistered(t *testing.T) {
@@ -49,9 +52,12 @@ func TestRunAllQuick(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			tbl, err := e.Run(cfg)
+			tbl, err := RunOne(context.Background(), cfg, e)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.Source != e.Source {
+				t.Fatalf("%s: source not stamped (%q)", e.ID, tbl.Source)
 			}
 			if len(tbl.Rows) == 0 {
 				t.Fatalf("%s produced no rows", e.ID)
@@ -69,6 +75,59 @@ func TestRunAllQuick(t *testing.T) {
 				t.Fatalf("%s render missing ID", e.ID)
 			}
 		})
+	}
+}
+
+// TestWorkerCountDeterminism is the harness's core guarantee: the same
+// grid produces byte-identical JSON artifacts at workers=1 and
+// workers=8, because every trial's randomness derives from its grid
+// coordinates rather than from scheduling order.
+func TestWorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep skipped in -short")
+	}
+	// A cross-section of grid shapes: multi-trial stochastic cells (E2,
+	// E4), sparse metrics (E3), mixed per-trial + per-cell work (E14),
+	// and label-carrying samples (E6).
+	for _, id := range []string{"E2", "E3", "E4", "E6", "E14"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(workers int) string {
+				cfg := Config{Seed: 11, Quick: true, Trials: 2, Workers: workers}
+				tbl, err := RunOne(context.Background(), cfg, e)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				if err := tbl.JSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			serial := render(1)
+			parallel := render(8)
+			if serial != parallel {
+				t.Fatalf("JSON diverged between workers=1 and workers=8:\n--- workers=1\n%s\n--- workers=8\n%s", serial, parallel)
+			}
+		})
+	}
+}
+
+func TestRunHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass
+	e, err := Get("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOne(ctx, Config{Quick: true, Trials: 1}, e); err == nil {
+		t.Fatal("expected context error")
 	}
 }
 
@@ -101,6 +160,42 @@ func TestTableRenderAndCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv.String(), "a,b\n") {
 		t.Fatalf("CSV header broken:\n%s", csv.String())
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Source:  "Theorem 1",
+		Claim:   "x",
+		Headers: []string{"a", "b"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddNote("note %d", 1)
+	var buf bytes.Buffer
+	if err := tbl.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		SchemaVersion int        `json:"schema_version"`
+		ID            string     `json:"id"`
+		Source        string     `json:"source"`
+		Headers       []string   `json:"headers"`
+		Rows          [][]string `json:"rows"`
+		Notes         []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.SchemaVersion != 1 || decoded.ID != "T" || decoded.Source != "Theorem 1" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if len(decoded.Rows) != 1 || decoded.Rows[0][1] != "2.500" {
+		t.Fatalf("rows = %v", decoded.Rows)
+	}
+	if len(decoded.Notes) != 1 {
+		t.Fatalf("notes = %v", decoded.Notes)
 	}
 }
 

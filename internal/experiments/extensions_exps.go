@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"gossip/internal/gossip"
 	"gossip/internal/graph"
 	"gossip/internal/graphgen"
+	"gossip/internal/runner"
 	"gossip/internal/stats"
 )
 
@@ -22,19 +24,11 @@ var expE14Robustness = Experiment{
 	Run:    runE14,
 }
 
-func runE14(cfg Config) (*Table, error) {
+func runE14(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	n := 32
 	if cfg.Quick {
 		n = 16
-	}
-	tbl := &Table{
-		ID:    "E14",
-		Title: "robustness under fail-stop crashes",
-		Claim: "push-pull is inherently robust; the spanner pipeline is not (Section 6)",
-		Headers: []string{
-			"graph", "crashed@5", "push-pull", "pp Δ%", "spanner", "sp Δ%", "complete",
-		},
 	}
 	type topo struct {
 		name string
@@ -44,11 +38,22 @@ func runE14(cfg Config) (*Table, error) {
 		{"clique", func() *graph.Graph { return graphgen.Clique(n, 2) }},
 		{"grid6x6", func() *graph.Graph { return graphgen.Grid(6, 6, 2) }},
 	}
+	crashCounts := []int{0, 2, 4}
+	// Cells are the (topology, crash count) product.
+	var names []string
 	for _, tp := range topos {
-		nn := tp.mk().N()
-		var ppBase, spBase float64
-		for _, crashes := range []int{0, 2, 4} {
-			crashAt := make([]int, nn)
+		for _, crashes := range crashCounts {
+			names = append(names, fmt.Sprintf("%s crashed=%d", tp.name, crashes))
+		}
+	}
+	cellCase := func(idx int) (topo, int) {
+		return topos[idx/len(crashCounts)], crashCounts[idx%len(crashCounts)]
+	}
+	cells, err := runGrid(ctx, cfg, "E14", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			tp, crashes := cellCase(c.CellIndex)
+			g := tp.mk()
+			crashAt := make([]int, g.N())
 			for u := range crashAt {
 				crashAt[u] = -1
 			}
@@ -58,32 +63,50 @@ func runE14(cfg Config) (*Table, error) {
 			for i := 0; i < crashes; i++ {
 				crashAt[1+i] = 5
 			}
-			var ppRounds []float64
-			ppOK := true
-			for trial := 0; trial < cfg.Trials; trial++ {
-				res, err := gossip.RunPushPullWithCrashes(tp.mk(), 0, crashAt, cfg.Seed+uint64(trial), 1<<18)
-				if err != nil {
-					return nil, err
-				}
-				ppOK = ppOK && res.Completed
-				ppRounds = append(ppRounds, float64(res.Rounds))
-			}
-			sp, err := gossip.SpannerBroadcast(tp.mk(), gossip.SpannerOptions{
-				KnownLatencies: true,
-				Seed:           cfg.Seed,
-				MaxPhaseRounds: 8192,
-				CrashAt:        crashAt,
-			})
+			res, err := gossip.RunPushPullWithCrashes(g, 0, crashAt, seed, 1<<18)
 			if err != nil {
-				return nil, err
+				return runner.Sample{}, err
 			}
-			pp := stats.Mean(ppRounds)
-			if crashes == 0 {
-				ppBase, spBase = pp, float64(sp.Rounds)
+			s := runner.Sample{Values: map[string]float64{
+				"pp":    float64(res.Rounds),
+				"pp_ok": b2f(res.Completed),
+			}}
+			// The spanner pipeline run is deterministic per cell; trial 0
+			// carries it so the cell has exactly one sample of it.
+			if c.Trial == 0 {
+				sp, err := gossip.SpannerBroadcast(tp.mk(), gossip.SpannerOptions{
+					KnownLatencies: true,
+					Seed:           seed,
+					MaxPhaseRounds: 8192,
+					CrashAt:        crashAt,
+				})
+				if err != nil {
+					return runner.Sample{}, err
+				}
+				s.Values["sp"] = float64(sp.Rounds)
+				s.Values["sp_ok"] = b2f(sp.Completed)
 			}
-			tbl.AddRow(tp.name, crashes, pp, pct(pp, ppBase), sp.Rounds,
-				pct(float64(sp.Rounds), spBase), fmt.Sprintf("pp=%v sp=%v", ppOK, sp.Completed))
-		}
+			return s, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E14: %w", err)
+	}
+	tbl := &Table{
+		ID:    "E14",
+		Title: "robustness under fail-stop crashes",
+		Claim: "push-pull is inherently robust; the spanner pipeline is not (Section 6)",
+		Headers: []string{
+			"graph", "crashed@5", "push-pull", "pp Δ%", "spanner", "sp Δ%", "complete",
+		},
+	}
+	for i := range cells {
+		c := &cells[i]
+		tp, crashes := cellCase(i)
+		base := &cells[(i/len(crashCounts))*len(crashCounts)] // crashes=0 cell of this topology
+		pp, sp := c.Mean("pp"), c.Mean("sp")
+		ppBase, spBase := base.Mean("pp"), base.Mean("sp")
+		tbl.AddRow(tp.name, crashes, pp, pct(pp, ppBase), sp, pct(sp, spBase),
+			fmt.Sprintf("pp=%v sp=%v", c.Min("pp_ok") == 1, c.Min("sp_ok") == 1))
 	}
 	tbl.AddNote("push-pull is insensitive to mid-run crashes; the pipeline degrades — DTG has no timeout, so every node whose in-flight partner died stalls for the rest of its phase, and only the non-blocking RR pass (plus spanner redundancy) rescues completion")
 	return tbl, nil
@@ -107,11 +130,30 @@ var expE15Messages = Experiment{
 	Run:    runE15,
 }
 
-func runE15(cfg Config) (*Table, error) {
+func runE15(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	ns := []int{32, 64, 128, 256}
 	if cfg.Quick {
 		ns = []int{32, 64}
+	}
+	names := cellNames(len(ns), func(i int) string { return fmt.Sprintf("clique(%d)", ns[i]) })
+	cells, err := runGrid(ctx, cfg, "E15", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			g := graphgen.Clique(ns[c.CellIndex], 1)
+			res, err := gossip.RunPushPull(g, 0, seed, 1<<18)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !res.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete")
+			}
+			return runner.V(map[string]float64{
+				"rounds":   float64(res.Rounds),
+				"messages": float64(res.Messages),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E15: %w", err)
 	}
 	tbl := &Table{
 		ID:    "E15",
@@ -122,23 +164,11 @@ func runE15(cfg Config) (*Table, error) {
 		},
 	}
 	var xs, ys []float64
-	for _, n := range ns {
-		g := graphgen.Clique(n, 1)
-		var rounds, msgs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			res, err := gossip.RunPushPull(g, 0, cfg.Seed+uint64(n*100+trial), 1<<18)
-			if err != nil {
-				return nil, err
-			}
-			if !res.Completed {
-				return nil, fmt.Errorf("E15 n=%d: incomplete", n)
-			}
-			rounds = append(rounds, float64(res.Rounds))
-			msgs = append(msgs, float64(res.Messages))
-		}
+	for i, n := range ns {
+		c := &cells[i]
 		nln := float64(n) * math.Log(float64(n))
-		mm := stats.Mean(msgs)
-		tbl.AddRow(n, stats.Mean(rounds), mm, nln, mm/nln)
+		mm := c.Mean("messages")
+		tbl.AddRow(n, c.Mean("rounds"), mm, nln, mm/nln)
 		xs = append(xs, float64(n))
 		ys = append(ys, mm)
 	}
@@ -159,16 +189,44 @@ var expE16BoundedIn = Experiment{
 	Run:    runE16,
 }
 
-func runE16(cfg Config) (*Table, error) {
+func runE16(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	star := graphgen.Star(33, 1)
-	clique := graphgen.Clique(32, 1)
-	cases := []struct {
+	graphs := []struct {
 		name string
 		g    *graph.Graph
 	}{
-		{"clique(32)", clique},
-		{"star(33)", star},
+		{"clique(32)", graphgen.Clique(32, 1)},
+		{"star(33)", graphgen.Star(33, 1)},
+	}
+	caps := []int{0, 4, 1}
+	var names []string
+	for _, c := range graphs {
+		for _, cap := range caps {
+			capName := "∞"
+			if cap > 0 {
+				capName = fmt.Sprintf("%d", cap)
+			}
+			names = append(names, fmt.Sprintf("%s cap=%s", c.name, capName))
+		}
+	}
+	cells, err := runGrid(ctx, cfg, "E16", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			g := graphs[c.CellIndex/len(caps)].g
+			cap := caps[c.CellIndex%len(caps)]
+			res, err := gossip.RunPushPullBoundedInDegree(g, 0, cap, seed, 1<<18)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !res.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete")
+			}
+			return runner.V(map[string]float64{
+				"rounds":  float64(res.Rounds),
+				"dropped": float64(res.Dropped),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E16: %w", err)
 	}
 	tbl := &Table{
 		ID:    "E16",
@@ -178,26 +236,15 @@ func runE16(cfg Config) (*Table, error) {
 			"graph", "cap", "mean rounds", "mean dropped",
 		},
 	}
-	for _, c := range cases {
-		for _, cap := range []int{0, 4, 1} {
-			var rounds, dropped []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				res, err := gossip.RunPushPullBoundedInDegree(c.g, 0, cap, cfg.Seed+uint64(trial)*3+1, 1<<18)
-				if err != nil {
-					return nil, err
-				}
-				if !res.Completed {
-					return nil, fmt.Errorf("E16 %s cap=%d: incomplete", c.name, cap)
-				}
-				rounds = append(rounds, float64(res.Rounds))
-				dropped = append(dropped, float64(res.Dropped))
-			}
-			capName := "∞"
-			if cap > 0 {
-				capName = fmt.Sprintf("%d", cap)
-			}
-			tbl.AddRow(c.name, capName, stats.Mean(rounds), stats.Mean(dropped))
+	for i := range cells {
+		c := &cells[i]
+		gc := graphs[i/len(caps)]
+		cap := caps[i%len(caps)]
+		capName := "∞"
+		if cap > 0 {
+			capName = fmt.Sprintf("%d", cap)
 		}
+		tbl.AddRow(gc.name, capName, c.Mean("rounds"), c.Mean("dropped"))
 	}
 	tbl.AddNote("the star collapses from O(1) to Θ(n) rounds at cap 1: every leaf fights for the center's single slot — the congestion Daum et al. formalize")
 	return tbl, nil

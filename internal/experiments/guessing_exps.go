@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"gossip/internal/graphgen"
 	"gossip/internal/guessing"
+	"gossip/internal/runner"
 	"gossip/internal/stats"
 )
 
@@ -18,11 +21,32 @@ var expE2GuessSingleton = Experiment{
 	Run:    runE2,
 }
 
-func runE2(cfg Config) (*Table, error) {
+func runE2(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	ms := []int{8, 16, 32, 64, 128}
 	if cfg.Quick {
 		ms = []int{8, 16, 32}
+	}
+	names := cellNames(len(ms), func(i int) string { return fmt.Sprintf("m=%d", ms[i]) })
+	cells, err := runGrid(ctx, cfg, "E2", names, cfg.Trials*4,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			m := ms[c.CellIndex]
+			rng := graphgen.NewRand(seed)
+			game, err := guessing.NewGame(m, guessing.SingletonTarget(m, rng))
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			r, solved, err := guessing.Play(game, guessing.NewFreshStrategy(m, rng), 10*m)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !solved {
+				r = 10 * m
+			}
+			return runner.V(map[string]float64{"rounds": float64(r)}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E2: %w", err)
 	}
 	tbl := &Table{
 		ID:      "E2",
@@ -31,24 +55,8 @@ func runE2(cfg Config) (*Table, error) {
 		Headers: []string{"m", "mean rounds", "rounds/m", "worst-case m/2"},
 	}
 	var xs, ys []float64
-	for _, m := range ms {
-		var rounds []float64
-		for trial := 0; trial < cfg.Trials*4; trial++ {
-			rng := graphgen.NewRand(cfg.Seed + uint64(m*1000+trial))
-			game, err := guessing.NewGame(m, guessing.SingletonTarget(m, rng))
-			if err != nil {
-				return nil, err
-			}
-			r, solved, err := guessing.Play(game, guessing.NewFreshStrategy(m, rng), 10*m)
-			if err != nil {
-				return nil, err
-			}
-			if !solved {
-				r = 10 * m
-			}
-			rounds = append(rounds, float64(r))
-		}
-		mean := stats.Mean(rounds)
+	for i, m := range ms {
+		mean := cells[i].Mean("rounds")
 		tbl.AddRow(m, mean, mean/float64(m), float64(m)/2)
 		xs = append(xs, float64(m))
 		ys = append(ys, mean)
@@ -69,13 +77,47 @@ var expE3GuessRandom = Experiment{
 	Run:    runE3,
 }
 
-func runE3(cfg Config) (*Table, error) {
+func runE3(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := 128
 	if cfg.Quick {
 		m = 48
 	}
 	cs := []float64{4, 8, 16, 32}
+	names := cellNames(len(cs), func(i int) string { return fmt.Sprintf("p=%g/m", cs[i]) })
+	cells, err := runGrid(ctx, cfg, "E3", names, cfg.Trials*2,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			p := cs[c.CellIndex] / float64(m)
+			rng := graphgen.NewRand(seed)
+			target := guessing.RandomTarget(m, p, rng)
+			gameF, err := guessing.NewGame(m, clonePairs(target))
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			rF, okF, err := guessing.Play(gameF, guessing.NewFreshStrategy(m, rng), 500*m)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			gameR, err := guessing.NewGame(m, clonePairs(target))
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			rR, okR, err := guessing.Play(gameR, guessing.NewRandomStrategy(m, rng), 500*m)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			s := runner.Sample{Values: map[string]float64{}}
+			if okF {
+				s.Values["fresh"] = float64(rF)
+			}
+			if okR {
+				s.Values["random"] = float64(rR)
+			}
+			return s, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E3: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E3",
 		Title: "guessing game, Random_p target",
@@ -85,36 +127,10 @@ func runE3(cfg Config) (*Table, error) {
 		},
 	}
 	var invP, freshMeans, randMeans []float64
-	for _, c := range cs {
+	for i, c := range cs {
 		p := c / float64(m)
-		var fresh, random []float64
-		for trial := 0; trial < cfg.Trials*2; trial++ {
-			rng := graphgen.NewRand(cfg.Seed + uint64(int(c)*997+trial))
-			target := guessing.RandomTarget(m, p, rng)
-			gameF, err := guessing.NewGame(m, clonePairs(target))
-			if err != nil {
-				return nil, err
-			}
-			rF, okF, err := guessing.Play(gameF, guessing.NewFreshStrategy(m, rng), 500*m)
-			if err != nil {
-				return nil, err
-			}
-			gameR, err := guessing.NewGame(m, clonePairs(target))
-			if err != nil {
-				return nil, err
-			}
-			rR, okR, err := guessing.Play(gameR, guessing.NewRandomStrategy(m, rng), 500*m)
-			if err != nil {
-				return nil, err
-			}
-			if okF {
-				fresh = append(fresh, float64(rF))
-			}
-			if okR {
-				random = append(random, float64(rR))
-			}
-		}
-		fm, rm := stats.Mean(fresh), stats.Mean(random)
+		fm := cells[i].Mean("fresh")
+		rm := cells[i].Mean("random")
 		tbl.AddRow(m, p, fm, 1/p, fm*p, rm, math.Log(float64(m))/p, rm/fm)
 		invP = append(invP, 1/p)
 		freshMeans = append(freshMeans, fm)

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"gossip/internal/gossip"
 	"gossip/internal/graphgen"
+	"gossip/internal/runner"
 	"gossip/internal/stats"
 )
 
@@ -20,11 +22,33 @@ var expE4DeltaLower = Experiment{
 	Run:    runE4,
 }
 
-func runE4(cfg Config) (*Table, error) {
+func runE4(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	deltas := []int{4, 8, 16, 32}
 	if cfg.Quick {
 		deltas = []int{4, 8, 16}
+	}
+	names := cellNames(len(deltas), func(i int) string { return fmt.Sprintf("Δ=%d", deltas[i]) })
+	cells, err := runGrid(ctx, cfg, "E4", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			delta := deltas[c.CellIndex]
+			n := 2*delta + 16
+			rng := graphgen.NewRand(seed)
+			net, err := graphgen.NewTheorem9Network(n, delta, delta, rng)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			res, err := gossip.RunPushPullLocalBroadcast(net.Graph, seed+1, 1<<20)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !res.Completed {
+				return runner.Sample{}, fmt.Errorf("local broadcast incomplete")
+			}
+			return runner.V(map[string]float64{"rounds": float64(res.Rounds)}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E4: %w", err)
 	}
 	tbl := &Table{
 		ID:      "E4",
@@ -33,26 +57,9 @@ func runE4(cfg Config) (*Table, error) {
 		Headers: []string{"Δ", "n", "mean rounds (push-pull)", "rounds/Δ"},
 	}
 	var xs, ys []float64
-	for _, delta := range deltas {
-		n := 2*delta + 16
-		var rounds []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			rng := graphgen.NewRand(cfg.Seed + uint64(delta*100+trial))
-			net, err := graphgen.NewTheorem9Network(n, delta, delta, rng)
-			if err != nil {
-				return nil, fmt.Errorf("E4 Δ=%d: %w", delta, err)
-			}
-			res, err := gossip.RunPushPullLocalBroadcast(net.Graph, cfg.Seed+uint64(trial), 1<<20)
-			if err != nil {
-				return nil, err
-			}
-			if !res.Completed {
-				return nil, fmt.Errorf("E4 Δ=%d: local broadcast incomplete", delta)
-			}
-			rounds = append(rounds, float64(res.Rounds))
-		}
-		mean := stats.Mean(rounds)
-		tbl.AddRow(delta, n, mean, mean/float64(delta))
+	for i, delta := range deltas {
+		mean := cells[i].Mean("rounds")
+		tbl.AddRow(delta, 2*delta+16, mean, mean/float64(delta))
 		xs = append(xs, float64(delta))
 		ys = append(ys, mean)
 	}
@@ -72,7 +79,7 @@ var expE5ConductanceLower = Experiment{
 	Run:    runE5,
 }
 
-func runE5(cfg Config) (*Table, error) {
+func runE5(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	n := 64
 	ell := 4
@@ -80,6 +87,28 @@ func runE5(cfg Config) (*Table, error) {
 		n = 32
 	}
 	phis := []float64{0.5, 0.25, 0.125, 0.0625}
+	names := cellNames(len(phis), func(i int) string { return fmt.Sprintf("φ=%g", phis[i]) })
+	cells, err := runGrid(ctx, cfg, "E5", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			phi := phis[c.CellIndex]
+			rng := graphgen.NewRand(seed)
+			net, err := graphgen.NewTheorem10Network(n, ell, 1<<20, phi, rng)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			ensureCover(net, rng)
+			res, err := gossip.RunPushPullLocalBroadcast(net.Graph, seed+1, 1<<19)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !res.Completed {
+				return runner.Sample{}, fmt.Errorf("local broadcast incomplete after %d rounds", res.Rounds)
+			}
+			return runner.V(map[string]float64{"rounds": float64(res.Rounds)}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E5: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E5",
 		Title: "Ω(log n/φ + ℓ) on the Theorem 10 bipartite gadget",
@@ -89,25 +118,8 @@ func runE5(cfg Config) (*Table, error) {
 		},
 	}
 	var invPhi, means []float64
-	for _, phi := range phis {
-		var rounds []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			rng := graphgen.NewRand(cfg.Seed + uint64(int(phi*1e4)*31+trial))
-			net, err := graphgen.NewTheorem10Network(n, ell, 1<<20, phi, rng)
-			if err != nil {
-				return nil, err
-			}
-			ensureCover(net, rng)
-			res, err := gossip.RunPushPullLocalBroadcast(net.Graph, cfg.Seed+uint64(trial)*7+3, 1<<19)
-			if err != nil {
-				return nil, err
-			}
-			if !res.Completed {
-				return nil, fmt.Errorf("E5 φ=%v: local broadcast incomplete after %d rounds", phi, res.Rounds)
-			}
-			rounds = append(rounds, float64(res.Rounds))
-		}
-		mean := stats.Mean(rounds)
+	for i, phi := range phis {
+		mean := cells[i].Mean("rounds")
 		bound := math.Log(float64(2*n))/phi + float64(ell)
 		tbl.AddRow(n, phi, ell, mean, bound, mean/bound)
 		invPhi = append(invPhi, 1/phi)
@@ -153,13 +165,49 @@ var expE6Tradeoff = Experiment{
 	Run:    runE6,
 }
 
-func runE6(cfg Config) (*Table, error) {
+func runE6(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	k, s := 8, 4
 	if cfg.Quick {
 		k, s = 6, 3
 	}
 	ells := []int{1, 4, 16, 64, 256}
+	names := cellNames(len(ells), func(i int) string { return fmt.Sprintf("ℓ=%d", ells[i]) })
+	cells, err := runGrid(ctx, cfg, "E6", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			ell := ells[c.CellIndex]
+			rng := graphgen.NewRand(seed)
+			ring, err := graphgen.NewRingNetwork(k, s, ell, rng)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			g := ring.Graph
+			res, err := gossip.Unified(g, gossip.UnifiedOptions{
+				Source:         0,
+				KnownLatencies: false,
+				Seed:           seed + 1,
+				MaxRounds:      1 << 21,
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if res.Rounds < 0 {
+				return runner.Sample{}, fmt.Errorf("both arms incomplete")
+			}
+			return runner.Sample{
+				Values: map[string]float64{
+					"pp":     float64(res.PushPull.Rounds),
+					"sp":     float64(res.Spanner.Rounds),
+					"uni":    float64(res.Rounds),
+					"alpha":  ring.Alpha(),
+					"deltaD": float64(g.MaxDegree()) + float64(g.WeightedDiameter()),
+				},
+				Labels: map[string]string{"winner": res.Winner},
+			}, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E6: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E6",
 		Title: "Ω(min(Δ+D, ℓ/φ)) trade-off on the ring of gadgets",
@@ -168,40 +216,13 @@ func runE6(cfg Config) (*Table, error) {
 			"ℓ", "Δ+D", "ℓ/φ", "min (predicted)", "push-pull", "spanner", "unified", "winner",
 		},
 	}
-	for _, ell := range ells {
-		var pp, sp, uni []float64
-		winner := ""
-		var alpha float64
-		var deltaD float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			rng := graphgen.NewRand(cfg.Seed + uint64(ell*17+trial))
-			ring, err := graphgen.NewRingNetwork(k, s, ell, rng)
-			if err != nil {
-				return nil, err
-			}
-			alpha = ring.Alpha()
-			g := ring.Graph
-			deltaD = float64(g.MaxDegree()) + float64(g.WeightedDiameter())
-			res, err := gossip.Unified(g, gossip.UnifiedOptions{
-				Source:         0,
-				KnownLatencies: false,
-				Seed:           cfg.Seed + uint64(trial)*13,
-				MaxRounds:      1 << 21,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Rounds < 0 {
-				return nil, fmt.Errorf("E6 ℓ=%d: both arms incomplete", ell)
-			}
-			pp = append(pp, float64(res.PushPull.Rounds))
-			sp = append(sp, float64(res.Spanner.Rounds))
-			uni = append(uni, float64(res.Rounds))
-			winner = res.Winner
-		}
-		ellOverPhi := float64(ell) / alpha
+	for i, ell := range ells {
+		c := &cells[i]
+		deltaD := c.Mean("deltaD")
+		ellOverPhi := float64(ell) / c.Mean("alpha")
 		pred := math.Min(deltaD, ellOverPhi)
-		tbl.AddRow(ell, deltaD, ellOverPhi, pred, stats.Mean(pp), stats.Mean(sp), stats.Mean(uni), winner)
+		tbl.AddRow(ell, deltaD, ellOverPhi, pred,
+			c.Mean("pp"), c.Mean("sp"), c.Mean("uni"), c.Label("winner"))
 	}
 	tbl.AddNote("the measured columns grow with ℓ while ℓ/φ < Δ+D, then flatten once Δ+D takes over — the Theorem 13 crossover; measured stays above the predicted min throughout")
 	return tbl, nil

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -14,10 +15,13 @@ import (
 
 // Table is a rendered experiment result.
 type Table struct {
-	// ID is the experiment identifier (E1..E13).
+	// ID is the experiment identifier (E1..E22).
 	ID string
 	// Title is a short human description.
 	Title string
+	// Source cites the theorem/lemma/figure reproduced (stamped by
+	// RunOne from the experiment registry).
+	Source string
 	// Claim quotes the paper prediction being tested.
 	Claim string
 	// Headers and Rows hold the tabular data.
@@ -112,6 +116,38 @@ func (t *Table) Render(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// tableJSON is the stable artifact schema (schema_version 1). Cells stay
+// strings — exactly what the text renderer prints — so artifacts diff
+// cleanly and are bit-identical at any worker count.
+type tableJSON struct {
+	SchemaVersion int        `json:"schema_version"`
+	ID            string     `json:"id"`
+	Title         string     `json:"title"`
+	Source        string     `json:"source,omitempty"`
+	Claim         string     `json:"claim,omitempty"`
+	Headers       []string   `json:"headers"`
+	Rows          [][]string `json:"rows"`
+	Notes         []string   `json:"notes,omitempty"`
+}
+
+// JSON writes the table as an indented JSON artifact. The output is a
+// pure function of the experiment configuration (no timestamps or host
+// details), so artifacts from different worker counts are identical.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableJSON{
+		SchemaVersion: 1,
+		ID:            t.ID,
+		Title:         t.Title,
+		Source:        t.Source,
+		Claim:         t.Claim,
+		Headers:       t.Headers,
+		Rows:          t.Rows,
+		Notes:         t.Notes,
+	})
 }
 
 // CSV writes the table as comma-separated values (headers first).

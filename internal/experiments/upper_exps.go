@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"gossip/internal/gossip"
 	"gossip/internal/graph"
 	"gossip/internal/graphgen"
+	"gossip/internal/runner"
 	"gossip/internal/sim"
 	"gossip/internal/spanner"
 	"gossip/internal/stats"
@@ -22,7 +24,7 @@ var expE7PushPullUpper = Experiment{
 	Run:    runE7,
 }
 
-func runE7(cfg Config) (*Table, error) {
+func runE7(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	rng := graphgen.NewRand(cfg.Seed)
 	er, err := graphgen.ErdosRenyi(18, 0.35, 1, rng)
@@ -45,6 +47,39 @@ func runE7(cfg Config) (*Table, error) {
 		{"er(18,rand ℓ≤8)", er},
 		{"ring(5,4,ℓ=16)", ring.Graph},
 	}
+	names := cellNames(len(cases), func(i int) string { return cases[i].name })
+	cells, err := runGrid(ctx, cfg, "E7", names, cfg.Trials*2,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			g := cases[c.CellIndex].g
+			res, err := gossip.RunPushPull(g, 0, seed, 1<<21)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !res.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete")
+			}
+			s := runner.V(map[string]float64{"rounds": float64(res.Rounds)})
+			// The exact cut enumeration is deterministic and expensive;
+			// trial 0 carries it so it parallelizes with the other cells
+			// instead of serializing the aggregation loop.
+			if c.Trial == 0 {
+				cond, err := conductance.Exact(g)
+				if err != nil {
+					return runner.Sample{}, err
+				}
+				bound, err := gossip.PushPullBound(cond.PhiStar, cond.EllStar, g.N())
+				if err != nil {
+					return runner.Sample{}, err
+				}
+				s.Values["phiStar"] = cond.PhiStar
+				s.Values["ellStar"] = float64(cond.EllStar)
+				s.Values["bound"] = bound
+			}
+			return s, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E7: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E7",
 		Title: "push-pull vs the (ℓ*/φ*)·log n bound",
@@ -54,32 +89,15 @@ func runE7(cfg Config) (*Table, error) {
 		},
 	}
 	worst := 0.0
-	for _, c := range cases {
-		cond, err := conductance.Exact(c.g)
-		if err != nil {
-			return nil, fmt.Errorf("E7 %s: %w", c.name, err)
-		}
-		bound, err := gossip.PushPullBound(cond.PhiStar, cond.EllStar, c.g.N())
-		if err != nil {
-			return nil, err
-		}
-		var rounds []float64
-		for trial := 0; trial < cfg.Trials*2; trial++ {
-			res, err := gossip.RunPushPull(c.g, 0, cfg.Seed+uint64(trial)*101, 1<<21)
-			if err != nil {
-				return nil, err
-			}
-			if !res.Completed {
-				return nil, fmt.Errorf("E7 %s: incomplete", c.name)
-			}
-			rounds = append(rounds, float64(res.Rounds))
-		}
-		sum := stats.Summarize(rounds)
+	for i, c := range cases {
+		cell := &cells[i]
+		bound := cell.Mean("bound")
+		sum := stats.Summarize(cell.Values("rounds"))
 		ratio := sum.Mean / bound
 		if ratio > worst {
 			worst = ratio
 		}
-		tbl.AddRow(c.name, cond.PhiStar, cond.EllStar, bound, sum.Mean, sum.P90, ratio)
+		tbl.AddRow(c.name, cell.Mean("phiStar"), int(cell.Mean("ellStar")), bound, sum.Mean, sum.P90, ratio)
 	}
 	tbl.AddNote("worst measured/bound ratio = %.2f; Theorem 29 predicts a universal constant", worst)
 	return tbl, nil
@@ -95,11 +113,61 @@ var expE8Spanner = Experiment{
 	Run:    runE8,
 }
 
-func runE8(cfg Config) (*Table, error) {
+func runE8(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	ns := []int{32, 64, 128, 256}
 	if cfg.Quick {
 		ns = []int{32, 64}
+	}
+	lens := []int{8, 16, 32}
+	if cfg.Quick {
+		lens = []int{8, 16}
+	}
+	// One grid covers both halves of the experiment: spanner-property
+	// cells on cliques, then broadcast-scaling cells on paths.
+	var names []string
+	for _, n := range ns {
+		names = append(names, fmt.Sprintf("clique n=%d", n))
+	}
+	for _, l := range lens {
+		names = append(names, fmt.Sprintf("path n=%d", l))
+	}
+	cells, err := runGrid(ctx, cfg, "E8", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			if c.CellIndex < len(ns) {
+				n := ns[c.CellIndex]
+				g := graphgen.Clique(n, 1)
+				sp, err := spanner.Build(g, spanner.Options{Seed: seed})
+				if err != nil {
+					return runner.Sample{}, err
+				}
+				stretch := sp.Stretch(g, 5, graphgen.NewRand(seed+1))
+				return runner.V(map[string]float64{
+					"edges":   float64(sp.NumEdges()),
+					"outdeg":  float64(sp.MaxOutDegree()),
+					"k":       float64(sp.K),
+					"stretch": stretch,
+				}), nil
+			}
+			l := lens[c.CellIndex-len(ns)]
+			g := graphgen.Path(l, 2)
+			d := int(g.WeightedDiameter())
+			res, err := gossip.SpannerBroadcast(g, gossip.SpannerOptions{
+				D: d, KnownLatencies: true, Seed: seed, SkipCheck: true,
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !res.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete")
+			}
+			return runner.V(map[string]float64{
+				"d":      float64(d),
+				"rounds": float64(res.Rounds),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E8: %w", err)
 	}
 	tbl := &Table{
 		ID:    "E8",
@@ -109,39 +177,20 @@ func runE8(cfg Config) (*Table, error) {
 			"n", "edges", "n·log2 n", "max out-deg", "2k-1 (stretch bound)", "stretch",
 		},
 	}
-	for _, n := range ns {
-		g := graphgen.Clique(n, 1)
-		sp, err := spanner.Build(g, spanner.Options{Seed: cfg.Seed + uint64(n)})
-		if err != nil {
-			return nil, err
-		}
-		stretch := sp.Stretch(g, 5, graphgen.NewRand(cfg.Seed+uint64(n)*3))
-		tbl.AddRow(n, sp.NumEdges(), float64(n)*math.Log2(float64(n)),
-			sp.MaxOutDegree(), 2*sp.K-1, stretch)
-	}
-	// Broadcast time scaling in D on paths of growing length.
-	lens := []int{8, 16, 32}
-	if cfg.Quick {
-		lens = []int{8, 16}
+	for i, n := range ns {
+		c := &cells[i]
+		tbl.AddRow(n, int(c.Mean("edges")), float64(n)*math.Log2(float64(n)),
+			int(c.Mean("outdeg")), 2*int(c.Mean("k"))-1, c.Mean("stretch"))
 	}
 	var ds, rs []float64
-	for _, l := range lens {
-		g := graphgen.Path(l, 2)
-		d := int(g.WeightedDiameter())
-		res, err := gossip.SpannerBroadcast(g, gossip.SpannerOptions{
-			D: d, KnownLatencies: true, Seed: cfg.Seed, SkipCheck: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if !res.Completed {
-			return nil, fmt.Errorf("E8 path(%d): incomplete", l)
-		}
-		logn := math.Log2(float64(g.N()))
-		tbl.AddNote("path n=%d D=%d: spanner broadcast %d rounds; D·log³n = %.0f; ratio %.3f",
-			l, d, res.Rounds, float64(d)*logn*logn*logn, float64(res.Rounds)/(float64(d)*logn*logn*logn))
-		ds = append(ds, float64(d))
-		rs = append(rs, float64(res.Rounds))
+	for i, l := range lens {
+		c := &cells[len(ns)+i]
+		d, rounds := c.Mean("d"), c.Mean("rounds")
+		logn := math.Log2(float64(l))
+		tbl.AddNote("path n=%d D=%.0f: spanner broadcast %.0f rounds; D·log³n = %.0f; ratio %.3f",
+			l, d, rounds, d*logn*logn*logn, rounds/(d*logn*logn*logn))
+		ds = append(ds, d)
+		rs = append(rs, rounds)
 	}
 	if exp, _, r2, err := stats.PowerLawFit(ds, rs); err == nil {
 		tbl.AddNote("fitted rounds ~ D^%.2f (R²=%.3f); Theorem 25 predicts ~linear in D", exp, r2)
@@ -158,11 +207,31 @@ var expE9Pattern = Experiment{
 	Run:    runE9,
 }
 
-func runE9(cfg Config) (*Table, error) {
+func runE9(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	lens := []int{4, 8, 16, 32}
 	if cfg.Quick {
 		lens = []int{4, 8, 16}
+	}
+	names := cellNames(len(lens), func(i int) string { return fmt.Sprintf("cycle(%d,ℓ=2)", lens[i]) })
+	cells, err := runGrid(ctx, cfg, "E9", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			g := graphgen.Cycle(lens[c.CellIndex], 2)
+			d := int(g.WeightedDiameter())
+			res, err := gossip.PatternBroadcast(g, gossip.PatternOptions{
+				D: d, Seed: seed, SkipCheck: true,
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			return runner.V(map[string]float64{
+				"d":        float64(d),
+				"rounds":   float64(res.Rounds),
+				"complete": b2f(res.Completed),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E9: %w", err)
 	}
 	tbl := &Table{
 		ID:      "E9",
@@ -171,22 +240,15 @@ func runE9(cfg Config) (*Table, error) {
 		Headers: []string{"graph", "D", "rounds", "D·log²n·logD", "ratio", "complete"},
 	}
 	var ds, rs []float64
-	for _, l := range lens {
-		g := graphgen.Cycle(l, 2)
-		d := int(g.WeightedDiameter())
-		res, err := gossip.PatternBroadcast(g, gossip.PatternOptions{
-			D: d, Seed: cfg.Seed, SkipCheck: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		logn := math.Log2(float64(g.N()))
-		logd := math.Max(1, math.Log2(float64(d)))
-		bound := float64(d) * logn * logn * logd
-		tbl.AddRow(fmt.Sprintf("cycle(%d,ℓ=2)", l), d, res.Rounds, bound,
-			float64(res.Rounds)/bound, res.Completed)
-		ds = append(ds, float64(d))
-		rs = append(rs, float64(res.Rounds))
+	for i, l := range lens {
+		c := &cells[i]
+		d, rounds := c.Mean("d"), c.Mean("rounds")
+		logn := math.Log2(float64(l))
+		logd := math.Max(1, math.Log2(d))
+		bound := d * logn * logn * logd
+		tbl.AddRow(c.Name, int(d), int(rounds), bound, rounds/bound, c.Min("complete") == 1)
+		ds = append(ds, d)
+		rs = append(rs, rounds)
 	}
 	if exp, _, r2, err := stats.PowerLawFit(ds, rs); err == nil {
 		tbl.AddNote("fitted rounds ~ D^%.2f (R²=%.3f); Lemma 27 predicts ~D·logD", exp, r2)
@@ -203,7 +265,7 @@ var expE10Unified = Experiment{
 	Run:    runE10,
 }
 
-func runE10(cfg Config) (*Table, error) {
+func runE10(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	rng := graphgen.NewRand(cfg.Seed)
 	ringSmall, err := graphgen.NewRingNetwork(6, 4, 2, rng)
@@ -238,6 +300,27 @@ func runE10(cfg Config) (*Table, error) {
 		{"star(32,ℓ=8)", graphgen.Star(32, 8)},
 		{fmt.Sprintf("gadget(%d,1 fast/node)", side), gadget.Graph},
 	}
+	names := cellNames(len(cases), func(i int) string { return cases[i].name })
+	cells, err := runGrid(ctx, cfg, "E10", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			res, err := gossip.Unified(cases[c.CellIndex].g, gossip.UnifiedOptions{
+				Source: 0, KnownLatencies: true, Seed: seed, MaxRounds: 1 << 21,
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			return runner.Sample{
+				Values: map[string]float64{
+					"pp":  float64(res.PushPull.Rounds),
+					"sp":  float64(res.Spanner.Rounds),
+					"uni": float64(res.Rounds),
+				},
+				Labels: map[string]string{"winner": res.Winner},
+			}, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E10: %w", err)
+	}
 	tbl := &Table{
 		ID:    "E10",
 		Title: "unified algorithm: winner flips with topology",
@@ -246,14 +329,9 @@ func runE10(cfg Config) (*Table, error) {
 			"graph", "push-pull", "spanner", "unified", "winner",
 		},
 	}
-	for _, c := range cases {
-		res, err := gossip.Unified(c.g, gossip.UnifiedOptions{
-			Source: 0, KnownLatencies: true, Seed: cfg.Seed + 3, MaxRounds: 1 << 21,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("E10 %s: %w", c.name, err)
-		}
-		tbl.AddRow(c.name, res.PushPull.Rounds, res.Spanner.Rounds, res.Rounds, res.Winner)
+	for i := range cells {
+		c := &cells[i]
+		tbl.AddRow(c.Name, int(c.Mean("pp")), int(c.Mean("sp")), int(c.Mean("uni")), c.Label("winner"))
 	}
 	tbl.AddNote("well-connected graphs favor push-pull; the sparse gadget (needle-in-haystack fast edges, tiny D) flips the winner to the spanner arm, as Theorem 31 predicts")
 	return tbl, nil
@@ -268,42 +346,61 @@ var expE11DTG = Experiment{
 	Run:    runE11,
 }
 
-func runE11(cfg Config) (*Table, error) {
+func runE11(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	ells := []int{1, 2, 4, 8, 16}
+	ns := []int{8, 16, 32, 64}
+	// One grid: ℓ-sweep cells at n=16, then n-sweep cells at ℓ=1.
+	var names []string
+	for _, ell := range ells {
+		names = append(names, fmt.Sprintf("clique(16,ℓ=%d)", ell))
+	}
+	for _, n := range ns {
+		names = append(names, fmt.Sprintf("clique(%d,ℓ=1)", n))
+	}
+	cells, err := runGrid(ctx, cfg, "E11", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			n, ell := 16, 1
+			if c.CellIndex < len(ells) {
+				ell = ells[c.CellIndex]
+			} else {
+				n = ns[c.CellIndex-len(ells)]
+			}
+			g := graphgen.Clique(n, ell)
+			res, err := gossip.RunDTG(g, gossip.DTGOptions{Ell: ell, Seed: seed, MaxRounds: 1 << 20})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !res.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete")
+			}
+			return runner.V(map[string]float64{"rounds": float64(res.Rounds)}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E11: %w", err)
+	}
 	tbl := &Table{
 		ID:      "E11",
 		Title:   "ℓ-DTG local broadcast cost",
 		Claim:   "ℓ-DTG solves ℓ-local broadcast in O(ℓ·log²n) (Section 4.1.1)",
 		Headers: []string{"graph", "ℓ", "rounds", "ℓ·log²n", "ratio"},
 	}
-	var ells, rounds []float64
-	for _, ell := range []int{1, 2, 4, 8, 16} {
-		g := graphgen.Clique(16, ell)
-		res, err := gossip.RunDTG(g, gossip.DTGOptions{Ell: ell, Seed: cfg.Seed, MaxRounds: 1 << 20})
-		if err != nil {
-			return nil, err
-		}
-		if !res.Completed {
-			return nil, fmt.Errorf("E11 ℓ=%d: incomplete", ell)
-		}
+	var xs, rounds []float64
+	for i, ell := range ells {
+		r := cells[i].Mean("rounds")
 		logn := math.Log2(16)
 		bound := float64(ell) * logn * logn
-		tbl.AddRow(fmt.Sprintf("clique(16,ℓ=%d)", ell), ell, res.Rounds, bound, float64(res.Rounds)/bound)
-		ells = append(ells, float64(ell))
-		rounds = append(rounds, float64(res.Rounds))
+		tbl.AddRow(cells[i].Name, ell, int(r), bound, r/bound)
+		xs = append(xs, float64(ell))
+		rounds = append(rounds, r)
 	}
-	if exp, _, r2, err := stats.PowerLawFit(ells, rounds); err == nil {
+	if exp, _, r2, err := stats.PowerLawFit(xs, rounds); err == nil {
 		tbl.AddNote("fitted rounds ~ ℓ^%.2f (R²=%.3f); predicted exponent 1", exp, r2)
 	}
-	// n-scaling at fixed ℓ.
-	for _, n := range []int{8, 16, 32, 64} {
-		g := graphgen.Clique(n, 1)
-		res, err := gossip.RunDTG(g, gossip.DTGOptions{Ell: 1, Seed: cfg.Seed, MaxRounds: 1 << 20})
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range ns {
+		r := cells[len(ells)+i].Mean("rounds")
 		logn := math.Log2(float64(n))
-		tbl.AddNote("clique n=%d: %d rounds; log²n = %.1f; ratio %.2f", n, res.Rounds, logn*logn, float64(res.Rounds)/(logn*logn))
+		tbl.AddNote("clique n=%d: %.0f rounds; log²n = %.1f; ratio %.2f", n, r, logn*logn, r/(logn*logn))
 	}
 	return tbl, nil
 }
@@ -318,7 +415,7 @@ var expE12RR = Experiment{
 	Run:    runE12,
 }
 
-func runE12(cfg Config) (*Table, error) {
+func runE12(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	cases := []struct {
 		name string
@@ -328,35 +425,51 @@ func runE12(cfg Config) (*Table, error) {
 		{"cycle(16,ℓ=3)", graphgen.Cycle(16, 3)},
 		{"clique(20,ℓ=4)", graphgen.Clique(20, 4)},
 	}
+	names := cellNames(len(cases), func(i int) string { return cases[i].name })
+	cells, err := runGrid(ctx, cfg, "E12", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			g := cases[c.CellIndex].g
+			sp, err := spanner.Build(g, spanner.Options{Seed: seed})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			k := int(g.WeightedDiameter()) * (2*sp.K - 1)
+			res, err := gossip.RunRR(g, gossip.RROptions{
+				Spanner: sp, K: k, Seed: seed + 1, MaxRounds: 1 << 21,
+				Stop: sim.StopAllHaveAll(),
+			})
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			full := 1.0
+			for _, r := range res.FinalRumors() {
+				if !r.Full() {
+					full = 0
+				}
+			}
+			return runner.V(map[string]float64{
+				"k":      float64(k),
+				"outdeg": float64(sp.MaxOutDegree()),
+				"rounds": float64(res.Rounds),
+				"full":   full,
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E12: %w", err)
+	}
 	tbl := &Table{
 		ID:      "E12",
 		Title:   "RR Broadcast within the Lemma 21 budget",
 		Claim:   "rumors cross distance k within k·Δout + k rounds (Lemma 21)",
 		Headers: []string{"graph", "k", "Δout", "budget k·Δout+k", "rounds used", "complete"},
 	}
-	for _, c := range cases {
-		sp, err := spanner.Build(c.g, spanner.Options{Seed: cfg.Seed + 5})
-		if err != nil {
-			return nil, err
-		}
-		k := int(c.g.WeightedDiameter()) * (2*sp.K - 1)
-		res, err := gossip.RunRR(c.g, gossip.RROptions{
-			Spanner: sp, K: k, Seed: cfg.Seed + 6, MaxRounds: 1 << 21,
-			Stop: sim.StopAllHaveAll(),
-		})
-		if err != nil {
-			return nil, err
-		}
-		full := true
-		for _, r := range res.FinalRumors() {
-			if !r.Full() {
-				full = false
-			}
-		}
-		budget := k*sp.MaxOutDegree() + k
-		tbl.AddRow(c.name, k, sp.MaxOutDegree(), budget, res.Rounds, full)
+	for i := range cells {
+		c := &cells[i]
+		k, outdeg := int(c.Mean("k")), int(c.Mean("outdeg"))
+		full := c.Min("full") == 1
+		tbl.AddRow(c.Name, k, outdeg, k*outdeg+k, int(c.Mean("rounds")), full)
 		if !full {
-			tbl.AddNote("%s: VIOLATION — budget exhausted before completion", c.name)
+			tbl.AddNote("%s: VIOLATION — budget exhausted before completion", c.Name)
 		}
 	}
 	tbl.AddNote("rounds used is the all-have-all completion round; Lemma 21 promises completion by the budget")
@@ -372,30 +485,42 @@ var expE13NoPull = Experiment{
 	Run:    runE13,
 }
 
-func runE13(cfg Config) (*Table, error) {
+func runE13(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	lat := 16
 	ns := []int{8, 16, 32}
+	names := cellNames(len(ns), func(i int) string { return fmt.Sprintf("star(%d,ℓ=%d)", ns[i], lat) })
+	cells, err := runGrid(ctx, cfg, "E13", names, 1,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			g := graphgen.Star(ns[c.CellIndex], lat)
+			flood, err := gossip.RunFlood(g, 0, true, seed, 1<<21)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			pp, err := gossip.RunPushPull(g, 0, seed, 1<<21)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if !flood.Completed || !pp.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete")
+			}
+			return runner.V(map[string]float64{
+				"flood": float64(flood.Rounds),
+				"pp":    float64(pp.Rounds),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E13: %w", err)
+	}
 	tbl := &Table{
 		ID:      "E13",
 		Title:   "the cost of dropping pull (blocking flood on a star)",
 		Claim:   "push-only flooding needs Ω(nD) on a star (footnote 3)",
 		Headers: []string{"n", "D", "flood rounds", "(n-1)·D", "push-pull rounds"},
 	}
-	for _, n := range ns {
-		g := graphgen.Star(n, lat)
-		flood, err := gossip.RunFlood(g, 0, true, cfg.Seed, 1<<21)
-		if err != nil {
-			return nil, err
-		}
-		pp, err := gossip.RunPushPull(g, 0, cfg.Seed, 1<<21)
-		if err != nil {
-			return nil, err
-		}
-		if !flood.Completed || !pp.Completed {
-			return nil, fmt.Errorf("E13 n=%d: incomplete", n)
-		}
-		tbl.AddRow(n, 2*lat, flood.Rounds, (n-1)*lat, pp.Rounds)
+	for i, n := range ns {
+		c := &cells[i]
+		tbl.AddRow(n, 2*lat, int(c.Mean("flood")), (n-1)*lat, int(c.Mean("pp")))
 	}
 	tbl.AddNote("flood grows linearly in n at fixed D; push-pull stays ~D because leaves pull")
 	return tbl, nil

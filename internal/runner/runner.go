@@ -1,0 +1,251 @@
+// Package runner schedules declarative experiment trial grids across a
+// worker pool. A grid is a set of cells (data points) × trials; the runner
+// fans the trials over GOMAXPROCS goroutines, derives each trial's RNG
+// seed from a stable hash of its coordinates, and aggregates samples in
+// declaration order — so results are bit-identical regardless of worker
+// count or completion order.
+package runner
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"gossip/internal/stats"
+)
+
+// Coord identifies one trial by its grid coordinates.
+type Coord struct {
+	// Exp is the experiment ID (e.g. "E7").
+	Exp string
+	// Cell names the data point (e.g. "clique(16,ℓ=8)").
+	Cell string
+	// CellIndex is the cell's position in Grid.Cells.
+	CellIndex int
+	// Trial is the repetition index within the cell.
+	Trial int
+}
+
+func (c Coord) String() string {
+	return fmt.Sprintf("%s/%s#%d", c.Exp, c.Cell, c.Trial)
+}
+
+// DeriveSeed hashes the base seed and trial coordinates (FNV-1a) into the
+// trial's RNG seed. The seed depends only on the coordinates, never on
+// scheduling, so a grid is reproducible at any worker count; distinct
+// coordinates get decorrelated streams.
+func DeriveSeed(base uint64, c Coord) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], base)
+	h.Write(buf[:])
+	h.Write([]byte(c.Exp))
+	h.Write([]byte{0})
+	h.Write([]byte(c.Cell))
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.CellIndex))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.Trial))
+	h.Write(buf[:])
+	s := h.Sum64()
+	if s == 0 {
+		s = 1 // 0 means "use default" to several seed consumers
+	}
+	return s
+}
+
+// Sample is the outcome of one trial: named numeric metrics plus optional
+// string labels (e.g. a winner name or a rendered sparkline).
+type Sample struct {
+	Values map[string]float64
+	Labels map[string]string
+}
+
+// V is shorthand for a values-only sample.
+func V(kv map[string]float64) Sample { return Sample{Values: kv} }
+
+// TrialFunc runs one trial. It must derive all randomness from seed and
+// must not depend on other trials; the runner may invoke it from any
+// worker in any order.
+type TrialFunc func(ctx context.Context, c Coord, seed uint64) (Sample, error)
+
+// Grid is a declarative trial grid: Cells × Trials invocations of Run.
+type Grid struct {
+	// Exp is the experiment ID, mixed into every trial seed.
+	Exp string
+	// Cells names the data points, one table row (or note) each.
+	Cells []string
+	// Trials is the repetition count per cell (<=0 means 1).
+	Trials int
+	// Run executes one trial.
+	Run TrialFunc
+}
+
+// Options configure grid execution.
+type Options struct {
+	// BaseSeed is the experiment master seed all trial seeds derive from.
+	BaseSeed uint64
+	// Workers caps the goroutine pool (<=0 means GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after every finished trial with
+	// the completed and total trial counts (serialized by the runner).
+	Progress func(done, total int)
+}
+
+// Cell is one aggregated data point: the samples of all its trials, in
+// trial order.
+type Cell struct {
+	Name    string
+	Index   int
+	Samples []Sample
+}
+
+// Values collects the named metric across trials, in trial order,
+// skipping samples that did not report it.
+func (c *Cell) Values(metric string) []float64 {
+	out := make([]float64, 0, len(c.Samples))
+	for _, s := range c.Samples {
+		if v, ok := s.Values[metric]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Mean averages the named metric across trials (0 when never reported).
+func (c *Cell) Mean(metric string) float64 { return stats.Mean(c.Values(metric)) }
+
+// Min returns the smallest reported value of the metric (0 when never
+// reported). Useful for all-trials-hold booleans encoded as 0/1.
+func (c *Cell) Min(metric string) float64 {
+	vs := c.Values(metric)
+	if len(vs) == 0 {
+		return 0
+	}
+	min := vs[0]
+	for _, v := range vs[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Label returns the first reported value of the named label ("" when
+// never reported).
+func (c *Cell) Label(key string) string {
+	for _, s := range c.Samples {
+		if v, ok := s.Labels[key]; ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// Run executes the grid. Trials are scheduled across the worker pool;
+// results are aggregated per cell in (cell, trial) order. On trial
+// failure the rest of the grid still runs and the first error in grid
+// order is returned, so error reporting is schedule-independent. Run
+// stops early (returning ctx.Err) when the context is cancelled or times
+// out.
+func Run(ctx context.Context, g Grid, opt Options) ([]Cell, error) {
+	if g.Run == nil {
+		return nil, errors.New("runner: grid has no trial function")
+	}
+	trials := g.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	total := len(g.Cells) * trials
+	if total == 0 {
+		return nil, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	samples := make([][]Sample, len(g.Cells))
+	errs := make([][]error, len(g.Cells))
+	for i := range samples {
+		samples[i] = make([]Sample, trials)
+		errs[i] = make([]error, trials)
+	}
+
+	type job struct{ cell, trial int }
+	jobs := make(chan job)
+	var mu sync.Mutex
+	done := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[j.cell][j.trial] = err
+					continue
+				}
+				c := Coord{Exp: g.Exp, Cell: g.Cells[j.cell], CellIndex: j.cell, Trial: j.trial}
+				s, err := g.Run(ctx, c, DeriveSeed(opt.BaseSeed, c))
+				if err != nil {
+					// Keep running the remaining trials: trials are pure
+					// functions of their coordinates, so finishing the grid
+					// (rather than cancelling) keeps the reported error —
+					// the first in grid order — schedule-independent.
+					errs[j.cell][j.trial] = fmt.Errorf("%s: %w", c, err)
+				} else {
+					samples[j.cell][j.trial] = s
+				}
+				// Errored trials still finished; only trials skipped by a
+				// cancelled context don't count.
+				if opt.Progress != nil {
+					mu.Lock()
+					done++
+					opt.Progress(done, total)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for ci := range g.Cells {
+		for ti := 0; ti < trials; ti++ {
+			select {
+			case jobs <- job{ci, ti}:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Report the first real trial error in grid order (deterministic:
+	// trials are pure functions of their coordinates, so the error set is
+	// schedule-independent). Context errors recorded by draining workers
+	// are subsumed by the ctx.Err check below.
+	for ci := range errs {
+		for _, err := range errs[ci] {
+			if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	cells := make([]Cell, len(g.Cells))
+	for i, name := range g.Cells {
+		cells[i] = Cell{Name: name, Index: i, Samples: samples[i]}
+	}
+	return cells, nil
+}

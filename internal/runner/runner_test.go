@@ -1,0 +1,273 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gossip/internal/graphgen"
+)
+
+// synthGrid is a small stochastic grid whose output depends only on the
+// coordinate-derived seeds.
+func synthGrid() Grid {
+	return Grid{
+		Exp:    "SYNTH",
+		Cells:  []string{"a", "b", "c"},
+		Trials: 4,
+		Run: func(ctx context.Context, c Coord, seed uint64) (Sample, error) {
+			rng := graphgen.NewRand(seed)
+			return Sample{
+				Values: map[string]float64{"x": float64(rng.IntN(1 << 20))},
+				Labels: map[string]string{"coord": c.String()},
+			}, nil
+		},
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	c := Coord{Exp: "E7", Cell: "clique(16,ℓ=8)", CellIndex: 1, Trial: 3}
+	a := DeriveSeed(42, c)
+	b := DeriveSeed(42, c)
+	if a != b {
+		t.Fatalf("DeriveSeed not stable: %d != %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("DeriveSeed returned 0")
+	}
+	// Any coordinate perturbation must change the seed.
+	perturbed := []Coord{
+		{Exp: "E8", Cell: c.Cell, CellIndex: c.CellIndex, Trial: c.Trial},
+		{Exp: c.Exp, Cell: "other", CellIndex: c.CellIndex, Trial: c.Trial},
+		{Exp: c.Exp, Cell: c.Cell, CellIndex: 2, Trial: c.Trial},
+		{Exp: c.Exp, Cell: c.Cell, CellIndex: c.CellIndex, Trial: 4},
+	}
+	for _, p := range perturbed {
+		if DeriveSeed(42, p) == a {
+			t.Fatalf("seed collision between %v and %v", c, p)
+		}
+	}
+	if DeriveSeed(43, c) == a {
+		t.Fatal("seed ignores base")
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	var want []Cell
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Run(context.Background(), synthGrid(), Options{BaseSeed: 9, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged:\ngot  %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	cells, err := Run(context.Background(), Grid{
+		Exp:    "AGG",
+		Cells:  []string{"only"},
+		Trials: 3,
+		Run: func(ctx context.Context, c Coord, seed uint64) (Sample, error) {
+			s := Sample{Values: map[string]float64{"v": float64(c.Trial + 1)}}
+			if c.Trial == 0 {
+				s.Values["once"] = 7
+				s.Labels = map[string]string{"tag": "first"}
+			}
+			return s, nil
+		},
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	if got := c.Values("v"); !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Fatalf("Values order broken: %v", got)
+	}
+	if m := c.Mean("v"); m != 2 {
+		t.Fatalf("Mean = %v, want 2", m)
+	}
+	if m := c.Min("v"); m != 1 {
+		t.Fatalf("Min = %v, want 1", m)
+	}
+	if got := c.Values("once"); !reflect.DeepEqual(got, []float64{7}) {
+		t.Fatalf("sparse metric: %v", got)
+	}
+	if l := c.Label("tag"); l != "first" {
+		t.Fatalf("Label = %q", l)
+	}
+	if l := c.Label("absent"); l != "" {
+		t.Fatalf("absent label = %q", l)
+	}
+	if c.Mean("absent") != 0 || c.Min("absent") != 0 {
+		t.Fatal("absent metric aggregates should be 0")
+	}
+}
+
+func TestRunTrialErrorDeterministic(t *testing.T) {
+	g := Grid{
+		Exp:    "ERR",
+		Cells:  []string{"c0", "c1", "c2"},
+		Trials: 3,
+		Run: func(ctx context.Context, c Coord, seed uint64) (Sample, error) {
+			if c.CellIndex >= 1 {
+				return Sample{}, fmt.Errorf("boom cell=%d trial=%d", c.CellIndex, c.Trial)
+			}
+			return V(map[string]float64{"x": 1}), nil
+		},
+	}
+	var first string
+	for _, workers := range []int{1, 4} {
+		_, err := Run(context.Background(), g, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Fatalf("error not deterministic: %q vs %q", err.Error(), first)
+		}
+	}
+	if first != "ERR/c1#0: boom cell=1 trial=0" {
+		t.Fatalf("unexpected first error %q", first)
+	}
+}
+
+func TestRunContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	started := make(chan struct{}, 64)
+	_, err := Run(ctx, Grid{
+		Exp:    "SLOW",
+		Cells:  []string{"a", "b"},
+		Trials: 8,
+		Run: func(ctx context.Context, c Coord, seed uint64) (Sample, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return Sample{}, ctx.Err()
+		},
+	}, Options{Workers: 4})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if len(started) == 0 {
+		t.Fatal("no trial ever started")
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Run(ctx, Grid{
+		Exp:    "CANCELLED",
+		Cells:  []string{"a"},
+		Trials: 4,
+		Run: func(ctx context.Context, c Coord, seed uint64) (Sample, error) {
+			ran.Add(1)
+			return V(map[string]float64{"x": 1}), nil
+		},
+	}, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d trials ran after cancellation", n)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var calls []int
+	_, err := Run(context.Background(), synthGrid(), Options{
+		Workers: 3,
+		Progress: func(done, total int) {
+			if total != 12 {
+				t.Errorf("total = %d, want 12", total)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 12 {
+		t.Fatalf("progress called %d times, want 12", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress out of order: %v", calls)
+		}
+	}
+}
+
+func TestRunEmptyAndInvalidGrids(t *testing.T) {
+	if _, err := Run(context.Background(), Grid{Exp: "X", Cells: []string{"a"}}, Options{}); err == nil {
+		t.Fatal("nil trial function accepted")
+	}
+	cells, err := Run(context.Background(), Grid{
+		Exp: "X",
+		Run: func(ctx context.Context, c Coord, seed uint64) (Sample, error) {
+			return Sample{}, nil
+		},
+	}, Options{})
+	if err != nil || cells != nil {
+		t.Fatalf("empty grid: cells=%v err=%v", cells, err)
+	}
+}
+
+func TestRunDefaultsTrialsToOne(t *testing.T) {
+	cells, err := Run(context.Background(), Grid{
+		Exp:   "ONE",
+		Cells: []string{"a"},
+		Run: func(ctx context.Context, c Coord, seed uint64) (Sample, error) {
+			return V(map[string]float64{"x": 5}), nil
+		},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || len(cells[0].Samples) != 1 {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+// spin burns deterministic CPU so the parallel benchmarks measure real
+// worker-pool speedup rather than scheduling overhead.
+func spin(seed uint64, iters int) float64 {
+	rng := graphgen.NewRand(seed)
+	acc := 0.0
+	for i := 0; i < iters; i++ {
+		acc += float64(rng.IntN(1000))
+	}
+	return acc
+}
+
+func benchGrid(workers int, b *testing.B) {
+	g := Grid{
+		Exp:    "BENCH",
+		Cells:  []string{"a", "b", "c", "d"},
+		Trials: 8,
+		Run: func(ctx context.Context, c Coord, seed uint64) (Sample, error) {
+			return V(map[string]float64{"x": spin(seed, 200000)}), nil
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), g, Options{BaseSeed: 1, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridWorkers1(b *testing.B) { benchGrid(1, b) }
+func BenchmarkGridWorkers8(b *testing.B) { benchGrid(8, b) }
