@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet experiments clean
+.PHONY: all build test race bench bench-json fmt vet experiments clean
 
 all: build test
 
@@ -21,6 +21,14 @@ race:
 # per-experiment and substrate benchmarks.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Substrate microbenchmarks (engine, conductance, spanner, large-scale
+# event-engine runs) as a JSON artifact: ns/op, allocs/op and the rounds
+# metric per benchmark. CI uploads BENCH_sim.json on every push so the
+# perf trajectory is tracked across PRs.
+bench-json:
+	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkConductance|BenchmarkSpannerBuild)' \
+		-benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 fmt:
 	@out=$$(gofmt -l .); \

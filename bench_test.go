@@ -15,6 +15,7 @@ import (
 	"gossip/internal/conductance"
 	"gossip/internal/experiments"
 	proto "gossip/internal/gossip"
+	"gossip/internal/graph"
 	"gossip/internal/graphgen"
 	"gossip/internal/guessing"
 	"gossip/internal/spanner"
@@ -192,6 +193,72 @@ func BenchmarkSimPushPullRound(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// slowBridgeDumbbell builds a sparse dumbbell: two (n/2)-node unit-latency
+// cycles joined by one bridge edge of the given latency. Unlike
+// graphgen.Dumbbell (clique sides, O(n²) edges) it stays O(n) edges, the
+// regime the event engine targets.
+func slowBridgeDumbbell(n, bridgeLatency int) *graph.Graph {
+	half := n / 2
+	g := graph.New(n)
+	for side := 0; side < 2; side++ {
+		base := side * half
+		for i := 0; i < half; i++ {
+			g.MustAddEdge(base+i, base+(i+1)%half, 1)
+		}
+	}
+	g.MustAddEdge(0, half, bridgeLatency)
+	return g
+}
+
+// BenchmarkSimLargeScale exercises the event engine at n=10⁴ — scales the
+// old per-round-scan engine could not touch in a bench-smoke job:
+//
+//   - slow-bridge-dtg: DTG on a sparse dumbbell whose bridge has latency
+//     10⁴. The run spans ~10⁵ simulated rounds, nearly all idle while the
+//     bridge exchanges crawl; the activation calendar makes it O(events)
+//     where the old engine would burn ~10⁹ no-op Activate scans.
+//   - sparse-random-push-pull: push-pull on a random 4-regular graph; the
+//     journal/delta transport replaces ~10⁶ full 10⁴-bit snapshot clones.
+func BenchmarkSimLargeScale(b *testing.B) {
+	const n = 10_000
+	b.Run("slow-bridge-dtg", func(b *testing.B) {
+		g := slowBridgeDumbbell(n, 10_000)
+		b.ReportAllocs()
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := proto.RunDTG(g, proto.DTGOptions{Seed: uint64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Completed {
+				b.Fatalf("dtg incomplete: %+v", res)
+			}
+			rounds = res.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("sparse-random-push-pull", func(b *testing.B) {
+		rng := graphgen.NewRand(7)
+		g, err := graphgen.RandomRegular(n, 4, 1, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := proto.RunPushPull(g, 0, uint64(i+1), 1<<18)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Completed {
+				b.Fatalf("push-pull incomplete: %+v", res)
+			}
+			rounds = res.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
 }
 
 func BenchmarkConductanceExact(b *testing.B) {

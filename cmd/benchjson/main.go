@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a stable JSON artifact on stdout, so CI can track the substrate perf
+// trajectory (ns/op, allocs/op, the rounds metric, ...) across PRs.
+//
+// Usage:
+//
+//	go test -bench=BenchmarkSim -benchtime=1x -benchmem -run='^$' . | benchjson > BENCH_sim.json
+//
+// The artifact is an object keyed by benchmark name (GOMAXPROCS suffix
+// stripped) whose values map metric units to numbers, e.g.
+//
+//	{"BenchmarkSimPushPullRound": {"iterations": 5, "ns/op": 3517197, "allocs/op": 3124}}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line: name, iteration count,
+// then whitespace-separated "value unit" metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// parseBench extracts {name: {unit: value}} from go-test bench output.
+// Non-benchmark lines (headers, PASS, ok) are ignored.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: iterations of %s: %w", m[1], err)
+		}
+		metrics := map[string]float64{"iterations": iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: metric %q of %s: %w", fields[i+1], m[1], err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		out[m[1]] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func run(in io.Reader, out io.Writer) error {
+	parsed, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(parsed) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	// Deterministic key order so artifacts diff cleanly across runs.
+	names := make([]string, 0, len(parsed))
+	for name := range parsed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		blob, err := json.Marshal(parsed[name])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, blob)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	_, err = io.WriteString(out, b.String())
+	return err
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

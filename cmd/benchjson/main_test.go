@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gossip
+BenchmarkSimPushPullRound-8 	       5	   3517197 ns/op	 4179336 B/op	    3124 allocs/op
+BenchmarkSimLargeScale/slow-bridge-dtg         	       1	 498434859 ns/op	     40020 rounds	142161688 B/op	  360397 allocs/op
+PASS
+ok  	gossip	0.631s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, ok := got["BenchmarkSimPushPullRound"]
+	if !ok {
+		t.Fatalf("missing push-pull bench (GOMAXPROCS suffix not stripped?): %v", got)
+	}
+	if pp["iterations"] != 5 || pp["ns/op"] != 3517197 || pp["allocs/op"] != 3124 || pp["B/op"] != 4179336 {
+		t.Fatalf("push-pull metrics = %v", pp)
+	}
+	ls := got["BenchmarkSimLargeScale/slow-bridge-dtg"]
+	if ls["rounds"] != 40020 {
+		t.Fatalf("rounds metric = %v", ls)
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]map[string]float64
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d benchmarks, want 2", len(decoded))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), &out); err == nil {
+		t.Fatal("expected error for input without benchmark lines")
+	}
+}

@@ -41,7 +41,10 @@ type options struct {
 }
 
 // parseArgs parses the command line into options. Split from main so the
-// flag surface is regression-tested.
+// flag surface is regression-tested. The -algo value is validated against
+// the internal/gossip driver registry, so every registered protocol
+// (including dtg, rr, superstep) is runnable from here with no per-CLI
+// plumbing.
 func parseArgs(args []string) (options, error) {
 	var o options
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
@@ -50,7 +53,7 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.latency, "latency", 1, "uniform/slow edge latency, depending on topology")
 	fs.Float64Var(&o.p, "p", 0.3, "edge or target probability for er/gadget")
 	fs.IntVar(&o.layers, "layers", 6, "ring layers")
-	fs.StringVar(&o.algoName, "algo", "auto", "algorithm: auto|push-pull|spanner|pattern|flood")
+	fs.StringVar(&o.algoName, "algo", "auto", "algorithm: "+strings.Join(core.Algorithms(), "|"))
 	fs.IntVar(&o.source, "source", 0, "rumor source")
 	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
 	fs.BoolVar(&o.known, "known", false, "nodes know adjacent latencies (Section 4 model)")
@@ -64,7 +67,7 @@ func parseArgs(args []string) (options, error) {
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	algo, err := parseAlgo(o.algoName)
+	algo, err := core.ParseAlgorithm(o.algoName)
 	if err != nil {
 		return options{}, err
 	}
@@ -164,23 +167,6 @@ func run() int {
 		return 2
 	}
 	return 0
-}
-
-func parseAlgo(name string) (core.Algorithm, error) {
-	switch strings.ToLower(name) {
-	case "auto":
-		return core.Auto, nil
-	case "push-pull", "pushpull":
-		return core.PushPull, nil
-	case "spanner":
-		return core.Spanner, nil
-	case "pattern":
-		return core.Pattern, nil
-	case "flood":
-		return core.Flood, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q", name)
-	}
 }
 
 func buildGraph(name string, n, latency int, p float64, layers int, seed uint64) (*graph.Graph, error) {

@@ -45,26 +45,27 @@ func TestParseArgsErrors(t *testing.T) {
 	}
 }
 
-func TestParseAlgo(t *testing.T) {
+func TestParseAlgoNames(t *testing.T) {
+	// -algo values resolve through the driver registry, aliases and
+	// registry-only protocols included.
 	cases := map[string]core.Algorithm{
 		"auto":      core.Auto,
+		"unified":   core.Auto,
 		"push-pull": core.PushPull,
 		"pushpull":  core.PushPull,
 		"SPANNER":   core.Spanner,
 		"pattern":   core.Pattern,
 		"flood":     core.Flood,
+		"dtg":       core.Algorithm("dtg"),
 	}
 	for name, want := range cases {
-		got, err := parseAlgo(name)
+		o, err := parseArgs([]string{"-algo", name})
 		if err != nil {
-			t.Fatalf("parseAlgo(%q): %v", name, err)
+			t.Fatalf("-algo %q: %v", name, err)
 		}
-		if got != want {
-			t.Fatalf("parseAlgo(%q) = %v, want %v", name, got, want)
+		if o.algo != want {
+			t.Fatalf("-algo %q = %v, want %v", name, o.algo, want)
 		}
-	}
-	if _, err := parseAlgo("bogus"); err == nil {
-		t.Fatal("bogus algorithm accepted")
 	}
 }
 

@@ -18,21 +18,47 @@ import (
 	"gossip/internal/graphgen"
 )
 
+// options holds the parsed command line.
+type options struct {
+	graphName string
+	n         int
+	latency   int
+	p         float64
+	seed      uint64
+}
+
+// parseArgs parses the command line into options. Split from main so the
+// flag surface is regression-tested (the pattern cmd/gossipsim and
+// cmd/experiments established).
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("graphinfo", flag.ContinueOnError)
+	fs.StringVar(&o.graphName, "graph", "dumbbell", "topology (see gossipsim -help)")
+	fs.IntVar(&o.n, "n", 8, "node count parameter")
+	fs.IntVar(&o.latency, "latency", 32, "latency parameter")
+	fs.Float64Var(&o.p, "p", 0.3, "probability parameter")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
-	var (
-		graphName = flag.String("graph", "dumbbell", "topology (see gossipsim -help)")
-		n         = flag.Int("n", 8, "node count parameter")
-		latency   = flag.Int("latency", 32, "latency parameter")
-		p         = flag.Float64("p", 0.3, "probability parameter")
-		seed      = flag.Uint64("seed", 1, "random seed")
-	)
-	flag.Parse()
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
-	g, err := buildGraph(*graphName, *n, *latency, *p, *seed)
+	g, err := buildGraph(opts.graphName, opts.n, opts.latency, opts.p, opts.seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -47,7 +73,7 @@ func run() int {
 		mode = "exact (full cut enumeration)"
 	}
 	fmt.Printf("graph %s: n=%d m=%d Δ=%d D=%d ℓmax=%d\n",
-		*graphName, prof.N, prof.M, prof.MaxDegree, prof.Diameter, prof.MaxLatency)
+		opts.graphName, prof.N, prof.M, prof.MaxDegree, prof.Diameter, prof.MaxLatency)
 	fmt.Printf("conductance mode: %s\n", mode)
 	lats := make([]int, 0, len(prof.Conductance.PhiL))
 	for l := range prof.Conductance.PhiL {

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseArgs(t *testing.T) {
+	o, err := parseArgs([]string{"-graph", "er", "-n", "24", "-latency", "8", "-p", "0.5", "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.graphName != "er" || o.n != 24 || o.latency != 8 || o.p != 0.5 || o.seed != 9 {
+		t.Fatalf("parsed %+v", o)
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.graphName != "dumbbell" || o.n != 8 || o.latency != 32 || o.p != 0.3 || o.seed != 1 {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"positional"},
+		{"-n", "abc"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Fatalf("parseArgs(%v) accepted", args)
+		}
+	}
+}
+
+func TestBuildGraphFamilies(t *testing.T) {
+	for _, name := range []string{"clique", "star", "path", "cycle", "dumbbell", "er", "ring"} {
+		g, err := buildGraph(name, 8, 4, 0.5, 1)
+		if err != nil {
+			t.Fatalf("buildGraph(%q): %v", name, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("buildGraph(%q): empty graph", name)
+		}
+	}
+	if _, err := buildGraph("bogus", 8, 4, 0.5, 1); err == nil {
+		t.Fatal("bogus graph accepted")
+	}
+}

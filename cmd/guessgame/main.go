@@ -18,39 +18,74 @@ import (
 	"gossip/internal/stats"
 )
 
+// options holds the parsed command line.
+type options struct {
+	m         int
+	predicate string
+	p         float64
+	trials    int
+	seed      uint64
+}
+
+// parseArgs parses the command line into options. Split from main so the
+// flag surface is regression-tested (the pattern cmd/gossipsim and
+// cmd/experiments established). Predicate validity is checked here, not
+// mid-run.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("guessgame", flag.ContinueOnError)
+	fs.IntVar(&o.m, "m", 64, "side size (the game has 2m nodes)")
+	fs.StringVar(&o.predicate, "predicate", "singleton", "target predicate: singleton|random")
+	fs.Float64Var(&o.p, "p", 0.0625, "target probability for random predicate")
+	fs.IntVar(&o.trials, "trials", 20, "trials to average")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.predicate != "singleton" && o.predicate != "random" {
+		return options{}, fmt.Errorf("unknown predicate %q", o.predicate)
+	}
+	return o, nil
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
-	var (
-		m         = flag.Int("m", 64, "side size (the game has 2m nodes)")
-		predicate = flag.String("predicate", "singleton", "target predicate: singleton|random")
-		p         = flag.Float64("p", 0.0625, "target probability for random predicate")
-		trials    = flag.Int("trials", 20, "trials to average")
-		seed      = flag.Uint64("seed", 1, "random seed")
-	)
-	flag.Parse()
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
-	maxRounds := 1000 * *m
+	maxRounds := 1000 * opts.m
 	var fresh, random []float64
-	for trial := 0; trial < *trials; trial++ {
-		rng := graphgen.NewRand(*seed + uint64(trial)*7919)
+	for trial := 0; trial < opts.trials; trial++ {
+		rng := graphgen.NewRand(opts.seed + uint64(trial)*7919)
 		var target map[guessing.Pair]bool
-		switch *predicate {
+		switch opts.predicate {
 		case "singleton":
-			target = guessing.SingletonTarget(*m, rng)
+			target = guessing.SingletonTarget(opts.m, rng)
 		case "random":
-			target = guessing.RandomTarget(*m, *p, rng)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown predicate %q\n", *predicate)
-			return 1
+			target = guessing.RandomTarget(opts.m, opts.p, rng)
 		}
-		for name, mk := range map[string]func() guessing.Strategy{
-			"fresh":  func() guessing.Strategy { return guessing.NewFreshStrategy(*m, rng) },
-			"random": func() guessing.Strategy { return guessing.NewRandomStrategy(*m, rng) },
+		// Both strategies draw from the shared trial RNG: iterate in a
+		// fixed order so a fixed -seed gives reproducible output (a map
+		// range here would randomize which strategy consumes the stream
+		// first).
+		for _, strat := range []struct {
+			name string
+			mk   func() guessing.Strategy
+		}{
+			{"fresh", func() guessing.Strategy { return guessing.NewFreshStrategy(opts.m, rng) }},
+			{"random", func() guessing.Strategy { return guessing.NewRandomStrategy(opts.m, rng) }},
 		} {
-			game, err := guessing.NewGame(*m, cloneTarget(target))
+			name, mk := strat.name, strat.mk
+			game, err := guessing.NewGame(opts.m, cloneTarget(target))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
@@ -70,17 +105,17 @@ func run() int {
 			}
 		}
 	}
-	fmt.Printf("guessing game: m=%d predicate=%s trials=%d\n", *m, *predicate, *trials)
+	fmt.Printf("guessing game: m=%d predicate=%s trials=%d\n", opts.m, opts.predicate, opts.trials)
 	fmt.Printf("  fresh strategy : mean %.1f rounds (median %.1f)\n",
 		stats.Mean(fresh), stats.Summarize(fresh).Median)
 	fmt.Printf("  random strategy: mean %.1f rounds (median %.1f)\n",
 		stats.Mean(random), stats.Summarize(random).Median)
-	switch *predicate {
+	switch opts.predicate {
 	case "singleton":
-		fmt.Printf("  Lemma 7 prediction: Θ(m) = Θ(%d)\n", *m)
+		fmt.Printf("  Lemma 7 prediction: Θ(m) = Θ(%d)\n", opts.m)
 	case "random":
 		fmt.Printf("  Lemma 8 prediction: fresh Θ(1/p) = %.0f, random Θ(log m/p) = %.0f\n",
-			1 / *p, math.Log(float64(*m)) / *p)
+			1/opts.p, math.Log(float64(opts.m))/opts.p)
 	}
 	return 0
 }

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseArgs(t *testing.T) {
+	o, err := parseArgs([]string{"-m", "32", "-predicate", "random", "-p", "0.125", "-trials", "5", "-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.m != 32 || o.predicate != "random" || o.p != 0.125 || o.trials != 5 || o.seed != 7 {
+		t.Fatalf("parsed %+v", o)
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.m != 64 || o.predicate != "singleton" || o.p != 0.0625 || o.trials != 20 || o.seed != 1 {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"positional"},
+		{"-m", "abc"},
+		{"-predicate", "nosuchpredicate"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Fatalf("parseArgs(%v) accepted", args)
+		}
+	}
+}

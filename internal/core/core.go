@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"gossip/internal/conductance"
 	"gossip/internal/gossip"
@@ -94,40 +95,45 @@ func computeBounds(p *Profile) Bounds {
 	return b
 }
 
-// Algorithm selects a dissemination strategy.
-type Algorithm int
+// Algorithm names a dissemination strategy. It is a registry key: any
+// driver registered in internal/gossip is a valid value, so the list
+// below is the stable core surface, not an exhaustive enum.
+type Algorithm string
 
 const (
 	// Auto runs the Theorem 31 combination (push-pull and the spanner
 	// algorithm side by side, reporting the faster arm).
-	Auto Algorithm = iota + 1
+	Auto Algorithm = "auto"
 	// PushPull is the random phone-call protocol.
-	PushPull
+	PushPull Algorithm = "push-pull"
 	// Spanner is the DTG + Baswana-Sen + RR pipeline.
-	Spanner
+	Spanner Algorithm = "spanner"
 	// Pattern is the deterministic T(k) schedule.
-	Pattern
+	Pattern Algorithm = "pattern"
 	// Flood is the push-only baseline.
-	Flood
+	Flood Algorithm = "flood"
 )
 
-// String names the algorithm.
+// String names the algorithm; the zero value reads as the Auto default.
 func (a Algorithm) String() string {
-	switch a {
-	case Auto:
-		return "auto"
-	case PushPull:
-		return "push-pull"
-	case Spanner:
-		return "spanner"
-	case Pattern:
-		return "pattern"
-	case Flood:
-		return "flood"
-	default:
-		return fmt.Sprintf("algorithm(%d)", int(a))
+	if a == "" {
+		return string(Auto)
 	}
+	return string(a)
 }
+
+// ParseAlgorithm resolves a driver name or alias to its canonical
+// Algorithm, validating it against the registry.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	d, ok := gossip.Lookup(name)
+	if !ok {
+		return "", fmt.Errorf("core: unknown algorithm %q (have %s)", name, strings.Join(gossip.Names(), "|"))
+	}
+	return Algorithm(d.Name), nil
+}
+
+// Algorithms lists the registered driver names Disseminate accepts.
+func Algorithms() []string { return gossip.Names() }
 
 // Options configures Disseminate.
 type Options struct {
@@ -163,107 +169,43 @@ type Outcome struct {
 	Exchanges int64
 }
 
-// Disseminate runs the selected dissemination algorithm on g.
+// Disseminate runs the selected dissemination algorithm on g by
+// dispatching to the internal/gossip driver registry — the same code path
+// the experiment harness and the CLIs use.
 func Disseminate(g *graph.Graph, opts Options) (Outcome, error) {
-	if opts.Algorithm == 0 {
-		opts.Algorithm = Auto
+	name, err := ParseAlgorithm(opts.Algorithm.String())
+	if err != nil {
+		return Outcome{}, err
 	}
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = sim.DefaultMaxRounds
 	}
-	switch opts.Algorithm {
-	case PushPull:
-		var res sim.Result
-		var err error
-		if opts.CrashAt != nil {
-			res, err = gossip.RunPushPullWithCrashes(g, opts.Source, opts.CrashAt, opts.Seed, opts.MaxRounds)
-		} else {
-			res, err = gossip.RunPushPull(g, opts.Source, opts.Seed, opts.MaxRounds)
-		}
-		if err != nil {
-			return Outcome{}, err
-		}
-		return fromSim(PushPull, res), nil
-	case Flood:
-		res, err := gossip.RunFlood(g, opts.Source, true, opts.Seed, opts.MaxRounds)
-		if err != nil {
-			return Outcome{}, err
-		}
-		return fromSim(Flood, res), nil
-	case Spanner:
-		spOpts := gossip.SpannerOptions{
-			D:              opts.D,
-			KnownLatencies: opts.KnownLatencies,
-			Seed:           opts.Seed,
-			MaxPhaseRounds: opts.MaxRounds,
-			CrashAt:        opts.CrashAt,
-		}
-		if opts.FaultTolerant {
-			spOpts.UseSuperstep = true
-			spOpts.LBTimeout = defaultLBTimeout(g)
-		}
-		res, err := gossip.SpannerBroadcast(g, spOpts)
-		if err != nil {
-			return Outcome{}, err
-		}
-		return fromBroadcast(Spanner, res), nil
-	case Pattern:
-		res, err := gossip.PatternBroadcast(g, gossip.PatternOptions{
-			D:              opts.D,
-			Seed:           opts.Seed,
-			MaxPhaseRounds: opts.MaxRounds,
-		})
-		if err != nil {
-			return Outcome{}, err
-		}
-		return fromBroadcast(Pattern, res), nil
-	case Auto:
-		res, err := gossip.Unified(g, gossip.UnifiedOptions{
-			Source:         opts.Source,
-			KnownLatencies: opts.KnownLatencies,
-			D:              opts.D,
-			Seed:           opts.Seed,
-			MaxRounds:      opts.MaxRounds,
-		})
-		if err != nil {
-			return Outcome{}, err
-		}
-		out := Outcome{
-			Algorithm: PushPull,
-			Rounds:    res.Rounds,
-			Completed: res.Rounds >= 0,
-			Exchanges: res.PushPull.Exchanges + res.Spanner.Exchanges,
-		}
-		if res.Winner == "spanner" {
-			out.Algorithm = Spanner
-		}
-		if !out.Completed {
-			out.Rounds = -1
-		}
-		return out, nil
-	default:
-		return Outcome{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+	res, err := gossip.Dispatch(string(name), g, gossip.DriverOptions{
+		Source:         opts.Source,
+		KnownLatencies: opts.KnownLatencies,
+		D:              opts.D,
+		Seed:           opts.Seed,
+		MaxRounds:      opts.MaxRounds,
+		CrashAt:        opts.CrashAt,
+		FaultTolerant:  opts.FaultTolerant,
+	})
+	if err != nil {
+		return Outcome{}, err
 	}
-}
-
-// defaultLBTimeout picks a timeout safely above any single round trip:
-// twice the largest edge latency plus slack.
-func defaultLBTimeout(g *graph.Graph) int {
-	return 2*g.MaxLatency() + 4
-}
-
-func fromSim(a Algorithm, res sim.Result) Outcome {
-	out := Outcome{Algorithm: a, Rounds: res.Rounds, Completed: res.Completed, Exchanges: res.Exchanges}
-	if !res.Completed {
+	out := Outcome{
+		Algorithm: name,
+		Rounds:    res.Rounds,
+		Completed: res.Completed,
+		Exchanges: res.Exchanges,
+	}
+	switch res.Winner {
+	case "spanner":
+		out.Algorithm = Spanner
+	case "push-pull", "none":
+		out.Algorithm = PushPull
+	}
+	if !out.Completed {
 		out.Rounds = -1
 	}
-	return out
-}
-
-func fromBroadcast(a Algorithm, res gossip.BroadcastResult) Outcome {
-	out := Outcome{Algorithm: a, Rounds: res.Rounds, Completed: res.Completed, Exchanges: res.Exchanges}
-	if !res.Completed {
-		out.Rounds = -1
-	}
-	return out
+	return out, nil
 }

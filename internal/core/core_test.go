@@ -75,7 +75,7 @@ func TestDisseminateDefaultsToAuto(t *testing.T) {
 
 func TestDisseminateUnknownAlgorithm(t *testing.T) {
 	g := graphgen.Clique(4, 1)
-	if _, err := Disseminate(g, Options{Algorithm: Algorithm(99)}); err == nil {
+	if _, err := Disseminate(g, Options{Algorithm: Algorithm("no-such-driver")}); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -83,12 +83,30 @@ func TestDisseminateUnknownAlgorithm(t *testing.T) {
 func TestAlgorithmString(t *testing.T) {
 	names := map[Algorithm]string{
 		Auto: "auto", PushPull: "push-pull", Spanner: "spanner",
-		Pattern: "pattern", Flood: "flood", Algorithm(42): "algorithm(42)",
+		Pattern: "pattern", Flood: "flood", Algorithm(""): "auto",
 	}
 	for a, want := range names {
 		if got := a.String(); got != want {
-			t.Fatalf("String(%d) = %q, want %q", int(a), got, want)
+			t.Fatalf("String(%q) = %q, want %q", string(a), got, want)
 		}
+	}
+}
+
+func TestParseAlgorithmAliases(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"pushpull": PushPull, "PUSH-PULL": PushPull, "unified": Auto,
+		"dtg": Algorithm("dtg"), "rr": Algorithm("rr"),
+	} {
+		got, err := ParseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %q, want %q", name, got, want)
+		}
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Fatal("expected error for unregistered name")
 	}
 }
 

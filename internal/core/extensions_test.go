@@ -42,10 +42,3 @@ func TestDisseminateFaultTolerantSpanner(t *testing.T) {
 		t.Fatalf("fault-tolerant spanner incomplete: %+v", out)
 	}
 }
-
-func TestDefaultLBTimeout(t *testing.T) {
-	g := graphgen.Clique(4, 8)
-	if got := defaultLBTimeout(g); got != 20 {
-		t.Fatalf("defaultLBTimeout = %d, want 2*8+4", got)
-	}
-}

@@ -51,7 +51,9 @@ func runE7(ctx context.Context, cfg Config) (*Table, error) {
 	cells, err := runGrid(ctx, cfg, "E7", names, cfg.Trials*2,
 		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
 			g := cases[c.CellIndex].g
-			res, err := gossip.RunPushPull(g, 0, seed, 1<<21)
+			res, err := gossip.Dispatch("push-pull", g, gossip.DriverOptions{
+				Source: 0, Seed: seed, MaxRounds: 1 << 21,
+			})
 			if err != nil {
 				return runner.Sample{}, err
 			}
@@ -493,21 +495,24 @@ func runE13(ctx context.Context, cfg Config) (*Table, error) {
 	cells, err := runGrid(ctx, cfg, "E13", names, 1,
 		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
 			g := graphgen.Star(ns[c.CellIndex], lat)
-			flood, err := gossip.RunFlood(g, 0, true, seed, 1<<21)
-			if err != nil {
-				return runner.Sample{}, err
+			// Both arms go through the driver registry by name — the one
+			// protocol-selection code path shared with core and the CLIs.
+			vals := map[string]float64{}
+			for _, arm := range []struct{ key, driver string }{
+				{"flood", "flood"}, {"pp", "push-pull"},
+			} {
+				res, err := gossip.Dispatch(arm.driver, g, gossip.DriverOptions{
+					Source: 0, Seed: seed, MaxRounds: 1 << 21,
+				})
+				if err != nil {
+					return runner.Sample{}, err
+				}
+				if !res.Completed {
+					return runner.Sample{}, fmt.Errorf("%s incomplete", arm.driver)
+				}
+				vals[arm.key] = float64(res.Rounds)
 			}
-			pp, err := gossip.RunPushPull(g, 0, seed, 1<<21)
-			if err != nil {
-				return runner.Sample{}, err
-			}
-			if !flood.Completed || !pp.Completed {
-				return runner.Sample{}, fmt.Errorf("incomplete")
-			}
-			return runner.V(map[string]float64{
-				"flood": float64(flood.Rounds),
-				"pp":    float64(pp.Rounds),
-			}), nil
+			return runner.V(vals), nil
 		})
 	if err != nil {
 		return nil, fmt.Errorf("E13: %w", err)

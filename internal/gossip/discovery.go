@@ -19,6 +19,7 @@ type Discover struct {
 var (
 	_ sim.Protocol     = (*Discover)(nil)
 	_ sim.DoneReporter = (*Discover)(nil)
+	_ sim.Sleeper      = (*Discover)(nil)
 )
 
 // NewDiscover returns the discovery protocol for one node.
@@ -40,6 +41,14 @@ func (d *Discover) OnDeliver(sim.Delivery) {}
 // Done reports that all probes have been sent (responses may still be in
 // flight; the phase budget bounds how long we wait for them).
 func (d *Discover) Done() bool { return d.next >= d.nv.Degree() }
+
+// NextWake parks the node once every neighbor has been probed.
+func (d *Discover) NextWake(round int) int {
+	if d.Done() {
+		return sim.WakeOnDelivery
+	}
+	return round + 1
+}
 
 // RunDiscovery runs a discovery phase with the given round budget
 // (typically Δ + current diameter guess). The returned result's Rounds is

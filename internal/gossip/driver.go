@@ -1,0 +1,470 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+	"gossip/internal/spanner"
+)
+
+// Objective selects what a dissemination run must achieve before it may
+// stop.
+type Objective int
+
+const (
+	// Broadcast is one-to-all: every node (or every survivor, under a
+	// crash schedule) holds the source rumor. The default.
+	Broadcast Objective = iota
+	// AllToAll: every node holds every rumor.
+	AllToAll
+	// LocalBroadcast: every node holds each graph neighbor's rumor.
+	LocalBroadcast
+)
+
+// Variant names a driver-specific protocol ablation. The empty string is
+// always the driver's canonical form.
+const (
+	// VariantBlocking makes push-pull wait for each exchange to complete
+	// before the next initiation (the footnote-3 ablation).
+	VariantBlocking = "blocking"
+	// VariantNonBlocking makes flood initiate every round instead of
+	// store-and-forward waiting on each exchange.
+	VariantNonBlocking = "nonblocking"
+)
+
+// DriverOptions is the one option surface shared by every registered
+// driver. Each driver documents (Driver.Options) which fields it reads;
+// the rest are ignored. The zero value is a valid configuration for every
+// driver: one-to-all from node 0 with defaulted horizons.
+type DriverOptions struct {
+	// Source is the rumor source for Broadcast objectives.
+	Source graph.NodeID
+	// Sources seeds several simultaneous sources (Broadcast objective
+	// only); completion is judged against all of them.
+	Sources []graph.NodeID
+	// Objective selects the completion criterion (single-phase drivers).
+	Objective Objective
+	// Variant selects a protocol ablation; see the Variant* constants.
+	Variant string
+	// Seed drives all per-node randomness.
+	Seed uint64
+	// MaxRounds is the horizon (multi-phase pipelines: per phase).
+	MaxRounds int
+	// KnownLatencies selects the Section 4 model.
+	KnownLatencies bool
+	// D is the known weighted diameter; 0 engages guess-and-double in
+	// the spanner/pattern pipelines.
+	D int
+	// Ell is the latency filter for dtg/superstep (0 = no filter).
+	Ell int
+	// K is the rr edge filter and budget parameter (0 = driver default).
+	K int
+	// Budget overrides the rr round budget when positive.
+	Budget int
+	// Spanner supplies rr's out-edge orientation; nil builds a default
+	// Baswana-Sen spanner from Seed.
+	Spanner *spanner.Spanner
+	// InitialRumors carries state from a previous phase.
+	InitialRumors []*bitset.Set
+	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt).
+	CrashAt []int
+	// MaxInPerRound caps accepted incoming initiations per node per
+	// round (0 = unbounded).
+	MaxInPerRound int
+	// FaultTolerant switches the spanner pipeline to the Superstep
+	// primitive with timeouts.
+	FaultTolerant bool
+	// LBTimeout is the superstep abandonment timer (0 = driver default
+	// where fault tolerance demands one, else disabled).
+	LBTimeout int
+	// SkipCheck drops the Termination_Check accounting phase of the
+	// spanner/pattern pipelines when D is known.
+	SkipCheck bool
+	// Stop, when non-nil, additionally ends single-phase runs early.
+	Stop sim.StopFunc
+}
+
+// DriverResult is the normalized outcome every driver reports: the
+// union of sim.Result and BroadcastResult surfaced through one shape.
+type DriverResult struct {
+	// Rounds until the driver's completion criterion held.
+	Rounds int
+	// Completed is false when a horizon was hit first.
+	Completed bool
+	// Exchanges / Messages / Dropped / RumorPayload are the transport
+	// totals (multi-phase pipelines report Exchanges and RumorPayload
+	// summed across phases; Messages and Dropped only where tracked).
+	Exchanges    int64
+	Messages     int64
+	Dropped      int64
+	RumorPayload int64
+	// InformedAt[u] is the first round u held the watched rumor, or -1;
+	// nil for multi-phase pipelines, which have no single watched rumor.
+	InformedAt []int
+	// Winner names the faster arm of the auto/unified driver.
+	Winner string
+	// Sim is the underlying single-phase result, when there is one.
+	Sim *sim.Result
+	// Broadcast is the underlying multi-phase result, when there is one.
+	Broadcast *BroadcastResult
+}
+
+// OptionDoc documents one DriverOptions field a driver consumes — the
+// driver's options schema, rendered by CLI help.
+type OptionDoc struct {
+	Name string
+	Doc  string
+}
+
+// Driver is one named dissemination protocol: a factory for its per-node
+// protocol instances, its stop condition, and its options schema, behind
+// a uniform Run. core.Disseminate, internal/experiments and the CLIs all
+// select protocols through this registry.
+type Driver struct {
+	// Name is the canonical registry key.
+	Name string
+	// Aliases are accepted alternate spellings.
+	Aliases []string
+	// Description is a one-line summary for CLI help.
+	Description string
+	// Options is the schema: the DriverOptions fields this driver reads.
+	Options []OptionDoc
+	// Run executes the protocol on g.
+	Run func(g *graph.Graph, opts DriverOptions) (DriverResult, error)
+}
+
+var drivers = map[string]*Driver{}
+
+// Register adds d under its name and aliases; duplicate names panic
+// (registration is an init-time programming error, not a runtime state).
+func Register(d *Driver) {
+	for _, name := range append([]string{d.Name}, d.Aliases...) {
+		key := strings.ToLower(name)
+		if _, dup := drivers[key]; dup {
+			panic(fmt.Sprintf("gossip: duplicate driver %q", key))
+		}
+		drivers[key] = d
+	}
+}
+
+// Lookup resolves a driver by name or alias (case-insensitive).
+func Lookup(name string) (*Driver, bool) {
+	d, ok := drivers[strings.ToLower(strings.TrimSpace(name))]
+	return d, ok
+}
+
+// Names returns the sorted canonical driver names.
+func Names() []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(drivers))
+	for _, d := range drivers {
+		if !seen[d.Name] {
+			seen[d.Name] = true
+			out = append(out, d.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dispatch runs the named driver on g.
+func Dispatch(name string, g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+	d, ok := Lookup(name)
+	if !ok {
+		return DriverResult{}, fmt.Errorf("gossip: unknown driver %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return d.Run(g, opts)
+}
+
+// fromSimResult normalizes a single-phase simulation outcome.
+func fromSimResult(res sim.Result, err error) (DriverResult, error) {
+	if err != nil {
+		return DriverResult{}, err
+	}
+	return DriverResult{
+		Rounds:       res.Rounds,
+		Completed:    res.Completed,
+		Exchanges:    res.Exchanges,
+		Messages:     res.Messages,
+		Dropped:      res.Dropped,
+		RumorPayload: res.RumorPayload,
+		InformedAt:   res.InformedAt,
+		Sim:          &res,
+	}, nil
+}
+
+// fromBroadcastResult normalizes a multi-phase pipeline outcome.
+func fromBroadcastResult(res BroadcastResult, err error) (DriverResult, error) {
+	if err != nil {
+		return DriverResult{}, err
+	}
+	return DriverResult{
+		Rounds:       res.Rounds,
+		Completed:    res.Completed,
+		Exchanges:    res.Exchanges,
+		RumorPayload: res.RumorPayload,
+		Broadcast:    &res,
+	}, nil
+}
+
+// broadcastStop picks the stop condition for a Broadcast-objective run.
+func broadcastStop(opts DriverOptions) sim.StopFunc {
+	if len(opts.Sources) > 0 {
+		stops := make([]sim.StopFunc, len(opts.Sources))
+		for i, s := range opts.Sources {
+			stops[i] = sim.StopAllInformed(s)
+		}
+		return sim.StopAnd(stops...)
+	}
+	if opts.CrashAt != nil {
+		return sim.StopAllAliveInformed(opts.Source)
+	}
+	return sim.StopAllInformed(opts.Source)
+}
+
+// objectiveStop maps an Objective to its stop condition, composing any
+// caller-supplied early stop.
+func objectiveStop(opts DriverOptions) sim.StopFunc {
+	var stop sim.StopFunc
+	switch opts.Objective {
+	case AllToAll:
+		stop = sim.StopAllHaveAll()
+	case LocalBroadcast:
+		stop = sim.StopLocalBroadcast()
+	default:
+		stop = broadcastStop(opts)
+	}
+	if opts.Stop != nil {
+		stop = sim.StopOr(opts.Stop, stop)
+	}
+	return stop
+}
+
+// objectiveMode maps an Objective to the rumor seeding mode.
+func objectiveMode(opts DriverOptions) sim.RumorMode {
+	if opts.Objective == Broadcast {
+		return sim.OneToAll
+	}
+	return sim.AllToAll
+}
+
+func init() {
+	Register(&Driver{
+		Name:        "push-pull",
+		Aliases:     []string{"pushpull"},
+		Description: "random phone-call gossip: exchange with a uniform random neighbor every round (Theorem 29)",
+		Options: []OptionDoc{
+			{"Source/Sources", "watched rumor origin(s) for the Broadcast objective"},
+			{"Objective", "Broadcast (default), AllToAll or LocalBroadcast"},
+			{"Variant", "\"blocking\" waits out each exchange before the next"},
+			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
+			{"MaxInPerRound", "bounded in-degree model of Daum et al."},
+			{"Seed/MaxRounds", "determinism and horizon"},
+		},
+		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			factory := func(nv *sim.NodeView) sim.Protocol { return NewPushPull(nv) }
+			if opts.Variant == VariantBlocking {
+				factory = func(nv *sim.NodeView) sim.Protocol { return NewPushPullBlocking(nv) }
+			}
+			return fromSimResult(sim.Run(sim.Config{
+				Graph:         g,
+				Seed:          opts.Seed,
+				MaxRounds:     opts.MaxRounds,
+				Mode:          objectiveMode(opts),
+				Source:        opts.Source,
+				Sources:       opts.Sources,
+				CrashAt:       opts.CrashAt,
+				MaxInPerRound: opts.MaxInPerRound,
+			}, factory, objectiveStop(opts)))
+		},
+	})
+	Register(&Driver{
+		Name:        "flood",
+		Description: "push-only store-and-forward baseline of footnote 3 (blocking unless Variant=\"nonblocking\")",
+		Options: []OptionDoc{
+			{"Source", "rumor origin; only informed nodes act"},
+			{"Variant", "\"nonblocking\" initiates every round"},
+			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
+			{"Seed/MaxRounds", "determinism and horizon"},
+		},
+		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			blocking := opts.Variant != VariantNonBlocking
+			return fromSimResult(sim.Run(sim.Config{
+				Graph:     g,
+				Seed:      opts.Seed,
+				MaxRounds: opts.MaxRounds,
+				Mode:      sim.OneToAll,
+				Source:    opts.Source,
+				CrashAt:   opts.CrashAt,
+			}, func(nv *sim.NodeView) sim.Protocol {
+				return NewFlood(nv, opts.Source, blocking)
+			}, broadcastStop(opts)))
+		},
+	})
+	Register(&Driver{
+		Name:        "dtg",
+		Description: "ℓ-DTG deterministic tree gossip local broadcast (Algorithm 6), run to quiescence",
+		Options: []OptionDoc{
+			{"Ell", "latency filter defining G_ℓ (0 = all edges)"},
+			{"InitialRumors", "state carried from a previous phase"},
+			{"CrashAt", "fail-stop schedule (DTG stalls on dead peers)"},
+			{"Seed/MaxRounds", "determinism and horizon"},
+		},
+		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			return fromSimResult(sim.Run(sim.Config{
+				Graph:          g,
+				Seed:           opts.Seed,
+				KnownLatencies: true,
+				MaxRounds:      opts.MaxRounds,
+				Mode:           sim.AllToAll,
+				InitialRumors:  opts.InitialRumors,
+				CrashAt:        opts.CrashAt,
+			}, func(nv *sim.NodeView) sim.Protocol {
+				return NewDTG(nv, opts.Ell)
+			}, sim.StopAllDone()))
+		},
+	})
+	Register(&Driver{
+		Name:        "superstep",
+		Description: "randomized local broadcast primitive, optionally timeout-hardened (Section 7 extension)",
+		Options: []OptionDoc{
+			{"Ell", "latency filter defining G_ℓ (0 = all edges)"},
+			{"LBTimeout", "abandon stalled exchanges after this many rounds"},
+			{"InitialRumors", "state carried from a previous phase"},
+			{"CrashAt", "fail-stop schedule"},
+			{"Seed/MaxRounds", "determinism and horizon"},
+		},
+		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			return fromSimResult(sim.Run(sim.Config{
+				Graph:          g,
+				Seed:           opts.Seed,
+				KnownLatencies: true,
+				MaxRounds:      opts.MaxRounds,
+				Mode:           sim.AllToAll,
+				InitialRumors:  opts.InitialRumors,
+				CrashAt:        opts.CrashAt,
+			}, func(nv *sim.NodeView) sim.Protocol {
+				return NewSuperstep(nv, opts.Ell, opts.LBTimeout)
+			}, sim.StopAllDone()))
+		},
+	})
+	Register(&Driver{
+		Name:        "rr",
+		Description: "round-robin broadcast over directed spanner out-edges (Algorithm 1 / Lemma 21)",
+		Options: []OptionDoc{
+			{"Spanner", "out-edge orientation (nil = build Baswana-Sen from Seed)"},
+			{"K", "latency filter on out-edges; drives the Lemma 21 budget"},
+			{"Budget", "override the K·Δout + K budget"},
+			{"InitialRumors/CrashAt/Stop", "phase state, failures, early stop"},
+			{"Seed/MaxRounds", "determinism and horizon"},
+		},
+		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			sp := opts.Spanner
+			if sp == nil {
+				k := log2CeilInt(g.N())
+				if k < 1 {
+					k = 1
+				}
+				var err error
+				sp, err = spanner.Build(g, spanner.Options{K: k, Seed: opts.Seed ^ 0x5bd1e995})
+				if err != nil {
+					return DriverResult{}, err
+				}
+			}
+			k := opts.K
+			if k <= 0 {
+				k = g.MaxLatency()
+			}
+			return fromSimResult(runRR(g, sp, RROptions{
+				K:             k,
+				Budget:        opts.Budget,
+				Seed:          opts.Seed,
+				MaxRounds:     opts.MaxRounds,
+				InitialRumors: opts.InitialRumors,
+				Stop:          opts.Stop,
+				CrashAt:       opts.CrashAt,
+			}))
+		},
+	})
+	Register(&Driver{
+		Name:        "spanner",
+		Description: "DTG + Baswana-Sen spanner + RR pipeline (Theorem 25), guess-and-double when D unknown",
+		Options: []OptionDoc{
+			{"D", "known weighted diameter (0 = guess-and-double)"},
+			{"KnownLatencies", "Section 4 model; else discovery phases are prepended"},
+			{"FaultTolerant/LBTimeout", "swap DTG for timeout-hardened Superstep"},
+			{"SkipCheck", "drop the Termination_Check phase for known D"},
+			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
+			{"Seed/MaxRounds", "determinism and per-phase horizon"},
+		},
+		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			spOpts := SpannerOptions{
+				D:              opts.D,
+				KnownLatencies: opts.KnownLatencies,
+				Seed:           opts.Seed,
+				MaxPhaseRounds: opts.MaxRounds,
+				SkipCheck:      opts.SkipCheck,
+				CrashAt:        opts.CrashAt,
+			}
+			if opts.FaultTolerant {
+				spOpts.UseSuperstep = true
+				spOpts.LBTimeout = opts.LBTimeout
+				if spOpts.LBTimeout <= 0 {
+					// Safely above any single round trip.
+					spOpts.LBTimeout = 2*g.MaxLatency() + 4
+				}
+			}
+			return fromBroadcastResult(SpannerBroadcast(g, spOpts))
+		},
+	})
+	Register(&Driver{
+		Name:        "pattern",
+		Description: "deterministic T(k) schedule of ℓ-DTG phases (Algorithm 5 / Lemma 28)",
+		Options: []OptionDoc{
+			{"D", "known weighted diameter (0 = guess-and-double)"},
+			{"SkipCheck", "drop the Termination_Check pass for known D"},
+			{"Seed/MaxRounds", "determinism and per-phase horizon"},
+		},
+		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			return fromBroadcastResult(PatternBroadcast(g, PatternOptions{
+				D:              opts.D,
+				Seed:           opts.Seed,
+				MaxPhaseRounds: opts.MaxRounds,
+				SkipCheck:      opts.SkipCheck,
+			}))
+		},
+	})
+	Register(&Driver{
+		Name:        "auto",
+		Aliases:     []string{"unified"},
+		Description: "Theorem 31 combination: push-pull and the spanner pipeline side by side, faster arm wins",
+		Options: []OptionDoc{
+			{"Source", "rumor origin of the push-pull arm"},
+			{"D/KnownLatencies", "spanner arm model selection"},
+			{"Seed/MaxRounds", "determinism and horizon"},
+		},
+		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			res, err := Unified(g, UnifiedOptions{
+				Source:         opts.Source,
+				KnownLatencies: opts.KnownLatencies,
+				D:              opts.D,
+				Seed:           opts.Seed,
+				MaxRounds:      opts.MaxRounds,
+			})
+			if err != nil {
+				return DriverResult{}, err
+			}
+			return DriverResult{
+				Rounds:       res.Rounds,
+				Completed:    res.Rounds >= 0,
+				Exchanges:    res.PushPull.Exchanges + res.Spanner.Exchanges,
+				RumorPayload: res.PushPull.RumorPayload + res.Spanner.RumorPayload,
+				Winner:       res.Winner,
+			}, nil
+		},
+	})
+}

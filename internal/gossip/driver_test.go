@@ -1,0 +1,101 @@
+package gossip
+
+import (
+	"testing"
+
+	"gossip/internal/graphgen"
+)
+
+func TestDriverRegistryNames(t *testing.T) {
+	want := []string{"auto", "dtg", "flood", "pattern", "push-pull", "rr", "spanner", "superstep"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDriverLookupAliases(t *testing.T) {
+	for alias, canonical := range map[string]string{
+		"pushpull": "push-pull", "PUSH-PULL": "push-pull",
+		"unified": "auto", " auto ": "auto",
+	} {
+		d, ok := Lookup(alias)
+		if !ok || d.Name != canonical {
+			t.Fatalf("Lookup(%q) = %v,%v, want driver %q", alias, d, ok, canonical)
+		}
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Fatal("Lookup accepted an unregistered name")
+	}
+}
+
+func TestDispatchUnknownDriver(t *testing.T) {
+	if _, err := Dispatch("bogus", graphgen.Clique(4, 1), DriverOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestDispatchAllDriversComplete smoke-runs every registered driver with
+// zero-value options on one topology: the registry contract is that the
+// zero DriverOptions is valid everywhere.
+func TestDispatchAllDriversComplete(t *testing.T) {
+	g := graphgen.Grid(3, 3, 2)
+	for _, name := range Names() {
+		res, err := Dispatch(name, g, DriverOptions{Seed: 1, KnownLatencies: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: incomplete: %+v", name, res)
+		}
+		if res.Rounds <= 0 {
+			t.Fatalf("%s: rounds = %d", name, res.Rounds)
+		}
+		if (res.Sim == nil) == (res.Broadcast == nil) && res.Winner == "" {
+			t.Fatalf("%s: result carries neither Sim nor Broadcast detail", name)
+		}
+	}
+}
+
+// TestDispatchMatchesWrapper pins the wrapper sugar to the driver path:
+// both spellings must be the same run bit for bit.
+func TestDispatchMatchesWrapper(t *testing.T) {
+	g := graphgen.Dumbbell(6, 16)
+	wrap, err := RunPushPull(g, 0, 42, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := Dispatch("push-pull", g, DriverOptions{Source: 0, Seed: 42, MaxRounds: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrap.Rounds != drv.Rounds || wrap.Exchanges != drv.Exchanges || wrap.Messages != drv.Messages {
+		t.Fatalf("wrapper %+v != driver %+v", wrap, drv)
+	}
+}
+
+func TestSpannerDriverDefaultsLBTimeout(t *testing.T) {
+	// FaultTolerant with LBTimeout 0 must pick a timeout above any round
+	// trip (2·ℓmax + slack) rather than disabling abandonment.
+	g := graphgen.Clique(8, 4)
+	crashAt := make([]int, 8)
+	for i := range crashAt {
+		crashAt[i] = -1
+	}
+	crashAt[3] = 2
+	res, err := Dispatch("spanner", g, DriverOptions{
+		KnownLatencies: true, Seed: 3, MaxRounds: 1 << 14,
+		FaultTolerant: true, CrashAt: crashAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("fault-tolerant spanner did not survive the crash: %+v", res)
+	}
+}

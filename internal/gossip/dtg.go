@@ -41,6 +41,7 @@ var (
 	_ sim.Protocol     = (*DTG)(nil)
 	_ sim.MetaProducer = (*DTG)(nil)
 	_ sim.DoneReporter = (*DTG)(nil)
+	_ sim.Sleeper      = (*DTG)(nil)
 )
 
 // NewDTG returns the ℓ-DTG protocol for one node. ell <= 0 means no
@@ -114,6 +115,16 @@ func (d *DTG) startIteration() bool {
 	return true
 }
 
+// NextWake parks a finished node forever and a blocked node until its
+// in-flight exchange returns; this is where DTG's wait-Θ(ℓ)-per-send
+// schedule stops costing engine time on slow links.
+func (d *DTG) NextWake(round int) int {
+	if d.done || d.pending >= 0 {
+		return sim.WakeOnDelivery
+	}
+	return round + 1
+}
+
 // OnDeliver merges the peer's heard set and unblocks the state machine.
 func (d *DTG) OnDeliver(dv sim.Delivery) {
 	if peer, ok := dv.PeerMeta.(*bitset.Set); ok {
@@ -142,13 +153,11 @@ type DTGOptions struct {
 // RunDTG runs one ℓ-DTG phase to quiescence (every node's local
 // broadcast complete) and returns the simulation result.
 func RunDTG(g *graph.Graph, opts DTGOptions) (sim.Result, error) {
-	return sim.Run(sim.Config{
-		Graph:          g,
-		Seed:           opts.Seed,
-		KnownLatencies: true,
-		MaxRounds:      opts.MaxRounds,
-		Mode:           sim.AllToAll,
-		InitialRumors:  opts.InitialRumors,
-		CrashAt:        opts.CrashAt,
-	}, func(nv *sim.NodeView) sim.Protocol { return NewDTG(nv, opts.Ell) }, sim.StopAllDone())
+	return dispatchSim("dtg", g, DriverOptions{
+		Ell:           opts.Ell,
+		Seed:          opts.Seed,
+		MaxRounds:     opts.MaxRounds,
+		InitialRumors: opts.InitialRumors,
+		CrashAt:       opts.CrashAt,
+	})
 }

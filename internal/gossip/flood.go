@@ -18,7 +18,10 @@ type Flood struct {
 	inflight bool
 }
 
-var _ sim.Protocol = (*Flood)(nil)
+var (
+	_ sim.Protocol = (*Flood)(nil)
+	_ sim.Sleeper  = (*Flood)(nil)
+)
 
 // NewFlood returns the flooding protocol. Nodes activate only once they
 // hold source's rumor.
@@ -47,13 +50,23 @@ func (f *Flood) OnDeliver(d sim.Delivery) {
 	}
 }
 
+// NextWake parks the node until a delivery can change anything: an
+// uninformed node only acts after the rumor arrives, and a blocking node
+// only after its in-flight exchange returns.
+func (f *Flood) NextWake(round int) int {
+	if !f.nv.Knows(f.source) || f.nv.Degree() == 0 || (f.blocking && f.inflight) {
+		return sim.WakeOnDelivery
+	}
+	return round + 1
+}
+
 // RunFlood runs one-to-all flooding from source.
 func RunFlood(g *graph.Graph, source graph.NodeID, blocking bool, seed uint64, maxRounds int) (sim.Result, error) {
-	return sim.Run(sim.Config{
-		Graph:     g,
-		Seed:      seed,
-		MaxRounds: maxRounds,
-		Mode:      sim.OneToAll,
-		Source:    source,
-	}, func(nv *sim.NodeView) sim.Protocol { return NewFlood(nv, source, blocking) }, sim.StopAllInformed(source))
+	variant := ""
+	if !blocking {
+		variant = VariantNonBlocking
+	}
+	return dispatchSim("flood", g, DriverOptions{
+		Source: source, Variant: variant, Seed: seed, MaxRounds: maxRounds,
+	})
 }

@@ -1,0 +1,156 @@
+package gossip
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/graphgen"
+	"gossip/internal/spanner"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/engine_golden.json from the current engine")
+
+// goldenRecord pins the externally observable outcome of one protocol on
+// one topology under a fixed seed. The values were captured on the
+// pre-event-calendar engine (full per-round node scans, full-set
+// snapshots); the event-driven engine must reproduce them exactly.
+type goldenRecord struct {
+	Rounds     int   `json:"rounds"`
+	Completed  bool  `json:"completed"`
+	Exchanges  int64 `json:"exchanges"`
+	InformedAt []int `json:"informed_at,omitempty"`
+}
+
+const goldenMaxRounds = 1 << 18
+
+// goldenGraphs returns the topology suite of the equivalence test:
+// clique, path, dumbbell (slow bridge) and Erdős–Rényi.
+func goldenGraphs() map[string]*graph.Graph {
+	rng := graphgen.NewRand(4242)
+	er, err := graphgen.ErdosRenyi(24, 0.25, 1, rng)
+	if err != nil {
+		panic(err)
+	}
+	graphgen.AssignRandomLatencies(er, 1, 8, rng)
+	return map[string]*graph.Graph{
+		"clique16":  graphgen.Clique(16, 3),
+		"path12":    graphgen.Path(12, 2),
+		"dumbbell8": graphgen.Dumbbell(8, 40),
+		"er24":      er,
+	}
+}
+
+// goldenRuns executes all five protocols on g and returns their records.
+func goldenRuns(t *testing.T, g *graph.Graph) map[string]goldenRecord {
+	t.Helper()
+	out := map[string]goldenRecord{}
+
+	flood, err := RunFlood(g, 0, true, 5, goldenMaxRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["flood"] = goldenRecord{flood.Rounds, flood.Completed, flood.Exchanges, flood.InformedAt}
+
+	pp, err := RunPushPull(g, 0, 7, goldenMaxRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["push-pull"] = goldenRecord{pp.Rounds, pp.Completed, pp.Exchanges, pp.InformedAt}
+
+	sp, err := spanner.Build(g, spanner.Options{K: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RunRR(g, RROptions{Spanner: sp, K: g.MaxLatency(), Seed: 9, MaxRounds: goldenMaxRounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["rr"] = goldenRecord{rr.Rounds, rr.Completed, rr.Exchanges, rr.InformedAt}
+
+	dtg, err := RunDTG(g, DTGOptions{Ell: 0, Seed: 13, MaxRounds: goldenMaxRounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["dtg"] = goldenRecord{dtg.Rounds, dtg.Completed, dtg.Exchanges, dtg.InformedAt}
+
+	sb, err := SpannerBroadcast(g, SpannerOptions{KnownLatencies: true, Seed: 11, MaxPhaseRounds: goldenMaxRounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-phase pipeline: no single InformedAt; Rounds/Exchanges pin it.
+	out["spanner"] = goldenRecord{Rounds: sb.Rounds, Completed: sb.Completed, Exchanges: sb.Exchanges}
+
+	return out
+}
+
+// TestEngineGolden is the engine-equivalence gate of the event-calendar
+// refactor: for fixed seeds, all five protocols must report exactly the
+// rounds, exchange counts and per-node informed times recorded on the
+// pre-refactor engine. Regenerate (only when a semantic change is
+// intended) with: go test ./internal/gossip -run TestEngineGolden -update
+func TestEngineGolden(t *testing.T) {
+	got := map[string]goldenRecord{}
+	names := make([]string, 0)
+	for name := range goldenGraphs() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	graphs := goldenGraphs()
+	for _, gname := range names {
+		for proto, rec := range goldenRuns(t, graphs[gname]) {
+			got[proto+"/"+gname] = rec
+		}
+	}
+
+	path := filepath.Join("testdata", "engine_golden.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d records", path, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update to create): %v", err)
+	}
+	want := map[string]goldenRecord{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d records, run produced %d", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing from run", key)
+			continue
+		}
+		if g.Rounds != w.Rounds || g.Completed != w.Completed || g.Exchanges != w.Exchanges {
+			t.Errorf("%s: rounds/completed/exchanges = %d/%v/%d, golden %d/%v/%d",
+				key, g.Rounds, g.Completed, g.Exchanges, w.Rounds, w.Completed, w.Exchanges)
+		}
+		if w.InformedAt != nil && !reflect.DeepEqual(g.InformedAt, w.InformedAt) {
+			t.Errorf("%s: InformedAt diverged from golden\n got %v\nwant %v", key, g.InformedAt, w.InformedAt)
+		}
+	}
+	if t.Failed() {
+		fmt.Println("engine no longer reproduces the pre-refactor goldens")
+	}
+}

@@ -20,6 +20,7 @@ type RR struct {
 var (
 	_ sim.Protocol     = (*RR)(nil)
 	_ sim.DoneReporter = (*RR)(nil)
+	_ sim.Sleeper      = (*RR)(nil)
 )
 
 // NewRR returns the RR protocol for one node. outIdx are the node's
@@ -44,6 +45,15 @@ func (r *RR) OnDeliver(sim.Delivery) {}
 // Done reports budget exhaustion.
 func (r *RR) Done() bool { return r.steps >= r.budget || len(r.out) == 0 }
 
+// NextWake parks the node once its budget is exhausted; until then it
+// acts every round.
+func (r *RR) NextWake(round int) int {
+	if r.Done() {
+		return sim.WakeOnDelivery
+	}
+	return round + 1
+}
+
 // RROptions configures one RR Broadcast phase.
 type RROptions struct {
 	// Spanner supplies the out-edge orientation.
@@ -63,8 +73,14 @@ type RROptions struct {
 	CrashAt []int
 }
 
-// RunRR runs one RR Broadcast phase.
+// RunRR runs one RR Broadcast phase. It is sugar for the "rr" driver
+// with an explicit spanner.
 func RunRR(g *graph.Graph, opts RROptions) (sim.Result, error) {
+	return runRR(g, opts.Spanner, opts)
+}
+
+// runRR is the "rr" driver body: spanner-oriented round-robin broadcast.
+func runRR(g *graph.Graph, sp *spanner.Spanner, opts RROptions) (sim.Result, error) {
 	outIdx := make([][]int, g.N())
 	maxOut := 0
 	for u := 0; u < g.N(); u++ {
@@ -73,7 +89,7 @@ func RunRR(g *graph.Graph, opts RROptions) (sim.Result, error) {
 		for i, nb := range nbrs {
 			pos[nb.ID] = i
 		}
-		for _, e := range opts.Spanner.Out[u] {
+		for _, e := range sp.Out[u] {
 			if opts.K > 0 && e.Latency > opts.K {
 				continue
 			}

@@ -37,7 +37,25 @@ var (
 	_ sim.MetaProducer = (*Superstep)(nil)
 	_ sim.DoneReporter = (*Superstep)(nil)
 	_ sim.Waiter       = (*Superstep)(nil)
+	_ sim.Sleeper      = (*Superstep)(nil)
 )
+
+// NextWake parks a finished node; a node blocked on an exchange sleeps
+// until either the delivery or — with the fault-tolerance extension — the
+// round its abandonment timer fires, so crashes cost O(1) events instead
+// of O(timeout) no-op scans.
+func (s *Superstep) NextWake(round int) int {
+	if s.done {
+		return sim.WakeOnDelivery
+	}
+	if s.pending >= 0 {
+		if s.timeout > 0 {
+			return s.pendingAt + s.timeout
+		}
+		return sim.WakeOnDelivery
+	}
+	return round + 1
+}
 
 // Waiting keeps the simulator alive while a timeout is pending so the
 // abandonment timer can fire even when every other node is silent.
@@ -130,15 +148,12 @@ type SuperstepOptions struct {
 
 // RunSuperstep runs one randomized local-broadcast phase to quiescence.
 func RunSuperstep(g *graph.Graph, opts SuperstepOptions) (sim.Result, error) {
-	return sim.Run(sim.Config{
-		Graph:          g,
-		Seed:           opts.Seed,
-		KnownLatencies: true,
-		MaxRounds:      opts.MaxRounds,
-		Mode:           sim.AllToAll,
-		InitialRumors:  opts.InitialRumors,
-		CrashAt:        opts.CrashAt,
-	}, func(nv *sim.NodeView) sim.Protocol {
-		return NewSuperstep(nv, opts.Ell, opts.Timeout)
-	}, sim.StopAllDone())
+	return dispatchSim("superstep", g, DriverOptions{
+		Ell:           opts.Ell,
+		LBTimeout:     opts.Timeout,
+		Seed:          opts.Seed,
+		MaxRounds:     opts.MaxRounds,
+		InitialRumors: opts.InitialRumors,
+		CrashAt:       opts.CrashAt,
+	})
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestJitterZeroIsExact(t *testing.T) {
 	g := pathGraph(5)
@@ -57,13 +60,35 @@ func TestJitterNeverBelowOne(t *testing.T) {
 	}
 }
 
+// TestJitterValidation pins the config-block validation: LatencyJitter
+// must be a finite value in [0,1), rejected before the run starts.
 func TestJitterValidation(t *testing.T) {
 	g := pathGraph(1)
-	for _, bad := range []float64{-0.1, 1.0, 2.5} {
-		_, err := Run(Config{Graph: g, MaxRounds: 5, LatencyJitter: bad},
+	cases := []struct {
+		jitter float64
+		ok     bool
+	}{
+		{0, true},
+		{0.001, true},
+		{0.5, true},
+		{0.999, true},
+		{-0.1, false},
+		{-1, false},
+		{1.0, false},
+		{1.5, false},
+		{2.5, false},
+		{math.NaN(), false},
+		{math.Inf(1), false},
+		{math.Inf(-1), false},
+	}
+	for _, c := range cases {
+		_, err := Run(Config{Graph: g, MaxRounds: 5, LatencyJitter: c.jitter},
 			func(nv *NodeView) Protocol { return &fixedProtocol{nv: nv} }, StopNever())
-		if err == nil {
-			t.Fatalf("jitter %v accepted", bad)
+		if c.ok && err != nil {
+			t.Fatalf("jitter %v rejected: %v", c.jitter, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("jitter %v accepted", c.jitter)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
@@ -35,19 +36,21 @@ func (w *World) Alive(u graph.NodeID) bool {
 	return w.crashAt == nil || w.crashAt[u] < 0 || w.Round < w.crashAt[u]
 }
 
-// exchange is an in-flight bidirectional rumor swap.
+// exchange is an in-flight bidirectional rumor swap. Instead of cloning
+// the endpoints' rumor sets it records a window into each endpoint's gain
+// journal: [start,end) is the delta this exchange carries, end is also
+// the size of the endpoint's full set at initiation time.
 type exchange struct {
-	deliver   int
-	initRound int
-	seq       int64
-	u, v      graph.NodeID // u initiated
-	uIdx      int          // adjacency index of v at u
-	vIdx      int          // adjacency index of u at v
-	latency   int
-	uSnap     *bitset.Set // u's rumors at initiation
-	vSnap     *bitset.Set // v's rumors at initiation
-	uMeta     any
-	vMeta     any
+	deliver      int
+	initRound    int
+	seq          int64
+	u, v         graph.NodeID // u initiated
+	uIdx         int          // adjacency index of v at u
+	vIdx         int          // adjacency index of u at v
+	latency      int
+	uStart, uEnd int32 // window into u's journal
+	vStart, vEnd int32 // window into v's journal
+	uMeta, vMeta any
 }
 
 // exchangeHeap orders exchanges by (deliver, seq) so delivery order is
@@ -67,6 +70,7 @@ func (h *exchangeHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	it := old[n-1]
+	old[n-1] = nil
 	*h = old[:n-1]
 	return it
 }
@@ -86,6 +90,12 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
+	// LatencyJitter is part of config validation, not of the round loop:
+	// anything that is not a finite value in [0,1) is rejected up front
+	// (the negated-range form also catches NaN).
+	if cfg.LatencyJitter != 0 && !(cfg.LatencyJitter >= 0 && cfg.LatencyJitter < 1) {
+		return Result{}, fmt.Errorf("sim: latency jitter %v outside [0,1)", cfg.LatencyJitter)
+	}
 	g := cfg.Graph
 	n := g.N()
 	if cfg.Source < 0 || cfg.Source >= n {
@@ -100,11 +110,22 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %d crash entries for %d nodes", len(cfg.CrashAt), n)
 	}
 
+	// NodeViews and the known-latency tables are arena-allocated: two
+	// slabs instead of 2n small objects keeps setup off the allocator's
+	// hot path at n=10⁴⁺.
+	viewArena := make([]NodeView, n)
 	views := make([]*NodeView, n)
 	protos := make([]Protocol, n)
+	totalDeg := 0
+	for u := 0; u < n; u++ {
+		totalDeg += g.Degree(u)
+	}
+	knownArena := make([]int, totalDeg)
+	knownOff := 0
 	for u := 0; u < n; u++ {
 		nbrs := g.Neighbors(u)
-		known := make([]int, len(nbrs))
+		known := knownArena[knownOff : knownOff+len(nbrs) : knownOff+len(nbrs)]
+		knownOff += len(nbrs)
 		for i := range known {
 			if cfg.KnownLatencies {
 				known[i] = nbrs[i].Latency
@@ -112,7 +133,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 				known[i] = -1
 			}
 		}
-		views[u] = &NodeView{
+		viewArena[u] = NodeView{
 			id:    u,
 			n:     n,
 			g:     g,
@@ -121,6 +142,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 			rum:   bitset.New(n),
 			rng:   rand.New(rand.NewPCG(cfg.Seed, uint64(u)*0x9e3779b97f4a7c15+1)),
 		}
+		views[u] = &viewArena[u]
 	}
 	watched := cfg.Source
 	if len(cfg.Sources) > 0 {
@@ -136,31 +158,46 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 			return Result{}, fmt.Errorf("sim: %d initial rumor sets for %d nodes", len(cfg.InitialRumors), n)
 		}
 		for u := 0; u < n; u++ {
-			views[u].rum.UnionWith(cfg.InitialRumors[u])
-			if views[u].rum.Contains(watched) {
+			nv := views[u]
+			cfg.InitialRumors[u].ForEach(func(r int) { nv.gain(r) })
+			if nv.rum.Contains(watched) {
 				informedAt[u] = 0
 			}
 		}
 	case cfg.Mode == OneToAll && len(cfg.Sources) > 0:
 		for _, s := range cfg.Sources {
-			views[s].rum.Add(s)
+			views[s].gain(s)
 		}
 		informedAt[watched] = 0
 	case cfg.Mode == OneToAll:
-		views[cfg.Source].rum.Add(cfg.Source)
+		views[cfg.Source].gain(cfg.Source)
 		informedAt[cfg.Source] = 0
 	case cfg.Mode == AllToAll:
 		for u := 0; u < n; u++ {
-			views[u].rum.Add(u)
+			views[u].gain(u)
 		}
 		informedAt[watched] = 0
 	default:
 		return Result{}, fmt.Errorf("sim: unknown rumor mode %d", cfg.Mode)
 	}
+	// Sleeper/Waiter/MetaProducer facets are fixed per protocol: resolve
+	// the type assertions once instead of per round/exchange.
+	sleepers := make([]Sleeper, n)
+	waiters := make([]Waiter, n)
+	metas := make([]MetaProducer, n)
 	for u := 0; u < n; u++ {
 		protos[u] = factory(views[u])
 		if protos[u] == nil {
 			return Result{}, fmt.Errorf("sim: factory returned nil protocol for node %d", u)
+		}
+		if s, ok := protos[u].(Sleeper); ok {
+			sleepers[u] = s
+		}
+		if w, ok := protos[u].(Waiter); ok {
+			waiters[u] = w
+		}
+		if m, ok := protos[u].(MetaProducer); ok {
+			metas[u] = m
 		}
 	}
 
@@ -168,11 +205,21 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	crashed := func(u graph.NodeID, round int) bool {
 		return cfg.CrashAt != nil && cfg.CrashAt[u] >= 0 && round >= cfg.CrashAt[u]
 	}
-	if cfg.LatencyJitter < 0 || cfg.LatencyJitter >= 1 {
-		if cfg.LatencyJitter != 0 {
-			return Result{}, fmt.Errorf("sim: latency jitter %v outside [0,1)", cfg.LatencyJitter)
+	// Scheduled crashes are calendar events: a stop condition quantifying
+	// over alive nodes can flip at a crash round with no other activity.
+	var crashRounds []int
+	if cfg.CrashAt != nil {
+		seen := map[int]bool{}
+		for _, r := range cfg.CrashAt {
+			if r >= 0 && !seen[r] {
+				seen[r] = true
+				crashRounds = append(crashRounds, r)
+			}
 		}
+		sort.Ints(crashRounds)
 	}
+	nextCrash := 0
+
 	jitterRNG := rand.New(rand.NewPCG(cfg.Seed^0xdeadbeefcafe, 0x5851f42d4c957f2d))
 	actualLatency := func(nominal int) int {
 		if cfg.LatencyJitter == 0 {
@@ -185,40 +232,77 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		}
 		return l
 	}
+	// Delta windows require exchanges on an edge to deliver in initiation
+	// order; jitter can reorder them, so it falls back to full prefixes.
+	useDelta := cfg.LatencyJitter == 0
+	var sent [][]int32 // per node, per adjacency index: journal high-water mark
+	if useDelta {
+		sent = make([][]int32, n)
+		for u := 0; u < n; u++ {
+			sent[u] = make([]int32, len(views[u].nbrs))
+		}
+	}
+
 	var (
 		pending exchangeHeap
+		free    []*exchange // exchange struct free list
 		seq     int64
 		res     Result
 	)
 	res.InformedAt = informedAt
 	res.World = world
 	heap.Init(&pending)
+	newExchange := func() *exchange {
+		if k := len(free); k > 0 {
+			ex := free[k-1]
+			free = free[:k-1]
+			return ex
+		}
+		return &exchange{}
+	}
+	recycle := func(ex *exchange) {
+		*ex = exchange{}
+		free = append(free, ex)
+	}
 
-	deliverOne := func(ex *exchange) {
+	// wake[u] is the next round u's protocol is eligible for Activate;
+	// WakeOnDelivery parks the node. Deliveries re-wake below.
+	wake := make([]int, n)
+
+	deliverOne := func(ex *exchange, round int) {
 		// A fail-stop endpoint neither responds nor forwards: the whole
 		// exchange is lost if either side is down at completion time.
 		if crashed(ex.u, ex.deliver) || crashed(ex.v, ex.deliver) {
 			res.Dropped++
 			return
 		}
-		res.RumorPayload += int64(ex.uSnap.Count()) + int64(ex.vSnap.Count())
+		// The journal prefix length at initiation is the full snapshot
+		// size: payload accounting is identical to the cloning engine.
+		res.RumorPayload += int64(ex.uEnd) + int64(ex.vEnd)
 		for _, side := range [2]struct {
 			self, peer       graph.NodeID
 			selfIdx, peerIdx int
-			snap             *bitset.Set
+			news             []int32
+			peerSize         int32
 			meta             any
 			initiator        bool
 		}{
-			{ex.u, ex.v, ex.uIdx, ex.vIdx, ex.vSnap, ex.vMeta, true},
-			{ex.v, ex.u, ex.vIdx, ex.uIdx, ex.uSnap, ex.uMeta, false},
+			{ex.u, ex.v, ex.uIdx, ex.vIdx, views[ex.v].journal[ex.vStart:ex.vEnd], ex.vEnd, ex.vMeta, true},
+			{ex.v, ex.u, ex.vIdx, ex.uIdx, views[ex.u].journal[ex.uStart:ex.uEnd], ex.uEnd, ex.uMeta, false},
 		} {
 			nv := views[side.self]
-			before := nv.rum.Count()
-			nv.rum.UnionWith(side.snap)
-			gained := nv.rum.Count() - before
+			gained := 0
+			for _, r := range side.news {
+				if nv.gain(int(r)) {
+					gained++
+				}
+			}
 			nv.known[side.selfIdx] = ex.latency
 			if informedAt[side.self] < 0 && nv.rum.Contains(watched) {
 				informedAt[side.self] = ex.deliver
+			}
+			if wake[side.self] > round {
+				wake[side.self] = round
 			}
 			protos[side.self].OnDeliver(Delivery{
 				Round:         ex.deliver,
@@ -227,84 +311,132 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 				NeighborIndex: side.selfIdx,
 				Latency:       ex.latency,
 				Initiator:     side.initiator,
-				PeerRumors:    side.snap,
+				News:          side.news,
 				NewRumors:     gained,
 				PeerMeta:      side.meta,
 			})
 		}
 	}
 
-	for round := 0; round <= cfg.MaxRounds; round++ {
+	var inCount []int
+	if cfg.MaxInPerRound > 0 {
+		inCount = make([]int, n)
+	}
+	const never = WakeOnDelivery
+
+	for round := 0; round <= cfg.MaxRounds; {
 		world.Round = round
+		for nextCrash < len(crashRounds) && crashRounds[nextCrash] <= round {
+			nextCrash++
+		}
 		for pending.Len() > 0 && pending[0].deliver <= round {
-			deliverOne(heap.Pop(&pending).(*exchange))
+			ex := heap.Pop(&pending).(*exchange)
+			deliverOne(ex, round)
+			recycle(ex)
 		}
 		if stop(world) {
 			res.Rounds = round
 			res.Completed = true
 			return res, nil
 		}
-		idle := true
-		var inCount []int
-		if cfg.MaxInPerRound > 0 {
-			inCount = make([]int, n)
+		if inCount != nil {
+			for i := range inCount {
+				inCount[i] = 0
+			}
 		}
+		idle := true
+		called := false
+		minWake := never
+		// sleeperWake tracks the earliest round an alive Sleeper has
+		// explicitly scheduled (timers and the like): unlike the default
+		// wake-next-round of plain protocols, a declared future wake is
+		// pending activity and must suppress the idle-termination check.
+		sleeperWake := never
 		for u := 0; u < n; u++ {
 			if crashed(u, round) {
 				continue
 			}
-			idx, ok := protos[u].Activate(round)
-			if !ok {
+			if wake[u] > round {
+				if wake[u] < minWake {
+					minWake = wake[u]
+				}
+				if sleepers[u] != nil && wake[u] < sleeperWake {
+					sleeperWake = wake[u]
+				}
 				continue
 			}
-			nv := views[u]
-			if idx < 0 || idx >= len(nv.nbrs) {
-				return res, fmt.Errorf("sim: node %d activated invalid neighbor index %d", u, idx)
-			}
-			idle = false
-			v := nv.nbrs[idx].ID
-			if inCount != nil {
-				if inCount[v] >= cfg.MaxInPerRound {
-					// Bounded in-degree: the connection is refused; the
-					// attempt still costs a message.
-					res.Messages++
-					res.Dropped++
-					continue
+			called = true
+			idx, ok := protos[u].Activate(round)
+			if ok {
+				nv := views[u]
+				if idx < 0 || idx >= len(nv.nbrs) {
+					return res, fmt.Errorf("sim: node %d activated invalid neighbor index %d", u, idx)
 				}
-				inCount[v]++
+				idle = false
+				v := nv.nbrs[idx].ID
+				refused := false
+				if inCount != nil {
+					if inCount[v] >= cfg.MaxInPerRound {
+						// Bounded in-degree: the connection is refused;
+						// the attempt still costs a message.
+						res.Messages++
+						res.Dropped++
+						refused = true
+					} else {
+						inCount[v]++
+					}
+				}
+				if !refused {
+					lat := actualLatency(nv.nbrs[idx].Latency)
+					vIdx := views[v].NeighborIndex(u)
+					ex := newExchange()
+					ex.deliver = round + lat
+					ex.initRound = round
+					ex.seq = seq
+					ex.u, ex.v = u, v
+					ex.uIdx, ex.vIdx = idx, vIdx
+					ex.latency = lat
+					ex.uEnd = int32(len(nv.journal))
+					ex.vEnd = int32(len(views[v].journal))
+					if useDelta {
+						ex.uStart = sent[u][idx]
+						ex.vStart = sent[v][vIdx]
+						sent[u][idx] = ex.uEnd
+						sent[v][vIdx] = ex.vEnd
+					}
+					seq++
+					if mp := metas[u]; mp != nil {
+						ex.uMeta = mp.Meta()
+					}
+					if mp := metas[v]; mp != nil {
+						ex.vMeta = mp.Meta()
+					}
+					heap.Push(&pending, ex)
+					res.Exchanges++
+					res.Messages += 2
+				}
 			}
-			lat := actualLatency(nv.nbrs[idx].Latency)
-			vIdx := views[v].NeighborIndex(u)
-			ex := &exchange{
-				deliver:   round + lat,
-				initRound: round,
-				seq:       seq,
-				u:         u,
-				v:         v,
-				uIdx:      idx,
-				vIdx:      vIdx,
-				latency:   lat,
-				uSnap:     nv.rum.Clone(),
-				vSnap:     views[v].rum.Clone(),
+			next := round + 1
+			if s := sleepers[u]; s != nil {
+				if w := s.NextWake(round); w > next {
+					next = w
+				}
 			}
-			seq++
-			if mp, ok := protos[u].(MetaProducer); ok {
-				ex.uMeta = mp.Meta()
+			wake[u] = next
+			if next < minWake {
+				minWake = next
 			}
-			if mp, ok := protos[v].(MetaProducer); ok {
-				ex.vMeta = mp.Meta()
+			if sleepers[u] != nil && next < sleeperWake {
+				sleeperWake = next
 			}
-			heap.Push(&pending, ex)
-			res.Exchanges++
-			res.Messages += 2
 		}
-		if idle && pending.Len() == 0 {
+		if idle && pending.Len() == 0 && sleeperWake == never {
 			// Nothing in flight and nobody acted this round. Unless a
 			// protocol is waiting on an internal timer (Waiter), nobody
 			// will ever act again and the run is over.
 			waiting := false
 			for u := 0; u < n; u++ {
-				if w, ok := protos[u].(Waiter); ok && !crashed(u, round) && w.Waiting() {
+				if w := waiters[u]; w != nil && !crashed(u, round) && w.Waiting() {
 					waiting = true
 					break
 				}
@@ -315,6 +447,24 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 				return res, nil
 			}
 		}
+		// Jump to the next round where anything can change: a delivery,
+		// an eligible activation, a scheduled crash — or the immediately
+		// following round when protocols acted this round, since a stop
+		// condition over protocol state may flip then.
+		next := minWake
+		if pending.Len() > 0 && pending[0].deliver < next {
+			next = pending[0].deliver
+		}
+		if nextCrash < len(crashRounds) && crashRounds[nextCrash] < next {
+			next = crashRounds[nextCrash]
+		}
+		if called && round+1 < next {
+			next = round + 1
+		}
+		if next <= round {
+			next = round + 1
+		}
+		round = next
 	}
 	res.Rounds = cfg.MaxRounds
 	res.Completed = false

@@ -1,4 +1,4 @@
-// Package sim is a deterministic discrete-event simulator for the paper's
+// Package sim is a deterministic event-driven simulator for the paper's
 // network model (Section 1, "Model"): synchronous rounds, one exchange
 // initiation per node per round, bidirectional rumor exchange over an edge
 // of latency ℓ completing ℓ rounds later, non-blocking initiations.
@@ -14,6 +14,32 @@
 // "all rumors known", so the transport is protocol-independent); protocol
 // implementations control only the activation schedule and may attach
 // small metadata to exchanges.
+//
+// # Execution model
+//
+// The engine is event-driven. Rounds are not enumerated one by one;
+// instead an activation calendar tracks, per node, the next round at
+// which the node's protocol may act, and a delivery heap tracks in-flight
+// exchanges. The engine processes only rounds where something can happen
+// — a delivery, an eligible activation, or a scheduled crash — and jumps
+// over idle spans, so a run costs O(events), not O(maxRounds·n). By
+// default a protocol is woken every round (exactly the classical loop:
+// push-pull behaves identically); protocols opt into sleeping by
+// implementing Sleeper. A delivery always re-wakes its endpoints.
+//
+// # Rumor transport
+//
+// Snapshots are never materialized. Each node keeps a journal of the
+// rumors it gained, in gain order; "u's rumor set at round t" is exactly
+// a prefix of u's journal, so an exchange records two (start,end) journal
+// windows instead of cloning two O(n)-bit sets. Per-edge high-water marks
+// shrink the windows to deltas (only rumors gained since the previous
+// exchange on that edge); dropped exchanges cannot violate this because,
+// with deterministic latencies, drops on an edge always form a suffix of
+// its exchange sequence. Under LatencyJitter (where completions can
+// reorder) the engine conservatively falls back to full-prefix windows.
+// Delivered payload accounting is unchanged: the journal prefix length at
+// initiation time is the size of the full-state snapshot the model sends.
 package sim
 
 import (
@@ -98,9 +124,12 @@ type Delivery struct {
 	Latency int
 	// Initiator reports whether this node initiated the exchange.
 	Initiator bool
-	// PeerRumors is the peer's rumor set snapshot at initiation time.
-	// Treat as read-only.
-	PeerRumors *bitset.Set
+	// News lists the rumor ids this exchange conveyed from the peer, in
+	// the order the peer gained them (a delta against what earlier
+	// exchanges on this edge already carried; the union of all deltas on
+	// an edge reconstructs the peer's full snapshot). It is a view into
+	// engine-owned storage: valid only during OnDeliver, read-only.
+	News []int32
 	// NewRumors counts rumors this delivery added to the node.
 	NewRumors int
 	// PeerMeta is the peer protocol's metadata snapshot (nil unless the
@@ -139,6 +168,29 @@ type Waiter interface {
 	Waiting() bool
 }
 
+// WakeOnDelivery is the Sleeper sentinel for "park me": the protocol has
+// nothing to do until an exchange involving it completes (the engine
+// re-wakes a node at every delivery it receives), or ever.
+const WakeOnDelivery = int(^uint(0) >> 1)
+
+// Sleeper is an optional Protocol extension feeding the activation
+// calendar. After each Activate call at round r the engine asks NextWake
+// for the earliest round at which the protocol could act again or mutate
+// state (e.g. fire a timeout); the engine will not call Activate before
+// that round, which lets it skip the idle span entirely. Return
+// WakeOnDelivery to park until the next completed exchange.
+//
+// Contract: between the current round (exclusive) and the reported wake
+// round, Activate would have returned ok=false without changing any
+// state — including the node's RNG stream. Protocols that cannot promise
+// this must not implement Sleeper; they are woken every round, the
+// classical schedule. A delivery re-wakes the node regardless of the
+// reported round, so "sleep until my exchange returns" is simply
+// WakeOnDelivery.
+type Sleeper interface {
+	NextWake(round int) int
+}
+
 // NodeView is the node-local world handed to a protocol: identity,
 // adjacency, (possibly discovered) latencies, the node's rumor set and a
 // private RNG stream.
@@ -149,7 +201,22 @@ type NodeView struct {
 	nbrs  []graph.Neighbor
 	known []int // latency per adjacency index; -1 = not yet discovered
 	rum   *bitset.Set
-	rng   *rand.Rand
+	// journal lists the node's rumors in gain order; the set at any past
+	// round is a prefix, which is how exchanges snapshot without cloning.
+	journal []int32
+	rng     *rand.Rand
+}
+
+// gain adds rumor r to the node's set and journal; it reports whether the
+// rumor was new. All rumor mutation goes through here so the journal
+// stays an exact gain-ordered index of the set.
+func (nv *NodeView) gain(r int) bool {
+	if nv.rum.Contains(r) {
+		return false
+	}
+	nv.rum.Add(r)
+	nv.journal = append(nv.journal, int32(r))
+	return true
 }
 
 // ID returns the node's identity.
