@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet experiments clean
+# Drivers checked by the determinism target: every protocol registered in
+# internal/gossip (keep in sync with gossip.Names()).
+DRIVERS := auto dtg flood pattern push-pull rr spanner superstep
+
+.PHONY: all build test race bench bench-json bench-baseline bench-compare \
+	determinism staticcheck fmt vet experiments clean
 
 all: build test
 
@@ -18,17 +23,53 @@ race:
 
 # One iteration of every benchmark — the CI bench smoke. It exercises the
 # parallel experiment runner (BenchmarkAblationGridWorkers) alongside the
-# per-experiment and substrate benchmarks.
+# per-experiment and substrate benchmarks, including the n=10⁶
+# BenchmarkSimMillionNode gate.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Substrate microbenchmarks (engine, conductance, spanner, large-scale
-# event-engine runs) as a JSON artifact: ns/op, allocs/op and the rounds
-# metric per benchmark. CI uploads BENCH_sim.json on every push so the
-# perf trajectory is tracked across PRs.
+# and million-node event-engine runs) as a JSON artifact: ns/op,
+# allocs/op and the rounds metric per benchmark. CI uploads
+# BENCH_sim.json on every push so the perf trajectory is tracked across
+# PRs, then gates it against the committed baseline (bench-compare).
 bench-json:
-	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkConductance|BenchmarkSpannerBuild)' \
+	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild)' \
 		-benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# Refresh the committed regression baseline from the current machine.
+# Run this (and commit BENCH_baseline.json) when landing an intentional
+# perf change or when CI hardware shifts.
+bench-baseline: bench-json
+	cp BENCH_sim.json BENCH_baseline.json
+
+# The CI bench-regression gate: fail when ns/op or allocs/op regress
+# more than 25% against the committed baseline on matched benchmarks.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_sim.json
+
+# Worker-count determinism: every registered driver must produce
+# byte-identical CLI output with -workers 1 and -workers 8, and the
+# experiment grid must be schedule-independent (-parallel 1 vs 8).
+# Shared by CI and local dev.
+determinism:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/gossipsim ./cmd/gossipsim; \
+	for algo in $(DRIVERS); do \
+		$$tmp/gossipsim -graph dumbbell -n 8 -latency 12 -algo $$algo -seed 3 -analyze=false -workers 1 > $$tmp/w1.out; \
+		$$tmp/gossipsim -graph dumbbell -n 8 -latency 12 -algo $$algo -seed 3 -analyze=false -workers 8 > $$tmp/w8.out; \
+		cmp $$tmp/w1.out $$tmp/w8.out || { echo "determinism: $$algo diverges between -workers 1 and -workers 8" >&2; exit 1; }; \
+		echo "determinism: $$algo OK (workers 1 == 8)"; \
+	done; \
+	$(GO) run ./cmd/experiments -id E7 -quick -parallel 1 -json > $$tmp/e7w1.json; \
+	$(GO) run ./cmd/experiments -id E7 -quick -parallel 8 -json > $$tmp/e7w8.json; \
+	cmp $$tmp/e7w1.json $$tmp/e7w8.json && echo "determinism: experiment grid OK (parallel 1 == 8)"
+
+# Static analysis beyond go vet. Requires staticcheck on PATH
+# (go install honnef.co/go/tools/cmd/staticcheck@latest); CI installs it.
+staticcheck:
+	staticcheck ./...
 
 fmt:
 	@out=$$(gofmt -l .); \

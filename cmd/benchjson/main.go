@@ -5,11 +5,19 @@
 // Usage:
 //
 //	go test -bench=BenchmarkSim -benchtime=1x -benchmem -run='^$' . | benchjson > BENCH_sim.json
+//	benchjson -compare BENCH_baseline.json BENCH_sim.json
 //
 // The artifact is an object keyed by benchmark name (GOMAXPROCS suffix
 // stripped) whose values map metric units to numbers, e.g.
 //
 //	{"BenchmarkSimPushPullRound": {"iterations": 5, "ns/op": 3517197, "allocs/op": 3124}}
+//
+// The -compare mode is the CI bench-regression gate: it exits non-zero
+// when any benchmark present in both artifacts regresses by more than
+// -threshold (default 0.25, i.e. +25%) on ns/op or allocs/op.
+// Benchmarks present in only one artifact are reported but never fail
+// the gate, so adding or retiring benchmarks does not require a
+// baseline refresh in the same commit.
 package main
 
 import (
@@ -92,7 +100,134 @@ func run(in io.Reader, out io.Writer) error {
 	return err
 }
 
+// gatedUnits are the metrics the regression gate enforces; other units
+// (rounds, B/op, ...) are informational trajectory data.
+var gatedUnits = []string{"ns/op", "allocs/op"}
+
+// loadArtifact reads a benchjson artifact from disk.
+func loadArtifact(path string) (map[string]map[string]float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]float64{}
+	if err := json.Unmarshal(blob, &out); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// compare diffs current against baseline and returns human-readable
+// regression lines (worse than threshold on a gated unit), notes
+// (unmatched benchmarks; improvements are silent) and the number of
+// matched benchmarks. threshold 0.25 means "fail when current > 1.25 ×
+// baseline".
+func compare(baseline, current map[string]map[string]float64, threshold float64) (regressions, notes []string, matched int) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := baseline[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (skipped)", name))
+			continue
+		}
+		matched++
+		for _, unit := range gatedUnits {
+			b, okB := base[unit]
+			c, okC := current[name][unit]
+			if !okB || !okC || b <= 0 {
+				continue
+			}
+			if c > b*(1+threshold) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %s regressed %.4g -> %.4g (+%.1f%%, gate +%.0f%%)",
+					name, unit, b, c, (c/b-1)*100, threshold*100))
+			}
+		}
+	}
+	for name := range baseline {
+		if _, ok := current[name]; !ok {
+			notes = append(notes, fmt.Sprintf("%s: in baseline but not in current run", name))
+		}
+	}
+	sort.Strings(notes)
+	return regressions, notes, matched
+}
+
+// runCompare executes the gate and writes its verdict to out; the error
+// is non-nil exactly when a gated regression was found.
+func runCompare(basePath, curPath string, threshold float64, out io.Writer) error {
+	baseline, err := loadArtifact(basePath)
+	if err != nil {
+		return err
+	}
+	current, err := loadArtifact(curPath)
+	if err != nil {
+		return err
+	}
+	regressions, notes, matched := compare(baseline, current, threshold)
+	for _, n := range notes {
+		fmt.Fprintf(out, "note: %s\n", n)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(out, "REGRESSION: %s\n", r)
+		}
+		return fmt.Errorf("benchjson: %d benchmark regression(s) beyond +%.0f%%", len(regressions), threshold*100)
+	}
+	fmt.Fprintf(out, "benchjson: no regressions beyond +%.0f%% on %d matched benchmarks\n",
+		threshold*100, matched)
+	return nil
+}
+
 func main() {
+	comparePath := ""
+	threshold := 0.25
+	args := os.Args[1:]
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "-compare":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "benchjson: -compare needs a baseline path")
+				os.Exit(2)
+			}
+			comparePath = args[1]
+			args = args[2:]
+		case "-threshold":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "benchjson: -threshold needs a value")
+				os.Exit(2)
+			}
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad threshold %q\n", args[1])
+				os.Exit(2)
+			}
+			threshold = v
+			args = args[2:]
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %s\n", args[0])
+			os.Exit(2)
+		}
+	}
+	if comparePath != "" {
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare BASELINE.json [-threshold 0.25] CURRENT.json")
+			os.Exit(2)
+		}
+		if err := runCompare(comparePath, args[0], threshold, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) != 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unexpected arguments %v\n", args)
+		os.Exit(2)
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -51,5 +52,109 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
 	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), &out); err == nil {
 		t.Fatal("expected error for input without benchmark lines")
+	}
+}
+
+// --- -compare regression gate ------------------------------------------
+
+func metrics(ns, allocs float64) map[string]float64 {
+	return map[string]float64{"iterations": 1, "ns/op": ns, "allocs/op": allocs}
+}
+
+// TestCompareSyntheticRegression is the acceptance check of the CI gate:
+// a synthetic >25% ns/op regression on a matched benchmark must fail.
+func TestCompareSyntheticRegression(t *testing.T) {
+	baseline := map[string]map[string]float64{
+		"BenchmarkA": metrics(1000, 50),
+		"BenchmarkB": metrics(2000, 10),
+	}
+	current := map[string]map[string]float64{
+		"BenchmarkA": metrics(1300, 50), // +30% ns/op: beyond the gate
+		"BenchmarkB": metrics(2000, 10),
+	}
+	regs, notes, matched := compare(baseline, current, 0.25)
+	if matched != 2 {
+		t.Fatalf("matched = %d, want 2", matched)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("regressions = %v, want the BenchmarkA ns/op regression", regs)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes %v", notes)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	baseline := map[string]map[string]float64{"BenchmarkA": metrics(1000, 100)}
+	current := map[string]map[string]float64{"BenchmarkA": metrics(1200, 120)} // +20% both
+	if regs, _, _ := compare(baseline, current, 0.25); len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", regs)
+	}
+	// Improvements never fail.
+	current = map[string]map[string]float64{"BenchmarkA": metrics(10, 1)}
+	if regs, _, _ := compare(baseline, current, 0.25); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	baseline := map[string]map[string]float64{"BenchmarkA": metrics(1000, 100)}
+	current := map[string]map[string]float64{"BenchmarkA": metrics(1000, 200)}
+	regs, _, _ := compare(baseline, current, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("regressions = %v, want an allocs/op regression", regs)
+	}
+}
+
+func TestCompareUnmatchedBenchmarksAreNotes(t *testing.T) {
+	baseline := map[string]map[string]float64{"BenchmarkGone": metrics(1, 1)}
+	current := map[string]map[string]float64{"BenchmarkNew": metrics(1e12, 1e12)}
+	regs, notes, matched := compare(baseline, current, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("unmatched benchmarks must not fail the gate: %v", regs)
+	}
+	if matched != 0 {
+		t.Fatalf("matched = %d, want 0", matched)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v, want both unmatched directions reported", notes)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, art map[string]map[string]float64) string {
+		blob, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/" + name
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", map[string]map[string]float64{"BenchmarkA": metrics(1000, 10)})
+	bad := write("bad.json", map[string]map[string]float64{"BenchmarkA": metrics(1500, 10)})
+	good := write("good.json", map[string]map[string]float64{"BenchmarkA": metrics(1100, 10)})
+
+	var out strings.Builder
+	if err := runCompare(base, bad, 0.25, &out); err == nil {
+		t.Fatalf("gate passed a +50%% regression; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression not reported:\n%s", out.String())
+	}
+	out.Reset()
+	if err := runCompare(base, good, 0.25, &out); err != nil {
+		t.Fatalf("gate failed a +10%% drift: %v\n%s", err, out.String())
+	}
+	// A raised threshold lets the bad run through.
+	out.Reset()
+	if err := runCompare(base, bad, 0.60, &out); err != nil {
+		t.Fatalf("threshold 0.60 still failed +50%%: %v", err)
+	}
+	if err := runCompare(dir+"/missing.json", good, 0.25, &out); err == nil {
+		t.Fatal("missing baseline file accepted")
 	}
 }

@@ -33,6 +33,7 @@ type options struct {
 	algo      core.Algorithm
 	source    int
 	seed      uint64
+	workers   int
 	known     bool
 	analyze   bool
 	curve     bool
@@ -56,6 +57,7 @@ func parseArgs(args []string) (options, error) {
 	fs.StringVar(&o.algoName, "algo", "auto", "algorithm: "+strings.Join(core.Algorithms(), "|"))
 	fs.IntVar(&o.source, "source", 0, "rumor source")
 	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	fs.IntVar(&o.workers, "workers", 0, "intra-round simulation shards (results identical for any value; 0/1 = serial)")
 	fs.BoolVar(&o.known, "known", false, "nodes know adjacent latencies (Section 4 model)")
 	fs.BoolVar(&o.analyze, "analyze", true, "print the conductance profile")
 	fs.BoolVar(&o.curve, "curve", false, "print the push-pull spreading curve as a sparkline")
@@ -148,6 +150,7 @@ func run() int {
 		Source:         opts.source,
 		KnownLatencies: opts.known,
 		Seed:           opts.seed,
+		Workers:        opts.workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

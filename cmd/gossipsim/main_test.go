@@ -10,13 +10,14 @@ func TestParseArgs(t *testing.T) {
 	o, err := parseArgs([]string{
 		"-graph", "dumbbell", "-n", "16", "-latency", "64",
 		"-algo", "push-pull", "-seed", "3", "-known", "-curve", "-analyze=false",
+		"-workers", "8",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.graphName != "dumbbell" || o.n != 16 || o.latency != 64 ||
 		o.algoName != "push-pull" || o.algo != core.PushPull ||
-		o.seed != 3 || !o.known || !o.curve || o.analyze {
+		o.seed != 3 || !o.known || !o.curve || o.analyze || o.workers != 8 {
 		t.Fatalf("parsed %+v", o)
 	}
 }
@@ -27,7 +28,8 @@ func TestParseArgsDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	if o.graphName != "clique" || o.n != 16 || o.latency != 1 || o.p != 0.3 ||
-		o.layers != 6 || o.algoName != "auto" || o.seed != 1 || !o.analyze {
+		o.layers != 6 || o.algoName != "auto" || o.seed != 1 || !o.analyze ||
+		o.workers != 0 {
 		t.Fatalf("defaults %+v", o)
 	}
 }

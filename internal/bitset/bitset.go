@@ -91,6 +91,58 @@ func (s *Set) UnionWith(t *Set) {
 	}
 }
 
+// UnionCount adds every bit of t to s and reports how many bits were
+// newly set. It is UnionWith plus a word-level popcount tally: one pass,
+// no per-bit probing — the bulk path the simulator uses when seeding a
+// node's rumor set from a previous phase.
+func (s *Set) UnionCount(t *Set) int {
+	if t == nil {
+		return 0
+	}
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: union of mismatched capacities %d and %d", s.n, t.n))
+	}
+	added := 0
+	for i, w := range t.words {
+		old := s.words[i]
+		merged := old | w
+		if merged != old {
+			added += bits.OnesCount64(merged &^ old)
+			s.words[i] = merged
+		}
+	}
+	return added
+}
+
+// NextClear returns the smallest index >= from whose bit is clear, or
+// Len() when every bit of [from, Len) is set. It scans whole words, so
+// an all-set prefix costs 1/64th of a per-bit probe loop — the informed
+// tally used by completion checks over large node sets.
+func (s *Set) NextClear(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return s.n
+	}
+	wi := from / wordBits
+	w := ^s.words[wi] & (^uint64(0) << (uint(from) % wordBits))
+	for {
+		if w != 0 {
+			i := wi*wordBits + bits.TrailingZeros64(w)
+			if i >= s.n {
+				return s.n
+			}
+			return i
+		}
+		wi++
+		if wi >= len(s.words) {
+			return s.n
+		}
+		w = ^s.words[wi]
+	}
+}
+
 // IntersectWith keeps only bits present in both s and t.
 func (s *Set) IntersectWith(t *Set) {
 	if s.n != t.n {

@@ -245,3 +245,85 @@ func TestQuickUnionCommutes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUnionCount(t *testing.T) {
+	const n = 200
+	a, b := New(n), New(n)
+	for i := 0; i < n; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < n; i += 2 {
+		b.Add(i)
+	}
+	// New bits: even numbers not divisible by 3 (i.e. i%6 in {2,4}).
+	wantNew := 0
+	for i := 0; i < n; i += 2 {
+		if i%3 != 0 {
+			wantNew++
+		}
+	}
+	ref := a.Clone()
+	ref.UnionWith(b)
+	if got := a.UnionCount(b); got != wantNew {
+		t.Fatalf("UnionCount = %d, want %d", got, wantNew)
+	}
+	if !a.Equal(ref) {
+		t.Fatal("UnionCount result differs from UnionWith")
+	}
+	if got := a.UnionCount(b); got != 0 {
+		t.Fatalf("second UnionCount = %d, want 0", got)
+	}
+	if got := a.UnionCount(nil); got != 0 {
+		t.Fatalf("UnionCount(nil) = %d, want 0", got)
+	}
+}
+
+func TestUnionCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on capacity mismatch")
+		}
+	}()
+	New(10).UnionCount(New(11))
+}
+
+func TestNextClear(t *testing.T) {
+	const n = 130 // spans three words with a ragged tail
+	s := New(n)
+	if got := s.NextClear(0); got != 0 {
+		t.Fatalf("empty NextClear(0) = %d", got)
+	}
+	for i := 0; i < n; i++ {
+		if i != 64 && i != 129 {
+			s.Add(i)
+		}
+	}
+	if got := s.NextClear(0); got != 64 {
+		t.Fatalf("NextClear(0) = %d, want 64", got)
+	}
+	if got := s.NextClear(64); got != 64 {
+		t.Fatalf("NextClear(64) = %d, want 64", got)
+	}
+	if got := s.NextClear(65); got != 129 {
+		t.Fatalf("NextClear(65) = %d, want 129", got)
+	}
+	s.Add(64)
+	s.Add(129)
+	if got := s.NextClear(0); got != n {
+		t.Fatalf("full NextClear(0) = %d, want Len %d", got, n)
+	}
+	if got := s.NextClear(-5); got != n {
+		t.Fatalf("NextClear(-5) = %d, want %d", got, n)
+	}
+	if got := s.NextClear(n + 7); got != n {
+		t.Fatalf("NextClear past end = %d, want %d", got, n)
+	}
+	// Word-aligned capacity: the tail guard must not report ghost bits.
+	w := New(128)
+	for i := 0; i < 128; i++ {
+		w.Add(i)
+	}
+	if got := w.NextClear(0); got != 128 {
+		t.Fatalf("aligned full NextClear = %d, want 128", got)
+	}
+}

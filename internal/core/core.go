@@ -155,6 +155,10 @@ type Options struct {
 	// primitive with timeouts (the Section 7 extension). Only meaningful
 	// for Spanner and Auto.
 	FaultTolerant bool
+	// Workers shards intra-round simulation across goroutines (see
+	// sim.Config.Workers). Results are bit-identical for any value; 0 or
+	// 1 runs serial.
+	Workers int
 }
 
 // Outcome reports a dissemination run.
@@ -188,6 +192,7 @@ func Disseminate(g *graph.Graph, opts Options) (Outcome, error) {
 		MaxRounds:      opts.MaxRounds,
 		CrashAt:        opts.CrashAt,
 		FaultTolerant:  opts.FaultTolerant,
+		Workers:        opts.Workers,
 	})
 	if err != nil {
 		return Outcome{}, err

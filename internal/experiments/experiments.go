@@ -119,6 +119,7 @@ func All() []Experiment {
 		expE20Bandwidth,
 		expE21Jitter,
 		expE22FaultTolerant,
+		expE23Scaling,
 	}
 }
 

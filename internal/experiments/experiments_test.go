@@ -11,8 +11,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registered %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registered %d experiments, want 23", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

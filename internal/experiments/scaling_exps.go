@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"gossip/internal/gossip"
+	"gossip/internal/graphgen"
+	"gossip/internal/runner"
+	"gossip/internal/stats"
+)
+
+// expE23Scaling exercises the million-node substrate at experiment scale:
+// push-pull on CSR-native ring+matching expanders across a size sweep,
+// with every trial run twice — serial and with 8 intra-round shards —
+// and the two results asserted bit-identical. It is both a scaling curve
+// (rounds should track the expander's O(log n) spread time) and a
+// continuously-executed determinism proof of the sharded engine.
+var expE23Scaling = Experiment{
+	ID:     "E23",
+	Title:  "CSR substrate scaling: push-pull rounds vs n on streamed expanders",
+	Source: "engineering extension of Theorem 29 (O(log n) on expanders)",
+	Run:    runE23,
+}
+
+func runE23(ctx context.Context, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ns := []int{1 << 14, 1 << 15, 1 << 17}
+	if cfg.Quick {
+		ns = []int{1 << 11, 1 << 12, 1 << 13}
+	}
+	names := cellNames(len(ns), func(i int) string {
+		return fmt.Sprintf("expander(n=%d)", ns[i])
+	})
+	cells, err := runGrid(ctx, cfg, "E23", names, cfg.Trials,
+		func(ctx context.Context, c runner.Coord, seed uint64) (runner.Sample, error) {
+			n := ns[c.CellIndex]
+			csr, err := graphgen.RingMatchingExpanderCSR(n, 1, graphgen.NewRand(seed))
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			opts := gossip.DriverOptions{CSR: csr, Source: 0, Seed: seed, MaxRounds: 1 << 14}
+			serial, err := gossip.Dispatch("push-pull", nil, opts)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			opts.Workers = 8
+			sharded, err := gossip.Dispatch("push-pull", nil, opts)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			if serial.Rounds != sharded.Rounds || serial.Exchanges != sharded.Exchanges {
+				return runner.Sample{}, fmt.Errorf(
+					"shard determinism violated at n=%d seed=%d: w1 %d/%d vs w8 %d/%d",
+					n, seed, serial.Rounds, serial.Exchanges, sharded.Rounds, sharded.Exchanges)
+			}
+			if !serial.Completed {
+				return runner.Sample{}, fmt.Errorf("incomplete at n=%d", n)
+			}
+			return runner.V(map[string]float64{
+				"rounds":    float64(serial.Rounds),
+				"exchanges": float64(serial.Exchanges),
+			}), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("E23: %w", err)
+	}
+	tbl := &Table{
+		ID:    "E23",
+		Title: "CSR substrate scaling (push-pull on ring+matching expanders)",
+		Claim: "constant-degree expanders spread in O(log n) rounds; sharded rounds are bit-identical to serial",
+		Headers: []string{
+			"graph", "mean rounds", "p90", "rounds/log2 n", "mean exchanges",
+		},
+	}
+	worst := 0.0
+	for i, name := range names {
+		cell := &cells[i]
+		sum := stats.Summarize(cell.Values("rounds"))
+		perLog := sum.Mean / math.Log2(float64(ns[i]))
+		if perLog > worst {
+			worst = perLog
+		}
+		tbl.AddRow(name, sum.Mean, sum.P90, perLog, cell.Mean("exchanges"))
+	}
+	tbl.AddNote("rounds/log2 n stays bounded (≤ %.2f here): the Theorem 29 expander regime", worst)
+	tbl.AddNote("every trial re-ran with Workers=8 and matched the serial run exactly")
+	return tbl, nil
+}

@@ -54,8 +54,14 @@ func (d *Discover) NextWake(round int) int {
 // (typically Δ + current diameter guess). The returned result's Rounds is
 // always the budget: discovery cost is paid in full.
 func RunDiscovery(g *graph.Graph, budget int, seed uint64, initial []*bitset.Set) (sim.Result, error) {
+	return runDiscovery(g, budget, seed, initial, 0)
+}
+
+// runDiscovery is RunDiscovery with an explicit intra-round worker count.
+func runDiscovery(g *graph.Graph, budget int, seed uint64, initial []*bitset.Set, workers int) (sim.Result, error) {
 	res, err := sim.Run(sim.Config{
 		Graph:         g,
+		Workers:       workers,
 		Seed:          seed,
 		MaxRounds:     budget,
 		Mode:          sim.AllToAll,

@@ -86,6 +86,15 @@ type DriverOptions struct {
 	SkipCheck bool
 	// Stop, when non-nil, additionally ends single-phase runs early.
 	Stop sim.StopFunc
+	// Workers shards intra-round simulation across goroutines (see
+	// sim.Config.Workers); results are bit-identical for any value.
+	Workers int
+	// CSR supplies the topology in compressed sparse row form. The
+	// single-phase drivers (push-pull, flood, dtg, superstep) accept it
+	// with a nil *graph.Graph — the million-node path, where the
+	// adjacency-map representation is never materialized. The pipeline
+	// drivers (rr, spanner, pattern, auto) still need the legacy graph.
+	CSR *graph.CSR
 }
 
 // DriverResult is the normalized outcome every driver reports: the
@@ -171,13 +180,35 @@ func Names() []string {
 	return out
 }
 
-// Dispatch runs the named driver on g.
+// Dispatch runs the named driver on g (or on opts.CSR when g is nil and
+// the driver supports CSR-only topologies).
 func Dispatch(name string, g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 	d, ok := Lookup(name)
 	if !ok {
 		return DriverResult{}, fmt.Errorf("gossip: unknown driver %q (have %s)", name, strings.Join(Names(), ", "))
 	}
+	if g == nil && opts.CSR == nil {
+		return DriverResult{}, fmt.Errorf("gossip: driver %q needs a graph or a CSR topology", name)
+	}
 	return d.Run(g, opts)
+}
+
+// topologyN returns the node count of whichever topology representation
+// the caller supplied.
+func topologyN(g *graph.Graph, opts DriverOptions) int {
+	if g != nil {
+		return g.N()
+	}
+	return opts.CSR.N()
+}
+
+// needGraph guards the pipeline drivers that require the adjacency-map
+// representation (spanner construction, latency filters over g).
+func needGraph(name string, g *graph.Graph) error {
+	if g == nil {
+		return fmt.Errorf("gossip: driver %q requires an adjacency-map graph (CSR-only topologies are supported by push-pull, flood, dtg and superstep)", name)
+	}
+	return nil
 }
 
 // fromSimResult normalizes a single-phase simulation outcome.
@@ -266,12 +297,26 @@ func init() {
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
-			factory := func(nv *sim.NodeView) sim.Protocol { return NewPushPull(nv) }
+			// Slab-allocate the per-node protocol structs: one allocation
+			// for the whole run instead of n — measurable at n=10⁶.
+			n := topologyN(g, opts)
+			slab := make([]PushPull, n)
+			factory := func(nv *sim.NodeView) sim.Protocol {
+				p := &slab[nv.ID()]
+				*p = PushPull{nv: nv}
+				return p
+			}
 			if opts.Variant == VariantBlocking {
-				factory = func(nv *sim.NodeView) sim.Protocol { return NewPushPullBlocking(nv) }
+				factory = func(nv *sim.NodeView) sim.Protocol {
+					p := &slab[nv.ID()]
+					*p = PushPull{nv: nv, blocking: true}
+					return p
+				}
 			}
 			return fromSimResult(sim.Run(sim.Config{
 				Graph:         g,
+				CSR:           opts.CSR,
+				Workers:       opts.Workers,
 				Seed:          opts.Seed,
 				MaxRounds:     opts.MaxRounds,
 				Mode:          objectiveMode(opts),
@@ -295,6 +340,8 @@ func init() {
 			blocking := opts.Variant != VariantNonBlocking
 			return fromSimResult(sim.Run(sim.Config{
 				Graph:     g,
+				CSR:       opts.CSR,
+				Workers:   opts.Workers,
 				Seed:      opts.Seed,
 				MaxRounds: opts.MaxRounds,
 				Mode:      sim.OneToAll,
@@ -317,6 +364,8 @@ func init() {
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			return fromSimResult(sim.Run(sim.Config{
 				Graph:          g,
+				CSR:            opts.CSR,
+				Workers:        opts.Workers,
 				Seed:           opts.Seed,
 				KnownLatencies: true,
 				MaxRounds:      opts.MaxRounds,
@@ -341,6 +390,8 @@ func init() {
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			return fromSimResult(sim.Run(sim.Config{
 				Graph:          g,
+				CSR:            opts.CSR,
+				Workers:        opts.Workers,
 				Seed:           opts.Seed,
 				KnownLatencies: true,
 				MaxRounds:      opts.MaxRounds,
@@ -363,6 +414,9 @@ func init() {
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			if err := needGraph("rr", g); err != nil {
+				return DriverResult{}, err
+			}
 			sp := opts.Spanner
 			if sp == nil {
 				k := log2CeilInt(g.N())
@@ -387,6 +441,7 @@ func init() {
 				InitialRumors: opts.InitialRumors,
 				Stop:          opts.Stop,
 				CrashAt:       opts.CrashAt,
+				Workers:       opts.Workers,
 			}))
 		},
 	})
@@ -402,6 +457,9 @@ func init() {
 			{"Seed/MaxRounds", "determinism and per-phase horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			if err := needGraph("spanner", g); err != nil {
+				return DriverResult{}, err
+			}
 			spOpts := SpannerOptions{
 				D:              opts.D,
 				KnownLatencies: opts.KnownLatencies,
@@ -409,6 +467,7 @@ func init() {
 				MaxPhaseRounds: opts.MaxRounds,
 				SkipCheck:      opts.SkipCheck,
 				CrashAt:        opts.CrashAt,
+				Workers:        opts.Workers,
 			}
 			if opts.FaultTolerant {
 				spOpts.UseSuperstep = true
@@ -430,11 +489,15 @@ func init() {
 			{"Seed/MaxRounds", "determinism and per-phase horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			if err := needGraph("pattern", g); err != nil {
+				return DriverResult{}, err
+			}
 			return fromBroadcastResult(PatternBroadcast(g, PatternOptions{
 				D:              opts.D,
 				Seed:           opts.Seed,
 				MaxPhaseRounds: opts.MaxRounds,
 				SkipCheck:      opts.SkipCheck,
+				Workers:        opts.Workers,
 			}))
 		},
 	})
@@ -448,12 +511,16 @@ func init() {
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			if err := needGraph("auto", g); err != nil {
+				return DriverResult{}, err
+			}
 			res, err := Unified(g, UnifiedOptions{
 				Source:         opts.Source,
 				KnownLatencies: opts.KnownLatencies,
 				D:              opts.D,
 				Seed:           opts.Seed,
 				MaxRounds:      opts.MaxRounds,
+				Workers:        opts.Workers,
 			})
 			if err != nil {
 				return DriverResult{}, err

@@ -20,14 +20,16 @@ import (
 // The protocol keeps a phase-local heard set L (reset each invocation) so
 // repeated DTG phases of Spanner/Pattern Broadcast each pay their full
 // schedule, exactly as the real algorithm re-disseminates fresh
-// neighborhood data every repetition. L rides on exchange metadata.
+// neighborhood data every repetition. L rides on exchange metadata as a
+// sorted sparse id slice (see heardSet) — O(neighborhood) per node, not
+// n bits, which is what lets DTG run at n=10⁶.
 type DTG struct {
 	nv  *sim.NodeView
 	ell int
 	// eligible holds the adjacency indices of G_ℓ neighbors.
 	eligible []int
 	// heard is the phase-local knowledge set L.
-	heard *bitset.Set
+	heard heardSet
 	// contacted are the linked neighbors u_1..u_i (adjacency indices).
 	contacted []int
 	// seq is the remaining send sequence of the current iteration.
@@ -48,7 +50,7 @@ var (
 // latency filter. Latencies must be known (Section 4 model) or already
 // discovered; edges of unknown latency are treated as outside G_ℓ.
 func NewDTG(nv *sim.NodeView, ell int) *DTG {
-	d := &DTG{nv: nv, ell: ell, heard: bitset.New(nv.N()), pending: -1}
+	d := &DTG{nv: nv, ell: ell, pending: -1}
 	d.heard.Add(nv.ID())
 	for i := 0; i < nv.Degree(); i++ {
 		lat, known := nv.Latency(i)
@@ -62,8 +64,9 @@ func NewDTG(nv *sim.NodeView, ell int) *DTG {
 	return d
 }
 
-// Meta snapshots the node's phase-local heard set for the peer.
-func (d *DTG) Meta() any { return d.heard.Clone() }
+// Meta snapshots the node's phase-local heard set for the peer: a cached
+// immutable sorted id slice (shared until the set next changes).
+func (d *DTG) Meta() any { return d.heard.Snapshot() }
 
 // Done reports local termination: every G_ℓ neighbor has been heard.
 func (d *DTG) Done() bool { return d.done }
@@ -127,8 +130,8 @@ func (d *DTG) NextWake(round int) int {
 
 // OnDeliver merges the peer's heard set and unblocks the state machine.
 func (d *DTG) OnDeliver(dv sim.Delivery) {
-	if peer, ok := dv.PeerMeta.(*bitset.Set); ok {
-		d.heard.UnionWith(peer)
+	if peer, ok := dv.PeerMeta.([]int32); ok {
+		d.heard.Union(peer)
 	}
 	d.heard.Add(dv.Peer)
 	if dv.Initiator && dv.NeighborIndex == d.pending {
@@ -148,6 +151,8 @@ type DTGOptions struct {
 	// has no timeout mechanism, so a node waiting on a crashed peer
 	// stalls — the fragility the paper's Section 6 notes.
 	CrashAt []int
+	// Workers shards intra-round simulation (see sim.Config.Workers).
+	Workers int
 }
 
 // RunDTG runs one ℓ-DTG phase to quiescence (every node's local
@@ -159,5 +164,6 @@ func RunDTG(g *graph.Graph, opts DTGOptions) (sim.Result, error) {
 		MaxRounds:     opts.MaxRounds,
 		InitialRumors: opts.InitialRumors,
 		CrashAt:       opts.CrashAt,
+		Workers:       opts.Workers,
 	})
 }

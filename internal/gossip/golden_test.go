@@ -47,18 +47,25 @@ func goldenGraphs() map[string]*graph.Graph {
 	}
 }
 
-// goldenRuns executes all five protocols on g and returns their records.
-func goldenRuns(t *testing.T, g *graph.Graph) map[string]goldenRecord {
+// goldenRuns executes all five protocols on g with the given intra-round
+// worker count and returns their records. The sharded engine guarantees
+// worker-count-independent results, so every workers value must
+// reproduce the same goldens.
+func goldenRuns(t *testing.T, g *graph.Graph, workers int) map[string]goldenRecord {
 	t.Helper()
 	out := map[string]goldenRecord{}
 
-	flood, err := RunFlood(g, 0, true, 5, goldenMaxRounds)
+	flood, err := Dispatch("flood", g, DriverOptions{
+		Source: 0, Seed: 5, MaxRounds: goldenMaxRounds, Workers: workers,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	out["flood"] = goldenRecord{flood.Rounds, flood.Completed, flood.Exchanges, flood.InformedAt}
 
-	pp, err := RunPushPull(g, 0, 7, goldenMaxRounds)
+	pp, err := Dispatch("push-pull", g, DriverOptions{
+		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds, Workers: workers,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,19 +75,19 @@ func goldenRuns(t *testing.T, g *graph.Graph) map[string]goldenRecord {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr, err := RunRR(g, RROptions{Spanner: sp, K: g.MaxLatency(), Seed: 9, MaxRounds: goldenMaxRounds})
+	rr, err := RunRR(g, RROptions{Spanner: sp, K: g.MaxLatency(), Seed: 9, MaxRounds: goldenMaxRounds, Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
 	out["rr"] = goldenRecord{rr.Rounds, rr.Completed, rr.Exchanges, rr.InformedAt}
 
-	dtg, err := RunDTG(g, DTGOptions{Ell: 0, Seed: 13, MaxRounds: goldenMaxRounds})
+	dtg, err := RunDTG(g, DTGOptions{Ell: 0, Seed: 13, MaxRounds: goldenMaxRounds, Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
 	out["dtg"] = goldenRecord{dtg.Rounds, dtg.Completed, dtg.Exchanges, dtg.InformedAt}
 
-	sb, err := SpannerBroadcast(g, SpannerOptions{KnownLatencies: true, Seed: 11, MaxPhaseRounds: goldenMaxRounds})
+	sb, err := SpannerBroadcast(g, SpannerOptions{KnownLatencies: true, Seed: 11, MaxPhaseRounds: goldenMaxRounds, Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,10 +98,13 @@ func goldenRuns(t *testing.T, g *graph.Graph) map[string]goldenRecord {
 }
 
 // TestEngineGolden is the engine-equivalence gate of the event-calendar
-// refactor: for fixed seeds, all five protocols must report exactly the
-// rounds, exchange counts and per-node informed times recorded on the
-// pre-refactor engine. Regenerate (only when a semantic change is
-// intended) with: go test ./internal/gossip -run TestEngineGolden -update
+// and sharded-substrate refactors: for fixed seeds, all five protocols
+// must report exactly the rounds, exchange counts and per-node informed
+// times recorded on the pre-refactor engine — and must do so identically
+// with intra-round sharding off (-workers 1) and on (-workers 8).
+// Regenerate (only when a semantic change is intended) with:
+//
+//	go test ./internal/gossip -run TestEngineGolden -update
 func TestEngineGolden(t *testing.T) {
 	got := map[string]goldenRecord{}
 	names := make([]string, 0)
@@ -104,7 +114,13 @@ func TestEngineGolden(t *testing.T) {
 	sort.Strings(names)
 	graphs := goldenGraphs()
 	for _, gname := range names {
-		for proto, rec := range goldenRuns(t, graphs[gname]) {
+		serial := goldenRuns(t, graphs[gname], 1)
+		sharded := goldenRuns(t, graphs[gname], 8)
+		for proto, rec := range serial {
+			if !reflect.DeepEqual(sharded[proto], rec) {
+				t.Errorf("%s/%s: workers=8 diverges from workers=1:\n w8 %+v\n w1 %+v",
+					proto, gname, sharded[proto], rec)
+			}
 			got[proto+"/"+gname] = rec
 		}
 	}

@@ -1,0 +1,78 @@
+package gossip
+
+import "slices"
+
+// heardSet is the phase-local "heard" bookkeeping of the local-broadcast
+// primitives (DTG, Superstep): a sorted sparse set of node ids. On
+// sparse graphs it holds O(degree²) entries — the node's neighborhood
+// plus what peers relayed — instead of the n-bit dense set the pre-CSR
+// implementation kept per node, which alone was an O(n²)-bit wall at
+// n=10⁶. Snapshots are cached immutable slices so exchange metadata
+// between two state changes shares one allocation.
+type heardSet struct {
+	ids  []int32 // sorted ascending
+	snap []int32 // cached immutable snapshot; nil when stale
+	buf  []int32 // merge scratch, swapped with ids on union
+}
+
+// Contains reports membership.
+func (h *heardSet) Contains(v int) bool {
+	_, found := slices.BinarySearch(h.ids, int32(v))
+	return found
+}
+
+// Add inserts v if absent.
+func (h *heardSet) Add(v int) {
+	i, found := slices.BinarySearch(h.ids, int32(v))
+	if found {
+		return
+	}
+	h.ids = slices.Insert(h.ids, i, int32(v))
+	h.snap = nil
+}
+
+// Union merges a sorted peer snapshot into the set.
+func (h *heardSet) Union(peer []int32) {
+	if len(peer) == 0 {
+		return
+	}
+	out := h.buf[:0]
+	i, j := 0, 0
+	changed := false
+	for i < len(h.ids) && j < len(peer) {
+		switch {
+		case h.ids[i] < peer[j]:
+			out = append(out, h.ids[i])
+			i++
+		case h.ids[i] > peer[j]:
+			out = append(out, peer[j])
+			j++
+			changed = true
+		default:
+			out = append(out, h.ids[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, h.ids[i:]...)
+	if j < len(peer) {
+		out = append(out, peer[j:]...)
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	h.buf = h.ids[:0]
+	h.ids = out
+	h.snap = nil
+}
+
+// Snapshot returns the current membership as an immutable sorted slice.
+// The same slice is handed out until the set next changes; receivers
+// must treat it as read-only (the exchange-metadata contract).
+func (h *heardSet) Snapshot() []int32 {
+	if h.snap == nil {
+		h.snap = slices.Clone(h.ids)
+	}
+	return h.snap
+}

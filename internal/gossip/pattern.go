@@ -42,6 +42,9 @@ type PatternOptions struct {
 	MaxPhaseRounds int
 	// SkipCheck drops the Termination_Check pass for known D.
 	SkipCheck bool
+	// Workers shards intra-round simulation in every phase (see
+	// sim.Config.Workers); results are bit-identical for any value.
+	Workers int
 }
 
 // PatternBroadcast runs Algorithm 5: execute the schedule T(k) of ℓ-DTG
@@ -110,6 +113,7 @@ func runPattern(g *graph.Graph, guess int, opts PatternOptions, out *BroadcastRe
 			Seed:          opts.Seed + uint64(i)*31 + 7,
 			MaxRounds:     maxRounds,
 			InitialRumors: rumors,
+			Workers:       opts.Workers,
 		})
 		if err != nil {
 			return nil, err

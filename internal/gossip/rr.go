@@ -71,6 +71,8 @@ type RROptions struct {
 	Stop sim.StopFunc
 	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt).
 	CrashAt []int
+	// Workers shards intra-round simulation (see sim.Config.Workers).
+	Workers int
 }
 
 // RunRR runs one RR Broadcast phase. It is sugar for the "rr" driver
@@ -111,6 +113,7 @@ func runRR(g *graph.Graph, sp *spanner.Spanner, opts RROptions) (sim.Result, err
 	}
 	return sim.Run(sim.Config{
 		Graph:          g,
+		Workers:        opts.Workers,
 		Seed:           opts.Seed,
 		KnownLatencies: true,
 		MaxRounds:      opts.MaxRounds,

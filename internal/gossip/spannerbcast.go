@@ -72,6 +72,9 @@ type SpannerOptions struct {
 	// mechanism — Section 6 calls out exactly this fragility versus
 	// push-pull: DTG stalls forever on a dead peer.
 	CrashAt []int
+	// Workers shards intra-round simulation in every phase (see
+	// sim.Config.Workers); results are bit-identical for any value.
+	Workers int
 }
 
 // shiftCrashes rebases an absolute crash schedule to a phase that starts
@@ -158,7 +161,7 @@ func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *Broadc
 	}
 	if !opts.KnownLatencies {
 		budget := g.MaxDegree() + guess
-		res, err := RunDiscovery(g, budget, opts.Seed, rumors)
+		res, err := runDiscovery(g, budget, opts.Seed, rumors, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +185,7 @@ func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *Broadc
 				MaxRounds:     maxRounds,
 				InitialRumors: rumors,
 				CrashAt:       shiftCrashes(opts.CrashAt, out.Rounds),
+				Workers:       opts.Workers,
 			})
 		} else {
 			res, err = RunDTG(g, DTGOptions{
@@ -190,6 +194,7 @@ func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *Broadc
 				MaxRounds:     maxRounds,
 				InitialRumors: rumors,
 				CrashAt:       shiftCrashes(opts.CrashAt, out.Rounds),
+				Workers:       opts.Workers,
 			})
 		}
 		if err != nil {
@@ -247,6 +252,7 @@ func runRRPhase(g *graph.Graph, guess int, opts SpannerOptions, rumors []*bitset
 		InitialRumors: rumors,
 		Stop:          stop,
 		CrashAt:       phaseCrash,
+		Workers:       opts.Workers,
 	})
 	if err != nil {
 		return phaseRun{}, nil, err
@@ -298,7 +304,7 @@ func stopAliveHaveAlive(crashAt []int) sim.StopFunc {
 				continue
 			}
 			for v := range w.Views {
-				if crashAt[v] < 0 && !nv.Rumors().Contains(v) {
+				if crashAt[v] < 0 && !nv.Knows(v) {
 					return false
 				}
 			}

@@ -24,7 +24,7 @@ type Superstep struct {
 	ell      int
 	timeout  int
 	eligible []int
-	heard    *bitset.Set
+	heard    heardSet
 	// abandoned marks neighbors given up on after a timeout.
 	abandoned map[int]bool
 	pending   int
@@ -71,7 +71,6 @@ func NewSuperstep(nv *sim.NodeView, ell, timeout int) *Superstep {
 		nv:        nv,
 		ell:       ell,
 		timeout:   timeout,
-		heard:     bitset.New(nv.N()),
 		abandoned: make(map[int]bool),
 		pending:   -1,
 	}
@@ -88,8 +87,9 @@ func NewSuperstep(nv *sim.NodeView, ell, timeout int) *Superstep {
 	return s
 }
 
-// Meta snapshots the phase-local heard set.
-func (s *Superstep) Meta() any { return s.heard.Clone() }
+// Meta snapshots the phase-local heard set (cached immutable sorted id
+// slice, shared until the set next changes).
+func (s *Superstep) Meta() any { return s.heard.Snapshot() }
 
 // Done reports local termination (all eligible neighbors heard or
 // abandoned).
@@ -127,8 +127,8 @@ func (s *Superstep) Activate(round int) (int, bool) {
 
 // OnDeliver merges the peer's heard set and unblocks the node.
 func (s *Superstep) OnDeliver(dv sim.Delivery) {
-	if peer, ok := dv.PeerMeta.(*bitset.Set); ok {
-		s.heard.UnionWith(peer)
+	if peer, ok := dv.PeerMeta.([]int32); ok {
+		s.heard.Union(peer)
 	}
 	s.heard.Add(dv.Peer)
 	if dv.Initiator && dv.NeighborIndex == s.pending {
@@ -144,6 +144,8 @@ type SuperstepOptions struct {
 	MaxRounds     int
 	InitialRumors []*bitset.Set
 	CrashAt       []int
+	// Workers shards intra-round simulation (see sim.Config.Workers).
+	Workers int
 }
 
 // RunSuperstep runs one randomized local-broadcast phase to quiescence.
@@ -155,5 +157,6 @@ func RunSuperstep(g *graph.Graph, opts SuperstepOptions) (sim.Result, error) {
 		MaxRounds:     opts.MaxRounds,
 		InitialRumors: opts.InitialRumors,
 		CrashAt:       opts.CrashAt,
+		Workers:       opts.Workers,
 	})
 }

@@ -30,6 +30,9 @@ type UnifiedOptions struct {
 	D         int
 	Seed      uint64
 	MaxRounds int
+	// Workers shards intra-round simulation in both arms (see
+	// sim.Config.Workers); results are bit-identical for any value.
+	Workers int
 }
 
 // Unified runs the Theorem 31 algorithm: push-pull and the spanner-based
@@ -38,7 +41,10 @@ type UnifiedOptions struct {
 // achieving O(min((D+Δ)·log³n, (ℓ*/φ*)·log n)).
 func Unified(g *graph.Graph, opts UnifiedOptions) (UnifiedResult, error) {
 	var out UnifiedResult
-	pp, err := RunPushPull(g, opts.Source, opts.Seed, opts.MaxRounds)
+	pp, err := dispatchSim("push-pull", g, DriverOptions{
+		Source: opts.Source, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
+		Workers: opts.Workers,
+	})
 	if err != nil {
 		return out, fmt.Errorf("gossip: unified push-pull arm: %w", err)
 	}
@@ -48,6 +54,7 @@ func Unified(g *graph.Graph, opts UnifiedOptions) (UnifiedResult, error) {
 		KnownLatencies: opts.KnownLatencies,
 		Seed:           opts.Seed + 1,
 		MaxPhaseRounds: opts.MaxRounds,
+		Workers:        opts.Workers,
 	})
 	if err != nil {
 		return out, fmt.Errorf("gossip: unified spanner arm: %w", err)

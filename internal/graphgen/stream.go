@@ -1,0 +1,70 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"gossip/internal/graph"
+)
+
+// This file holds the streaming generators of the million-node substrate:
+// they emit graph.CSR directly through a CSRBuilder — flat edge streams,
+// no adjacency maps — so building an n=10⁶ topology costs a few flat
+// array passes instead of millions of map insertions.
+
+// RingMatchingExpanderCSR returns the classic "cycle plus random perfect
+// matching" expander on n nodes in CSR form: the n-cycle guarantees
+// connectivity, the matching drives the diameter to O(log n) with high
+// probability — the sparse constant-degree topology where push-pull's
+// O(log n) spread time is observable at n=10⁶. Matching pairs that would
+// duplicate a cycle edge are skipped (degrees are 2 or 3; with odd n one
+// node sits out of the matching).
+func RingMatchingExpanderCSR(n, latency int, rng *rand.Rand) (*graph.CSR, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("graphgen: ring-matching expander needs n >= 4, got %d", n)
+	}
+	if latency < 1 {
+		return nil, fmt.Errorf("graphgen: non-positive latency %d", latency)
+	}
+	b := graph.NewCSRBuilder(n)
+	for u := 0; u < n; u++ {
+		b.MustAddEdge(u, (u+1)%n, latency)
+	}
+	perm := rng.Perm(n)
+	for i := 0; i+1 < len(perm); i += 2 {
+		u, v := perm[i], perm[i+1]
+		if d := (u - v + n) % n; d == 1 || d == n-1 {
+			continue // would duplicate a cycle edge
+		}
+		b.MustAddEdge(u, v, latency)
+	}
+	return b.Finalize()
+}
+
+// SlowBridgeRingCSR returns the sparse slow-bridge dumbbell in CSR form:
+// two (n/2)-node unit-latency cycles joined by a single bridge edge of
+// the given latency — the canonical one-slow-cut topology (critical
+// conductance tiny, ℓ* = bridgeLatency) at O(n) edges. This is the
+// streaming analogue of the clique-sided graphgen.Dumbbell, which is
+// O(n²) edges and unusable at n=10⁶.
+func SlowBridgeRingCSR(n, bridgeLatency int) (*graph.CSR, error) {
+	if n < 6 {
+		return nil, fmt.Errorf("graphgen: slow-bridge ring needs n >= 6, got %d", n)
+	}
+	if bridgeLatency < 1 {
+		return nil, fmt.Errorf("graphgen: non-positive bridge latency %d", bridgeLatency)
+	}
+	half := n / 2
+	b := graph.NewCSRBuilder(n)
+	sides := [2]int{half, n - half}
+	base := 0
+	for s := 0; s < 2; s++ {
+		size := sides[s]
+		for i := 0; i < size; i++ {
+			b.MustAddEdge(base+i, base+(i+1)%size, 1)
+		}
+		base += size
+	}
+	b.MustAddEdge(0, half, bridgeLatency)
+	return b.Finalize()
+}

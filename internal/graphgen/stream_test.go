@@ -1,0 +1,84 @@
+package graphgen
+
+import (
+	"testing"
+)
+
+func TestRingMatchingExpanderCSR(t *testing.T) {
+	for _, n := range []int{4, 5, 100, 1001} {
+		csr, err := RingMatchingExpanderCSR(n, 2, NewRand(uint64(n)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if csr.N() != n {
+			t.Fatalf("n=%d: got %d nodes", n, csr.N())
+		}
+		if csr.M() < n {
+			t.Fatalf("n=%d: %d edges, want at least the cycle", n, csr.M())
+		}
+		if d := csr.MaxDegree(); d > 3 {
+			t.Fatalf("n=%d: max degree %d, want <= 3", n, d)
+		}
+		if csr.MaxLatency() != 2 {
+			t.Fatalf("n=%d: max latency %d", n, csr.MaxLatency())
+		}
+	}
+	if _, err := RingMatchingExpanderCSR(3, 1, NewRand(1)); err == nil {
+		t.Fatal("n=3 accepted")
+	}
+	if _, err := RingMatchingExpanderCSR(10, 0, NewRand(1)); err == nil {
+		t.Fatal("latency 0 accepted")
+	}
+}
+
+func TestRingMatchingExpanderDeterministic(t *testing.T) {
+	a, err := RingMatchingExpanderCSR(64, 1, NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RingMatchingExpanderCSR(64, 1, NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts %d vs %d", a.M(), b.M())
+	}
+	for u := 0; u < 64; u++ {
+		na, nb := a.NeighborIDs(u), b.NeighborIDs(u)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d: degrees differ", u)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d: adjacency differs at slot %d", u, i)
+			}
+		}
+	}
+}
+
+func TestSlowBridgeRingCSR(t *testing.T) {
+	for _, n := range []int{6, 7, 1000} {
+		csr, err := SlowBridgeRingCSR(n, 50)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if csr.M() != n+1 {
+			t.Fatalf("n=%d: %d edges, want %d (two cycles + bridge)", n, csr.M(), n+1)
+		}
+		if csr.MaxLatency() != 50 {
+			t.Fatalf("n=%d: max latency %d, want the bridge's 50", n, csr.MaxLatency())
+		}
+	}
+	if _, err := SlowBridgeRingCSR(5, 10); err == nil {
+		t.Fatal("n=5 accepted")
+	}
+	if _, err := SlowBridgeRingCSR(10, 0); err == nil {
+		t.Fatal("bridge latency 0 accepted")
+	}
+}

@@ -3,8 +3,10 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
@@ -14,7 +16,7 @@ import (
 const DefaultMaxRounds = 1 << 20
 
 // Factory builds the protocol instance for one node. It runs once per
-// node before round 0.
+// node, in node order, before round 0.
 type Factory func(nv *NodeView) Protocol
 
 // StopFunc decides when the simulation is finished. It runs after the
@@ -23,12 +25,28 @@ type StopFunc func(w *World) bool
 
 // World is the global state a StopFunc may inspect.
 type World struct {
-	Graph  *graph.Graph
+	// Graph is the adjacency-map form of the network; nil when the run
+	// was configured with Config.CSR only.
+	Graph *graph.Graph
+	// CSR is the compressed sparse row form the engine executes on.
+	CSR    *graph.CSR
 	Views  []*NodeView
 	Protos []Protocol
 	Round  int
 	// crashAt mirrors Config.CrashAt (nil when no failures configured).
 	crashAt []int
+	// watched is the rumor whose spread InformedAt tracks; informed is
+	// the word-level tally of nodes holding it, maintained incrementally
+	// by the engine so completion checks are O(n/64) scans instead of
+	// per-node set probes.
+	watched  graph.NodeID
+	informed *bitset.Set
+	// alive tracks non-crashed nodes (nil when no failures configured).
+	alive *bitset.Set
+	// dones caches the DoneReporter facet per node (nil entries for
+	// protocols without one) so quiescence stops skip per-check type
+	// assertions.
+	dones []DoneReporter
 }
 
 // Alive reports whether node u has not crashed as of the current round.
@@ -36,52 +54,157 @@ func (w *World) Alive(u graph.NodeID) bool {
 	return w.crashAt == nil || w.crashAt[u] < 0 || w.Round < w.crashAt[u]
 }
 
-// exchange is an in-flight bidirectional rumor swap. Instead of cloning
-// the endpoints' rumor sets it records a window into each endpoint's gain
-// journal: [start,end) is the delta this exchange carries, end is also
-// the size of the endpoint's full set at initiation time.
-type exchange struct {
+// exch is an in-flight bidirectional rumor swap, stored by value in the
+// delivery calendar. Instead of cloning the endpoints' rumor sets it
+// records a window into each endpoint's gain journal: [start,end) is the
+// delta this exchange carries, end is also the size of the endpoint's
+// full set at initiation time. uNews/vNews are the captured journal
+// window views, filled in when the exchange comes due.
+type exch struct {
+	seq          int64
 	deliver      int
 	initRound    int
-	seq          int64
-	u, v         graph.NodeID // u initiated
-	uIdx         int          // adjacency index of v at u
-	vIdx         int          // adjacency index of u at v
-	latency      int
+	u, v         int32 // u initiated
+	uIdx, vIdx   int32 // adjacency index of the peer at u / at v
+	latency      int32
 	uStart, uEnd int32 // window into u's journal
 	vStart, vEnd int32 // window into v's journal
 	uMeta, vMeta any
+	uNews, vNews []int32 // news *for* u (v's window) / *for* v (u's window)
 }
 
-// exchangeHeap orders exchanges by (deliver, seq) so delivery order is
-// deterministic.
-type exchangeHeap []*exchange
+// exchHeap is the overflow queue for deliveries beyond the calendar
+// ring's horizon (slow edges), ordered by (deliver, seq).
+type exchHeap []exch
 
-func (h exchangeHeap) Len() int { return len(h) }
-func (h exchangeHeap) Less(i, j int) bool {
+func (h exchHeap) Len() int { return len(h) }
+func (h exchHeap) Less(i, j int) bool {
 	if h[i].deliver != h[j].deliver {
 		return h[i].deliver < h[j].deliver
 	}
 	return h[i].seq < h[j].seq
 }
-func (h exchangeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *exchangeHeap) Push(x interface{}) { *h = append(*h, x.(*exchange)) }
-func (h *exchangeHeap) Pop() interface{} {
+func (h exchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *exchHeap) Push(x interface{}) { *h = append(*h, x.(exch)) }
+func (h *exchHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	it := old[n-1]
-	old[n-1] = nil
+	old[n-1] = exch{}
 	*h = old[:n-1]
 	return it
+}
+
+// never is the parked-wake sentinel.
+const never = WakeOnDelivery
+
+// actIntent is one buffered activation: node u wants to contact its
+// idx-th neighbor this round.
+type actIntent struct{ u, idx int32 }
+
+// shard is the per-worker slice of a round: a contiguous node range plus
+// the buffers its worker fills between barriers. Everything a worker
+// writes lives either here or in per-node state it owns, which is what
+// makes worker-count-independent determinism structural rather than
+// lucky.
+type shard struct {
+	lo, hi int
+	// intents are this shard's activations, in node order; merged into
+	// exchanges serially at the round barrier.
+	intents []actIntent
+	// recs are this shard's due deliveries: index into the engine's due
+	// list shifted left one, low bit = side (0 = initiator endpoint).
+	recs []uint32
+	// newlyInformed collects nodes that first saw the watched rumor this
+	// round; folded into the informed tally at the barrier.
+	newlyInformed        []int32
+	minWake, sleeperWake int
+	idle, called         bool
+	err                  error
+}
+
+type engine struct {
+	cfg     Config
+	csr     *graph.CSR
+	n       int
+	views   []*NodeView
+	protos  []Protocol
+	sleeper []Sleeper
+	waiter  []Waiter
+	meta    []MetaProducer
+	world   *World
+
+	watched    graph.NodeID
+	informedAt []int
+	wake       []int
+	// sent is the per-half-edge journal high-water mark (delta windows);
+	// nil under latency jitter, which falls back to full prefixes.
+	sent []int32
+
+	// ring is the delivery calendar: bucket d&ringMask holds the
+	// exchanges completing at round d, in seq order, for deliveries
+	// within ringSize rounds; farther ones wait in overflow. Bucket
+	// append order is seq order because initiations are merged in node
+	// order round by round, so draining a bucket needs no sorting.
+	ring      [][]exch
+	ringMask  int
+	ringCount int
+	overflow  exchHeap
+
+	due    []exch // scratch: this round's deliveries in (deliver,seq) order
+	dueBuf []exch // merge buffer when overflow items join a bucket
+
+	shards  []shard
+	workers int
+
+	jitterRNG *rand.Rand
+	useDelta  bool
+	inCount   []int
+	seq       int64
+	res       Result
+
+	crashRounds []int
+	crashNodes  map[int][]int32
+	nextCrash   int
+}
+
+func (e *engine) crashed(u int, round int) bool {
+	ca := e.cfg.CrashAt
+	return ca != nil && ca[u] >= 0 && round >= ca[u]
+}
+
+func (e *engine) actualLatency(nominal int) int {
+	if e.cfg.LatencyJitter == 0 {
+		return nominal
+	}
+	f := 1 + e.cfg.LatencyJitter*(2*e.jitterRNG.Float64()-1)
+	l := int(float64(nominal)*f + 0.5)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+func nextPow2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(x-1))
 }
 
 // Run executes the simulation until stop returns true or the horizon is
 // reached.
 func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
-	if cfg.Graph == nil {
-		return Result{}, fmt.Errorf("sim: nil graph")
-	}
-	if err := cfg.Graph.Validate(); err != nil {
+	csr := cfg.CSR
+	if csr == nil {
+		if cfg.Graph == nil {
+			return Result{}, fmt.Errorf("sim: nil graph")
+		}
+		if err := cfg.Graph.Validate(); err != nil {
+			return Result{}, fmt.Errorf("sim: invalid graph: %w", err)
+		}
+		csr = cfg.Graph.CSR()
+	} else if err := csr.Validate(); err != nil {
 		return Result{}, fmt.Errorf("sim: invalid graph: %w", err)
 	}
 	if cfg.Mode == 0 {
@@ -96,8 +219,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	if cfg.LatencyJitter != 0 && !(cfg.LatencyJitter >= 0 && cfg.LatencyJitter < 1) {
 		return Result{}, fmt.Errorf("sim: latency jitter %v outside [0,1)", cfg.LatencyJitter)
 	}
-	g := cfg.Graph
-	n := g.N()
+	n := csr.N()
 	if cfg.Source < 0 || cfg.Source >= n {
 		return Result{}, fmt.Errorf("sim: source %d out of range", cfg.Source)
 	}
@@ -110,48 +232,56 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %d crash entries for %d nodes", len(cfg.CrashAt), n)
 	}
 
-	// NodeViews and the known-latency tables are arena-allocated: two
-	// slabs instead of 2n small objects keeps setup off the allocator's
-	// hot path at n=10⁴⁺.
+	e := &engine{cfg: cfg, csr: csr, n: n}
+
+	// NodeViews, known-latency tables and RNG states are arena-allocated:
+	// a handful of slabs instead of ~4n small objects keeps setup off the
+	// allocator's hot path at n=10⁶.
 	viewArena := make([]NodeView, n)
 	views := make([]*NodeView, n)
 	protos := make([]Protocol, n)
-	totalDeg := 0
+	knownArena := make([]int32, csr.HalfEdges())
+	pcgArena := make([]rand.PCG, n)
+	rngArena := make([]rand.Rand, n)
 	for u := 0; u < n; u++ {
-		totalDeg += g.Degree(u)
-	}
-	knownArena := make([]int, totalDeg)
-	knownOff := 0
-	for u := 0; u < n; u++ {
-		nbrs := g.Neighbors(u)
-		known := knownArena[knownOff : knownOff+len(nbrs) : knownOff+len(nbrs)]
-		knownOff += len(nbrs)
+		off := csr.Offset(u)
+		deg := csr.Degree(u)
+		known := knownArena[off : int(off)+deg : int(off)+deg]
+		lats := csr.Latencies(u)
 		for i := range known {
 			if cfg.KnownLatencies {
-				known[i] = nbrs[i].Latency
+				known[i] = lats[i]
 			} else {
 				known[i] = -1
 			}
 		}
+		pcgArena[u] = *rand.NewPCG(cfg.Seed, uint64(u)*0x9e3779b97f4a7c15+1)
+		rngArena[u] = *rand.New(&pcgArena[u])
 		viewArena[u] = NodeView{
 			id:    u,
 			n:     n,
-			g:     g,
-			nbrs:  nbrs,
+			nbrs:  csr.NeighborIDs(u),
+			lats:  lats,
 			known: known,
-			rum:   bitset.New(n),
-			rng:   rand.New(rand.NewPCG(cfg.Seed, uint64(u)*0x9e3779b97f4a7c15+1)),
+			rng:   &rngArena[u],
 		}
+		viewArena[u].rum.init(n)
 		views[u] = &viewArena[u]
 	}
+	e.views = views
+	e.protos = protos
+
 	watched := cfg.Source
 	if len(cfg.Sources) > 0 {
 		watched = cfg.Sources[0]
 	}
+	e.watched = watched
 	informedAt := make([]int, n)
 	for i := range informedAt {
 		informedAt[i] = -1
 	}
+	e.informedAt = informedAt
+	informed := bitset.New(n)
 	switch {
 	case cfg.InitialRumors != nil:
 		if len(cfg.InitialRumors) != n {
@@ -159,9 +289,10 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		}
 		for u := 0; u < n; u++ {
 			nv := views[u]
-			cfg.InitialRumors[u].ForEach(func(r int) { nv.gain(r) })
-			if nv.rum.Contains(watched) {
+			nv.seedFrom(cfg.InitialRumors[u])
+			if nv.rum.contains(int32(watched)) {
 				informedAt[u] = 0
+				informed.Add(u)
 			}
 		}
 	case cfg.Mode == OneToAll && len(cfg.Sources) > 0:
@@ -169,282 +300,467 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 			views[s].gain(s)
 		}
 		informedAt[watched] = 0
+		informed.Add(watched)
 	case cfg.Mode == OneToAll:
 		views[cfg.Source].gain(cfg.Source)
 		informedAt[cfg.Source] = 0
+		informed.Add(cfg.Source)
 	case cfg.Mode == AllToAll:
 		for u := 0; u < n; u++ {
 			views[u].gain(u)
 		}
 		informedAt[watched] = 0
+		informed.Add(watched)
 	default:
 		return Result{}, fmt.Errorf("sim: unknown rumor mode %d", cfg.Mode)
 	}
-	// Sleeper/Waiter/MetaProducer facets are fixed per protocol: resolve
-	// the type assertions once instead of per round/exchange.
-	sleepers := make([]Sleeper, n)
-	waiters := make([]Waiter, n)
-	metas := make([]MetaProducer, n)
+
+	// Sleeper/Waiter/MetaProducer/DoneReporter facets are fixed per
+	// protocol: resolve the type assertions once instead of per round.
+	e.sleeper = make([]Sleeper, n)
+	e.waiter = make([]Waiter, n)
+	e.meta = make([]MetaProducer, n)
+	dones := make([]DoneReporter, n)
 	for u := 0; u < n; u++ {
 		protos[u] = factory(views[u])
 		if protos[u] == nil {
 			return Result{}, fmt.Errorf("sim: factory returned nil protocol for node %d", u)
 		}
 		if s, ok := protos[u].(Sleeper); ok {
-			sleepers[u] = s
+			e.sleeper[u] = s
 		}
 		if w, ok := protos[u].(Waiter); ok {
-			waiters[u] = w
+			e.waiter[u] = w
 		}
 		if m, ok := protos[u].(MetaProducer); ok {
-			metas[u] = m
+			e.meta[u] = m
+		}
+		if d, ok := protos[u].(DoneReporter); ok {
+			dones[u] = d
 		}
 	}
 
-	world := &World{Graph: g, Views: views, Protos: protos, crashAt: cfg.CrashAt}
-	crashed := func(u graph.NodeID, round int) bool {
-		return cfg.CrashAt != nil && cfg.CrashAt[u] >= 0 && round >= cfg.CrashAt[u]
-	}
-	// Scheduled crashes are calendar events: a stop condition quantifying
-	// over alive nodes can flip at a crash round with no other activity.
-	var crashRounds []int
+	var alive *bitset.Set
 	if cfg.CrashAt != nil {
-		seen := map[int]bool{}
-		for _, r := range cfg.CrashAt {
-			if r >= 0 && !seen[r] {
-				seen[r] = true
-				crashRounds = append(crashRounds, r)
+		alive = bitset.New(n)
+		for u := 0; u < n; u++ {
+			alive.Add(u)
+		}
+		// Scheduled crashes are calendar events: a stop condition
+		// quantifying over alive nodes can flip at a crash round with no
+		// other activity.
+		e.crashNodes = map[int][]int32{}
+		for u, r := range cfg.CrashAt {
+			if r >= 0 {
+				e.crashNodes[r] = append(e.crashNodes[r], int32(u))
 			}
 		}
-		sort.Ints(crashRounds)
+		for r := range e.crashNodes {
+			e.crashRounds = append(e.crashRounds, r)
+		}
+		sort.Ints(e.crashRounds)
 	}
-	nextCrash := 0
 
-	jitterRNG := rand.New(rand.NewPCG(cfg.Seed^0xdeadbeefcafe, 0x5851f42d4c957f2d))
-	actualLatency := func(nominal int) int {
-		if cfg.LatencyJitter == 0 {
-			return nominal
-		}
-		f := 1 + cfg.LatencyJitter*(2*jitterRNG.Float64()-1)
-		l := int(float64(nominal)*f + 0.5)
-		if l < 1 {
-			l = 1
-		}
-		return l
+	e.world = &World{
+		Graph: cfg.Graph, CSR: csr, Views: views, Protos: protos,
+		crashAt: cfg.CrashAt, watched: watched, informed: informed,
+		alive: alive, dones: dones,
 	}
+	e.res.InformedAt = informedAt
+	e.res.World = e.world
+
+	e.jitterRNG = rand.New(rand.NewPCG(cfg.Seed^0xdeadbeefcafe, 0x5851f42d4c957f2d))
 	// Delta windows require exchanges on an edge to deliver in initiation
 	// order; jitter can reorder them, so it falls back to full prefixes.
-	useDelta := cfg.LatencyJitter == 0
-	var sent [][]int32 // per node, per adjacency index: journal high-water mark
-	if useDelta {
-		sent = make([][]int32, n)
-		for u := 0; u < n; u++ {
-			sent[u] = make([]int32, len(views[u].nbrs))
+	e.useDelta = cfg.LatencyJitter == 0
+	if e.useDelta {
+		e.sent = make([]int32, csr.HalfEdges())
+	}
+	if cfg.MaxInPerRound > 0 {
+		e.inCount = make([]int, n)
+	}
+	e.wake = make([]int, n)
+
+	// Calendar ring: sized to cover every achievable delivery delta when
+	// that is small, capped otherwise (slow-edge deliveries overflow to
+	// the heap, which stays tiny because slow edges are, by the paper's
+	// economics, the rare ones).
+	maxDelta := csr.MaxLatency()
+	if cfg.LatencyJitter > 0 {
+		maxDelta = 2*maxDelta + 1
+	}
+	ringSize := nextPow2(maxDelta + 2)
+	if ringSize > 1<<13 {
+		ringSize = 1 << 13
+	}
+	e.ring = make([][]exch, ringSize)
+	e.ringMask = ringSize - 1
+
+	e.workers = cfg.Workers
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if e.workers > n {
+		e.workers = n
+	}
+	e.shards = make([]shard, e.workers)
+	per := (n + e.workers - 1) / e.workers
+	for i := range e.shards {
+		lo := i * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		e.shards[i] = shard{lo: lo, hi: hi}
+	}
+
+	return e.run(stop)
+}
+
+// parallel runs fn over every shard: inline when serial, fanned across
+// goroutines otherwise. fn must only touch shard-local buffers and
+// per-node state owned by the shard's range.
+func (e *engine) parallel(fn func(s *shard)) {
+	if e.workers == 1 {
+		fn(&e.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range e.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			fn(s)
+		}(&e.shards[i])
+	}
+	wg.Wait()
+}
+
+func (e *engine) shardOf(u int32) *shard {
+	per := e.shards[0].hi - e.shards[0].lo
+	i := int(u) / per
+	if i >= len(e.shards) {
+		i = len(e.shards) - 1
+	}
+	return &e.shards[i]
+}
+
+// push schedules ex: near deliveries into the calendar ring, far ones
+// into the overflow heap.
+func (e *engine) push(ex exch, round int) {
+	if ex.deliver-round < len(e.ring) {
+		slot := ex.deliver & e.ringMask
+		e.ring[slot] = append(e.ring[slot], ex)
+		e.ringCount++
+	} else {
+		heap.Push(&e.overflow, ex)
+	}
+}
+
+func (e *engine) pendingLen() int { return e.ringCount + len(e.overflow) }
+
+// nextDeliver returns the earliest round > round with a pending
+// delivery, or -1 when nothing is in flight.
+func (e *engine) nextDeliver(round int) int {
+	nd := -1
+	if e.ringCount > 0 {
+		for d := round + 1; d <= round+len(e.ring); d++ {
+			if len(e.ring[d&e.ringMask]) > 0 {
+				nd = d
+				break
+			}
 		}
 	}
+	if len(e.overflow) > 0 && (nd < 0 || e.overflow[0].deliver < nd) {
+		nd = e.overflow[0].deliver
+	}
+	return nd
+}
 
-	var (
-		pending exchangeHeap
-		free    []*exchange // exchange struct free list
-		seq     int64
-		res     Result
-	)
-	res.InformedAt = informedAt
-	res.World = world
-	heap.Init(&pending)
-	newExchange := func() *exchange {
-		if k := len(free); k > 0 {
-			ex := free[k-1]
-			free = free[:k-1]
-			return ex
+// drainDue collects the exchanges completing at round into e.due in
+// (deliver, seq) order, applies crash drops and payload accounting, and
+// routes per-endpoint delivery records to the owning shards.
+func (e *engine) drainDue(round int) {
+	bucket := e.ring[round&e.ringMask]
+	e.ringCount -= len(bucket)
+	if len(e.overflow) > 0 && e.overflow[0].deliver <= round {
+		// Merge overflow items (popped in seq order) with the bucket
+		// (already in seq order) into the scratch buffer.
+		e.dueBuf = e.dueBuf[:0]
+		var hot []exch
+		for len(e.overflow) > 0 && e.overflow[0].deliver <= round {
+			hot = append(hot, heap.Pop(&e.overflow).(exch))
 		}
-		return &exchange{}
+		i, j := 0, 0
+		for i < len(hot) && j < len(bucket) {
+			if hot[i].seq < bucket[j].seq {
+				e.dueBuf = append(e.dueBuf, hot[i])
+				i++
+			} else {
+				e.dueBuf = append(e.dueBuf, bucket[j])
+				j++
+			}
+		}
+		e.dueBuf = append(e.dueBuf, hot[i:]...)
+		e.dueBuf = append(e.dueBuf, bucket[j:]...)
+		e.due = e.dueBuf
+	} else {
+		e.due = bucket
 	}
-	recycle := func(ex *exchange) {
-		*ex = exchange{}
-		free = append(free, ex)
-	}
-
-	// wake[u] is the next round u's protocol is eligible for Activate;
-	// WakeOnDelivery parks the node. Deliveries re-wake below.
-	wake := make([]int, n)
-
-	deliverOne := func(ex *exchange, round int) {
+	for i := range e.due {
+		ex := &e.due[i]
 		// A fail-stop endpoint neither responds nor forwards: the whole
 		// exchange is lost if either side is down at completion time.
-		if crashed(ex.u, ex.deliver) || crashed(ex.v, ex.deliver) {
-			res.Dropped++
-			return
+		if e.crashed(int(ex.u), ex.deliver) || e.crashed(int(ex.v), ex.deliver) {
+			e.res.Dropped++
+			ex.uNews, ex.vNews = nil, nil
+			continue
 		}
 		// The journal prefix length at initiation is the full snapshot
 		// size: payload accounting is identical to the cloning engine.
-		res.RumorPayload += int64(ex.uEnd) + int64(ex.vEnd)
-		for _, side := range [2]struct {
-			self, peer       graph.NodeID
-			selfIdx, peerIdx int
-			news             []int32
-			peerSize         int32
-			meta             any
-			initiator        bool
-		}{
-			{ex.u, ex.v, ex.uIdx, ex.vIdx, views[ex.v].journal[ex.vStart:ex.vEnd], ex.vEnd, ex.vMeta, true},
-			{ex.v, ex.u, ex.vIdx, ex.uIdx, views[ex.u].journal[ex.uStart:ex.uEnd], ex.uEnd, ex.uMeta, false},
-		} {
-			nv := views[side.self]
-			gained := 0
-			for _, r := range side.news {
-				if nv.gain(int(r)) {
-					gained++
+		e.res.RumorPayload += int64(ex.uEnd) + int64(ex.vEnd)
+		ex.uNews = e.views[ex.v].journal[ex.vStart:ex.vEnd]
+		ex.vNews = e.views[ex.u].journal[ex.uStart:ex.uEnd]
+		su := e.shardOf(ex.u)
+		su.recs = append(su.recs, uint32(i)<<1)
+		sv := e.shardOf(ex.v)
+		sv.recs = append(sv.recs, uint32(i)<<1|1)
+	}
+}
+
+// deliverShard applies this shard's due deliveries: rumor gains, latency
+// discovery, informed bookkeeping and OnDeliver callbacks — all against
+// node state this shard owns. The news windows were captured at the
+// serial drain, so cross-shard journal reads see immutable data.
+func (e *engine) deliverShard(s *shard, round int) {
+	watched := int32(e.watched)
+	for _, enc := range s.recs {
+		ex := &e.due[enc>>1]
+		var self, peer, selfIdx int32
+		var news []int32
+		var meta any
+		initiator := enc&1 == 0
+		if initiator {
+			self, peer, selfIdx = ex.u, ex.v, ex.uIdx
+			news, meta = ex.uNews, ex.vMeta
+		} else {
+			self, peer, selfIdx = ex.v, ex.u, ex.vIdx
+			news, meta = ex.vNews, ex.uMeta
+		}
+		nv := e.views[self]
+		gained := 0
+		for _, r := range news {
+			if nv.gain(int(r)) {
+				gained++
+			}
+		}
+		nv.known[selfIdx] = ex.latency
+		if e.informedAt[self] < 0 && nv.rum.contains(watched) {
+			e.informedAt[self] = ex.deliver
+			s.newlyInformed = append(s.newlyInformed, self)
+		}
+		if e.wake[self] > round {
+			e.wake[self] = round
+		}
+		e.protos[self].OnDeliver(Delivery{
+			Round:         ex.deliver,
+			InitRound:     ex.initRound,
+			Peer:          int(peer),
+			NeighborIndex: int(selfIdx),
+			Latency:       int(ex.latency),
+			Initiator:     initiator,
+			News:          news,
+			NewRumors:     gained,
+			PeerMeta:      meta,
+		})
+	}
+	s.recs = s.recs[:0]
+}
+
+// finishDeliveries folds shard-local informed events into the global
+// tally and releases this round's delivery storage.
+func (e *engine) finishDeliveries(round int) {
+	for i := range e.shards {
+		s := &e.shards[i]
+		for _, u := range s.newlyInformed {
+			e.world.informed.Add(int(u))
+		}
+		s.newlyInformed = s.newlyInformed[:0]
+	}
+	for i := range e.due {
+		e.due[i].uMeta, e.due[i].vMeta = nil, nil
+		e.due[i].uNews, e.due[i].vNews = nil, nil
+	}
+	slot := round & e.ringMask
+	e.ring[slot] = e.ring[slot][:0]
+	e.due = nil
+}
+
+// activateShard runs the activation scan for this shard's node range:
+// wake filtering, Activate calls (each node draws only from its own RNG
+// stream), NextWake scheduling, and intent buffering in node order.
+func (e *engine) activateShard(s *shard, round int) {
+	s.minWake, s.sleeperWake = never, never
+	s.idle, s.called = true, false
+	for u := s.lo; u < s.hi; u++ {
+		if e.crashed(u, round) {
+			continue
+		}
+		if e.wake[u] > round {
+			if e.wake[u] < s.minWake {
+				s.minWake = e.wake[u]
+			}
+			if e.sleeper[u] != nil && e.wake[u] < s.sleeperWake {
+				s.sleeperWake = e.wake[u]
+			}
+			continue
+		}
+		s.called = true
+		idx, ok := e.protos[u].Activate(round)
+		if ok {
+			if idx < 0 || idx >= len(e.views[u].nbrs) {
+				if s.err == nil {
+					s.err = fmt.Errorf("sim: node %d activated invalid neighbor index %d", u, idx)
 				}
+			} else {
+				s.idle = false
+				s.intents = append(s.intents, actIntent{u: int32(u), idx: int32(idx)})
 			}
-			nv.known[side.selfIdx] = ex.latency
-			if informedAt[side.self] < 0 && nv.rum.Contains(watched) {
-				informedAt[side.self] = ex.deliver
+		}
+		next := round + 1
+		if sl := e.sleeper[u]; sl != nil {
+			if w := sl.NextWake(round); w > next {
+				next = w
 			}
-			if wake[side.self] > round {
-				wake[side.self] = round
-			}
-			protos[side.self].OnDeliver(Delivery{
-				Round:         ex.deliver,
-				InitRound:     ex.initRound,
-				Peer:          side.peer,
-				NeighborIndex: side.selfIdx,
-				Latency:       ex.latency,
-				Initiator:     side.initiator,
-				News:          side.news,
-				NewRumors:     gained,
-				PeerMeta:      side.meta,
-			})
+		}
+		e.wake[u] = next
+		if next < s.minWake {
+			s.minWake = next
+		}
+		if e.sleeper[u] != nil && next < s.sleeperWake {
+			s.sleeperWake = next
 		}
 	}
+}
 
-	var inCount []int
-	if cfg.MaxInPerRound > 0 {
-		inCount = make([]int, n)
+// mergeIntents turns buffered activations into scheduled exchanges, in
+// node order across shards — the same order the serial engine uses, so
+// in-degree caps, jitter draws, sequence numbers and meta sampling are
+// identical for every worker count.
+func (e *engine) mergeIntents(round int) {
+	for si := range e.shards {
+		s := &e.shards[si]
+		for _, it := range s.intents {
+			u, idx := int(it.u), int(it.idx)
+			nv := e.views[u]
+			v := int(nv.nbrs[idx])
+			if e.inCount != nil {
+				if e.inCount[v] >= e.cfg.MaxInPerRound {
+					// Bounded in-degree: the connection is refused; the
+					// attempt still costs a message.
+					e.res.Messages++
+					e.res.Dropped++
+					continue
+				}
+				e.inCount[v]++
+			}
+			lat := e.actualLatency(int(nv.lats[idx]))
+			vIdx := e.csr.PeerIndex(u, idx)
+			ex := exch{
+				deliver:   round + lat,
+				initRound: round,
+				seq:       e.seq,
+				u:         it.u, v: int32(v),
+				uIdx: it.idx, vIdx: int32(vIdx),
+				latency: int32(lat),
+				uEnd:    int32(len(nv.journal)),
+				vEnd:    int32(len(e.views[v].journal)),
+			}
+			if e.sent != nil {
+				hu := e.csr.HalfIndex(u, idx)
+				hv := e.csr.HalfIndex(v, vIdx)
+				ex.uStart = e.sent[hu]
+				ex.vStart = e.sent[hv]
+				e.sent[hu] = ex.uEnd
+				e.sent[hv] = ex.vEnd
+			}
+			e.seq++
+			if mp := e.meta[u]; mp != nil {
+				ex.uMeta = mp.Meta()
+			}
+			if mp := e.meta[v]; mp != nil {
+				ex.vMeta = mp.Meta()
+			}
+			e.push(ex, round)
+			e.res.Exchanges++
+			e.res.Messages += 2
+		}
+		s.intents = s.intents[:0]
 	}
-	const never = WakeOnDelivery
+}
 
-	for round := 0; round <= cfg.MaxRounds; {
-		world.Round = round
-		for nextCrash < len(crashRounds) && crashRounds[nextCrash] <= round {
-			nextCrash++
+func (e *engine) run(stop StopFunc) (Result, error) {
+	for round := 0; round <= e.cfg.MaxRounds; {
+		e.world.Round = round
+		for e.nextCrash < len(e.crashRounds) && e.crashRounds[e.nextCrash] <= round {
+			for _, u := range e.crashNodes[e.crashRounds[e.nextCrash]] {
+				e.world.alive.Remove(int(u))
+			}
+			e.nextCrash++
 		}
-		for pending.Len() > 0 && pending[0].deliver <= round {
-			ex := heap.Pop(&pending).(*exchange)
-			deliverOne(ex, round)
-			recycle(ex)
+		e.drainDue(round)
+		e.parallel(func(s *shard) { e.deliverShard(s, round) })
+		e.finishDeliveries(round)
+		if stop(e.world) {
+			e.res.Rounds = round
+			e.res.Completed = true
+			return e.res, nil
 		}
-		if stop(world) {
-			res.Rounds = round
-			res.Completed = true
-			return res, nil
-		}
-		if inCount != nil {
-			for i := range inCount {
-				inCount[i] = 0
-			}
-		}
-		idle := true
-		called := false
-		minWake := never
-		// sleeperWake tracks the earliest round an alive Sleeper has
-		// explicitly scheduled (timers and the like): unlike the default
-		// wake-next-round of plain protocols, a declared future wake is
-		// pending activity and must suppress the idle-termination check.
-		sleeperWake := never
-		for u := 0; u < n; u++ {
-			if crashed(u, round) {
-				continue
-			}
-			if wake[u] > round {
-				if wake[u] < minWake {
-					minWake = wake[u]
-				}
-				if sleepers[u] != nil && wake[u] < sleeperWake {
-					sleeperWake = wake[u]
-				}
-				continue
-			}
-			called = true
-			idx, ok := protos[u].Activate(round)
-			if ok {
-				nv := views[u]
-				if idx < 0 || idx >= len(nv.nbrs) {
-					return res, fmt.Errorf("sim: node %d activated invalid neighbor index %d", u, idx)
-				}
-				idle = false
-				v := nv.nbrs[idx].ID
-				refused := false
-				if inCount != nil {
-					if inCount[v] >= cfg.MaxInPerRound {
-						// Bounded in-degree: the connection is refused;
-						// the attempt still costs a message.
-						res.Messages++
-						res.Dropped++
-						refused = true
-					} else {
-						inCount[v]++
-					}
-				}
-				if !refused {
-					lat := actualLatency(nv.nbrs[idx].Latency)
-					vIdx := views[v].NeighborIndex(u)
-					ex := newExchange()
-					ex.deliver = round + lat
-					ex.initRound = round
-					ex.seq = seq
-					ex.u, ex.v = u, v
-					ex.uIdx, ex.vIdx = idx, vIdx
-					ex.latency = lat
-					ex.uEnd = int32(len(nv.journal))
-					ex.vEnd = int32(len(views[v].journal))
-					if useDelta {
-						ex.uStart = sent[u][idx]
-						ex.vStart = sent[v][vIdx]
-						sent[u][idx] = ex.uEnd
-						sent[v][vIdx] = ex.vEnd
-					}
-					seq++
-					if mp := metas[u]; mp != nil {
-						ex.uMeta = mp.Meta()
-					}
-					if mp := metas[v]; mp != nil {
-						ex.vMeta = mp.Meta()
-					}
-					heap.Push(&pending, ex)
-					res.Exchanges++
-					res.Messages += 2
-				}
-			}
-			next := round + 1
-			if s := sleepers[u]; s != nil {
-				if w := s.NextWake(round); w > next {
-					next = w
-				}
-			}
-			wake[u] = next
-			if next < minWake {
-				minWake = next
-			}
-			if sleepers[u] != nil && next < sleeperWake {
-				sleeperWake = next
+		if e.inCount != nil {
+			for i := range e.inCount {
+				e.inCount[i] = 0
 			}
 		}
-		if idle && pending.Len() == 0 && sleeperWake == never {
+		e.parallel(func(s *shard) { e.activateShard(s, round) })
+		for i := range e.shards {
+			if err := e.shards[i].err; err != nil {
+				return e.res, err
+			}
+		}
+		e.mergeIntents(round)
+		idle, called := true, false
+		minWake, sleeperWake := never, never
+		for i := range e.shards {
+			s := &e.shards[i]
+			idle = idle && s.idle
+			called = called || s.called
+			if s.minWake < minWake {
+				minWake = s.minWake
+			}
+			// sleeperWake tracks the earliest round an alive Sleeper has
+			// explicitly scheduled (timers and the like): unlike the
+			// default wake-next-round of plain protocols, a declared
+			// future wake is pending activity and must suppress the
+			// idle-termination check.
+			if s.sleeperWake < sleeperWake {
+				sleeperWake = s.sleeperWake
+			}
+		}
+		if idle && e.pendingLen() == 0 && sleeperWake == never {
 			// Nothing in flight and nobody acted this round. Unless a
 			// protocol is waiting on an internal timer (Waiter), nobody
 			// will ever act again and the run is over.
 			waiting := false
-			for u := 0; u < n; u++ {
-				if w := waiters[u]; w != nil && !crashed(u, round) && w.Waiting() {
+			for u := 0; u < e.n; u++ {
+				if w := e.waiter[u]; w != nil && !e.crashed(u, round) && w.Waiting() {
 					waiting = true
 					break
 				}
 			}
 			if !waiting {
-				res.Rounds = round
-				res.Completed = stop(world)
-				return res, nil
+				e.res.Rounds = round
+				e.res.Completed = stop(e.world)
+				return e.res, nil
 			}
 		}
 		// Jump to the next round where anything can change: a delivery,
@@ -452,11 +768,11 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		// following round when protocols acted this round, since a stop
 		// condition over protocol state may flip then.
 		next := minWake
-		if pending.Len() > 0 && pending[0].deliver < next {
-			next = pending[0].deliver
+		if nd := e.nextDeliver(round); nd >= 0 && nd < next {
+			next = nd
 		}
-		if nextCrash < len(crashRounds) && crashRounds[nextCrash] < next {
-			next = crashRounds[nextCrash]
+		if e.nextCrash < len(e.crashRounds) && e.crashRounds[e.nextCrash] < next {
+			next = e.crashRounds[e.nextCrash]
 		}
 		if called && round+1 < next {
 			next = round + 1
@@ -466,7 +782,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		}
 		round = next
 	}
-	res.Rounds = cfg.MaxRounds
-	res.Completed = false
-	return res, nil
+	e.res.Rounds = e.cfg.MaxRounds
+	e.res.Completed = false
+	return e.res, nil
 }

@@ -52,8 +52,22 @@ import (
 
 // Config describes one simulation run.
 type Config struct {
-	// Graph is the network. Required.
+	// Graph is the network. Required unless CSR is set.
 	Graph *graph.Graph
+	// CSR supplies the topology directly in compressed sparse row form —
+	// the million-node path, where an adjacency-map Graph is never
+	// materialized. When both are set CSR is used (callers must keep them
+	// consistent); when only Graph is set the engine converts it once,
+	// preserving adjacency order so results are identical either way.
+	CSR *graph.CSR
+	// Workers shards intra-round execution across this many goroutines:
+	// nodes are partitioned into contiguous worker-owned shards,
+	// activations and deliveries run shard-parallel, and shard-buffered
+	// exchange intents are merged at the round barrier in node order.
+	// Because every node draws from its own seed-derived RNG stream and
+	// cross-shard effects are applied at barriers, results are
+	// bit-identical for every worker count. 0 or 1 runs serial.
+	Workers int
 	// Seed drives all per-node randomness.
 	Seed uint64
 	// KnownLatencies exposes adjacent edge latencies to nodes from round
@@ -192,15 +206,19 @@ type Sleeper interface {
 }
 
 // NodeView is the node-local world handed to a protocol: identity,
-// adjacency, (possibly discovered) latencies, the node's rumor set and a
-// private RNG stream.
+// adjacency (CSR slices — no per-node allocations), (possibly
+// discovered) latencies, the node's rumor set and a private RNG stream.
 type NodeView struct {
-	id    graph.NodeID
-	n     int
-	g     *graph.Graph
-	nbrs  []graph.Neighbor
-	known []int // latency per adjacency index; -1 = not yet discovered
-	rum   *bitset.Set
+	id   graph.NodeID
+	n    int
+	nbrs []int32 // CSR neighbor view, adjacency order
+	lats []int32 // CSR latency view, parallel to nbrs
+	// known is the latency per adjacency index as this node knows it;
+	// -1 = not yet discovered.
+	known []int32
+	// rum answers rumor membership; hybrid sparse/dense so one-to-all
+	// runs at n=10⁶ do not pay n bits per node.
+	rum rumorSet
 	// journal lists the node's rumors in gain order; the set at any past
 	// round is a prefix, which is how exchanges snapshot without cloning.
 	journal []int32
@@ -211,12 +229,24 @@ type NodeView struct {
 // rumor was new. All rumor mutation goes through here so the journal
 // stays an exact gain-ordered index of the set.
 func (nv *NodeView) gain(r int) bool {
-	if nv.rum.Contains(r) {
+	if !nv.rum.add(int32(r)) {
 		return false
 	}
-	nv.rum.Add(r)
 	nv.journal = append(nv.journal, int32(r))
 	return true
+}
+
+// seedFrom bulk-seeds an empty node from a previous phase's rumor set:
+// the dense path is a word-level UnionCount instead of n per-bit probes,
+// which is what makes the multi-phase pipelines' between-phase carry-over
+// O(n/64) per node.
+func (nv *NodeView) seedFrom(src *bitset.Set) {
+	if nv.rum.dense != nil && len(nv.journal) == 0 {
+		nv.rum.dense.UnionCount(src)
+		src.ForEach(func(r int) { nv.journal = append(nv.journal, int32(r)) })
+		return
+	}
+	src.ForEach(func(r int) { nv.gain(r) })
 }
 
 // ID returns the node's identity.
@@ -231,13 +261,13 @@ func (nv *NodeView) N() int { return nv.n }
 func (nv *NodeView) Degree() int { return len(nv.nbrs) }
 
 // NeighborID returns the node ID of the i-th neighbor.
-func (nv *NodeView) NeighborID(i int) graph.NodeID { return nv.nbrs[i].ID }
+func (nv *NodeView) NeighborID(i int) graph.NodeID { return int(nv.nbrs[i]) }
 
 // NeighborIndex returns the adjacency index of the given neighbor ID, or
 // -1 when id is not adjacent.
 func (nv *NodeView) NeighborIndex(id graph.NodeID) int {
 	for i, nb := range nv.nbrs {
-		if nb.ID == id {
+		if int(nb) == id {
 			return i
 		}
 	}
@@ -252,15 +282,15 @@ func (nv *NodeView) Latency(i int) (int, bool) {
 	if l < 0 {
 		return 0, false
 	}
-	return l, true
+	return int(l), true
 }
 
-// Rumors returns the node's rumor set. Protocols must treat it as
-// read-only; the simulator owns mutation.
-func (nv *NodeView) Rumors() *bitset.Set { return nv.rum }
-
 // Knows reports whether the node holds rumor r.
-func (nv *NodeView) Knows(r int) bool { return nv.rum.Contains(r) }
+func (nv *NodeView) Knows(r int) bool { return nv.rum.contains(int32(r)) }
+
+// RumorCount returns how many rumors the node holds (the journal length;
+// O(1), no popcount).
+func (nv *NodeView) RumorCount() int { return len(nv.journal) }
 
 // RNG returns the node's private deterministic random stream.
 func (nv *NodeView) RNG() *rand.Rand { return nv.rng }
@@ -292,12 +322,17 @@ type Result struct {
 	World *World
 }
 
-// FinalRumors returns clones of every node's rumor set at the end of the
-// run, suitable for Config.InitialRumors of a follow-up phase.
+// FinalRumors returns every node's rumor set at the end of the run as
+// dense bitsets (materialized from the gain journals), suitable for
+// Config.InitialRumors of a follow-up phase.
 func (r Result) FinalRumors() []*bitset.Set {
 	out := make([]*bitset.Set, len(r.World.Views))
 	for i, nv := range r.World.Views {
-		out[i] = nv.rum.Clone()
+		s := bitset.New(nv.n)
+		for _, x := range nv.journal {
+			s.Add(int(x))
+		}
+		out[i] = s
 	}
 	return out
 }

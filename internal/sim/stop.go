@@ -3,11 +3,16 @@ package sim
 import "gossip/internal/graph"
 
 // StopAllInformed stops when every node holds rumor r (one-to-all
-// dissemination of source r's rumor).
+// dissemination of source r's rumor). When r is the run's watched rumor
+// the check rides the engine-maintained informed tally — a word-level
+// NextClear scan, O(n/64) — instead of probing every node's set.
 func StopAllInformed(r graph.NodeID) StopFunc {
 	return func(w *World) bool {
+		if w.informed != nil && r == w.watched {
+			return w.informed.NextClear(0) >= len(w.Views)
+		}
 		for _, nv := range w.Views {
-			if !nv.rum.Contains(r) {
+			if !nv.rum.contains(int32(r)) {
 				return false
 			}
 		}
@@ -16,11 +21,13 @@ func StopAllInformed(r graph.NodeID) StopFunc {
 }
 
 // StopAllHaveAll stops when every node holds every rumor (all-to-all
-// dissemination; use with Config.Mode == AllToAll).
+// dissemination; use with Config.Mode == AllToAll). The per-node check
+// is the journal length — O(1), no popcount.
 func StopAllHaveAll() StopFunc {
 	return func(w *World) bool {
+		n := len(w.Views)
 		for _, nv := range w.Views {
-			if !nv.rum.Full() {
+			if len(nv.journal) != n {
 				return false
 			}
 		}
@@ -34,7 +41,7 @@ func StopLocalBroadcast() StopFunc {
 	return func(w *World) bool {
 		for _, nv := range w.Views {
 			for _, nb := range nv.nbrs {
-				if !nv.rum.Contains(nb.ID) {
+				if !nv.rum.contains(nb) {
 					return false
 				}
 			}
@@ -49,8 +56,8 @@ func StopLocalBroadcast() StopFunc {
 func StopEllLocalBroadcast(ell int) StopFunc {
 	return func(w *World) bool {
 		for _, nv := range w.Views {
-			for _, nb := range nv.nbrs {
-				if nb.Latency <= ell && !nv.rum.Contains(nb.ID) {
+			for i, nb := range nv.nbrs {
+				if int(nv.lats[i]) <= ell && !nv.rum.contains(nb) {
 					return false
 				}
 			}
@@ -61,11 +68,15 @@ func StopEllLocalBroadcast(ell int) StopFunc {
 
 // StopAllAliveInformed stops when every node still alive holds rumor r
 // (the meaningful completion criterion under fail-stop crashes: crashed
-// nodes can never be informed).
+// nodes can never be informed). When r is the watched rumor this is a
+// word-level subset test of the alive mask against the informed tally.
 func StopAllAliveInformed(r graph.NodeID) StopFunc {
 	return func(w *World) bool {
+		if w.informed != nil && w.alive != nil && r == w.watched {
+			return w.alive.SubsetOf(w.informed)
+		}
 		for u, nv := range w.Views {
-			if w.Alive(u) && !nv.rum.Contains(r) {
+			if w.Alive(u) && !nv.rum.contains(int32(r)) {
 				return false
 			}
 		}
@@ -75,9 +86,18 @@ func StopAllAliveInformed(r graph.NodeID) StopFunc {
 
 // StopAllDone stops when every live node's protocol implementing
 // DoneReporter reports done (protocols without DoneReporter count as
-// done; crashed nodes are excluded — their state can never change).
+// done; crashed nodes are excluded — their state can never change). The
+// DoneReporter facets are resolved once at setup, not per check.
 func StopAllDone() StopFunc {
 	return func(w *World) bool {
+		if w.dones != nil {
+			for u, dr := range w.dones {
+				if dr != nil && w.Alive(u) && !dr.Done() {
+					return false
+				}
+			}
+			return true
+		}
 		for u, p := range w.Protos {
 			if !w.Alive(u) {
 				continue
