@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"testing"
 
+	"gossip/internal/adversity"
 	"gossip/internal/conductance"
 	"gossip/internal/experiments"
 	proto "gossip/internal/gossip"
@@ -324,7 +325,43 @@ func BenchmarkSimMillionNode(b *testing.B) {
 	})
 }
 
-func BenchmarkE23Scaling(b *testing.B) { benchExperiment(b, "E23") }
+func BenchmarkE23Scaling(b *testing.B)   { benchExperiment(b, "E23") }
+func BenchmarkE24LossSweep(b *testing.B) { benchExperiment(b, "E24") }
+func BenchmarkE25Churn(b *testing.B)     { benchExperiment(b, "E25") }
+
+// BenchmarkSimLossyPushPull is the adversity substrate gate: push-pull
+// one-to-all at n=10⁴ with 10% per-exchange loss. Versus the benign
+// BenchmarkSimLargeScale/sparse-random-push-pull it pays the loss draws
+// (one per initiation from the per-node adversity streams) and the
+// extra rounds lossy spread needs; the delta-window transport stays on
+// because drop fates are fixed at initiation.
+func BenchmarkSimLossyPushPull(b *testing.B) {
+	const n = 10_000
+	rng := graphgen.NewRand(7)
+	g, err := graphgen.RandomRegular(n, 4, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &adversity.Spec{Loss: 0.1}
+	b.ReportAllocs()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := proto.Dispatch("push-pull", g, proto.DriverOptions{
+			Source: 0, Seed: uint64(i + 1), MaxRounds: 1 << 18, Adversity: spec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatalf("lossy push-pull incomplete: %+v", res)
+		}
+		if res.Dropped == 0 {
+			b.Fatal("no losses recorded at 10% loss")
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
 
 func BenchmarkConductanceExact(b *testing.B) {
 	rng := graphgen.NewRand(1)

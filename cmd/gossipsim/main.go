@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"gossip/internal/adversity"
 	"gossip/internal/core"
 	"gossip/internal/gossip"
 	"gossip/internal/graph"
@@ -39,6 +40,10 @@ type options struct {
 	curve     bool
 	loadPath  string
 	savePath  string
+	loss      float64
+	churn     string
+	faultSpec string
+	adversity *adversity.Spec
 }
 
 // parseArgs parses the command line into options. Split from main so the
@@ -63,6 +68,9 @@ func parseArgs(args []string) (options, error) {
 	fs.BoolVar(&o.curve, "curve", false, "print the push-pull spreading curve as a sparkline")
 	fs.StringVar(&o.loadPath, "load", "", "load the graph from an edge-list file instead of generating")
 	fs.StringVar(&o.savePath, "save", "", "save the generated graph to an edge-list file")
+	fs.Float64Var(&o.loss, "loss", 0, "uniform per-exchange message-loss probability in [0,1]")
+	fs.StringVar(&o.churn, "churn", "", "churn items NODE:FROM-TO[:amnesia], comma-separated (TO may be \"inf\")")
+	fs.StringVar(&o.faultSpec, "fault-spec", "", "full fault schedule DSL, e.g. 'loss=0.1;churn=3:10-20:amnesia;flap=0-1:5-9;crash=4:6,7'")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -74,7 +82,40 @@ func parseArgs(args []string) (options, error) {
 		return options{}, err
 	}
 	o.algo = algo
+	if o.adversity, err = buildSpec(o); err != nil {
+		return options{}, err
+	}
 	return o, nil
+}
+
+// buildSpec merges the convenience flags (-loss, -churn) into the full
+// -fault-spec schedule; nil means benign.
+func buildSpec(o options) (*adversity.Spec, error) {
+	spec := &adversity.Spec{}
+	if o.faultSpec != "" {
+		var err error
+		if spec, err = adversity.ParseSpec(o.faultSpec); err != nil {
+			return nil, err
+		}
+	}
+	if o.loss != 0 {
+		if spec.Loss != 0 {
+			return nil, fmt.Errorf("loss set by both -loss and -fault-spec")
+		}
+		spec.Loss = o.loss
+	}
+	if o.churn != "" {
+		items := strings.Split(o.churn, ",")
+		churnSpec, err := adversity.ParseSpec("churn=" + strings.Join(items, ";churn="))
+		if err != nil {
+			return nil, err
+		}
+		spec.Churn = append(spec.Churn, churnSpec.Churn...)
+	}
+	if spec.Empty() {
+		return nil, nil
+	}
+	return spec, nil
 }
 
 func main() {
@@ -145,12 +186,16 @@ func run() int {
 			prof.Bounds.Pattern, prof.Bounds.Unified)
 	}
 
+	if opts.adversity != nil {
+		fmt.Printf("adversity: %s\n", opts.adversity)
+	}
 	out, err := core.Disseminate(g, core.Options{
 		Algorithm:      opts.algo,
 		Source:         opts.source,
 		KnownLatencies: opts.known,
 		Seed:           opts.seed,
 		Workers:        opts.workers,
+		Adversity:      opts.adversity,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,61 @@
+package adversity
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultSpec fuzzes the fault-schedule parser and compiler, in the
+// conventions of graph.FuzzCSRBuilder: malformed probabilities,
+// overlapping intervals and out-of-range node ids must surface as
+// errors, never as panics; and anything that parses and compiles must
+// survive a String round trip and a Shift re-compile.
+func FuzzFaultSpec(f *testing.F) {
+	f.Add("loss=0.1")
+	f.Add("loss=0-1=0.5;loss=0.05")
+	f.Add("churn=3:10-20:amnesia;churn=4:5-inf")
+	f.Add("flap=0-2:5-9;crash=4:6,7")
+	f.Add("loss=0.1;churn=3:10-20:amnesia;flap=0-1:5-9;crash=4:6,7")
+	f.Add("loss=2.0")
+	f.Add("churn=1:9-3")
+	f.Add("crash=-1:0")
+	f.Add(";;;=;loss=;churn=::::")
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		sched, err := spec.Compile(16)
+		if err != nil {
+			return
+		}
+		// A compiled schedule must answer queries without panicking,
+		// whatever the fuzzer dreamed up.
+		for u := 0; u < 16; u++ {
+			sched.Down(u, 0)
+			sched.DownDuring(u, 0, 1<<20)
+			sched.LossProb(u, (u+1)%16)
+			sched.LinkDownDuring(u, (u+1)%16, 5, 7)
+		}
+		prev := -1
+		for _, ev := range sched.Events() {
+			if ev.Round <= prev {
+				t.Fatalf("events out of order: %d after %d", ev.Round, prev)
+			}
+			prev = ev.Round
+		}
+		// Round trip: the rendered DSL re-parses to the same spec.
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", spec.String(), err)
+		}
+		if !spec.Empty() && !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip changed %+v to %+v", spec, again)
+		}
+		// A shifted valid spec stays valid (clamping cannot invert or
+		// overlap intervals that were disjoint).
+		if _, err := spec.Shift(3).Compile(16); err != nil {
+			t.Fatalf("shifted spec no longer compiles: %v", err)
+		}
+	})
+}

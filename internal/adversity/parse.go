@@ -1,0 +1,250 @@
+package adversity
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gossip/internal/graph"
+)
+
+// ParseSpec parses the textual fault-schedule DSL used by the CLIs
+// (gossipsim -fault-spec). Items are separated by ';':
+//
+//	loss=P               uniform per-exchange loss probability
+//	loss=U-V=P           loss probability override for edge {U,V}
+//	churn=N:FROM-TO      node N down during [FROM,TO); TO may be "inf"
+//	churn=N:FROM-TO:amnesia   …rejoining with its rumor state discarded
+//	flap=U-V:FROM-TO     link {U,V} down during [FROM,TO)
+//	crash=R:N1,N2,...    nodes N1,N2,… fail-stop at round R
+//
+// e.g. "loss=0.1;churn=3:10-20:amnesia;flap=0-1:5-9;crash=4:6,7".
+// ParseSpec only checks shape; Compile validates ranges against a node
+// count. Malformed input errors, never panics.
+func ParseSpec(text string) (*Spec, error) {
+	s := &Spec{}
+	lossSet := false
+	for _, item := range strings.Split(text, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("adversity: item %q is not key=value", item)
+		}
+		var err error
+		switch key {
+		case "loss":
+			err = s.parseLoss(val, &lossSet)
+		case "churn":
+			err = s.parseChurn(val)
+		case "flap":
+			err = s.parseFlap(val)
+		case "crash":
+			err = s.parseCrash(val)
+		default:
+			err = fmt.Errorf("adversity: unknown item %q (have loss, churn, flap, crash)", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustParseSpec is ParseSpec for literals in tests and examples.
+func MustParseSpec(text string) *Spec {
+	s, err := ParseSpec(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Spec) parseLoss(val string, lossSet *bool) error {
+	if edge, p, ok := strings.Cut(val, "="); ok {
+		u, v, err := parseEdge(edge)
+		if err != nil {
+			return fmt.Errorf("adversity: loss %q: %w", val, err)
+		}
+		prob, err := parseProb(p)
+		if err != nil {
+			return fmt.Errorf("adversity: loss %q: %w", val, err)
+		}
+		s.EdgeLoss = append(s.EdgeLoss, EdgeLoss{U: u, V: v, P: prob})
+		return nil
+	}
+	prob, err := parseProb(val)
+	if err != nil {
+		return fmt.Errorf("adversity: loss %q: %w", val, err)
+	}
+	if *lossSet {
+		return fmt.Errorf("adversity: duplicate uniform loss %q", val)
+	}
+	*lossSet = true
+	s.Loss = prob
+	return nil
+}
+
+func (s *Spec) parseChurn(val string) error {
+	parts := strings.Split(val, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return fmt.Errorf("adversity: churn %q wants NODE:FROM-TO[:amnesia]", val)
+	}
+	node, err := parseInt(parts[0])
+	if err != nil {
+		return fmt.Errorf("adversity: churn %q: %w", val, err)
+	}
+	from, to, err := parseInterval(parts[1], true)
+	if err != nil {
+		return fmt.Errorf("adversity: churn %q: %w", val, err)
+	}
+	ch := Churn{Node: node, Leave: from, Rejoin: to}
+	if len(parts) == 3 {
+		if parts[2] != "amnesia" {
+			return fmt.Errorf("adversity: churn %q: unknown modifier %q", val, parts[2])
+		}
+		ch.Amnesia = true
+	}
+	s.Churn = append(s.Churn, ch)
+	return nil
+}
+
+func (s *Spec) parseFlap(val string) error {
+	edge, ival, ok := strings.Cut(val, ":")
+	if !ok {
+		return fmt.Errorf("adversity: flap %q wants U-V:FROM-TO", val)
+	}
+	u, v, err := parseEdge(edge)
+	if err != nil {
+		return fmt.Errorf("adversity: flap %q: %w", val, err)
+	}
+	from, to, err := parseInterval(ival, false)
+	if err != nil {
+		return fmt.Errorf("adversity: flap %q: %w", val, err)
+	}
+	s.Flaps = append(s.Flaps, Flap{U: u, V: v, From: from, To: to})
+	return nil
+}
+
+func (s *Spec) parseCrash(val string) error {
+	round, nodes, ok := strings.Cut(val, ":")
+	if !ok {
+		return fmt.Errorf("adversity: crash %q wants ROUND:N1,N2,...", val)
+	}
+	r, err := parseInt(round)
+	if err != nil {
+		return fmt.Errorf("adversity: crash %q: %w", val, err)
+	}
+	batch := Crash{Round: r}
+	for _, f := range strings.Split(nodes, ",") {
+		u, err := parseInt(f)
+		if err != nil {
+			return fmt.Errorf("adversity: crash %q: %w", val, err)
+		}
+		batch.Nodes = append(batch.Nodes, u)
+	}
+	if len(batch.Nodes) == 0 {
+		return fmt.Errorf("adversity: crash %q names no nodes", val)
+	}
+	s.Crashes = append(s.Crashes, batch)
+	return nil
+}
+
+func parseEdge(text string) (graph.NodeID, graph.NodeID, error) {
+	us, vs, ok := strings.Cut(text, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("edge %q wants U-V", text)
+	}
+	u, err := parseInt(us)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := parseInt(vs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return u, v, nil
+}
+
+// parseInterval parses "FROM-TO"; with allowInf, TO may be "inf" (or
+// "never"), yielding Forever.
+func parseInterval(text string, allowInf bool) (int, int, error) {
+	fs, ts, ok := strings.Cut(text, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("interval %q wants FROM-TO", text)
+	}
+	from, err := parseInt(fs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if allowInf && (ts == "inf" || ts == "never") {
+		return from, Forever, nil
+	}
+	to, err := parseInt(ts)
+	if err != nil {
+		return 0, 0, err
+	}
+	if to < 0 {
+		// In the DSL "forever" is spelled "inf"; a negative TO is a typo
+		// and must not silently alias the Forever sentinel (-1).
+		return 0, 0, fmt.Errorf("interval %q has negative end %d (use \"inf\" for a permanent leave)", text, to)
+	}
+	return from, to, nil
+}
+
+func parseInt(text string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(text))
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", text)
+	}
+	return v, nil
+}
+
+func parseProb(text string) (float64, error) {
+	p, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad probability %q", text)
+	}
+	if !validProb(p) {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+// String renders s back in the DSL (parseable by ParseSpec).
+func (s *Spec) String() string {
+	if s.Empty() {
+		return ""
+	}
+	var items []string
+	if s.Loss > 0 {
+		items = append(items, fmt.Sprintf("loss=%g", s.Loss))
+	}
+	for _, el := range s.EdgeLoss {
+		items = append(items, fmt.Sprintf("loss=%d-%d=%g", el.U, el.V, el.P))
+	}
+	for _, c := range s.Churn {
+		to := "inf"
+		if c.Rejoin != Forever {
+			to = strconv.Itoa(c.Rejoin)
+		}
+		item := fmt.Sprintf("churn=%d:%d-%s", c.Node, c.Leave, to)
+		if c.Amnesia {
+			item += ":amnesia"
+		}
+		items = append(items, item)
+	}
+	for _, f := range s.Flaps {
+		items = append(items, fmt.Sprintf("flap=%d-%d:%d-%d", f.U, f.V, f.From, f.To))
+	}
+	for _, b := range s.Crashes {
+		nodes := make([]string, len(b.Nodes))
+		for i, u := range b.Nodes {
+			nodes[i] = strconv.Itoa(u)
+		}
+		items = append(items, fmt.Sprintf("crash=%d:%s", b.Round, strings.Join(nodes, ",")))
+	}
+	return strings.Join(items, ";")
+}

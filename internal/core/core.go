@@ -10,6 +10,7 @@ import (
 	"math"
 	"strings"
 
+	"gossip/internal/adversity"
 	"gossip/internal/conductance"
 	"gossip/internal/gossip"
 	"gossip/internal/graph"
@@ -148,8 +149,19 @@ type Options struct {
 	D         int
 	Seed      uint64
 	MaxRounds int
-	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt);
-	// completion is judged over survivors.
+	// Crashes is the fail-stop schedule: batches of nodes crashing at
+	// given rounds. Completion is judged over survivors.
+	Crashes []adversity.Crash
+	// Adversity attaches a full declarative fault schedule — message
+	// loss, churn, link flaps and crash batches (see package adversity).
+	// Every algorithm accepts it; multi-phase pipelines rebase it
+	// between phases.
+	Adversity *adversity.Spec
+	// CrashAt is the per-node crash-round vector (-1 = never).
+	//
+	// Deprecated: CrashAt predates the crash schedule; it remains
+	// functional but new code should express crashes as Crashes batches
+	// (or a full Adversity spec). Setting both is an error.
 	CrashAt []int
 	// FaultTolerant switches the spanner pipeline to the Superstep
 	// primitive with timeouts (the Section 7 extension). Only meaningful
@@ -184,13 +196,36 @@ func Disseminate(g *graph.Graph, opts Options) (Outcome, error) {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = sim.DefaultMaxRounds
 	}
+	crashAt := opts.CrashAt
+	if len(opts.Crashes) > 0 {
+		if crashAt != nil {
+			return Outcome{}, fmt.Errorf("core: set either Crashes or the deprecated CrashAt, not both")
+		}
+		var err error
+		crashAt, err = adversity.CrashAtVector(g.N(), opts.Crashes)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("core: %w", err)
+		}
+	}
+	// A node failed by both the legacy vector and the adversity spec is
+	// the same double-specification CrashAtVector rejects within one
+	// schedule: refuse it rather than letting the earlier failure
+	// silently shadow the other.
+	if crashAt != nil && opts.Adversity.HasFailures() {
+		for u, r := range crashAt {
+			if r >= 0 && opts.Adversity.Fails(u) {
+				return Outcome{}, fmt.Errorf("core: node %d is failed by both the crash schedule and the Adversity spec", u)
+			}
+		}
+	}
 	res, err := gossip.Dispatch(string(name), g, gossip.DriverOptions{
 		Source:         opts.Source,
 		KnownLatencies: opts.KnownLatencies,
 		D:              opts.D,
 		Seed:           opts.Seed,
 		MaxRounds:      opts.MaxRounds,
-		CrashAt:        opts.CrashAt,
+		CrashAt:        crashAt,
+		Adversity:      opts.Adversity,
 		FaultTolerant:  opts.FaultTolerant,
 		Workers:        opts.Workers,
 	})

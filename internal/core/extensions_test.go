@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"gossip/internal/adversity"
 	"gossip/internal/graphgen"
 )
 
@@ -40,5 +41,50 @@ func TestDisseminateFaultTolerantSpanner(t *testing.T) {
 	}
 	if !out.Completed {
 		t.Fatalf("fault-tolerant spanner incomplete: %+v", out)
+	}
+}
+
+// TestDisseminateCrashSchedule covers the generalized crash-batch field
+// and its guards: batches behave like the deprecated per-node vector,
+// Crashes+CrashAt is rejected, and a node failed by both a crash
+// schedule and the Adversity spec is rejected instead of silently
+// letting the earlier failure win.
+func TestDisseminateCrashSchedule(t *testing.T) {
+	g := graphgen.Clique(12, 1)
+	out, err := Disseminate(g, Options{
+		Algorithm: PushPull, Seed: 5, MaxRounds: 1 << 14,
+		Crashes: []adversity.Crash{{Round: 2, Nodes: []int{4, 5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("survivors not informed: %+v", out)
+	}
+	crashAt := make([]int, g.N())
+	for i := range crashAt {
+		crashAt[i] = -1
+	}
+	crashAt[4] = 2
+	if _, err := Disseminate(g, Options{
+		Algorithm: PushPull, CrashAt: crashAt,
+		Crashes: []adversity.Crash{{Round: 2, Nodes: []int{5}}},
+	}); err == nil {
+		t.Fatal("Crashes+CrashAt accepted")
+	}
+	if _, err := Disseminate(g, Options{
+		Algorithm: PushPull,
+		Crashes:   []adversity.Crash{{Round: 2, Nodes: []int{4}}},
+		Adversity: &adversity.Spec{Churn: []adversity.Churn{{Node: 4, Leave: 5, Rejoin: 9}}},
+	}); err == nil {
+		t.Fatal("node failed by both Crashes and Adversity accepted")
+	}
+	// Disjoint node sets across the two mechanisms are fine.
+	if _, err := Disseminate(g, Options{
+		Algorithm: PushPull, Seed: 5, MaxRounds: 1 << 14,
+		Crashes:   []adversity.Crash{{Round: 2, Nodes: []int{4}}},
+		Adversity: &adversity.Spec{Loss: 0.05, Churn: []adversity.Churn{{Node: 5, Leave: 3, Rejoin: 9}}},
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

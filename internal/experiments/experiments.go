@@ -120,6 +120,8 @@ func All() []Experiment {
 		expE21Jitter,
 		expE22FaultTolerant,
 		expE23Scaling,
+		expE24LossSweep,
+		expE25Churn,
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registered %d experiments, want 23", len(all))
+	if len(all) != 25 {
+		t.Fatalf("registered %d experiments, want 25", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

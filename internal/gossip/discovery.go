@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -17,9 +18,10 @@ type Discover struct {
 }
 
 var (
-	_ sim.Protocol     = (*Discover)(nil)
-	_ sim.DoneReporter = (*Discover)(nil)
-	_ sim.Sleeper      = (*Discover)(nil)
+	_ sim.Protocol       = (*Discover)(nil)
+	_ sim.DoneReporter   = (*Discover)(nil)
+	_ sim.Sleeper        = (*Discover)(nil)
+	_ sim.AmnesiaReseter = (*Discover)(nil)
 )
 
 // NewDiscover returns the discovery protocol for one node.
@@ -38,6 +40,10 @@ func (d *Discover) Activate(int) (int, bool) {
 // OnDeliver is a no-op; the simulator records discovered latencies.
 func (d *Discover) OnDeliver(sim.Delivery) {}
 
+// OnAmnesia restarts the probe cursor (discovered latencies themselves
+// are engine state and survive — they are measured, not gossiped).
+func (d *Discover) OnAmnesia() { d.next = 0 }
+
 // Done reports that all probes have been sent (responses may still be in
 // flight; the phase budget bounds how long we wait for them).
 func (d *Discover) Done() bool { return d.next >= d.nv.Degree() }
@@ -54,11 +60,12 @@ func (d *Discover) NextWake(round int) int {
 // (typically Δ + current diameter guess). The returned result's Rounds is
 // always the budget: discovery cost is paid in full.
 func RunDiscovery(g *graph.Graph, budget int, seed uint64, initial []*bitset.Set) (sim.Result, error) {
-	return runDiscovery(g, budget, seed, initial, 0)
+	return runDiscovery(g, budget, seed, initial, nil, 0)
 }
 
-// runDiscovery is RunDiscovery with an explicit intra-round worker count.
-func runDiscovery(g *graph.Graph, budget int, seed uint64, initial []*bitset.Set, workers int) (sim.Result, error) {
+// runDiscovery is RunDiscovery with an explicit fault schedule and
+// intra-round worker count.
+func runDiscovery(g *graph.Graph, budget int, seed uint64, initial []*bitset.Set, adv *adversity.Spec, workers int) (sim.Result, error) {
 	res, err := sim.Run(sim.Config{
 		Graph:         g,
 		Workers:       workers,
@@ -66,6 +73,7 @@ func runDiscovery(g *graph.Graph, budget int, seed uint64, initial []*bitset.Set
 		MaxRounds:     budget,
 		Mode:          sim.AllToAll,
 		InitialRumors: initial,
+		Adversity:     adv,
 	}, func(nv *sim.NodeView) sim.Protocol { return NewDiscover(nv) }, sim.StopNever())
 	if err != nil {
 		return res, err

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -72,6 +73,15 @@ type DriverOptions struct {
 	InitialRumors []*bitset.Set
 	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt).
 	CrashAt []int
+	// Adversity attaches a declarative fault schedule — message loss,
+	// churn, link flaps, crash batches (see package adversity and
+	// sim.Config.Adversity). Every registered driver accepts it; the
+	// multi-phase pipelines rebase it between phases by the rounds
+	// already consumed, exactly as they shift CrashAt. When the schedule
+	// takes nodes down, completion is judged over survivors: nodes it
+	// never permanently removes, including temporarily-churned nodes,
+	// which must be informed after rejoining.
+	Adversity *adversity.Spec
 	// MaxInPerRound caps accepted incoming initiations per node per
 	// round (0 = unbounded).
 	MaxInPerRound int
@@ -104,12 +114,14 @@ type DriverResult struct {
 	Rounds int
 	// Completed is false when a horizon was hit first.
 	Completed bool
-	// Exchanges / Messages / Dropped / RumorPayload are the transport
-	// totals (multi-phase pipelines report Exchanges and RumorPayload
-	// summed across phases; Messages and Dropped only where tracked).
+	// Exchanges / Messages / Dropped / Delivered / RumorPayload are the
+	// transport totals (multi-phase pipelines report Exchanges,
+	// Dropped, Delivered and RumorPayload summed across phases;
+	// Messages only where tracked).
 	Exchanges    int64
 	Messages     int64
 	Dropped      int64
+	Delivered    int64
 	RumorPayload int64
 	// InformedAt[u] is the first round u held the watched rumor, or -1;
 	// nil for multi-phase pipelines, which have no single watched rumor.
@@ -222,6 +234,7 @@ func fromSimResult(res sim.Result, err error) (DriverResult, error) {
 		Exchanges:    res.Exchanges,
 		Messages:     res.Messages,
 		Dropped:      res.Dropped,
+		Delivered:    res.Delivered,
 		RumorPayload: res.RumorPayload,
 		InformedAt:   res.InformedAt,
 		Sim:          &res,
@@ -237,24 +250,39 @@ func fromBroadcastResult(res BroadcastResult, err error) (DriverResult, error) {
 		Rounds:       res.Rounds,
 		Completed:    res.Completed,
 		Exchanges:    res.Exchanges,
+		Dropped:      res.Dropped,
+		Delivered:    res.Delivered,
 		RumorPayload: res.RumorPayload,
 		Broadcast:    &res,
 	}, nil
 }
 
 // broadcastStop picks the stop condition for a Broadcast-objective run.
+// Under a failure model completion is judged over survivors: with a
+// crash-only schedule "survivor" and "currently alive" coincide
+// (crashes are permanent), but churn intervals can end, so under an
+// adversity schedule the run must also inform every node that will
+// rejoin — the same goneForever semantics the multi-phase pipelines
+// use, keeping identical fault schedules comparable across drivers.
 func broadcastStop(opts DriverOptions) sim.StopFunc {
+	stopFor := func(s graph.NodeID) sim.StopFunc {
+		switch {
+		case opts.Adversity.HasFailures():
+			return sim.StopAllSurvivorsInformed(s, opts.CrashAt, opts.Adversity)
+		case opts.CrashAt != nil:
+			return sim.StopAllAliveInformed(s)
+		default:
+			return sim.StopAllInformed(s)
+		}
+	}
 	if len(opts.Sources) > 0 {
 		stops := make([]sim.StopFunc, len(opts.Sources))
 		for i, s := range opts.Sources {
-			stops[i] = sim.StopAllInformed(s)
+			stops[i] = stopFor(s)
 		}
 		return sim.StopAnd(stops...)
 	}
-	if opts.CrashAt != nil {
-		return sim.StopAllAliveInformed(opts.Source)
-	}
-	return sim.StopAllInformed(opts.Source)
+	return stopFor(opts.Source)
 }
 
 // objectiveStop maps an Objective to its stop condition, composing any
@@ -293,6 +321,7 @@ func init() {
 			{"Objective", "Broadcast (default), AllToAll or LocalBroadcast"},
 			{"Variant", "\"blocking\" waits out each exchange before the next"},
 			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
+			{"Adversity", "fault schedule: loss, churn, flaps, crash batches"},
 			{"MaxInPerRound", "bounded in-degree model of Daum et al."},
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
@@ -323,6 +352,7 @@ func init() {
 				Source:        opts.Source,
 				Sources:       opts.Sources,
 				CrashAt:       opts.CrashAt,
+				Adversity:     opts.Adversity,
 				MaxInPerRound: opts.MaxInPerRound,
 			}, factory, objectiveStop(opts)))
 		},
@@ -334,6 +364,7 @@ func init() {
 			{"Source", "rumor origin; only informed nodes act"},
 			{"Variant", "\"nonblocking\" initiates every round"},
 			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
+			{"Adversity", "fault schedule: loss, churn, flaps, crash batches"},
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
@@ -347,6 +378,7 @@ func init() {
 				Mode:      sim.OneToAll,
 				Source:    opts.Source,
 				CrashAt:   opts.CrashAt,
+				Adversity: opts.Adversity,
 			}, func(nv *sim.NodeView) sim.Protocol {
 				return NewFlood(nv, opts.Source, blocking)
 			}, broadcastStop(opts)))
@@ -359,6 +391,7 @@ func init() {
 			{"Ell", "latency filter defining G_ℓ (0 = all edges)"},
 			{"InitialRumors", "state carried from a previous phase"},
 			{"CrashAt", "fail-stop schedule (DTG stalls on dead peers)"},
+			{"Adversity", "fault schedule (DTG stalls on lost exchanges)"},
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
@@ -372,6 +405,7 @@ func init() {
 				Mode:           sim.AllToAll,
 				InitialRumors:  opts.InitialRumors,
 				CrashAt:        opts.CrashAt,
+				Adversity:      opts.Adversity,
 			}, func(nv *sim.NodeView) sim.Protocol {
 				return NewDTG(nv, opts.Ell)
 			}, sim.StopAllDone()))
@@ -385,6 +419,7 @@ func init() {
 			{"LBTimeout", "abandon stalled exchanges after this many rounds"},
 			{"InitialRumors", "state carried from a previous phase"},
 			{"CrashAt", "fail-stop schedule"},
+			{"Adversity", "fault schedule; timeouts recover from losses"},
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
@@ -398,6 +433,7 @@ func init() {
 				Mode:           sim.AllToAll,
 				InitialRumors:  opts.InitialRumors,
 				CrashAt:        opts.CrashAt,
+				Adversity:      opts.Adversity,
 			}, func(nv *sim.NodeView) sim.Protocol {
 				return NewSuperstep(nv, opts.Ell, opts.LBTimeout)
 			}, sim.StopAllDone()))
@@ -410,7 +446,7 @@ func init() {
 			{"Spanner", "out-edge orientation (nil = build Baswana-Sen from Seed)"},
 			{"K", "latency filter on out-edges; drives the Lemma 21 budget"},
 			{"Budget", "override the K·Δout + K budget"},
-			{"InitialRumors/CrashAt/Stop", "phase state, failures, early stop"},
+			{"InitialRumors/CrashAt/Adversity/Stop", "phase state, failures, early stop"},
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
@@ -441,6 +477,7 @@ func init() {
 				InitialRumors: opts.InitialRumors,
 				Stop:          opts.Stop,
 				CrashAt:       opts.CrashAt,
+				Adversity:     opts.Adversity,
 				Workers:       opts.Workers,
 			}))
 		},
@@ -454,6 +491,7 @@ func init() {
 			{"FaultTolerant/LBTimeout", "swap DTG for timeout-hardened Superstep"},
 			{"SkipCheck", "drop the Termination_Check phase for known D"},
 			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
+			{"Adversity", "fault schedule, rebased per phase"},
 			{"Seed/MaxRounds", "determinism and per-phase horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
@@ -467,6 +505,7 @@ func init() {
 				MaxPhaseRounds: opts.MaxRounds,
 				SkipCheck:      opts.SkipCheck,
 				CrashAt:        opts.CrashAt,
+				Adversity:      opts.Adversity,
 				Workers:        opts.Workers,
 			}
 			if opts.FaultTolerant {
@@ -486,6 +525,7 @@ func init() {
 		Options: []OptionDoc{
 			{"D", "known weighted diameter (0 = guess-and-double)"},
 			{"SkipCheck", "drop the Termination_Check pass for known D"},
+			{"Adversity", "fault schedule, rebased per phase"},
 			{"Seed/MaxRounds", "determinism and per-phase horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
@@ -497,6 +537,7 @@ func init() {
 				Seed:           opts.Seed,
 				MaxPhaseRounds: opts.MaxRounds,
 				SkipCheck:      opts.SkipCheck,
+				Adversity:      opts.Adversity,
 				Workers:        opts.Workers,
 			}))
 		},
@@ -508,6 +549,7 @@ func init() {
 		Options: []OptionDoc{
 			{"Source", "rumor origin of the push-pull arm"},
 			{"D/KnownLatencies", "spanner arm model selection"},
+			{"Adversity", "fault schedule applied to both arms"},
 			{"Seed/MaxRounds", "determinism and horizon"},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
@@ -520,6 +562,7 @@ func init() {
 				D:              opts.D,
 				Seed:           opts.Seed,
 				MaxRounds:      opts.MaxRounds,
+				Adversity:      opts.Adversity,
 				Workers:        opts.Workers,
 			})
 			if err != nil {
@@ -529,6 +572,8 @@ func init() {
 				Rounds:       res.Rounds,
 				Completed:    res.Rounds >= 0,
 				Exchanges:    res.PushPull.Exchanges + res.Spanner.Exchanges,
+				Dropped:      res.PushPull.Dropped + res.Spanner.Dropped,
+				Delivered:    res.PushPull.Delivered + res.Spanner.Delivered,
 				RumorPayload: res.PushPull.RumorPayload + res.Spanner.RumorPayload,
 				Winner:       res.Winner,
 			}, nil

@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -40,10 +41,11 @@ type DTG struct {
 }
 
 var (
-	_ sim.Protocol     = (*DTG)(nil)
-	_ sim.MetaProducer = (*DTG)(nil)
-	_ sim.DoneReporter = (*DTG)(nil)
-	_ sim.Sleeper      = (*DTG)(nil)
+	_ sim.Protocol       = (*DTG)(nil)
+	_ sim.MetaProducer   = (*DTG)(nil)
+	_ sim.DoneReporter   = (*DTG)(nil)
+	_ sim.Sleeper        = (*DTG)(nil)
+	_ sim.AmnesiaReseter = (*DTG)(nil)
 )
 
 // NewDTG returns the ℓ-DTG protocol for one node. ell <= 0 means no
@@ -128,6 +130,19 @@ func (d *DTG) NextWake(round int) int {
 	return round + 1
 }
 
+// OnAmnesia restarts the protocol from its initial state: the heard
+// set, linked-neighbor list and send schedule reflect knowledge the
+// engine's rumor reset just discarded, so they restart with it (the
+// eligible list is kept — link latencies are measured, not gossiped).
+func (d *DTG) OnAmnesia() {
+	d.heard = heardSet{}
+	d.heard.Add(d.nv.ID())
+	d.contacted = nil
+	d.seq = nil
+	d.pending = -1
+	d.done = false
+}
+
 // OnDeliver merges the peer's heard set and unblocks the state machine.
 func (d *DTG) OnDeliver(dv sim.Delivery) {
 	if peer, ok := dv.PeerMeta.([]int32); ok {
@@ -151,6 +166,9 @@ type DTGOptions struct {
 	// has no timeout mechanism, so a node waiting on a crashed peer
 	// stalls — the fragility the paper's Section 6 notes.
 	CrashAt []int
+	// Adversity attaches a fault schedule (see sim.Config.Adversity);
+	// like crashes, lost exchanges stall the blocking DTG schedule.
+	Adversity *adversity.Spec
 	// Workers shards intra-round simulation (see sim.Config.Workers).
 	Workers int
 }
@@ -164,6 +182,7 @@ func RunDTG(g *graph.Graph, opts DTGOptions) (sim.Result, error) {
 		MaxRounds:     opts.MaxRounds,
 		InitialRumors: opts.InitialRumors,
 		CrashAt:       opts.CrashAt,
+		Adversity:     opts.Adversity,
 		Workers:       opts.Workers,
 	})
 }

@@ -3,6 +3,7 @@ package gossip
 import (
 	"testing"
 
+	"gossip/internal/adversity"
 	"gossip/internal/graph"
 	"gossip/internal/graphgen"
 )
@@ -136,16 +137,16 @@ func TestRumorsFullAlive(t *testing.T) {
 		t.Fatal(err)
 	}
 	rumors := res.FinalRumors()
-	if !rumorsFullAlive(rumors, nil) {
+	if !rumorsFullAlive(rumors, nil, nil) {
 		t.Fatal("complete run not full")
 	}
 	// Mark node 3 dead: fullness over survivors must ignore it.
 	rumors[3].Clear()
-	if rumorsFullAlive(rumors, []int{-1, -1, -1, 0}) != true {
+	if rumorsFullAlive(rumors, []int{-1, -1, -1, 0}, nil) != true {
 		t.Fatal("alive-fullness should ignore the crashed node")
 	}
 	rumors[0].Remove(1)
-	if rumorsFullAlive(rumors, []int{-1, -1, -1, 0}) {
+	if rumorsFullAlive(rumors, []int{-1, -1, -1, 0}, nil) {
 		t.Fatal("missing survivor rumor not detected")
 	}
 }
@@ -172,5 +173,100 @@ func TestSpreadCurveFromPushPull(t *testing.T) {
 	// clique (exponential growth phase then stragglers).
 	if ht := res.HalfTime(); ht < 0 || ht > res.Rounds {
 		t.Fatalf("HalfTime = %d", ht)
+	}
+}
+
+// TestSuperstepAmnesiaRestartsProtocol pins the AmnesiaReseter wiring:
+// a local-broadcast protocol's heard set and done flag reflect knowledge
+// the engine's amnesia reset discards, so the protocol must restart with
+// it. Node 2 hears peers before leaving, rejoins amnesic, and must end
+// holding every neighbor's rumor again — with only its node-local
+// restart (not stale heard entries) making that possible. Timeouts let
+// the peers whose exchanges died with the down interval move on.
+func TestSuperstepAmnesiaRestartsProtocol(t *testing.T) {
+	g := graphgen.Clique(6, 1)
+	res, err := RunSuperstep(g, SuperstepOptions{
+		Timeout:   4,
+		Seed:      3,
+		MaxRounds: 1 << 12,
+		Adversity: adversity.MustParseSpec("churn=2:4-12:amnesia"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("superstep under amnesic churn incomplete: %+v", res)
+	}
+	// The amnesic node lost everything at round 12; quiescence after a
+	// protocol restart means it re-gathered its full neighborhood.
+	for v := 0; v < g.N(); v++ {
+		if !res.World.Views[2].Knows(v) {
+			t.Fatalf("amnesic node 2 completed without re-learning rumor %d (heard set survived the reset?)", v)
+		}
+	}
+}
+
+// TestAmnesiaRestartAcrossDrivers drives every single-phase driver
+// through an amnesic churn schedule: the run must execute without
+// error (each protocol's OnAmnesia restart included) and stay
+// bit-identical between workers 1 and 8.
+func TestAmnesiaRestartAcrossDrivers(t *testing.T) {
+	g := graphgen.Clique(6, 1)
+	spec := adversity.MustParseSpec("churn=1:2-8:amnesia")
+	for _, driver := range []string{"push-pull", "flood", "dtg", "superstep", "rr"} {
+		t.Run(driver, func(t *testing.T) {
+			run := func(workers int) DriverResult {
+				res, err := Dispatch(driver, g, DriverOptions{
+					Source: 0, Seed: 5, MaxRounds: 1 << 12,
+					Adversity: spec, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			w1, w8 := run(1), run(8)
+			if w1.Rounds != w8.Rounds || w1.Exchanges != w8.Exchanges ||
+				w1.Dropped != w8.Dropped || w1.Delivered != w8.Delivered {
+				t.Fatalf("workers diverge under amnesic churn:\n w1 %+v\n w8 %+v", w1, w8)
+			}
+		})
+	}
+}
+
+// TestChurnedNodeMustBeInformedAfterRejoin pins the survivor-completion
+// semantics: a broadcast under churn may not declare completion while a
+// temporarily-down node is away — the node rejoins and must be informed
+// first, exactly as the multi-phase pipelines' goneForever rule judges
+// the same spec. (A never-returning churn, by contrast, is exempt.)
+func TestChurnedNodeMustBeInformedAfterRejoin(t *testing.T) {
+	g := graphgen.Clique(12, 1)
+	res, err := Dispatch("push-pull", g, DriverOptions{
+		Source: 0, Seed: 3, MaxRounds: 1 << 14,
+		Adversity: adversity.MustParseSpec("churn=1:1-300"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("incomplete: %+v", res)
+	}
+	if res.Rounds < 300 {
+		t.Fatalf("completed at round %d while node 1 was still churned out (rejoin at 300)", res.Rounds)
+	}
+	if res.InformedAt[1] < 300 {
+		t.Fatalf("node 1 informed at %d, before its rejoin", res.InformedAt[1])
+	}
+	// A permanent leave is a survivor-set exemption: completion no
+	// longer waits for the node.
+	gone, err := Dispatch("push-pull", g, DriverOptions{
+		Source: 0, Seed: 3, MaxRounds: 1 << 14,
+		Adversity: adversity.MustParseSpec("churn=1:1-inf"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gone.Completed || gone.Rounds >= 300 {
+		t.Fatalf("permanent leave should not delay completion: %+v", gone)
 	}
 }

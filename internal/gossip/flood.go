@@ -19,8 +19,9 @@ type Flood struct {
 }
 
 var (
-	_ sim.Protocol = (*Flood)(nil)
-	_ sim.Sleeper  = (*Flood)(nil)
+	_ sim.Protocol       = (*Flood)(nil)
+	_ sim.Sleeper        = (*Flood)(nil)
+	_ sim.AmnesiaReseter = (*Flood)(nil)
 )
 
 // NewFlood returns the flooding protocol. Nodes activate only once they
@@ -48,6 +49,13 @@ func (f *Flood) OnDeliver(d sim.Delivery) {
 	if d.Initiator {
 		f.inflight = false
 	}
+}
+
+// OnAmnesia restarts the node's round-robin cursor and blocking window
+// alongside the engine's rumor-state reset.
+func (f *Flood) OnAmnesia() {
+	f.next = 0
+	f.inflight = false
 }
 
 // NextWake parks the node until a delivery can change anything: an

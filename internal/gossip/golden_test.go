@@ -10,6 +10,7 @@ import (
 	"sort"
 	"testing"
 
+	"gossip/internal/adversity"
 	"gossip/internal/graph"
 	"gossip/internal/graphgen"
 	"gossip/internal/spanner"
@@ -97,6 +98,35 @@ func goldenRuns(t *testing.T, g *graph.Graph, workers int) map[string]goldenReco
 	return out
 }
 
+// faultGoldenRuns pins two runs under deterministic fault schedules (one
+// lossy, one churny — the adversity subsystem's golden gate): like the
+// benign records they are regenerated only on intended semantic change
+// and must be identical at any worker count.
+func faultGoldenRuns(t *testing.T, graphs map[string]*graph.Graph, workers int) map[string]goldenRecord {
+	t.Helper()
+	out := map[string]goldenRecord{}
+
+	lossy, err := Dispatch("push-pull", graphs["er24"], DriverOptions{
+		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds, Workers: workers,
+		Adversity: adversity.MustParseSpec("loss=0.1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["push-pull+loss10/er24"] = goldenRecord{lossy.Rounds, lossy.Completed, lossy.Exchanges, lossy.InformedAt}
+
+	churny, err := Dispatch("push-pull", graphs["dumbbell8"], DriverOptions{
+		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds, Workers: workers,
+		Adversity: adversity.MustParseSpec("churn=1:4-30:amnesia;churn=3:10-inf;crash=20:2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["push-pull+churn/dumbbell8"] = goldenRecord{churny.Rounds, churny.Completed, churny.Exchanges, churny.InformedAt}
+
+	return out
+}
+
 // TestEngineGolden is the engine-equivalence gate of the event-calendar
 // and sharded-substrate refactors: for fixed seeds, all five protocols
 // must report exactly the rounds, exchange counts and per-node informed
@@ -123,6 +153,15 @@ func TestEngineGolden(t *testing.T) {
 			}
 			got[proto+"/"+gname] = rec
 		}
+	}
+	faultSerial := faultGoldenRuns(t, graphs, 1)
+	faultSharded := faultGoldenRuns(t, graphs, 8)
+	for key, rec := range faultSerial {
+		if !reflect.DeepEqual(faultSharded[key], rec) {
+			t.Errorf("%s: workers=8 diverges from workers=1 under faults:\n w8 %+v\n w1 %+v",
+				key, faultSharded[key], rec)
+		}
+		got[key] = rec
 	}
 
 	path := filepath.Join("testdata", "engine_golden.json")

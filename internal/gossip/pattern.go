@@ -3,6 +3,7 @@ package gossip
 import (
 	"fmt"
 
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -42,6 +43,11 @@ type PatternOptions struct {
 	MaxPhaseRounds int
 	// SkipCheck drops the Termination_Check pass for known D.
 	SkipCheck bool
+	// Adversity attaches a declarative fault schedule with rounds
+	// absolute against the schedule's cumulative count; each ℓ-DTG
+	// invocation receives it rebased by the rounds already consumed.
+	// Completion is judged over nodes that are not permanently gone.
+	Adversity *adversity.Spec
 	// Workers shards intra-round simulation in every phase (see
 	// sim.Config.Workers); results are bit-identical for any value.
 	Workers int
@@ -71,13 +77,13 @@ func PatternBroadcast(g *graph.Graph, opts PatternOptions) (BroadcastResult, err
 		if err != nil {
 			return out, err
 		}
-		done := rumorsFull(rumors, g.N())
+		done := rumorsFullAlive(rumors, nil, opts.Adversity)
 		if !opts.SkipCheck || !known {
 			rumors, err = runPattern(g, guess, opts, &out, rumors, "check")
 			if err != nil {
 				return out, err
 			}
-			done = rumorsFull(rumors, g.N())
+			done = rumorsFullAlive(rumors, nil, opts.Adversity)
 		}
 		out.FinalGuess = guess
 		if done {
@@ -107,12 +113,14 @@ func runPattern(g *graph.Graph, guess int, opts PatternOptions, out *BroadcastRe
 	total := 0
 	exch := int64(0)
 	payload := int64(0)
+	dropped, delivered := int64(0), int64(0)
 	for i, ell := range seqEll {
 		res, err := RunDTG(g, DTGOptions{
 			Ell:           ell,
 			Seed:          opts.Seed + uint64(i)*31 + 7,
 			MaxRounds:     maxRounds,
 			InitialRumors: rumors,
+			Adversity:     opts.Adversity.Shift(out.Rounds + total),
 			Workers:       opts.Workers,
 		})
 		if err != nil {
@@ -121,11 +129,15 @@ func runPattern(g *graph.Graph, guess int, opts PatternOptions, out *BroadcastRe
 		total += res.Rounds
 		exch += res.Exchanges
 		payload += res.RumorPayload
+		dropped += res.Dropped
+		delivered += res.Delivered
 		rumors = res.FinalRumors()
 	}
 	out.Phases = append(out.Phases, Phase{Name: fmt.Sprintf("%s(k=%d)", tag, guess), Rounds: total, Exchanges: exch, Payload: payload})
 	out.Rounds += total
 	out.Exchanges += exch
+	out.Dropped += dropped
+	out.Delivered += delivered
 	out.RumorPayload += payload
 	return rumors, nil
 }

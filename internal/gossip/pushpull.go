@@ -23,8 +23,9 @@ type PushPull struct {
 }
 
 var (
-	_ sim.Protocol = (*PushPull)(nil)
-	_ sim.Sleeper  = (*PushPull)(nil)
+	_ sim.Protocol       = (*PushPull)(nil)
+	_ sim.Sleeper        = (*PushPull)(nil)
+	_ sim.AmnesiaReseter = (*PushPull)(nil)
 )
 
 // NewPushPull returns the non-blocking push-pull protocol for one node.
@@ -52,6 +53,10 @@ func (p *PushPull) OnDeliver(d sim.Delivery) {
 		p.inflight = false
 	}
 }
+
+// OnAmnesia restarts the node: an exchange that was in flight across
+// the down interval is lost, so the blocking window reopens.
+func (p *PushPull) OnAmnesia() { p.inflight = false }
 
 // NextWake keeps the classical every-round schedule except while the
 // blocking variant has an exchange in flight (no RNG is drawn then, so

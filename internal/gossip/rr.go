@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -18,9 +19,10 @@ type RR struct {
 }
 
 var (
-	_ sim.Protocol     = (*RR)(nil)
-	_ sim.DoneReporter = (*RR)(nil)
-	_ sim.Sleeper      = (*RR)(nil)
+	_ sim.Protocol       = (*RR)(nil)
+	_ sim.DoneReporter   = (*RR)(nil)
+	_ sim.Sleeper        = (*RR)(nil)
+	_ sim.AmnesiaReseter = (*RR)(nil)
 )
 
 // NewRR returns the RR protocol for one node. outIdx are the node's
@@ -44,6 +46,11 @@ func (r *RR) OnDeliver(sim.Delivery) {}
 
 // Done reports budget exhaustion.
 func (r *RR) Done() bool { return r.steps >= r.budget || len(r.out) == 0 }
+
+// OnAmnesia restarts the round-robin schedule: a node that lost its
+// state re-pays its full budget so its (rebuilt) rumors still traverse
+// every out-edge.
+func (r *RR) OnAmnesia() { r.steps = 0 }
 
 // NextWake parks the node once its budget is exhausted; until then it
 // acts every round.
@@ -71,6 +78,8 @@ type RROptions struct {
 	Stop sim.StopFunc
 	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt).
 	CrashAt []int
+	// Adversity attaches a fault schedule (see sim.Config.Adversity).
+	Adversity *adversity.Spec
 	// Workers shards intra-round simulation (see sim.Config.Workers).
 	Workers int
 }
@@ -120,5 +129,6 @@ func runRR(g *graph.Graph, sp *spanner.Spanner, opts RROptions) (sim.Result, err
 		Mode:           sim.AllToAll,
 		InitialRumors:  opts.InitialRumors,
 		CrashAt:        opts.CrashAt,
+		Adversity:      opts.Adversity,
 	}, func(nv *sim.NodeView) sim.Protocol { return NewRR(outIdx[nv.ID()], budget) }, stop)
 }

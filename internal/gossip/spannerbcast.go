@@ -3,6 +3,7 @@ package gossip
 import (
 	"fmt"
 
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -26,6 +27,10 @@ type BroadcastResult struct {
 	Rounds int
 	// Exchanges is the total number of exchanges across phases.
 	Exchanges int64
+	// Dropped / Delivered total the exchanges lost to the failure model
+	// and the exchanges whose payload arrived, across phases.
+	Dropped   int64
+	Delivered int64
 	// RumorPayload is the total rumor-units bandwidth across phases.
 	RumorPayload int64
 	// Phases itemizes the run.
@@ -41,6 +46,8 @@ func (r *BroadcastResult) addPhase(name string, res sim.Result) {
 	r.Phases = append(r.Phases, Phase{Name: name, Rounds: res.Rounds, Exchanges: res.Exchanges, Payload: res.RumorPayload})
 	r.Rounds += res.Rounds
 	r.Exchanges += res.Exchanges
+	r.Dropped += res.Dropped
+	r.Delivered += res.Delivered
 	r.RumorPayload += res.RumorPayload
 }
 
@@ -72,6 +79,12 @@ type SpannerOptions struct {
 	// mechanism — Section 6 calls out exactly this fragility versus
 	// push-pull: DTG stalls forever on a dead peer.
 	CrashAt []int
+	// Adversity attaches a declarative fault schedule (see package
+	// adversity). Rounds are absolute against the pipeline's cumulative
+	// count; each phase receives the spec rebased by the rounds already
+	// consumed, exactly like CrashAt. Completion is judged over nodes
+	// that are not permanently gone.
+	Adversity *adversity.Spec
 	// Workers shards intra-round simulation in every phase (see
 	// sim.Config.Workers); results are bit-identical for any value.
 	Workers int
@@ -125,7 +138,7 @@ func SpannerBroadcast(g *graph.Graph, opts SpannerOptions) (BroadcastResult, err
 			return out, err
 		}
 		rumors = res
-		done := rumorsFullAlive(rumors, opts.CrashAt)
+		done := rumorsFullAlive(rumors, opts.CrashAt, opts.Adversity)
 		if !opts.SkipCheck || !known {
 			// Termination_Check: one more RR-style broadcast pass.
 			check, sp, err := runRRPhase(g, guess, opts, rumors, out.Rounds, fmt.Sprintf("check(k=%d)", guess))
@@ -135,7 +148,7 @@ func SpannerBroadcast(g *graph.Graph, opts SpannerOptions) (BroadcastResult, err
 			out.addPhase(check.name, check.res)
 			out.SpannerEdges, out.SpannerMaxOut = sp.NumEdges(), sp.MaxOutDegree()
 			rumors = check.res.FinalRumors()
-			done = rumorsFullAlive(rumors, opts.CrashAt)
+			done = rumorsFullAlive(rumors, opts.CrashAt, opts.Adversity)
 		}
 		out.FinalGuess = guess
 		if done {
@@ -161,7 +174,7 @@ func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *Broadc
 	}
 	if !opts.KnownLatencies {
 		budget := g.MaxDegree() + guess
-		res, err := runDiscovery(g, budget, opts.Seed, rumors, opts.Workers)
+		res, err := runDiscovery(g, budget, opts.Seed, rumors, opts.Adversity.Shift(out.Rounds), opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -185,6 +198,7 @@ func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *Broadc
 				MaxRounds:     maxRounds,
 				InitialRumors: rumors,
 				CrashAt:       shiftCrashes(opts.CrashAt, out.Rounds),
+				Adversity:     opts.Adversity.Shift(out.Rounds),
 				Workers:       opts.Workers,
 			})
 		} else {
@@ -194,6 +208,7 @@ func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *Broadc
 				MaxRounds:     maxRounds,
 				InitialRumors: rumors,
 				CrashAt:       shiftCrashes(opts.CrashAt, out.Rounds),
+				Adversity:     opts.Adversity.Shift(out.Rounds),
 				Workers:       opts.Workers,
 			})
 		}
@@ -241,8 +256,8 @@ func runRRPhase(g *graph.Graph, guess int, opts SpannerOptions, rumors []*bitset
 	}
 	phaseCrash := shiftCrashes(opts.CrashAt, offset)
 	stop := sim.StopAllHaveAll()
-	if phaseCrash != nil {
-		stop = stopAliveHaveAlive(phaseCrash)
+	if phaseCrash != nil || opts.Adversity.HasFailures() {
+		stop = stopAliveHaveAlive(phaseCrash, opts.Adversity)
 	}
 	res, err := RunRR(g, RROptions{
 		Spanner:       sp,
@@ -252,6 +267,7 @@ func runRRPhase(g *graph.Graph, guess int, opts SpannerOptions, rumors []*bitset
 		InitialRumors: rumors,
 		Stop:          stop,
 		CrashAt:       phaseCrash,
+		Adversity:     opts.Adversity.Shift(offset),
 		Workers:       opts.Workers,
 	})
 	if err != nil {
@@ -273,21 +289,32 @@ func rumorsFull(rumors []*bitset.Set, n int) bool {
 	return true
 }
 
+// goneForever reports whether node u is permanently removed by the
+// failure model: crashed per the legacy vector, or never returning per
+// the adversity spec. Temporarily-churned nodes are NOT gone — they
+// rejoin and must still be informed.
+func goneForever(crashAt []int, spec *adversity.Spec, u int) bool {
+	if crashAt != nil && crashAt[u] >= 0 {
+		return true
+	}
+	return spec.NeverReturns(u)
+}
+
 // rumorsFullAlive reports whether every surviving node holds every
-// surviving node's rumor; with no crash schedule it is rumorsFull.
-func rumorsFullAlive(rumors []*bitset.Set, crashAt []int) bool {
+// surviving node's rumor; with no failure model it is rumorsFull.
+func rumorsFullAlive(rumors []*bitset.Set, crashAt []int, spec *adversity.Spec) bool {
 	if rumors == nil {
 		return false
 	}
-	if crashAt == nil {
+	if crashAt == nil && !spec.HasFailures() {
 		return rumorsFull(rumors, len(rumors))
 	}
 	for u, r := range rumors {
-		if crashAt[u] >= 0 {
+		if goneForever(crashAt, spec, u) {
 			continue
 		}
 		for v := range rumors {
-			if crashAt[v] < 0 && !r.Contains(v) {
+			if !goneForever(crashAt, spec, v) && !r.Contains(v) {
 				return false
 			}
 		}
@@ -297,14 +324,14 @@ func rumorsFullAlive(rumors []*bitset.Set, crashAt []int) bool {
 
 // stopAliveHaveAlive stops when every surviving node holds every
 // surviving node's rumor.
-func stopAliveHaveAlive(crashAt []int) sim.StopFunc {
+func stopAliveHaveAlive(crashAt []int, spec *adversity.Spec) sim.StopFunc {
 	return func(w *sim.World) bool {
 		for u, nv := range w.Views {
-			if crashAt[u] >= 0 {
+			if goneForever(crashAt, spec, u) {
 				continue
 			}
 			for v := range w.Views {
-				if crashAt[v] < 0 && !nv.Knows(v) {
+				if !goneForever(crashAt, spec, v) && !nv.Knows(v) {
 					return false
 				}
 			}

@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -33,11 +34,12 @@ type Superstep struct {
 }
 
 var (
-	_ sim.Protocol     = (*Superstep)(nil)
-	_ sim.MetaProducer = (*Superstep)(nil)
-	_ sim.DoneReporter = (*Superstep)(nil)
-	_ sim.Waiter       = (*Superstep)(nil)
-	_ sim.Sleeper      = (*Superstep)(nil)
+	_ sim.Protocol       = (*Superstep)(nil)
+	_ sim.MetaProducer   = (*Superstep)(nil)
+	_ sim.DoneReporter   = (*Superstep)(nil)
+	_ sim.Waiter         = (*Superstep)(nil)
+	_ sim.Sleeper        = (*Superstep)(nil)
+	_ sim.AmnesiaReseter = (*Superstep)(nil)
 )
 
 // NextWake parks a finished node; a node blocked on an exchange sleeps
@@ -125,6 +127,17 @@ func (s *Superstep) Activate(round int) (int, bool) {
 	return idx, true
 }
 
+// OnAmnesia restarts the protocol from its initial state alongside the
+// engine's rumor reset: heard and abandoned sets clear, any in-flight
+// marker drops (the exchange was lost with the down interval).
+func (s *Superstep) OnAmnesia() {
+	s.heard = heardSet{}
+	s.heard.Add(s.nv.ID())
+	s.abandoned = make(map[int]bool)
+	s.pending = -1
+	s.done = false
+}
+
 // OnDeliver merges the peer's heard set and unblocks the node.
 func (s *Superstep) OnDeliver(dv sim.Delivery) {
 	if peer, ok := dv.PeerMeta.([]int32); ok {
@@ -144,6 +157,10 @@ type SuperstepOptions struct {
 	MaxRounds     int
 	InitialRumors []*bitset.Set
 	CrashAt       []int
+	// Adversity attaches a fault schedule (see sim.Config.Adversity);
+	// with Timeout > 0 the primitive abandons exchanges the schedule
+	// loses, so it degrades gracefully where DTG stalls.
+	Adversity *adversity.Spec
 	// Workers shards intra-round simulation (see sim.Config.Workers).
 	Workers int
 }
@@ -157,6 +174,7 @@ func RunSuperstep(g *graph.Graph, opts SuperstepOptions) (sim.Result, error) {
 		MaxRounds:     opts.MaxRounds,
 		InitialRumors: opts.InitialRumors,
 		CrashAt:       opts.CrashAt,
+		Adversity:     opts.Adversity,
 		Workers:       opts.Workers,
 	})
 }

@@ -3,6 +3,7 @@ package gossip
 import (
 	"fmt"
 
+	"gossip/internal/adversity"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
 )
@@ -30,6 +31,10 @@ type UnifiedOptions struct {
 	D         int
 	Seed      uint64
 	MaxRounds int
+	// Adversity attaches a fault schedule to both arms (the paper's
+	// side-by-side execution faces one network, so both arms see the
+	// same schedule).
+	Adversity *adversity.Spec
 	// Workers shards intra-round simulation in both arms (see
 	// sim.Config.Workers); results are bit-identical for any value.
 	Workers int
@@ -43,7 +48,7 @@ func Unified(g *graph.Graph, opts UnifiedOptions) (UnifiedResult, error) {
 	var out UnifiedResult
 	pp, err := dispatchSim("push-pull", g, DriverOptions{
 		Source: opts.Source, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
-		Workers: opts.Workers,
+		Adversity: opts.Adversity, Workers: opts.Workers,
 	})
 	if err != nil {
 		return out, fmt.Errorf("gossip: unified push-pull arm: %w", err)
@@ -54,6 +59,7 @@ func Unified(g *graph.Graph, opts UnifiedOptions) (UnifiedResult, error) {
 		KnownLatencies: opts.KnownLatencies,
 		Seed:           opts.Seed + 1,
 		MaxPhaseRounds: opts.MaxRounds,
+		Adversity:      opts.Adversity,
 		Workers:        opts.Workers,
 	})
 	if err != nil {

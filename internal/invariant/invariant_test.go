@@ -1,0 +1,120 @@
+package invariant
+
+import (
+	"testing"
+
+	"gossip/internal/adversity"
+	"gossip/internal/gossip"
+	"gossip/internal/graphgen"
+)
+
+// TestInvariants is the cross-protocol harness gate: every registered
+// driver × every suite family × {benign, lossy, churny}, each cell run
+// serial and 8-way sharded. It is part of the tier-1 suite and of
+// `make determinism`.
+func TestInvariants(t *testing.T) {
+	fams, err := Families(4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) < 4 {
+		t.Fatalf("suite has %d families, the harness contract wants >= 4", len(fams))
+	}
+	drivers := gossip.Names()
+	if len(drivers) != 8 {
+		t.Fatalf("expected all 8 registered drivers, have %v", drivers)
+	}
+	for _, driver := range drivers {
+		for _, fam := range fams {
+			for _, sc := range Scenarios() {
+				t.Run(driver+"/"+fam.Name+"/"+sc.Name, func(t *testing.T) {
+					for _, v := range Check(driver, fam, sc, 4242) {
+						t.Error(v)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTotalLossAccounting pins the payload-accounting invariant in its
+// sharpest form: with loss=1 nothing is ever delivered, so the payload
+// is zero, every completed exchange is dropped, and the broadcast
+// cannot complete beyond the source.
+func TestTotalLossAccounting(t *testing.T) {
+	res, err := gossip.Dispatch("push-pull", graphgen.Clique(12, 1), gossip.DriverOptions{
+		Source: 0, Seed: 7, MaxRounds: 256,
+		Adversity: &adversity.Spec{Loss: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("broadcast completed with total loss")
+	}
+	if res.Delivered != 0 || res.RumorPayload != 0 {
+		t.Fatalf("delivered %d, payload %d under total loss", res.Delivered, res.RumorPayload)
+	}
+	if res.Dropped == 0 || res.Dropped+res.Delivered > res.Exchanges {
+		t.Fatalf("dropped %d of %d exchanges", res.Dropped, res.Exchanges)
+	}
+	informed := 0
+	for _, at := range res.InformedAt {
+		if at >= 0 {
+			informed++
+		}
+	}
+	if informed != 1 {
+		t.Fatalf("%d nodes informed under total loss, want only the source", informed)
+	}
+}
+
+// TestLossSlowsSpread sanity-checks the epidemic intuition the loss
+// model exists for: the same seeded run takes at least as many rounds
+// at 30% loss as at 0%.
+func TestLossSlowsSpread(t *testing.T) {
+	run := func(loss float64) int {
+		var spec *adversity.Spec
+		if loss > 0 {
+			spec = &adversity.Spec{Loss: loss}
+		}
+		res, err := gossip.Dispatch("push-pull", graphgen.Clique(24, 1), gossip.DriverOptions{
+			Source: 0, Seed: 11, MaxRounds: 1 << 14, Adversity: spec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("loss=%v: incomplete", loss)
+		}
+		return res.Rounds
+	}
+	benign, lossy := run(0), run(0.3)
+	if lossy < benign {
+		t.Fatalf("30%% loss finished faster (%d) than benign (%d)", lossy, benign)
+	}
+}
+
+// TestChurnRetentionVsAmnesia: with retention a rejoined node still
+// counts its pre-leave knowledge; with amnesia it must re-learn. Both
+// must complete (the engine re-wakes rejoined nodes), and the amnesic
+// run can never finish first.
+func TestChurnRetentionVsAmnesia(t *testing.T) {
+	run := func(amnesia bool) int {
+		spec := &adversity.Spec{Churn: []adversity.Churn{{Node: 5, Leave: 2, Rejoin: 40, Amnesia: amnesia}}}
+		res, err := gossip.Dispatch("push-pull", graphgen.Path(8, 1), gossip.DriverOptions{
+			Source: 0, Seed: 3, MaxRounds: 1 << 14, Adversity: spec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("amnesia=%v: incomplete", amnesia)
+		}
+		return res.Rounds
+	}
+	retain, amnesic := run(false), run(true)
+	if amnesic < retain {
+		t.Fatalf("amnesia completed in %d rounds, before retention's %d", amnesic, retain)
+	}
+}

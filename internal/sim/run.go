@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 )
@@ -35,6 +36,8 @@ type World struct {
 	Round  int
 	// crashAt mirrors Config.CrashAt (nil when no failures configured).
 	crashAt []int
+	// adv is the compiled adversity schedule (nil when benign).
+	adv *adversity.Schedule
 	// watched is the rumor whose spread InformedAt tracks; informed is
 	// the word-level tally of nodes holding it, maintained incrementally
 	// by the engine so completion checks are O(n/64) scans instead of
@@ -49,9 +52,13 @@ type World struct {
 	dones []DoneReporter
 }
 
-// Alive reports whether node u has not crashed as of the current round.
+// Alive reports whether node u is up (not crashed, not churned out) as
+// of the current round.
 func (w *World) Alive(u graph.NodeID) bool {
-	return w.crashAt == nil || w.crashAt[u] < 0 || w.Round < w.crashAt[u]
+	if w.crashAt != nil && w.crashAt[u] >= 0 && w.Round >= w.crashAt[u] {
+		return false
+	}
+	return w.adv == nil || !w.adv.Down(u, w.Round)
 }
 
 // exch is an in-flight bidirectional rumor swap, stored by value in the
@@ -69,6 +76,12 @@ type exch struct {
 	latency      int32
 	uStart, uEnd int32 // window into u's journal
 	vStart, vEnd int32 // window into v's journal
+	// lost marks an exchange the adversity schedule kills (message
+	// loss, churned-out endpoint, flapped link). It is decided at
+	// initiation — serially, in node order, so sharded runs agree — but
+	// executed at the delivery round, so calendar occupancy and idle
+	// detection match the fail-stop crash path exactly.
+	lost         bool
 	uMeta, vMeta any
 	uNews, vNews []int32 // news *for* u (v's window) / *for* v (u's window)
 }
@@ -124,15 +137,16 @@ type shard struct {
 }
 
 type engine struct {
-	cfg     Config
-	csr     *graph.CSR
-	n       int
-	views   []*NodeView
-	protos  []Protocol
-	sleeper []Sleeper
-	waiter  []Waiter
-	meta    []MetaProducer
-	world   *World
+	cfg      Config
+	csr      *graph.CSR
+	n        int
+	views    []*NodeView
+	protos   []Protocol
+	sleeper  []Sleeper
+	waiter   []Waiter
+	meta     []MetaProducer
+	amnesiac []AmnesiaReseter
+	world    *World
 
 	watched    graph.NodeID
 	informedAt []int
@@ -166,6 +180,25 @@ type engine struct {
 	crashRounds []int
 	crashNodes  map[int][]int32
 	nextCrash   int
+
+	// adv is the compiled fault schedule; advRNG holds the per-node
+	// loss-draw PCG streams (allocated only when the schedule can lose
+	// exchanges, and distinct from the protocol streams so faults do not
+	// perturb protocol randomness).
+	adv          *adversity.Schedule
+	advPCG       []rand.PCG
+	advRNG       []rand.Rand
+	advEvents    []adversity.Event
+	nextAdvEvent int
+}
+
+// down reports whether node u is unavailable at round (crashed per the
+// legacy schedule, or inside an adversity down interval).
+func (e *engine) down(u int, round int) bool {
+	if e.crashed(u, round) {
+		return true
+	}
+	return e.adv != nil && e.adv.Down(u, round)
 }
 
 func (e *engine) crashed(u int, round int) bool {
@@ -190,6 +223,20 @@ func nextPow2(x int) int {
 		return 1
 	}
 	return 1 << bits.Len(uint(x-1))
+}
+
+// csrHasEdge reports whether {u,v} is an edge of the topology (used to
+// validate adversity schedules, not on any hot path).
+func csrHasEdge(csr *graph.CSR, u, v int) bool {
+	if u < 0 || u >= csr.N() || v < 0 || v >= csr.N() {
+		return false
+	}
+	for _, nb := range csr.NeighborIDs(u) {
+		if int(nb) == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes the simulation until stop returns true or the horizon is
@@ -231,8 +278,21 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	if cfg.CrashAt != nil && len(cfg.CrashAt) != n {
 		return Result{}, fmt.Errorf("sim: %d crash entries for %d nodes", len(cfg.CrashAt), n)
 	}
+	var sched *adversity.Schedule
+	if !cfg.Adversity.Empty() {
+		var err error
+		sched, err = cfg.Adversity.Compile(n)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+		for _, ref := range sched.EdgeRefs() {
+			if !csrHasEdge(csr, ref[0], ref[1]) {
+				return Result{}, fmt.Errorf("sim: adversity schedule references edge (%d,%d) not in the graph", ref[0], ref[1])
+			}
+		}
+	}
 
-	e := &engine{cfg: cfg, csr: csr, n: n}
+	e := &engine{cfg: cfg, csr: csr, n: n, adv: sched}
 
 	// NodeViews, known-latency tables and RNG states are arena-allocated:
 	// a handful of slabs instead of ~4n small objects keeps setup off the
@@ -320,6 +380,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	e.sleeper = make([]Sleeper, n)
 	e.waiter = make([]Waiter, n)
 	e.meta = make([]MetaProducer, n)
+	e.amnesiac = make([]AmnesiaReseter, n)
 	dones := make([]DoneReporter, n)
 	for u := 0; u < n; u++ {
 		protos[u] = factory(views[u])
@@ -335,17 +396,22 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		if m, ok := protos[u].(MetaProducer); ok {
 			e.meta[u] = m
 		}
+		if a, ok := protos[u].(AmnesiaReseter); ok {
+			e.amnesiac[u] = a
+		}
 		if d, ok := protos[u].(DoneReporter); ok {
 			dones[u] = d
 		}
 	}
 
 	var alive *bitset.Set
-	if cfg.CrashAt != nil {
+	if cfg.CrashAt != nil || (sched != nil && sched.HasDown()) {
 		alive = bitset.New(n)
 		for u := 0; u < n; u++ {
 			alive.Add(u)
 		}
+	}
+	if cfg.CrashAt != nil {
 		// Scheduled crashes are calendar events: a stop condition
 		// quantifying over alive nodes can flip at a crash round with no
 		// other activity.
@@ -360,10 +426,23 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		}
 		sort.Ints(e.crashRounds)
 	}
+	if sched != nil {
+		// Leave/rejoin transitions are calendar events too, applied
+		// serially at the top of their round.
+		e.advEvents = sched.Events()
+		if sched.HasLoss() {
+			e.advPCG = make([]rand.PCG, n)
+			e.advRNG = make([]rand.Rand, n)
+			for u := 0; u < n; u++ {
+				e.advPCG[u] = *rand.NewPCG(cfg.Seed^0xa5a5f00dd00dfeed, uint64(u)*0x9e3779b97f4a7c15+0x632be59bd9b4e019)
+				e.advRNG[u] = *rand.New(&e.advPCG[u])
+			}
+		}
+	}
 
 	e.world = &World{
 		Graph: cfg.Graph, CSR: csr, Views: views, Protos: protos,
-		crashAt: cfg.CrashAt, watched: watched, informed: informed,
+		crashAt: cfg.CrashAt, adv: sched, watched: watched, informed: informed,
 		alive: alive, dones: dones,
 	}
 	e.res.InformedAt = informedAt
@@ -511,11 +590,14 @@ func (e *engine) drainDue(round int) {
 		ex := &e.due[i]
 		// A fail-stop endpoint neither responds nor forwards: the whole
 		// exchange is lost if either side is down at completion time.
-		if e.crashed(int(ex.u), ex.deliver) || e.crashed(int(ex.v), ex.deliver) {
+		// Adversity losses (ex.lost) were decided at initiation and are
+		// executed here the same way: no payload, no delivery records.
+		if ex.lost || e.crashed(int(ex.u), ex.deliver) || e.crashed(int(ex.v), ex.deliver) {
 			e.res.Dropped++
 			ex.uNews, ex.vNews = nil, nil
 			continue
 		}
+		e.res.Delivered++
 		// The journal prefix length at initiation is the full snapshot
 		// size: payload accounting is identical to the cloning engine.
 		e.res.RumorPayload += int64(ex.uEnd) + int64(ex.vEnd)
@@ -603,7 +685,7 @@ func (e *engine) activateShard(s *shard, round int) {
 	s.minWake, s.sleeperWake = never, never
 	s.idle, s.called = true, false
 	for u := s.lo; u < s.hi; u++ {
-		if e.crashed(u, round) {
+		if e.down(u, round) {
 			continue
 		}
 		if e.wake[u] > round {
@@ -676,7 +758,26 @@ func (e *engine) mergeIntents(round int) {
 				uEnd:    int32(len(nv.journal)),
 				vEnd:    int32(len(e.views[v].journal)),
 			}
-			if e.sent != nil {
+			if e.adv != nil {
+				// Fate is fixed here, serially in node order: schedule
+				// drops (a churned-out endpoint or flapped link anywhere
+				// in the transit window) are static, and loss draws come
+				// from the initiator's dedicated PCG stream — only for
+				// exchanges the schedule did not already kill.
+				ex.lost = e.adv.DownDuring(u, round, ex.deliver) ||
+					e.adv.DownDuring(v, round, ex.deliver) ||
+					e.adv.LinkDownDuring(u, v, round, ex.deliver)
+				if !ex.lost && e.advRNG != nil {
+					if p := e.adv.LossProb(u, v); p > 0 && e.advRNG[u].Float64() < p {
+						ex.lost = true
+					}
+				}
+			}
+			if e.sent != nil && !ex.lost {
+				// High-water marks advance only on exchanges that will
+				// deliver, so delta windows chain exactly over the
+				// delivered sequence of each edge: an adversity drop in
+				// the middle of an edge's history cannot eat rumors.
 				hu := e.csr.HalfIndex(u, idx)
 				hv := e.csr.HalfIndex(v, vIdx)
 				ex.uStart = e.sent[hu]
@@ -699,6 +800,62 @@ func (e *engine) mergeIntents(round int) {
 	}
 }
 
+// amnesia resets node u to its initial rumor assignment: the journal and
+// membership set are cleared (safe: any exchange whose windows reference
+// the old journal was in flight across the down interval and is lost),
+// the node's delta high-water marks are rewound so peers receive its
+// rebuilt state from scratch, the informed tally is corrected, and the
+// protocol is told to restart (AmnesiaReseter). In a multi-phase
+// pipeline "initial assignment" means the state the node entered the
+// current phase with (Config.InitialRumors) — the restart cannot reach
+// behind the phase boundary. Runs serially inside the event loop.
+func (e *engine) amnesia(u int, round int) {
+	nv := e.views[u]
+	nv.rum = rumorSet{}
+	nv.rum.init(e.n)
+	nv.journal = nv.journal[:0]
+	if e.sent != nil {
+		off := int(e.csr.Offset(u))
+		for i := 0; i < e.csr.Degree(u); i++ {
+			// u's own marks track its truncated journal; the peers'
+			// marks toward u promise "u already has this prefix", which
+			// amnesia just broke — both directions rewind to zero.
+			e.sent[off+i] = 0
+			v := int(nv.nbrs[i])
+			e.sent[e.csr.HalfIndex(v, e.csr.PeerIndex(u, i))] = 0
+		}
+	}
+	switch {
+	case e.cfg.InitialRumors != nil:
+		nv.seedFrom(e.cfg.InitialRumors[u])
+	case e.cfg.Mode == OneToAll && len(e.cfg.Sources) > 0:
+		for _, s := range e.cfg.Sources {
+			if s == u {
+				nv.gain(u)
+				break
+			}
+		}
+	case e.cfg.Mode == OneToAll:
+		if u == e.cfg.Source {
+			nv.gain(u)
+		}
+	default: // AllToAll re-generates the node's own rumor
+		nv.gain(u)
+	}
+	if nv.rum.contains(int32(e.watched)) {
+		if e.informedAt[u] < 0 {
+			e.informedAt[u] = round
+		}
+		e.world.informed.Add(u)
+	} else {
+		e.informedAt[u] = -1
+		e.world.informed.Remove(u)
+	}
+	if a := e.amnesiac[u]; a != nil {
+		a.OnAmnesia()
+	}
+}
+
 func (e *engine) run(stop StopFunc) (Result, error) {
 	for round := 0; round <= e.cfg.MaxRounds; {
 		e.world.Round = round
@@ -707,6 +864,23 @@ func (e *engine) run(stop StopFunc) (Result, error) {
 				e.world.alive.Remove(int(u))
 			}
 			e.nextCrash++
+		}
+		for e.nextAdvEvent < len(e.advEvents) && e.advEvents[e.nextAdvEvent].Round <= round {
+			ev := &e.advEvents[e.nextAdvEvent]
+			for _, u := range ev.Leave {
+				e.world.alive.Remove(u)
+			}
+			for _, rj := range ev.Rejoin {
+				e.world.alive.Add(rj.Node)
+				if rj.Amnesia {
+					e.amnesia(rj.Node, round)
+				}
+				// A rejoin is a wake event: the node may act this round.
+				if e.wake[rj.Node] > round {
+					e.wake[rj.Node] = round
+				}
+			}
+			e.nextAdvEvent++
 		}
 		e.drainDue(round)
 		e.parallel(func(s *shard) { e.deliverShard(s, round) })
@@ -746,13 +920,15 @@ func (e *engine) run(stop StopFunc) (Result, error) {
 				sleeperWake = s.sleeperWake
 			}
 		}
-		if idle && e.pendingLen() == 0 && sleeperWake == never {
-			// Nothing in flight and nobody acted this round. Unless a
-			// protocol is waiting on an internal timer (Waiter), nobody
-			// will ever act again and the run is over.
+		if idle && e.pendingLen() == 0 && sleeperWake == never && e.nextAdvEvent >= len(e.advEvents) {
+			// Nothing in flight, nobody acted this round, and no
+			// leave/rejoin transition is still to come (a rejoin re-wakes
+			// its node; a leave can flip an alive-quantified stop).
+			// Unless a protocol is waiting on an internal timer (Waiter),
+			// nobody will ever act again and the run is over.
 			waiting := false
 			for u := 0; u < e.n; u++ {
-				if w := e.waiter[u]; w != nil && !e.crashed(u, round) && w.Waiting() {
+				if w := e.waiter[u]; w != nil && !e.down(u, round) && w.Waiting() {
 					waiting = true
 					break
 				}
@@ -773,6 +949,9 @@ func (e *engine) run(stop StopFunc) (Result, error) {
 		}
 		if e.nextCrash < len(e.crashRounds) && e.crashRounds[e.nextCrash] < next {
 			next = e.crashRounds[e.nextCrash]
+		}
+		if e.nextAdvEvent < len(e.advEvents) && e.advEvents[e.nextAdvEvent].Round < next {
+			next = e.advEvents[e.nextAdvEvent].Round
 		}
 		if called && round+1 < next {
 			next = round + 1

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 )
@@ -97,6 +98,19 @@ type Config struct {
 	// responds nor forwards. Stop conditions should quantify over alive
 	// nodes (see StopAllAliveInformed).
 	CrashAt []int
+	// Adversity attaches a declarative fault schedule: per-edge message
+	// loss, node churn (leave/rejoin with retention or amnesia), link
+	// flaps and crash batches — see package adversity. The spec is
+	// compiled at Run and its leave/rejoin transitions become calendar
+	// events interleaved with deliveries. Loss draws come from per-node
+	// PCG streams (separate from the protocol streams), and loss/drop
+	// outcomes are fixed at initiation time in node order, so runs under
+	// any fault schedule stay bit-identical for every worker count.
+	// Whether an in-flight exchange survives is decided from the
+	// schedule alone: it is lost iff an endpoint is down, or the link is
+	// flapped down, at any round of its transit window — a node that
+	// leaves mid-flight neither responds nor forwards. Nil means benign.
+	Adversity *adversity.Spec
 	// MaxInPerRound, when positive, caps how many incoming exchange
 	// initiations a node accepts per round (the bounded in-degree model
 	// of Daum et al. discussed in the paper's conclusion). Initiations
@@ -172,6 +186,18 @@ type MetaProducer interface {
 // stop conditions: Done reports that this node's protocol has terminated.
 type DoneReporter interface {
 	Done() bool
+}
+
+// AmnesiaReseter is an optional Protocol extension for protocols that
+// keep node-local state beyond the engine-owned rumor set — heard sets,
+// done flags, round-robin cursors, in-flight markers. When a node
+// rejoins from an amnesic churn interval the engine resets its rumor
+// state and then calls OnAmnesia so the protocol restarts from its
+// initial state too; without this facet a protocol would keep acting on
+// knowledge the node no longer holds. Discovered link latencies are
+// retained either way (they are measured, not gossiped).
+type AmnesiaReseter interface {
+	OnAmnesia()
 }
 
 // Waiter is an optional Protocol extension for protocols with internal
@@ -306,8 +332,16 @@ type Result struct {
 	// messages (2 per exchange, per the bidirectional model).
 	Exchanges int64
 	Messages  int64
-	// Dropped counts exchanges lost to crashes or the in-degree cap.
+	// Dropped counts exchanges lost to crashes, the in-degree cap, or
+	// the adversity schedule (message loss, churn, link flaps).
 	Dropped int64
+	// Delivered counts exchanges whose payload reached both endpoints.
+	// Among initiated exchanges, Delivered + (dropped in flight) +
+	// (still in flight at stop) == Exchanges; note Dropped additionally
+	// counts in-degree-cap refusals, which are never initiated, so
+	// Delivered + Dropped can exceed Exchanges when MaxInPerRound is
+	// set.
+	Delivered int64
 	// RumorPayload totals the rumor units carried by delivered
 	// exchanges (both directions): the bandwidth cost of full-state
 	// gossip, which Section 6 contrasts against push-pull's ability to

@@ -1,6 +1,10 @@
 package sim
 
-import "gossip/internal/graph"
+import (
+	"gossip/internal/adversity"
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+)
 
 // StopAllInformed stops when every node holds rumor r (one-to-all
 // dissemination of source r's rumor). When r is the run's watched rumor
@@ -77,6 +81,42 @@ func StopAllAliveInformed(r graph.NodeID) StopFunc {
 		}
 		for u, nv := range w.Views {
 			if w.Alive(u) && !nv.rum.contains(int32(r)) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StopAllSurvivorsInformed stops when every node the failure model
+// never permanently removes holds rumor r — the completion criterion
+// under churn. A temporarily-down node rejoins and must still be
+// informed, so unlike StopAllAliveInformed the run cannot end while it
+// is away; only nodes a crash schedule or a never-rejoining churn
+// interval removes for good are exempt. This matches the goneForever
+// semantics the multi-phase pipelines judge completion with. When r is
+// the watched rumor the check is a word-level subset test of the
+// survivor mask against the engine-maintained informed tally.
+func StopAllSurvivorsInformed(r graph.NodeID, crashAt []int, spec *adversity.Spec) StopFunc {
+	var survivors *bitset.Set
+	return func(w *World) bool {
+		if survivors == nil {
+			survivors = bitset.New(len(w.Views))
+			for u := range w.Views {
+				if crashAt != nil && crashAt[u] >= 0 {
+					continue
+				}
+				if spec.NeverReturns(u) {
+					continue
+				}
+				survivors.Add(u)
+			}
+		}
+		if w.informed != nil && r == w.watched {
+			return survivors.SubsetOf(w.informed)
+		}
+		for u, nv := range w.Views {
+			if survivors.Contains(u) && !nv.rum.contains(int32(r)) {
 				return false
 			}
 		}
