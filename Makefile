@@ -15,7 +15,8 @@ DRIVERS := auto dtg flood pattern push-pull rr spanner superstep
 COVER_MIN := 83.5
 
 .PHONY: all build test race bench bench-json bench-baseline bench-compare \
-	determinism cover fuzz-smoke staticcheck fmt vet experiments clean
+	determinism cover fuzz-smoke staticcheck fmt vet experiments serve \
+	load-smoke clean
 
 all: build test
 
@@ -41,7 +42,7 @@ bench:
 # BENCH_sim.json on every push so the perf trajectory is tracked across
 # PRs, then gates it against the committed baseline (bench-compare).
 bench-json:
-	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimLossyPushPull|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild)' \
+	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimLossyPushPull|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild|BenchmarkServerThroughput|BenchmarkServerCachedHit)' \
 		-benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # Refresh the committed regression baseline from the current machine.
@@ -121,6 +122,20 @@ vet:
 # artifacts in ./results.
 experiments:
 	$(GO) run ./cmd/experiments -progress -out results
+
+# Run the simulation service locally (SIGINT/SIGTERM drain gracefully).
+serve:
+	$(GO) run ./cmd/gossipd -addr 127.0.0.1:8080
+
+# The CI load-smoke gate: build gossipd with the race detector, boot two
+# in-process servers with different pool sizes, and drive 220 concurrent
+# closed-loop clients through the fixed request mix (a barrier-
+# synchronized unique-seed surge wave, then the DefaultMix including the
+# lossy/churny fault-spec job). Fails on any non-200, any repeat cache
+# miss for an identical request, any nondeterministic response body, a
+# cross-pool body mismatch, or peak concurrency below 200 in-flight jobs.
+load-smoke:
+	$(GO) run -race ./cmd/gossipd -selfcheck -clients 220 -requests 4 -min-peak 200
 
 clean:
 	rm -rf results

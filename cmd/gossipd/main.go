@@ -1,0 +1,165 @@
+// Command gossipd serves gossip simulations over HTTP: POST parameterized
+// jobs (driver, graph family, fault schedule, seed) to /v1/simulations
+// and stream back NDJSON progress + result events. Completed
+// deterministic jobs are memoized, identical concurrent requests
+// coalesce, and SIGTERM/SIGINT drain gracefully (in-flight jobs finish,
+// queued jobs get 503).
+//
+// Usage:
+//
+//	gossipd -addr 127.0.0.1:8080 -pool 8 -cache 1024
+//	curl -s localhost:8080/v1/simulations -d \
+//	  '{"driver":"push-pull","graph":{"family":"dumbbell","n":8,"latency":12},"seed":3}'
+//
+// The -selfcheck mode boots two in-process servers with different pool
+// sizes and runs the internal load generator against them — the CI
+// load-smoke entry point.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gossip/internal/loadgen"
+	"gossip/internal/server"
+)
+
+// options holds the parsed command line.
+type options struct {
+	addr           string
+	pool           int
+	cacheSize      int
+	maxN           int
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	drainTimeout   time.Duration
+
+	selfcheck bool
+	clients   int
+	requests  int
+	minPeak   int
+	surgeN    int
+	seed      uint64
+
+	// test seams: ready receives the bound address once listening; a
+	// closed stop channel triggers the same graceful drain as SIGTERM.
+	ready func(addr string)
+	stop  <-chan struct{}
+}
+
+// parseArgs parses the command line into options. Split from main so the
+// flag surface is regression-tested (the pattern established for
+// gossipsim/experiments/graphinfo/guessgame).
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("gossipd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&o.pool, "pool", 0, "concurrently executing jobs (0 = GOMAXPROCS); further jobs queue")
+	fs.IntVar(&o.cacheSize, "cache", 1024, "completed-job LRU cache entries (0 = 1024, negative disables caching)")
+	fs.IntVar(&o.maxN, "max-n", 0, "largest accepted built graph size in nodes (0 = 131072); dumbbell builds 2n, ring layers*n")
+	fs.DurationVar(&o.defaultTimeout, "timeout", 0, "default per-job execution timeout (0 = 60s)")
+	fs.DurationVar(&o.maxTimeout, "max-timeout", 0, "largest per-job timeout a request may ask for (0 = 5m)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	fs.BoolVar(&o.selfcheck, "selfcheck", false, "boot in-process servers, drive the load generator, exit")
+	fs.IntVar(&o.clients, "clients", 16, "selfcheck: concurrent closed-loop clients")
+	fs.IntVar(&o.requests, "requests", 4, "selfcheck: mix requests per client")
+	fs.IntVar(&o.minPeak, "min-peak", 0, "selfcheck: required peak concurrent in-flight jobs (0 = clients less 10%)")
+	fs.IntVar(&o.surgeN, "surge-n", 2048, "selfcheck: surge job graph size")
+	fs.Uint64Var(&o.seed, "seed", 1, "selfcheck: base seed")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opts, err := parseArgs(args)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if opts.selfcheck {
+		err := loadgen.SelfCheck(context.Background(), loadgen.SelfCheckOptions{
+			Clients:         opts.clients,
+			Requests:        opts.requests,
+			MinPeakInFlight: opts.minPeak,
+			SurgeN:          opts.surgeN,
+			Seed:            opts.seed,
+			Out:             stdout,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if err := serve(opts, stdout); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// serve runs the service until SIGTERM/SIGINT (or the test stop seam),
+// then drains: admission stops, queued jobs get 503, in-flight jobs
+// finish within drainTimeout.
+func serve(o options, stdout io.Writer) error {
+	srv := server.New(server.Config{
+		Pool:           o.pool,
+		CacheSize:      o.cacheSize,
+		MaxN:           o.maxN,
+		DefaultTimeout: o.defaultTimeout,
+		MaxTimeout:     o.maxTimeout,
+	})
+	lis, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "gossipd: listening on %s (pool=%d, cache=%d entries)\n",
+		lis.Addr(), srv.Metrics().PoolSize, o.cacheSize)
+	if o.ready != nil {
+		o.ready(lis.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(lis) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "gossipd: %v — draining (in-flight jobs finish, queued jobs get 503)\n", s)
+	case <-o.stop:
+		fmt.Fprintln(stdout, "gossipd: stop requested — draining")
+	}
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("gossipd: drain incomplete after %v: %w", o.drainTimeout, err)
+	}
+	m := srv.Metrics()
+	fmt.Fprintf(stdout, "gossipd: drained (%d completed, %d failed, %d cache hits)\n",
+		m.Completed, m.Failed, m.CacheHits)
+	return nil
+}

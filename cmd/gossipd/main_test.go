@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:8080" || o.pool != 0 || o.cacheSize != 1024 ||
+		o.drainTimeout != 30*time.Second || o.selfcheck ||
+		o.clients != 16 || o.requests != 4 || o.surgeN != 2048 || o.seed != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-addr", ":9999", "-pool", "3", "-cache", "10", "-max-n", "4096",
+		"-timeout", "2s", "-max-timeout", "10s", "-drain-timeout", "5s",
+		"-selfcheck", "-clients", "200", "-requests", "6", "-min-peak", "180",
+		"-surge-n", "512", "-seed", "42",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9999" || o.pool != 3 || o.cacheSize != 10 || o.maxN != 4096 ||
+		o.defaultTimeout != 2*time.Second || o.maxTimeout != 10*time.Second ||
+		o.drainTimeout != 5*time.Second || !o.selfcheck || o.clients != 200 ||
+		o.requests != 6 || o.minPeak != 180 || o.surgeN != 512 || o.seed != 42 {
+		t.Fatalf("overrides: %+v", o)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"-pool", "x"},
+		{"-timeout", "fast"},
+		{"stray"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Fatalf("parseArgs(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunSelfCheck drives the whole selfcheck path through run() at unit
+// scale: the binary's CI load-smoke behavior, minus the process spawn.
+func TestRunSelfCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-selfcheck", "-clients", "5", "-requests", "2", "-surge-n", "96", "-seed", "11"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "selfcheck: OK") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestServeAndDrain boots the real server on an ephemeral port, submits
+// a job over HTTP, then stops it via the signal-equivalent seam and
+// requires a clean drain.
+func TestServeAndDrain(t *testing.T) {
+	o, err := parseArgs([]string{"-addr", "127.0.0.1:0", "-pool", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	o.ready = func(addr string) { ready <- addr }
+	o.stop = stop
+
+	var stdout bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- serve(o, &stdout) }()
+	addr := <-ready
+
+	resp, err := http.Post("http://"+addr+"/v1/simulations", "application/json",
+		strings.NewReader(`{"driver":"push-pull","graph":{"family":"dumbbell","n":8,"latency":12},"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"event":"result"`) {
+		t.Fatalf("job: %d %s", resp.StatusCode, body)
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "listening on") || !strings.Contains(out, "drained (1 completed") {
+		t.Fatalf("serve output: %s", out)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	o, err := parseArgs([]string{"-addr", "256.256.256.256:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve(o, io.Discard); err == nil {
+		t.Fatal("serve bound an impossible address")
+	}
+}

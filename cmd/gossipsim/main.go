@@ -217,44 +217,15 @@ func run() int {
 	return 0
 }
 
+// buildGraph dispatches to the shared family builder (graphgen.Build),
+// which is also the construction path behind gossipd simulation requests.
 func buildGraph(name string, n, latency int, p float64, layers int, seed uint64) (*graph.Graph, error) {
-	rng := graphgen.NewRand(seed)
-	switch strings.ToLower(name) {
-	case "clique":
-		return graphgen.Clique(n, latency), nil
-	case "star":
-		return graphgen.Star(n, latency), nil
-	case "path":
-		return graphgen.Path(n, latency), nil
-	case "cycle":
-		return graphgen.Cycle(n, latency), nil
-	case "grid":
-		side := 1
-		for side*side < n {
-			side++
-		}
-		return graphgen.Grid(side, side, latency), nil
-	case "tree":
-		return graphgen.BinaryTree(n, latency), nil
-	case "er":
-		return graphgen.ErdosRenyi(n, p, latency, rng)
-	case "regular":
-		return graphgen.RandomRegular(n, 4, latency, rng)
-	case "dumbbell":
-		return graphgen.Dumbbell(n, latency), nil
-	case "ring":
-		ring, err := graphgen.NewRingNetwork(layers, n, latency, rng)
-		if err != nil {
-			return nil, err
-		}
-		return ring.Graph, nil
-	case "gadget":
-		net, err := graphgen.NewTheorem10Network(n, 1, latency, p, rng)
-		if err != nil {
-			return nil, err
-		}
-		return net.Graph, nil
-	default:
-		return nil, fmt.Errorf("unknown graph %q", name)
-	}
+	return graphgen.Build(graphgen.Spec{
+		Family:  name,
+		N:       n,
+		Latency: latency,
+		P:       p,
+		Layers:  layers,
+		Seed:    seed,
+	})
 }

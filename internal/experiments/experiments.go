@@ -122,6 +122,7 @@ func All() []Experiment {
 		expE23Scaling,
 		expE24LossSweep,
 		expE25Churn,
+		expE26Service,
 	}
 }
 

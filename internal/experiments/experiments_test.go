@@ -11,8 +11,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 25 {
-		t.Fatalf("registered %d experiments, want 25", len(all))
+	if len(all) != 26 {
+		t.Fatalf("registered %d experiments, want 26", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -89,7 +89,10 @@ func TestWorkerCountDeterminism(t *testing.T) {
 	// A cross-section of grid shapes: multi-trial stochastic cells (E2,
 	// E4), sparse metrics (E3), mixed per-trial + per-cell work (E14),
 	// and label-carrying samples (E6).
-	for _, id := range []string{"E2", "E3", "E4", "E6", "E14"} {
+	// E26 rides along to pin that even the HTTP service layer produces
+	// schedule-independent tables (its metrics are all counters the
+	// coalescing cache makes deterministic).
+	for _, id := range []string{"E2", "E3", "E4", "E6", "E14", "E26"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

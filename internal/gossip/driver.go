@@ -135,10 +135,96 @@ type DriverResult struct {
 }
 
 // OptionDoc documents one DriverOptions field a driver consumes — the
-// driver's options schema, rendered by CLI help.
+// driver's options schema, rendered by CLI help and exposed as
+// machine-readable request keys by gossipd.
 type OptionDoc struct {
 	Name string
 	Doc  string
+	// Keys are the machine-readable request-field names (snake_case, as
+	// they appear in gossipd simulation requests) this option answers to.
+	// Register validates them against RequestKeyVocabulary; an option
+	// with no Keys is internal-only (e.g. InitialRumors) and cannot be
+	// set through a request.
+	Keys []string
+}
+
+// RequestKeyVocabulary is every machine-readable option key a driver may
+// declare — the closed request-field namespace gossipd validates against.
+// Keys here name DriverOptions fields one-to-one; "seed", "max_rounds"
+// and "workers" are additionally accepted by every driver (the universal
+// execution surface) and need not be re-declared.
+func RequestKeyVocabulary() []string {
+	out := make([]string, 0, len(requestKeyVocab))
+	for k := range requestKeyVocab {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var requestKeyVocab = map[string]bool{
+	"source":           true,
+	"sources":          true,
+	"objective":        true,
+	"variant":          true,
+	"ell":              true,
+	"k":                true,
+	"d":                true,
+	"budget":           true,
+	"known_latencies":  true,
+	"fault_spec":       true,
+	"max_in_per_round": true,
+	"fault_tolerant":   true,
+	"lb_timeout":       true,
+	"skip_check":       true,
+	"seed":             true,
+	"max_rounds":       true,
+	"workers":          true,
+}
+
+// universalRequestKeys are accepted by every driver without declaration:
+// the execution knobs the engine itself consumes.
+var universalRequestKeys = map[string]bool{
+	"seed":       true,
+	"max_rounds": true,
+	"workers":    true,
+}
+
+// RequestKeys returns the sorted machine-readable request keys this
+// driver accepts, including the universal execution keys.
+func (d *Driver) RequestKeys() []string {
+	set := map[string]bool{}
+	for k := range universalRequestKeys {
+		set[k] = true
+	}
+	for _, o := range d.Options {
+		for _, k := range o.Keys {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AcceptsKey reports whether the driver consumes the machine-readable
+// request key — the request-validation question gossipd asks before
+// forwarding a field into DriverOptions.
+func (d *Driver) AcceptsKey(key string) bool {
+	if universalRequestKeys[key] {
+		return true
+	}
+	for _, o := range d.Options {
+		for _, k := range o.Keys {
+			if k == key {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Driver is one named dissemination protocol: a factory for its per-node
@@ -160,9 +246,17 @@ type Driver struct {
 
 var drivers = map[string]*Driver{}
 
-// Register adds d under its name and aliases; duplicate names panic
-// (registration is an init-time programming error, not a runtime state).
+// Register adds d under its name and aliases; duplicate names and option
+// keys outside RequestKeyVocabulary panic (registration is an init-time
+// programming error, not a runtime state).
 func Register(d *Driver) {
+	for _, o := range d.Options {
+		for _, k := range o.Keys {
+			if !requestKeyVocab[k] {
+				panic(fmt.Sprintf("gossip: driver %q option %q declares key %q outside the request vocabulary", d.Name, o.Name, k))
+			}
+		}
+	}
 	for _, name := range append([]string{d.Name}, d.Aliases...) {
 		key := strings.ToLower(name)
 		if _, dup := drivers[key]; dup {
@@ -317,13 +411,13 @@ func init() {
 		Aliases:     []string{"pushpull"},
 		Description: "random phone-call gossip: exchange with a uniform random neighbor every round (Theorem 29)",
 		Options: []OptionDoc{
-			{"Source/Sources", "watched rumor origin(s) for the Broadcast objective"},
-			{"Objective", "Broadcast (default), AllToAll or LocalBroadcast"},
-			{"Variant", "\"blocking\" waits out each exchange before the next"},
-			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
-			{"Adversity", "fault schedule: loss, churn, flaps, crash batches"},
-			{"MaxInPerRound", "bounded in-degree model of Daum et al."},
-			{"Seed/MaxRounds", "determinism and horizon"},
+			{"Source/Sources", "watched rumor origin(s) for the Broadcast objective", []string{"source", "sources"}},
+			{"Objective", "Broadcast (default), AllToAll or LocalBroadcast", []string{"objective"}},
+			{"Variant", "\"blocking\" waits out each exchange before the next", []string{"variant"}},
+			{"CrashAt", "fail-stop schedule; completion judged over survivors", nil},
+			{"Adversity", "fault schedule: loss, churn, flaps, crash batches", []string{"fault_spec"}},
+			{"MaxInPerRound", "bounded in-degree model of Daum et al.", []string{"max_in_per_round"}},
+			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			// Slab-allocate the per-node protocol structs: one allocation
@@ -361,11 +455,11 @@ func init() {
 		Name:        "flood",
 		Description: "push-only store-and-forward baseline of footnote 3 (blocking unless Variant=\"nonblocking\")",
 		Options: []OptionDoc{
-			{"Source", "rumor origin; only informed nodes act"},
-			{"Variant", "\"nonblocking\" initiates every round"},
-			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
-			{"Adversity", "fault schedule: loss, churn, flaps, crash batches"},
-			{"Seed/MaxRounds", "determinism and horizon"},
+			{"Source", "rumor origin; only informed nodes act", []string{"source"}},
+			{"Variant", "\"nonblocking\" initiates every round", []string{"variant"}},
+			{"CrashAt", "fail-stop schedule; completion judged over survivors", nil},
+			{"Adversity", "fault schedule: loss, churn, flaps, crash batches", []string{"fault_spec"}},
+			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			blocking := opts.Variant != VariantNonBlocking
@@ -388,11 +482,11 @@ func init() {
 		Name:        "dtg",
 		Description: "ℓ-DTG deterministic tree gossip local broadcast (Algorithm 6), run to quiescence",
 		Options: []OptionDoc{
-			{"Ell", "latency filter defining G_ℓ (0 = all edges)"},
-			{"InitialRumors", "state carried from a previous phase"},
-			{"CrashAt", "fail-stop schedule (DTG stalls on dead peers)"},
-			{"Adversity", "fault schedule (DTG stalls on lost exchanges)"},
-			{"Seed/MaxRounds", "determinism and horizon"},
+			{"Ell", "latency filter defining G_ℓ (0 = all edges)", []string{"ell"}},
+			{"InitialRumors", "state carried from a previous phase", nil},
+			{"CrashAt", "fail-stop schedule (DTG stalls on dead peers)", nil},
+			{"Adversity", "fault schedule (DTG stalls on lost exchanges)", []string{"fault_spec"}},
+			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			return fromSimResult(sim.Run(sim.Config{
@@ -415,12 +509,12 @@ func init() {
 		Name:        "superstep",
 		Description: "randomized local broadcast primitive, optionally timeout-hardened (Section 7 extension)",
 		Options: []OptionDoc{
-			{"Ell", "latency filter defining G_ℓ (0 = all edges)"},
-			{"LBTimeout", "abandon stalled exchanges after this many rounds"},
-			{"InitialRumors", "state carried from a previous phase"},
-			{"CrashAt", "fail-stop schedule"},
-			{"Adversity", "fault schedule; timeouts recover from losses"},
-			{"Seed/MaxRounds", "determinism and horizon"},
+			{"Ell", "latency filter defining G_ℓ (0 = all edges)", []string{"ell"}},
+			{"LBTimeout", "abandon stalled exchanges after this many rounds", []string{"lb_timeout"}},
+			{"InitialRumors", "state carried from a previous phase", nil},
+			{"CrashAt", "fail-stop schedule", nil},
+			{"Adversity", "fault schedule; timeouts recover from losses", []string{"fault_spec"}},
+			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			return fromSimResult(sim.Run(sim.Config{
@@ -443,11 +537,11 @@ func init() {
 		Name:        "rr",
 		Description: "round-robin broadcast over directed spanner out-edges (Algorithm 1 / Lemma 21)",
 		Options: []OptionDoc{
-			{"Spanner", "out-edge orientation (nil = build Baswana-Sen from Seed)"},
-			{"K", "latency filter on out-edges; drives the Lemma 21 budget"},
-			{"Budget", "override the K·Δout + K budget"},
-			{"InitialRumors/CrashAt/Adversity/Stop", "phase state, failures, early stop"},
-			{"Seed/MaxRounds", "determinism and horizon"},
+			{"Spanner", "out-edge orientation (nil = build Baswana-Sen from Seed)", nil},
+			{"K", "latency filter on out-edges; drives the Lemma 21 budget", []string{"k"}},
+			{"Budget", "override the K·Δout + K budget", []string{"budget"}},
+			{"InitialRumors/CrashAt/Adversity/Stop", "phase state, failures, early stop", []string{"fault_spec"}},
+			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			if err := needGraph("rr", g); err != nil {
@@ -486,13 +580,13 @@ func init() {
 		Name:        "spanner",
 		Description: "DTG + Baswana-Sen spanner + RR pipeline (Theorem 25), guess-and-double when D unknown",
 		Options: []OptionDoc{
-			{"D", "known weighted diameter (0 = guess-and-double)"},
-			{"KnownLatencies", "Section 4 model; else discovery phases are prepended"},
-			{"FaultTolerant/LBTimeout", "swap DTG for timeout-hardened Superstep"},
-			{"SkipCheck", "drop the Termination_Check phase for known D"},
-			{"CrashAt", "fail-stop schedule; completion judged over survivors"},
-			{"Adversity", "fault schedule, rebased per phase"},
-			{"Seed/MaxRounds", "determinism and per-phase horizon"},
+			{"D", "known weighted diameter (0 = guess-and-double)", []string{"d"}},
+			{"KnownLatencies", "Section 4 model; else discovery phases are prepended", []string{"known_latencies"}},
+			{"FaultTolerant/LBTimeout", "swap DTG for timeout-hardened Superstep", []string{"fault_tolerant", "lb_timeout"}},
+			{"SkipCheck", "drop the Termination_Check phase for known D", []string{"skip_check"}},
+			{"CrashAt", "fail-stop schedule; completion judged over survivors", nil},
+			{"Adversity", "fault schedule, rebased per phase", []string{"fault_spec"}},
+			{"Seed/MaxRounds", "determinism and per-phase horizon", nil},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			if err := needGraph("spanner", g); err != nil {
@@ -523,10 +617,10 @@ func init() {
 		Name:        "pattern",
 		Description: "deterministic T(k) schedule of ℓ-DTG phases (Algorithm 5 / Lemma 28)",
 		Options: []OptionDoc{
-			{"D", "known weighted diameter (0 = guess-and-double)"},
-			{"SkipCheck", "drop the Termination_Check pass for known D"},
-			{"Adversity", "fault schedule, rebased per phase"},
-			{"Seed/MaxRounds", "determinism and per-phase horizon"},
+			{"D", "known weighted diameter (0 = guess-and-double)", []string{"d"}},
+			{"SkipCheck", "drop the Termination_Check pass for known D", []string{"skip_check"}},
+			{"Adversity", "fault schedule, rebased per phase", []string{"fault_spec"}},
+			{"Seed/MaxRounds", "determinism and per-phase horizon", nil},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			if err := needGraph("pattern", g); err != nil {
@@ -547,10 +641,10 @@ func init() {
 		Aliases:     []string{"unified"},
 		Description: "Theorem 31 combination: push-pull and the spanner pipeline side by side, faster arm wins",
 		Options: []OptionDoc{
-			{"Source", "rumor origin of the push-pull arm"},
-			{"D/KnownLatencies", "spanner arm model selection"},
-			{"Adversity", "fault schedule applied to both arms"},
-			{"Seed/MaxRounds", "determinism and horizon"},
+			{"Source", "rumor origin of the push-pull arm", []string{"source"}},
+			{"D/KnownLatencies", "spanner arm model selection", []string{"d", "known_latencies"}},
+			{"Adversity", "fault schedule applied to both arms", []string{"fault_spec"}},
+			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
 		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
 			if err := needGraph("auto", g); err != nil {

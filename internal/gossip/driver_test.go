@@ -99,3 +99,69 @@ func TestSpannerDriverDefaultsLBTimeout(t *testing.T) {
 		t.Fatalf("fault-tolerant spanner did not survive the crash: %+v", res)
 	}
 }
+
+// TestDriverRequestKeys pins the machine-readable options schema every
+// registered driver exposes: keys are drawn from the closed vocabulary,
+// the universal execution keys are always present, and the per-driver
+// sets match what the driver actually reads — the contract gossipd's
+// request validation is built on.
+func TestDriverRequestKeys(t *testing.T) {
+	vocab := map[string]bool{}
+	for _, k := range RequestKeyVocabulary() {
+		vocab[k] = true
+	}
+	want := map[string][]string{
+		"push-pull": {"fault_spec", "max_in_per_round", "max_rounds", "objective", "seed", "source", "sources", "variant", "workers"},
+		"flood":     {"fault_spec", "max_rounds", "seed", "source", "variant", "workers"},
+		"dtg":       {"ell", "fault_spec", "max_rounds", "seed", "workers"},
+		"superstep": {"ell", "fault_spec", "lb_timeout", "max_rounds", "seed", "workers"},
+		"rr":        {"budget", "fault_spec", "k", "max_rounds", "seed", "workers"},
+		"spanner":   {"d", "fault_spec", "fault_tolerant", "known_latencies", "lb_timeout", "max_rounds", "seed", "skip_check", "workers"},
+		"pattern":   {"d", "fault_spec", "max_rounds", "seed", "skip_check", "workers"},
+		"auto":      {"d", "fault_spec", "known_latencies", "max_rounds", "seed", "source", "workers"},
+	}
+	for _, name := range Names() {
+		d, _ := Lookup(name)
+		keys := d.RequestKeys()
+		for _, k := range keys {
+			if !vocab[k] {
+				t.Errorf("%s: key %q outside RequestKeyVocabulary", name, k)
+			}
+			if !d.AcceptsKey(k) {
+				t.Errorf("%s: AcceptsKey(%q) = false for a declared key", name, k)
+			}
+		}
+		if d.AcceptsKey("nonsense") {
+			t.Errorf("%s: AcceptsKey accepted an undeclared key", name)
+		}
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("new driver %q: add its expected request keys to this test", name)
+			continue
+		}
+		if len(keys) != len(w) {
+			t.Errorf("%s: RequestKeys() = %v, want %v", name, keys, w)
+			continue
+		}
+		for i := range w {
+			if keys[i] != w[i] {
+				t.Errorf("%s: RequestKeys() = %v, want %v", name, keys, w)
+				break
+			}
+		}
+	}
+}
+
+// TestRegisterRejectsUnknownKey pins that a typo'd option key is caught
+// at registration time.
+func TestRegisterRejectsUnknownKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register accepted an option key outside the vocabulary")
+		}
+	}()
+	Register(&Driver{
+		Name:    "bad-key-driver",
+		Options: []OptionDoc{{Name: "X", Doc: "x", Keys: []string{"not_a_key"}}},
+	})
+}

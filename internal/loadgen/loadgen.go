@@ -1,0 +1,456 @@
+// Package loadgen is the in-repo closed-loop load generator for gossipd:
+// N concurrent clients drive a fixed request mix against a server and
+// every response is checked, not just counted. It asserts the service
+// contracts end to end — all 2xx, per-key byte-identical bodies
+// (determinism through the service layer), and at most one cache miss
+// per request key (memoization + request coalescing) — and reports peak
+// client-side concurrency so CI can prove the server sustains hundreds
+// of in-flight jobs. Used by `gossipd -selfcheck`, the CI load-smoke
+// job, the E26 experiment and the server throughput benchmarks.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gossip/internal/server"
+)
+
+// Options configure one load run.
+type Options struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the closed-loop client count (<=0: 4).
+	Clients int
+	// Requests is how many mix requests each client issues, round-robin
+	// over Mix by global request index (<=0: one pass over Mix).
+	Requests int
+	// Mix is the request template list (empty: DefaultMix(BaseSeed)).
+	Mix []server.Request
+	// Surge, when true, prepends a barrier-synchronized wave: every
+	// client simultaneously submits one heavy unique-seed job (no
+	// coalescing, no cache reuse possible), which is what drives peak
+	// in-flight concurrency to ~Clients.
+	Surge bool
+	// SurgeN is the surge job's graph size (<=0: 2048).
+	SurgeN int
+	// BaseSeed decorrelates runs (default 1).
+	BaseSeed uint64
+	// Client overrides the HTTP client (default: shared transport sized
+	// for Clients connections, no timeout — bound the run with ctx).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if len(o.Mix) == 0 {
+		o.Mix = DefaultMix(o.BaseSeed)
+	}
+	if o.Requests <= 0 {
+		o.Requests = (len(o.Mix) + o.Clients - 1) / o.Clients
+	}
+	if o.SurgeN <= 0 {
+		o.SurgeN = 2048
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        o.Clients + 8,
+			MaxIdleConnsPerHost: o.Clients + 8,
+		}}
+	}
+	return o
+}
+
+// Report is the outcome of a run. Violations is the merged list of
+// contract breaches: non-2xx responses, malformed streams, in-stream
+// error events, per-key body divergence (nondeterminism), and repeat
+// cache misses for a key already computed.
+type Report struct {
+	Requests        int
+	Non200          int
+	CacheHits       int
+	CacheMisses     int
+	DistinctKeys    int
+	PeakInFlight    int
+	RoundsSimulated int64
+	Violations      []string
+	Elapsed         time.Duration
+	Throughput      float64 // requests per second, wall clock
+	// Bodies maps request key → the first full response body observed,
+	// for cross-server determinism comparison.
+	Bodies map[string][]byte
+}
+
+// Err folds the report into a single pass/fail error.
+func (r *Report) Err() error {
+	if r.Non200 > 0 {
+		return fmt.Errorf("loadgen: %d non-200 responses (first violations: %v)", r.Non200, head(r.Violations, 3))
+	}
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("loadgen: %d contract violations, e.g. %v", len(r.Violations), head(r.Violations, 3))
+	}
+	return nil
+}
+
+// Fprint writes the human-readable summary.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d requests in %v (%.0f req/s), peak in-flight %d\n",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, r.PeakInFlight)
+	fmt.Fprintf(w, "loadgen: %d distinct jobs, cache %d hits / %d misses, %d rounds simulated\n",
+		r.DistinctKeys, r.CacheHits, r.CacheMisses, r.RoundsSimulated)
+	if r.Non200 > 0 || len(r.Violations) > 0 {
+		fmt.Fprintf(w, "loadgen: FAIL — %d non-200, %d violations\n", r.Non200, len(r.Violations))
+		for _, v := range head(r.Violations, 10) {
+			fmt.Fprintf(w, "loadgen:   %s\n", v)
+		}
+		return
+	}
+	fmt.Fprintf(w, "loadgen: OK — all responses 2xx, deterministic, at most one miss per key\n")
+}
+
+func head(xs []string, n int) []string {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}
+
+// DefaultMix is the fixed request mix of the CI load-smoke job: cheap
+// cache-friendly jobs across six drivers, including a lossy/churny
+// fault-schedule job and a loss-only pipeline job.
+func DefaultMix(seed uint64) []server.Request {
+	dumbbell := server.GraphSpec{Family: "dumbbell", N: 8, Latency: 12}
+	grid := server.GraphSpec{Family: "grid", N: 9, Latency: 2}
+	kl := true
+	return []server.Request{
+		{Driver: "push-pull", Graph: dumbbell, Seed: seed},
+		{Driver: "push-pull", Graph: dumbbell, Seed: seed + 1},
+		{Driver: "flood", Graph: server.GraphSpec{Family: "clique", N: 12}, Seed: seed},
+		{Driver: "dtg", Graph: grid, Seed: seed},
+		{Driver: "superstep", Graph: grid, Seed: seed},
+		{Driver: "spanner", Graph: server.GraphSpec{Family: "dumbbell", N: 6, Latency: 16}, Seed: seed, KnownLatencies: &kl},
+		{Driver: "auto", Graph: server.GraphSpec{Family: "dumbbell", N: 6, Latency: 8}, Seed: seed, KnownLatencies: &kl},
+		// The adversity jobs: message loss + amnesic churn + a link flap
+		// + a crash batch on the dumbbell, and a lossy rr pipeline run.
+		{Driver: "push-pull", Graph: dumbbell, Seed: seed,
+			FaultSpec: "loss=0.15;churn=2:6-14:amnesia;flap=0-1:3-8;crash=9:5"},
+		{Driver: "rr", Graph: server.GraphSpec{Family: "clique", N: 12}, Seed: seed, FaultSpec: "loss=0.1"},
+	}
+}
+
+// surgeRequest is client i's unique heavy job: a 4-regular random graph
+// push-pull run whose seed no other client shares, so the surge wave
+// cannot coalesce or hit cache and genuinely occupies the server.
+func surgeRequest(o Options, client int) server.Request {
+	return server.Request{
+		Driver: "push-pull",
+		Graph:  server.GraphSpec{Family: "regular", N: o.SurgeN, Latency: 1},
+		Seed:   o.BaseSeed*1_000_003 + uint64(client) + 1,
+	}
+}
+
+// collector accumulates thread-shared run state.
+type collector struct {
+	mu          sync.Mutex
+	report      Report
+	missesByKey map[string]int
+	outstanding atomic.Int64
+	peak        atomic.Int64
+}
+
+// Run drives the load and returns the checked report. The error return
+// is reserved for setup problems (bad options, ctx cancelled); contract
+// breaches land in Report.Violations / Report.Err.
+func Run(ctx context.Context, o Options) (*Report, error) {
+	o = o.withDefaults()
+	if o.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	c := &collector{missesByKey: map[string]int{}}
+	c.report.Bodies = map[string][]byte{}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	barrier := make(chan struct{})
+	var armed sync.WaitGroup
+	if o.Surge {
+		armed.Add(o.Clients)
+	}
+	for i := 0; i < o.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if o.Surge {
+				req := surgeRequest(o, i)
+				armed.Done()
+				<-barrier // everyone fires together
+				c.do(ctx, o, req)
+			}
+			for j := 0; j < o.Requests; j++ {
+				c.do(ctx, o, o.Mix[(i*o.Requests+j)%len(o.Mix)])
+			}
+		}(i)
+	}
+	if o.Surge {
+		armed.Wait()
+	}
+	close(barrier)
+	wg.Wait()
+
+	// Sequential verification pass: every mix job already computed above
+	// must now replay from cache, byte-identically.
+	for _, req := range o.Mix {
+		if ctx.Err() != nil {
+			break
+		}
+		c.verify(ctx, o, req)
+	}
+
+	c.report.Elapsed = time.Since(start)
+	if c.report.Elapsed > 0 {
+		c.report.Throughput = float64(c.report.Requests) / c.report.Elapsed.Seconds()
+	}
+	c.report.DistinctKeys = len(c.report.Bodies)
+	c.report.PeakInFlight = int(c.peak.Load())
+	sort.Strings(c.report.Violations)
+	if err := ctx.Err(); err != nil {
+		return &c.report, err
+	}
+	return &c.report, nil
+}
+
+// track wraps one outstanding request, maintaining the peak concurrent
+// in-flight count across all clients.
+func (c *collector) track(ctx context.Context, o Options, req server.Request) (int, string, []byte, error) {
+	cur := c.outstanding.Add(1)
+	for {
+		old := c.peak.Load()
+		if cur <= old || c.peak.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	defer c.outstanding.Add(-1)
+	return post(ctx, o, req)
+}
+
+// do issues one request and feeds the response through the contract
+// checks.
+func (c *collector) do(ctx context.Context, o Options, req server.Request) {
+	status, cache, body, err := c.track(ctx, o, req)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report.Requests++
+	if err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		c.report.Non200++
+		c.violate("transport error: %v", err)
+		return
+	}
+	if status != http.StatusOK {
+		c.report.Non200++
+		c.violate("status %d for %s job (body %.120s)", status, req.Driver, body)
+		return
+	}
+	key, rounds, errEvent, perr := parseStream(body)
+	if perr != nil {
+		c.violate("malformed stream for %s job: %v", req.Driver, perr)
+		return
+	}
+	if errEvent != "" {
+		c.violate("job error for %s (key %s): %s", req.Driver, key, errEvent)
+		return
+	}
+	c.report.RoundsSimulated += rounds
+	switch cache {
+	case "hit":
+		c.report.CacheHits++
+	case "miss":
+		c.report.CacheMisses++
+		c.missesByKey[key]++
+		if c.missesByKey[key] > 1 {
+			c.violate("cache miss #%d for identical request key %s", c.missesByKey[key], key)
+		}
+	default:
+		c.violate("missing %s header (key %s)", server.CacheHeader, key)
+	}
+	if prev, ok := c.report.Bodies[key]; ok {
+		if !bytes.Equal(prev, body) {
+			c.violate("nondeterministic response body for key %s", key)
+		}
+	} else {
+		c.report.Bodies[key] = body
+	}
+}
+
+// verify replays one mix request sequentially after the load phase: its
+// key was computed above, so the response must be a cache hit and match
+// the recorded body.
+func (c *collector) verify(ctx context.Context, o Options, req server.Request) {
+	status, cache, body, err := c.track(ctx, o, req)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report.Requests++
+	if err != nil || status != http.StatusOK {
+		if ctx.Err() != nil {
+			return
+		}
+		c.report.Non200++
+		c.violate("verify pass: status %d err %v", status, err)
+		return
+	}
+	key, _, _, perr := parseStream(body)
+	if perr != nil {
+		c.violate("verify pass: malformed stream: %v", perr)
+		return
+	}
+	prev, seen := c.report.Bodies[key]
+	if !seen {
+		// This mix entry never ran during the load phase (tiny Requests
+		// budget); record its first execution instead.
+		c.report.Bodies[key] = body
+		if cache == "miss" {
+			c.report.CacheMisses++
+			c.missesByKey[key]++
+		}
+		return
+	}
+	if cache != "hit" {
+		c.violate("verify pass: key %s already computed but served %q, want hit", key, cache)
+		return
+	}
+	c.report.CacheHits++
+	if !bytes.Equal(prev, body) {
+		c.violate("verify pass: cached replay of key %s differs from recorded body", key)
+	}
+}
+
+func (c *collector) violate(format string, args ...any) {
+	if len(c.report.Violations) < 64 {
+		c.report.Violations = append(c.report.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// post issues one simulation request, tracking the outstanding-request
+// peak across all clients.
+func post(ctx context.Context, o Options, req server.Request) (int, string, []byte, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		o.BaseURL+"/v1/simulations", bytes.NewReader(raw))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := o.Client.Do(hreq)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get(server.CacheHeader), body, nil
+}
+
+// event is the subset of the NDJSON stream loadgen inspects.
+type event struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"`
+	RequestKey    string `json:"request_key"`
+	Error         string `json:"error"`
+	Result        *struct {
+		Rounds int `json:"rounds"`
+	} `json:"result"`
+}
+
+// parseStream validates the stream shape (accepted first, then a result
+// or error terminator) and extracts the request key, the simulated
+// rounds and any in-stream error.
+func parseStream(body []byte) (key string, rounds int64, errEvent string, err error) {
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var last event
+	n := 0
+	for sc.Scan() {
+		var ev event
+		if uerr := json.Unmarshal(sc.Bytes(), &ev); uerr != nil {
+			return "", 0, "", fmt.Errorf("line %d: %w", n, uerr)
+		}
+		if ev.SchemaVersion != server.SchemaVersion {
+			return "", 0, "", fmt.Errorf("line %d: schema_version %d, want %d", n, ev.SchemaVersion, server.SchemaVersion)
+		}
+		if n == 0 {
+			if ev.Event != "accepted" || ev.RequestKey == "" {
+				return "", 0, "", fmt.Errorf("stream does not start with accepted: %s", sc.Text())
+			}
+			key = ev.RequestKey
+		}
+		last = ev
+		n++
+	}
+	if serr := sc.Err(); serr != nil {
+		return "", 0, "", serr
+	}
+	switch {
+	case n == 0:
+		return "", 0, "", fmt.Errorf("empty stream")
+	case last.Event == "error":
+		return key, 0, last.Error, nil
+	case last.Event != "result":
+		return "", 0, "", fmt.Errorf("stream ends with %q, want result or error", last.Event)
+	}
+	return key, int64(last.Result.Rounds), "", nil
+}
+
+// Local is an in-process gossipd on a loopback listener: the zero-setup
+// server used by -selfcheck, tests, experiments and benchmarks.
+type Local struct {
+	Server *server.Server
+	URL    string
+	hs     *http.Server
+}
+
+// StartLocal boots a server.New(cfg) on 127.0.0.1:0.
+func StartLocal(cfg server.Config) (*Local, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := server.New(cfg)
+	hs := &http.Server{Handler: s.Handler()}
+	go func() {
+		// ErrServerClosed after Close; anything else would surface as
+		// request failures in the caller's checks.
+		_ = hs.Serve(lis)
+	}()
+	return &Local{Server: s, URL: "http://" + lis.Addr().String(), hs: hs}, nil
+}
+
+// Close drains and shuts the listener down, waiting briefly for
+// in-flight handlers.
+func (l *Local) Close() {
+	l.Server.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = l.hs.Shutdown(ctx)
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"gossip/internal/server"
+)
+
+// SelfCheckOptions configure the end-to-end service check behind
+// `gossipd -selfcheck` and the CI load-smoke job.
+type SelfCheckOptions struct {
+	// Clients and Requests shape the load phase (defaults 16 and 4).
+	Clients  int
+	Requests int
+	// MinPeakInFlight fails the check when the surge never reached this
+	// many concurrent outstanding jobs (<=0: Clients - Clients/10,
+	// leaving slack for scheduler jitter between posting and completing).
+	MinPeakInFlight int
+	// SurgeN is the surge job graph size (<=0: 2048).
+	SurgeN int
+	// Seed decorrelates runs (default 1).
+	Seed uint64
+	// Pools are the two server pool sizes whose responses are
+	// cross-compared byte for byte. They must differ for the comparison
+	// to mean anything, so the defaults are fixed at 2 and 6 rather
+	// than anything GOMAXPROCS-derived (which coincides with 2 on
+	// 2-vCPU CI runners, silently degrading the gate to a same-size
+	// comparison).
+	Pools [2]int
+	// Out receives the progress report (default: discard).
+	Out io.Writer
+}
+
+func (o SelfCheckOptions) withDefaults() SelfCheckOptions {
+	if o.Clients <= 0 {
+		o.Clients = 16
+	}
+	if o.Requests <= 0 {
+		o.Requests = 4
+	}
+	if o.MinPeakInFlight <= 0 {
+		o.MinPeakInFlight = o.Clients - o.Clients/10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Pools[0] <= 0 {
+		o.Pools[0] = 2
+	}
+	if o.Pools[1] <= 0 {
+		o.Pools[1] = 3 * o.Pools[0]
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// SelfCheck boots gossipd in-process and proves the service contract
+// under load: it drives Clients concurrent closed-loop clients (a
+// barrier-synchronized unique-seed surge wave, then the fixed DefaultMix
+// including the lossy/churny fault-spec job), requiring every response
+// 2xx, byte-identical bodies per request key, at most one cache miss per
+// key, and peak concurrency >= MinPeakInFlight — then replays the mix
+// against a second server with a different pool size and requires the
+// response bodies to match the first server's byte for byte.
+func SelfCheck(ctx context.Context, o SelfCheckOptions) error {
+	o = o.withDefaults()
+
+	a, err := StartLocal(server.Config{Pool: o.Pools[0]})
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	poolA := a.Server.Metrics().PoolSize
+	fmt.Fprintf(o.Out, "selfcheck: server A up at %s (pool=%d)\n", a.URL, poolA)
+
+	rep, err := Run(ctx, Options{
+		BaseURL:  a.URL,
+		Clients:  o.Clients,
+		Requests: o.Requests,
+		Surge:    true,
+		SurgeN:   o.SurgeN,
+		BaseSeed: o.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("selfcheck: load phase: %w", err)
+	}
+	rep.Fprint(o.Out)
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	if rep.PeakInFlight < o.MinPeakInFlight {
+		return fmt.Errorf("selfcheck: peak in-flight %d below the required %d (clients %d)",
+			rep.PeakInFlight, o.MinPeakInFlight, o.Clients)
+	}
+
+	// Cross-server determinism: a differently-sized pool must produce
+	// the same bytes for every mix job.
+	b, err := StartLocal(server.Config{Pool: o.Pools[1]})
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	poolB := b.Server.Metrics().PoolSize
+	fmt.Fprintf(o.Out, "selfcheck: server B up at %s (pool=%d)\n", b.URL, poolB)
+	repB, err := Run(ctx, Options{
+		BaseURL:  b.URL,
+		Clients:  2,
+		Requests: (len(DefaultMix(o.Seed)) + 1) / 2,
+		BaseSeed: o.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("selfcheck: cross-server phase: %w", err)
+	}
+	if err := repB.Err(); err != nil {
+		return err
+	}
+	// Server B ran exactly the mix, server A ran the mix and more: every
+	// key B computed must exist on A and match byte for byte — a missing
+	// key would mean the two phases did not run the same jobs, which is
+	// itself a bug worth failing on.
+	keys := make([]string, 0, len(repB.Bodies))
+	for k := range repB.Bodies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bodyA, ok := rep.Bodies[k]
+		if !ok {
+			return fmt.Errorf("selfcheck: server B computed key %s that server A never saw", k)
+		}
+		if !bytes.Equal(bodyA, repB.Bodies[k]) {
+			return fmt.Errorf("selfcheck: pool %d and pool %d disagree on key %s", poolA, poolB, k)
+		}
+	}
+	fmt.Fprintf(o.Out, "selfcheck: OK — %d keys byte-identical across pool sizes %d and %d\n",
+		len(keys), poolA, poolB)
+	return nil
+}

@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+)
+
+// Pool is a bounded execution pool: a fixed number of slots that
+// goroutines acquire before doing CPU-heavy work and release after. It is
+// the concurrency cap shared by the experiment grid scheduler (Run) and
+// long-lived services (gossipd), where jobs queue on Acquire and a drain
+// or client-gone context cancels the wait — queued work is abandoned,
+// running work always finishes and releases its slot.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool returns a pool with the given number of slots (<=0 means
+// GOMAXPROCS).
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{slots: make(chan struct{}, size)}
+}
+
+// Size is the slot count.
+func (p *Pool) Size() int { return cap(p.slots) }
+
+// InUse is the number of currently held slots (racy by nature; for
+// metrics and tests, not for synchronization).
+func (p *Pool) InUse() int { return len(p.slots) }
+
+// Acquire blocks until a slot is free or ctx is done, whichever first. A
+// ctx that is already done wins even when a slot is free, so a drained
+// service never starts new work.
+func (p *Pool) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired by Acquire. Releasing without a matching
+// Acquire is a programming error and panics.
+func (p *Pool) Release() {
+	select {
+	case <-p.slots:
+	default:
+		panic("runner: Pool.Release without Acquire")
+	}
+}
+
+// Do runs fn while holding a slot: Acquire, fn, Release. The fn runs on
+// the calling goroutine; the error is Acquire's (ctx cancellation while
+// queued) or fn's.
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	if err := p.Acquire(ctx); err != nil {
+		return err
+	}
+	defer p.Release()
+	return fn()
+}

@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(ctx, func() error {
+				c := cur.Add(1)
+				for {
+					old := peak.Load()
+					if c <= old || peak.CompareAndSwap(old, c) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeded pool size 3", got)
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d after drain, want 0", p.InUse())
+	}
+}
+
+// TestPoolAcquireCancelledWhileQueued is the gossipd drain semantics: a
+// waiter whose context dies while queued gets the context error and never
+// holds a slot.
+func TestPoolAcquireCancelledWhileQueued(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() { queued <- p.Acquire(ctx) }()
+	time.Sleep(5 * time.Millisecond) // let the waiter queue
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Acquire = %v, want context.Canceled", err)
+	}
+	p.Release()
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", p.InUse())
+	}
+}
+
+// TestPoolAcquireDeadContextLosesRace pins that an already-cancelled
+// context never acquires, even with free slots.
+func TestPoolAcquireDeadContextLosesRace(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on dead ctx = %v, want context.Canceled", err)
+	}
+	if err := p.Do(ctx, func() error { return errors.New("ran") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do on dead ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolDoPropagatesError(t *testing.T) {
+	p := NewPool(1)
+	want := errors.New("boom")
+	if err := p.Do(context.Background(), func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Do = %v, want %v", err, want)
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("slot leaked after Do error: InUse = %d", p.InUse())
+	}
+}
+
+func TestPoolReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewPool(1).Release()
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	if got := NewPool(0).Size(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Size = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"runtime"
 	"sync"
 
 	"gossip/internal/stats"
@@ -164,14 +163,6 @@ func Run(ctx context.Context, g Grid, opt Options) ([]Cell, error) {
 	if total == 0 {
 		return nil, nil
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-
 	samples := make([][]Sample, len(g.Cells))
 	errs := make([][]error, len(g.Cells))
 	for i := range samples {
@@ -179,30 +170,34 @@ func Run(ctx context.Context, g Grid, opt Options) ([]Cell, error) {
 		errs[i] = make([]error, trials)
 	}
 
-	type job struct{ cell, trial int }
-	jobs := make(chan job)
+	// One goroutine per trial, gated by the bounded pool: at most
+	// opt.Workers trials run at once, and a cancelled context aborts the
+	// feed while trials already holding a slot run to completion — the
+	// same queue/drain semantics gossipd leans on.
+	pool := NewPool(opt.Workers)
 	var mu sync.Mutex
 	done := 0
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if err := ctx.Err(); err != nil {
-					errs[j.cell][j.trial] = err
-					continue
-				}
-				c := Coord{Exp: g.Exp, Cell: g.Cells[j.cell], CellIndex: j.cell, Trial: j.trial}
+feed:
+	for ci := range g.Cells {
+		for ti := 0; ti < trials; ti++ {
+			if err := pool.Acquire(ctx); err != nil {
+				break feed
+			}
+			wg.Add(1)
+			go func(cell, trial int) {
+				defer wg.Done()
+				defer pool.Release()
+				c := Coord{Exp: g.Exp, Cell: g.Cells[cell], CellIndex: cell, Trial: trial}
 				s, err := g.Run(ctx, c, DeriveSeed(opt.BaseSeed, c))
 				if err != nil {
 					// Keep running the remaining trials: trials are pure
 					// functions of their coordinates, so finishing the grid
 					// (rather than cancelling) keeps the reported error —
 					// the first in grid order — schedule-independent.
-					errs[j.cell][j.trial] = fmt.Errorf("%s: %w", c, err)
+					errs[cell][trial] = fmt.Errorf("%s: %w", c, err)
 				} else {
-					samples[j.cell][j.trial] = s
+					samples[cell][trial] = s
 				}
 				// Errored trials still finished; only trials skipped by a
 				// cancelled context don't count.
@@ -212,20 +207,9 @@ func Run(ctx context.Context, g Grid, opt Options) ([]Cell, error) {
 					opt.Progress(done, total)
 					mu.Unlock()
 				}
-			}
-		}()
-	}
-feed:
-	for ci := range g.Cells {
-		for ti := 0; ti < trials; ti++ {
-			select {
-			case jobs <- job{ci, ti}:
-			case <-ctx.Done():
-				break feed
-			}
+			}(ci, ti)
 		}
 	}
-	close(jobs)
 	wg.Wait()
 
 	// Report the first real trial error in grid order (deterministic:

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"gossip/internal/gossip"
+)
+
+func TestLRUEvictsColdEnd(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // refresh a: b is now coldest
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted (coldest)")
+	}
+	if v, ok := c.get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatal("a lost")
+	}
+	if v, ok := c.get("c"); !ok || !bytes.Equal(v, []byte("C")) {
+		t.Fatal("c lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := newLRU(8)
+	c.put("k", []byte("v1"))
+	c.put("k", []byte("v2"))
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if v, _ := c.get("k"); !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("get = %q, want v2", v)
+	}
+}
+
+func TestLRUZeroCapacityStoresNothing(t *testing.T) {
+	c := newLRU(0)
+	c.put("k", []byte("v"))
+	if _, ok := c.get("k"); ok || c.len() != 0 {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+// TestProgressPointsCurve pins the informed-curve derivation: cumulative,
+// change-points only, monotone, and stable under sampling.
+func TestProgressPointsCurve(t *testing.T) {
+	res := gossip.DriverResult{
+		// rounds: node0@0, node1@2, node2@2, node3@5, node4 never
+		InformedAt: []int{0, 2, 2, 5, -1},
+	}
+	pts := progressPoints(res, 32)
+	want := []struct{ round, informed int }{{0, 1}, {2, 3}, {5, 4}}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %+v, want %d entries", pts, len(want))
+	}
+	for i, w := range want {
+		if pts[i].Round != w.round || pts[i].Informed != w.informed {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], w)
+		}
+		if pts[i].SchemaVersion != SchemaVersion || pts[i].Event != "progress" {
+			t.Fatalf("point %d badly stamped: %+v", i, pts[i])
+		}
+	}
+}
+
+func TestProgressPointsSampling(t *testing.T) {
+	informedAt := make([]int, 500)
+	for i := range informedAt {
+		informedAt[i] = i // a change point every round
+	}
+	pts := progressPoints(gossip.DriverResult{InformedAt: informedAt}, 32)
+	if len(pts) != 32 {
+		t.Fatalf("sampled to %d points, want 32", len(pts))
+	}
+	if pts[0].Round != 0 || pts[0].Informed != 1 {
+		t.Fatalf("first point %+v, want round 0 informed 1", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.Round != 499 || last.Informed != 500 {
+		t.Fatalf("last point %+v, want round 499 informed 500", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Round <= pts[i-1].Round || pts[i].Informed < pts[i-1].Informed {
+			t.Fatalf("sampled curve not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestProgressPointsEmpty(t *testing.T) {
+	if pts := progressPoints(gossip.DriverResult{}, 32); pts != nil {
+		t.Fatalf("nil InformedAt should derive no curve, got %+v", pts)
+	}
+	if pts := progressPoints(gossip.DriverResult{InformedAt: []int{-1, -1}}, 32); pts != nil {
+		t.Fatalf("never-informed curve should be empty, got %+v", pts)
+	}
+}
+
+// TestFlightCoalesce exercises the join/resolve protocol directly: one
+// leader, many followers, everyone observes the published body.
+func TestFlightCoalesce(t *testing.T) {
+	s := New(Config{})
+	f, leader := s.join("k")
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	for i := 0; i < 3; i++ {
+		if _, again := s.join("k"); again {
+			t.Fatal("second join must follow")
+		}
+	}
+	s.resolve("k", f, []byte("body"))
+	<-f.done
+	if !bytes.Equal(f.body, []byte("body")) {
+		t.Fatalf("follower saw %q", f.body)
+	}
+	// the key is free again after resolve
+	f2, leader := s.join("k")
+	if !leader {
+		t.Fatal("post-resolve join must lead")
+	}
+	s.resolve("k", f2, nil)
+}
+
+// TestRequestKeyStability pins the request-key derivation: documented in
+// the README as stable across releases within a schema version.
+func TestRequestKeyStability(t *testing.T) {
+	can := canonical{Driver: "push-pull", Graph: GraphSpec{Family: "dumbbell", N: 8, Latency: 12}, Seed: 3}
+	k1, k2 := requestKey(can), requestKey(can)
+	if k1 != k2 || len(k1) != 32 {
+		t.Fatalf("keys %q / %q", k1, k2)
+	}
+	can.Seed = 4
+	if requestKey(can) == k1 {
+		t.Fatal("seed change did not change the key")
+	}
+}

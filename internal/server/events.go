@@ -1,0 +1,154 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"gossip/internal/gossip"
+)
+
+// SchemaVersion stamps every NDJSON event so clients can detect stream
+// format changes, mirroring the experiment JSON artifact convention.
+const SchemaVersion = 1
+
+// ContentType is the response media type of the simulation stream.
+const ContentType = "application/x-ndjson"
+
+// CacheHeader reports whether the response body was replayed from the
+// request cache ("hit") or computed by this request ("miss"). It lives in
+// a header — never in the body — so identical requests produce
+// byte-identical bodies whether cold or cached.
+const CacheHeader = "X-Gossipd-Cache"
+
+// The NDJSON stream of a simulation is: one "accepted" event, zero or
+// more "progress" events (the informed-count curve, at most
+// maxProgressEvents of them), then exactly one "result" or "error"
+// event. Every event carries schema_version.
+type acceptedEvent struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"` // "accepted"
+	Driver        string `json:"driver"`
+	RequestKey    string `json:"request_key"`
+}
+
+type progressEvent struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"` // "progress"
+	Round         int    `json:"round"`
+	Informed      int    `json:"informed"`
+}
+
+type resultEvent struct {
+	SchemaVersion int       `json:"schema_version"`
+	Event         string    `json:"event"` // "result"
+	Result        JobResult `json:"result"`
+}
+
+type errorEvent struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"` // "error"
+	Error         string `json:"error"`
+}
+
+// JobResult is the final payload of a successful job: the normalized
+// DriverResult transport totals. InformedAt is deliberately absent (it is
+// O(n)); its shape is carried by the progress events instead.
+type JobResult struct {
+	Rounds       int    `json:"rounds"`
+	Completed    bool   `json:"completed"`
+	Exchanges    int64  `json:"exchanges"`
+	Messages     int64  `json:"messages,omitempty"`
+	Dropped      int64  `json:"dropped"`
+	Delivered    int64  `json:"delivered"`
+	RumorPayload int64  `json:"rumor_payload"`
+	Winner       string `json:"winner,omitempty"`
+}
+
+// maxProgressEvents caps the informed-curve sampling so a 40k-round DTG
+// run does not stream 40k lines; change points are sampled evenly with
+// the first and last always kept.
+const maxProgressEvents = 32
+
+// mustLine marshals one event and appends the newline. Events are plain
+// structs of scalars; a marshal failure is a programming error.
+func mustLine(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("server: event marshal: %v", err))
+	}
+	return append(b, '\n')
+}
+
+func acceptedLine(jb *job) []byte {
+	return mustLine(acceptedEvent{SchemaVersion, "accepted", jb.can.Driver, jb.key})
+}
+
+func errorLine(msg string) []byte {
+	return mustLine(errorEvent{SchemaVersion, "error", msg})
+}
+
+// resultLines renders the deterministic tail of a successful stream: the
+// sampled informed-count curve followed by the result event.
+func resultLines(res gossip.DriverResult) []byte {
+	var out []byte
+	for _, p := range progressPoints(res, maxProgressEvents) {
+		out = append(out, mustLine(p)...)
+	}
+	out = append(out, mustLine(resultEvent{SchemaVersion, "result", JobResult{
+		Rounds:       res.Rounds,
+		Completed:    res.Completed,
+		Exchanges:    res.Exchanges,
+		Messages:     res.Messages,
+		Dropped:      res.Dropped,
+		Delivered:    res.Delivered,
+		RumorPayload: res.RumorPayload,
+		Winner:       res.Winner,
+	}})...)
+	return out
+}
+
+// progressPoints derives the per-round informed-count curve from
+// InformedAt (rounds where the count changed, cumulative), sampled down
+// to at most max points. Drivers with no single watched rumor (the
+// multi-phase pipelines) report no curve. The derivation is a pure
+// function of the result, so the stream stays byte-identical across
+// worker counts and cache replays.
+func progressPoints(res gossip.DriverResult, max int) []progressEvent {
+	if len(res.InformedAt) == 0 {
+		return nil
+	}
+	// gains[r] = nodes first informed at round r (InformedAt values are
+	// bounded by the final round).
+	gains := map[int]int{}
+	rounds := make([]int, 0, 16)
+	for _, r := range res.InformedAt {
+		if r < 0 {
+			continue
+		}
+		if gains[r] == 0 {
+			rounds = append(rounds, r)
+		}
+		gains[r]++
+	}
+	if len(rounds) == 0 {
+		return nil
+	}
+	sort.Ints(rounds)
+	points := make([]progressEvent, len(rounds))
+	informed := 0
+	for i, r := range rounds {
+		informed += gains[r]
+		points[i] = progressEvent{SchemaVersion, "progress", r, informed}
+	}
+	if len(points) <= max {
+		return points
+	}
+	// Evenly sample, always keeping the first and last change points.
+	sampled := make([]progressEvent, 0, max)
+	for i := 0; i < max; i++ {
+		idx := i * (len(points) - 1) / (max - 1)
+		sampled = append(sampled, points[idx])
+	}
+	return sampled
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics are the service counters exposed at /metrics in the Prometheus
+// text exposition format (hand-rendered; the repo takes no dependencies).
+type metrics struct {
+	inflight  atomic.Int64 // requests between accept and last byte
+	queued    atomic.Int64 // jobs waiting for an execution slot
+	running   atomic.Int64 // jobs holding a slot
+	completed atomic.Int64
+	failed    atomic.Int64 // timeouts and deterministic job errors
+	hits      atomic.Int64 // cache + coalesced replays
+	misses    atomic.Int64 // executions
+	rounds    atomic.Int64 // simulated rounds, summed over completed jobs
+}
+
+// Snapshot is a point-in-time copy of the service counters, used by
+// tests and the self-check report.
+type Snapshot struct {
+	InFlight, Queued, Running int64
+	Completed, Failed         int64
+	CacheHits, CacheMisses    int64
+	RoundsSimulated           int64
+	CacheEntries              int
+	PoolSize                  int
+}
+
+// Metrics returns a consistent-enough snapshot (each counter is
+// individually atomic).
+func (s *Server) Metrics() Snapshot {
+	return Snapshot{
+		InFlight:        s.met.inflight.Load(),
+		Queued:          s.met.queued.Load(),
+		Running:         s.met.running.Load(),
+		Completed:       s.met.completed.Load(),
+		Failed:          s.met.failed.Load(),
+		CacheHits:       s.met.hits.Load(),
+		CacheMisses:     s.met.misses.Load(),
+		RoundsSimulated: s.met.rounds.Load(),
+		CacheEntries:    s.cache.len(),
+		PoolSize:        s.pool.Size(),
+	}
+}
+
+func (m *metrics) render(w io.Writer, cacheEntries, poolSize int) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("gossipd_requests_inflight", "simulation requests currently being served", m.inflight.Load())
+	gauge("gossipd_jobs_queued", "jobs waiting for an execution slot", m.queued.Load())
+	gauge("gossipd_jobs_running", "jobs holding an execution slot", m.running.Load())
+	counter("gossipd_jobs_completed_total", "jobs that produced a result event", m.completed.Load())
+	counter("gossipd_jobs_failed_total", "jobs that produced an error event", m.failed.Load())
+	counter("gossipd_cache_hits_total", "responses replayed from the request cache or a coalesced flight", m.hits.Load())
+	counter("gossipd_cache_misses_total", "responses computed by executing the job", m.misses.Load())
+	counter("gossipd_rounds_simulated_total", "simulated rounds summed over completed jobs", m.rounds.Load())
+	gauge("gossipd_cache_entries", "request cache occupancy", int64(cacheEntries))
+	gauge("gossipd_pool_slots", "execution pool size", int64(poolSize))
+}

@@ -1,0 +1,411 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gossip/internal/adversity"
+	"gossip/internal/gossip"
+	"gossip/internal/graphgen"
+)
+
+// Request is the JSON body of POST /v1/simulations: one simulation job.
+// `driver` and `graph` are required; everything else defaults. The
+// driver-specific fields (source, variant, ell, k, d, known_latencies)
+// are validated against the driver's machine-readable options schema
+// (gossip.Driver.RequestKeys) — setting a field the driver does not read
+// is a 400, not a silent no-op.
+type Request struct {
+	// Driver is a name or alias from the gossip driver registry.
+	Driver string `json:"driver"`
+	// Graph names the generated topology.
+	Graph GraphSpec `json:"graph"`
+	// Seed drives all randomness (graph generation and protocol); it is
+	// the determinism anchor the response cache is keyed on.
+	Seed uint64 `json:"seed"`
+	// Workers shards intra-round simulation; results are bit-identical
+	// for any value, so it is an execution knob excluded from the cache
+	// key.
+	Workers int `json:"workers,omitempty"`
+	// MaxRounds overrides the driver's horizon (0 = driver default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// FaultSpec is the adversity DSL (see package adversity), e.g.
+	// "loss=0.1;churn=3:10-20:amnesia;flap=0-1:5-9;crash=4:6,7".
+	FaultSpec string `json:"fault_spec,omitempty"`
+	// TimeoutMS bounds job execution (not queue wait). Absent means the
+	// server default; zero or negative is a 400; larger than the server
+	// maximum is clamped. Excluded from the cache key.
+	TimeoutMS *int `json:"timeout_ms,omitempty"`
+
+	// Driver-specific options; see GET /v1/drivers for which driver
+	// accepts which. Every key a driver's request_keys advertises is
+	// settable here (pinned by TestRequestCoversDriverSchemas).
+	Source         *int    `json:"source,omitempty"`
+	Sources        []int   `json:"sources,omitempty"`
+	Objective      *string `json:"objective,omitempty"`
+	Variant        *string `json:"variant,omitempty"`
+	Ell            *int    `json:"ell,omitempty"`
+	K              *int    `json:"k,omitempty"`
+	D              *int    `json:"d,omitempty"`
+	Budget         *int    `json:"budget,omitempty"`
+	KnownLatencies *bool   `json:"known_latencies,omitempty"`
+	MaxInPerRound  *int    `json:"max_in_per_round,omitempty"`
+	FaultTolerant  *bool   `json:"fault_tolerant,omitempty"`
+	LBTimeout      *int    `json:"lb_timeout,omitempty"`
+	SkipCheck      *bool   `json:"skip_check,omitempty"`
+}
+
+// GraphSpec is the request form of graphgen.Spec.
+type GraphSpec struct {
+	// Family is one of graphgen.Families().
+	Family string `json:"family"`
+	// N follows the CLI -n semantics (per-side for dumbbell/gadget,
+	// per-layer for ring); every family yields at least N nodes.
+	N int `json:"n"`
+	// Latency (0 = 1), P (0 = 0.3, er/gadget only) and Layers (0 = 6,
+	// ring only) mirror the CLI flags.
+	Latency int     `json:"latency,omitempty"`
+	P       float64 `json:"p,omitempty"`
+	Layers  int     `json:"layers,omitempty"`
+}
+
+// FieldError is a structured request-validation failure: which field was
+// wrong and why. It renders as the 400 body
+// {"error":{"field":...,"message":...}}.
+type FieldError struct {
+	Field   string `json:"field"`
+	Message string `json:"message"`
+}
+
+func (e *FieldError) Error() string { return e.Field + ": " + e.Message }
+
+func fieldErrf(field, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// canonical is the cache-key material: the request after defaulting and
+// normalization, stripped of execution-only knobs (workers, timeout).
+// Two requests with the same canonical form are the same deterministic
+// computation and must produce byte-identical response bodies.
+type canonical struct {
+	Driver         string    `json:"driver"`
+	Graph          GraphSpec `json:"graph"`
+	Seed           uint64    `json:"seed"`
+	MaxRounds      int       `json:"max_rounds"`
+	FaultSpec      string    `json:"fault_spec"`
+	Source         int       `json:"source"`
+	Sources        []int     `json:"sources"`
+	Objective      string    `json:"objective"`
+	Variant        string    `json:"variant"`
+	Ell            int       `json:"ell"`
+	K              int       `json:"k"`
+	D              int       `json:"d"`
+	Budget         int       `json:"budget"`
+	KnownLatencies bool      `json:"known_latencies"`
+	MaxInPerRound  int       `json:"max_in_per_round"`
+	FaultTolerant  bool      `json:"fault_tolerant"`
+	LBTimeout      int       `json:"lb_timeout"`
+	SkipCheck      bool      `json:"skip_check"`
+}
+
+// job is a validated, normalized simulation request ready to execute.
+type job struct {
+	can     canonical
+	key     string
+	workers int
+	timeout time.Duration
+	spec    *adversity.Spec
+}
+
+// variants lists the admissible Variant values per driver; drivers whose
+// schema includes the "variant" key but appear nowhere here accept any
+// value (none today).
+var variants = map[string][]string{
+	"push-pull": {gossip.VariantBlocking},
+	"flood":     {gossip.VariantNonBlocking},
+}
+
+// objectives maps the request-level objective names onto the registry's
+// completion criteria.
+var objectives = map[string]gossip.Objective{
+	"broadcast":       gossip.Broadcast,
+	"all-to-all":      gossip.AllToAll,
+	"local-broadcast": gossip.LocalBroadcast,
+}
+
+func objectiveNames() []string {
+	out := make([]string, 0, len(objectives))
+	for k := range objectives {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validate checks a request against the server limits and the driver's
+// options schema, returning the normalized job or a field-level error.
+// It never panics on any input (the fault-spec DSL parse included).
+func (s *Server) validate(req Request) (*job, *FieldError) {
+	d, ok := gossip.Lookup(req.Driver)
+	if !ok {
+		return nil, fieldErrf("driver", "unknown driver %q (have %s)",
+			req.Driver, strings.Join(gossip.Names(), ", "))
+	}
+
+	g := req.Graph
+	g.Family = strings.ToLower(strings.TrimSpace(g.Family))
+	if !knownFamily(g.Family) {
+		return nil, fieldErrf("graph.family", "unknown family %q (have %s)",
+			req.Graph.Family, strings.Join(graphgen.Families(), ", "))
+	}
+	if g.N < 2 || g.N > s.cfg.MaxN {
+		return nil, fieldErrf("graph.n", "n %d outside [2, %d]", g.N, s.cfg.MaxN)
+	}
+	if g.Latency < 0 || g.Latency > 1<<20 {
+		return nil, fieldErrf("graph.latency", "latency %d outside [0, 2^20]", g.Latency)
+	}
+	if g.Latency == 0 {
+		g.Latency = 1
+	}
+	if g.P < 0 || g.P > 1 {
+		return nil, fieldErrf("graph.p", "p %v outside [0, 1]", g.P)
+	}
+	if g.Layers < 0 || g.Layers > 64 {
+		return nil, fieldErrf("graph.layers", "layers %d outside [0, 64]", g.Layers)
+	}
+	// Zero the parameters the family ignores so the canonical form (and
+	// therefore the cache key) does not split on irrelevant fields.
+	switch g.Family {
+	case "er", "gadget":
+		if g.P == 0 {
+			g.P = 0.3
+		}
+	default:
+		g.P = 0
+	}
+	if g.Family == "ring" {
+		if g.Layers == 0 {
+			g.Layers = 6
+		}
+	} else {
+		g.Layers = 0
+	}
+	// Bound what the family actually builds, not just the n parameter:
+	// a ring multiplies n by layers, a dumbbell doubles it.
+	if built := graphSpecNodes(g); built > s.cfg.MaxN {
+		return nil, fieldErrf("graph.n", "%s with n=%d builds %d nodes, over the server cap %d",
+			g.Family, g.N, built, s.cfg.MaxN)
+	}
+
+	if req.Workers < 0 || req.Workers > s.cfg.MaxWorkers {
+		return nil, fieldErrf("workers", "workers %d outside [0, %d]", req.Workers, s.cfg.MaxWorkers)
+	}
+	if req.MaxRounds < 0 || req.MaxRounds > s.cfg.MaxRoundsCap {
+		return nil, fieldErrf("max_rounds", "max_rounds %d outside [0, %d]", req.MaxRounds, s.cfg.MaxRoundsCap)
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS != nil {
+		if *req.TimeoutMS <= 0 {
+			return nil, fieldErrf("timeout_ms", "timeout_ms %d must be positive (omit it for the server default)", *req.TimeoutMS)
+		}
+		timeout = time.Duration(*req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+
+	var spec *adversity.Spec
+	faultSpec := ""
+	if strings.TrimSpace(req.FaultSpec) != "" {
+		parsed, err := adversity.ParseSpec(req.FaultSpec)
+		if err != nil {
+			return nil, fieldErrf("fault_spec", "%v", err)
+		}
+		if !parsed.Empty() {
+			spec = parsed
+			faultSpec = parsed.String() // normalized DSL rendering
+		}
+	}
+
+	can := canonical{
+		Driver:    d.Name,
+		Graph:     g,
+		Seed:      req.Seed,
+		MaxRounds: req.MaxRounds,
+		FaultSpec: faultSpec,
+	}
+	if ferr := applyDriverFields(d, req, &can); ferr != nil {
+		return nil, ferr
+	}
+
+	jb := &job{can: can, workers: req.Workers, timeout: timeout, spec: spec}
+	jb.key = requestKey(can)
+	return jb, nil
+}
+
+// applyDriverFields moves the driver-specific request fields into the
+// canonical form, rejecting any field the driver's schema does not
+// declare and any out-of-range value. Node ids are bounded by the
+// family's built node count (graphgen.Spec.MinNodes — e.g. a dumbbell
+// with n=8 has 16 nodes), not the raw n parameter.
+func applyDriverFields(d *gossip.Driver, req Request, can *canonical) *FieldError {
+	reject := func(field string) *FieldError {
+		return fieldErrf(field, "driver %q does not accept %q (accepted keys: %s)",
+			d.Name, field, strings.Join(d.RequestKeys(), ", "))
+	}
+	nonNeg := func(field string, set *int, dst *int) *FieldError {
+		if set == nil {
+			return nil
+		}
+		if !d.AcceptsKey(field) {
+			return reject(field)
+		}
+		if *set < 0 {
+			return fieldErrf(field, "%s %d must be >= 0", field, *set)
+		}
+		*dst = *set
+		return nil
+	}
+	nodes := graphSpecNodes(can.Graph)
+	if req.Source != nil {
+		if !d.AcceptsKey("source") {
+			return reject("source")
+		}
+		if *req.Source < 0 || *req.Source >= nodes {
+			return fieldErrf("source", "source %d outside [0, %d) (%s with n=%d builds %d nodes)",
+				*req.Source, nodes, can.Graph.Family, can.Graph.N, nodes)
+		}
+		can.Source = *req.Source
+	}
+	if len(req.Sources) > 0 {
+		if !d.AcceptsKey("sources") {
+			return reject("sources")
+		}
+		for _, s := range req.Sources {
+			if s < 0 || s >= nodes {
+				return fieldErrf("sources", "source %d outside [0, %d)", s, nodes)
+			}
+		}
+		can.Sources = append([]int(nil), req.Sources...)
+	}
+	if req.Objective != nil {
+		if !d.AcceptsKey("objective") {
+			return reject("objective")
+		}
+		if _, ok := objectives[*req.Objective]; !ok {
+			return fieldErrf("objective", "unknown objective %q (have %s)",
+				*req.Objective, strings.Join(objectiveNames(), ", "))
+		}
+		can.Objective = *req.Objective
+	}
+	if req.Variant != nil {
+		if !d.AcceptsKey("variant") {
+			return reject("variant")
+		}
+		ok := false
+		for _, v := range variants[d.Name] {
+			if *req.Variant == v {
+				ok = true
+			}
+		}
+		if !ok {
+			return fieldErrf("variant", "driver %q has no variant %q (have %s)",
+				d.Name, *req.Variant, strings.Join(variants[d.Name], ", "))
+		}
+		can.Variant = *req.Variant
+	}
+	if ferr := nonNeg("ell", req.Ell, &can.Ell); ferr != nil {
+		return ferr
+	}
+	if ferr := nonNeg("k", req.K, &can.K); ferr != nil {
+		return ferr
+	}
+	if ferr := nonNeg("d", req.D, &can.D); ferr != nil {
+		return ferr
+	}
+	if ferr := nonNeg("budget", req.Budget, &can.Budget); ferr != nil {
+		return ferr
+	}
+	if ferr := nonNeg("max_in_per_round", req.MaxInPerRound, &can.MaxInPerRound); ferr != nil {
+		return ferr
+	}
+	if ferr := nonNeg("lb_timeout", req.LBTimeout, &can.LBTimeout); ferr != nil {
+		return ferr
+	}
+	if req.KnownLatencies != nil {
+		if !d.AcceptsKey("known_latencies") {
+			return reject("known_latencies")
+		}
+		can.KnownLatencies = *req.KnownLatencies
+	}
+	if req.FaultTolerant != nil {
+		if !d.AcceptsKey("fault_tolerant") {
+			return reject("fault_tolerant")
+		}
+		can.FaultTolerant = *req.FaultTolerant
+	}
+	if req.SkipCheck != nil {
+		if !d.AcceptsKey("skip_check") {
+			return reject("skip_check")
+		}
+		can.SkipCheck = *req.SkipCheck
+	}
+	return nil
+}
+
+// graphSpecNodes is the built node count of a normalized GraphSpec (a
+// lower bound only for gadget; see graphgen.Spec.MinNodes).
+func graphSpecNodes(g GraphSpec) int {
+	return graphgen.Spec{Family: g.Family, N: g.N, Layers: g.Layers}.MinNodes()
+}
+
+func knownFamily(name string) bool {
+	for _, f := range graphgen.Families() {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// requestKey hashes the canonical form into the memoization key surfaced
+// to clients as request_key. Struct field order makes the JSON — and so
+// the key — deterministic.
+func requestKey(can canonical) string {
+	b, err := json.Marshal(can)
+	if err != nil {
+		// canonical contains only marshalable scalar fields
+		panic(fmt.Sprintf("server: canonical request marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// driverOptions maps the job onto the registry's option surface.
+func (j *job) driverOptions() gossip.DriverOptions {
+	return gossip.DriverOptions{
+		Source:         j.can.Source,
+		Sources:        j.can.Sources,
+		Objective:      objectives[j.can.Objective], // "" maps to the zero value, Broadcast
+		Variant:        j.can.Variant,
+		Seed:           j.can.Seed,
+		MaxRounds:      j.can.MaxRounds,
+		Ell:            j.can.Ell,
+		K:              j.can.K,
+		D:              j.can.D,
+		Budget:         j.can.Budget,
+		KnownLatencies: j.can.KnownLatencies,
+		MaxInPerRound:  j.can.MaxInPerRound,
+		FaultTolerant:  j.can.FaultTolerant,
+		LBTimeout:      j.can.LBTimeout,
+		SkipCheck:      j.can.SkipCheck,
+		Adversity:      j.spec,
+		Workers:        j.workers,
+	}
+}

@@ -1,0 +1,398 @@
+// Package server is gossipd's HTTP service layer: it turns the one-shot
+// simulation substrate (driver registry + engine + adversity) into a
+// long-running service that accepts parameterized simulation jobs,
+// executes them on a bounded worker pool (runner.Pool), streams results
+// back as NDJSON, and memoizes completed deterministic jobs in a
+// request-keyed LRU cache.
+//
+// Determinism is the contract: a request's canonical form (driver, graph
+// spec, seed, horizon, fault schedule, driver options — not workers, not
+// timeout) fully determines the response body, byte for byte, whether
+// the job is computed cold, replayed from cache, coalesced onto a
+// concurrent identical request, or executed by a server with a different
+// pool size. Cache status travels in the X-Gossipd-Cache header, never
+// in the body.
+//
+// Lifecycle: Drain() stops admission (new and queued jobs get 503) while
+// jobs already holding an execution slot run to completion — the
+// graceful-shutdown half that pairs with http.Server.Shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"gossip/internal/gossip"
+	"gossip/internal/graphgen"
+	"gossip/internal/runner"
+)
+
+// Config tunes one Server. The zero value is production-serviceable.
+type Config struct {
+	// Pool is the number of jobs executed concurrently (<=0: GOMAXPROCS).
+	// Queued jobs wait; they are rejected only by drain or client
+	// cancellation, never by queue depth.
+	Pool int
+	// CacheSize is the completed-job LRU capacity in entries
+	// (0: 1024; negative: caching disabled — every request executes).
+	CacheSize int
+	// MaxN caps the graph size (<=0: 1<<17) — checked against the node
+	// count the family builds (dumbbell 2n, ring layers·n, grid side²),
+	// not just the raw n parameter.
+	MaxN int
+	// MaxWorkers caps the per-job intra-round shard count (<=0: 64).
+	MaxWorkers int
+	// MaxRoundsCap caps the requested horizon (<=0: 1<<22).
+	MaxRoundsCap int
+	// DefaultTimeout bounds job execution when the request does not
+	// (<=0: 60s); MaxTimeout clamps what a request may ask for
+	// (<=0: 5m). Queue wait is not counted.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// gate, when set (tests only), is called on the execution goroutine
+	// before the job runs — a seam for holding a job mid-flight to
+	// exercise drain and timeout behavior deterministically.
+	gate func(key string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 1 << 17
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 64
+	}
+	if c.MaxRoundsCap <= 0 {
+		c.MaxRoundsCap = 1 << 22
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the gossipd service state. Create with New; serve via
+// Handler.
+type Server struct {
+	cfg      Config
+	pool     *runner.Pool
+	cache    *lruCache
+	met      metrics
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	drainCtx context.Context
+	drain    context.CancelFunc
+}
+
+// New builds a Server from cfg (zero value fine).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		pool:     runner.NewPool(cfg.Pool),
+		cache:    newLRU(cfg.CacheSize),
+		inflight: make(map[string]*flight),
+		drainCtx: ctx,
+		drain:    cancel,
+	}
+}
+
+// Drain stops admission: subsequent and queued jobs get 503 while jobs
+// already executing finish and stream their results. Idempotent. Callers
+// shutting a process down pair it with http.Server.Shutdown, which waits
+// for the in-flight handlers.
+func (s *Server) Drain() { s.drain() }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.drainCtx.Err() != nil }
+
+// Handler returns the routed service: POST /v1/simulations,
+// GET /v1/drivers, GET /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
+	mux.HandleFunc("GET /v1/drivers", s.handleDrivers)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// maxJoinAttempts bounds how often a follower whose leaders keep failing
+// nondeterministically (timeouts) re-joins before executing uncoalesced.
+const maxJoinAttempts = 4
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeFieldError(w, fieldErrf("body", "decoding request: %v", err))
+		return
+	}
+	jb, ferr := s.validate(req)
+	if ferr != nil {
+		writeFieldError(w, ferr)
+		return
+	}
+
+	// ctx governs this request's waiting (queue slot, coalesced flight):
+	// it dies with the client connection or with drain. Job execution
+	// deliberately runs on its own context (see runLeader).
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	defer stop()
+
+	// Caching off means genuinely off: no memoization and no coalescing,
+	// every request is its own execution.
+	if s.cache.disabled() {
+		if s.Draining() {
+			writeUnavailable(w)
+			return
+		}
+		s.runLeader(w, ctx, jb, nil)
+		return
+	}
+
+	for attempt := 0; ; attempt++ {
+		if body, ok := s.cache.get(jb.key); ok {
+			s.met.hits.Add(1)
+			writeStream(w, body, "hit")
+			return
+		}
+		if s.Draining() {
+			writeUnavailable(w)
+			return
+		}
+		if attempt >= maxJoinAttempts {
+			s.runLeader(w, ctx, jb, nil)
+			return
+		}
+		f, leader := s.join(jb.key)
+		if leader {
+			// Re-check the cache now that we hold leadership: a previous
+			// leader may have published and resolved between our cache
+			// miss above and the join — without this, the same key would
+			// execute (and count a miss) twice, breaking the
+			// misses-== -distinct-keys invariant the load-smoke gate
+			// asserts.
+			if body, ok := s.cache.get(jb.key); ok {
+				s.resolve(jb.key, f, body)
+				s.met.hits.Add(1)
+				writeStream(w, body, "hit")
+				return
+			}
+			s.runLeader(w, ctx, jb, f)
+			return
+		}
+		select {
+		case <-f.done:
+			if f.body != nil {
+				s.met.hits.Add(1)
+				writeStream(w, f.body, "hit")
+				return
+			}
+			// The leader failed nondeterministically; try again.
+		case <-ctx.Done():
+			if s.Draining() {
+				writeUnavailable(w)
+			}
+			return
+		}
+	}
+}
+
+// runLeader queues jb for an execution slot, runs it, streams the NDJSON
+// response and publishes the outcome to the cache and to f's followers
+// (f may be nil for an uncoalesced fallback run).
+func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, f *flight) {
+	s.met.queued.Add(1)
+	err := s.pool.Acquire(ctx)
+	s.met.queued.Add(-1)
+	if err != nil {
+		// Queued, never ran: drain rejects it, a vanished client just
+		// goes away. Followers must not wait on a leader that gave up.
+		if f != nil {
+			s.resolve(jb.key, f, nil)
+		}
+		if s.Draining() {
+			writeUnavailable(w)
+		}
+		return
+	}
+
+	accepted := acceptedLine(jb)
+	s.met.misses.Add(1)
+	w.Header().Set(CacheHeader, "miss")
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	flushWrite(w, accepted)
+
+	// The job runs on its own context: bounded by the per-job timeout
+	// but not by the client connection, so a vanished client neither
+	// kills a result that coalesced followers are waiting on nor stops
+	// it reaching the cache. The slot is released when the computation
+	// actually finishes — an abandoned (timed-out) job keeps its slot
+	// until then, so the pool bound stays honest.
+	type outcome struct {
+		res gossip.DriverResult
+		err error
+	}
+	out := make(chan outcome, 1)
+	s.met.running.Add(1)
+	go func() {
+		defer s.pool.Release()
+		defer s.met.running.Add(-1)
+		if s.cfg.gate != nil {
+			s.cfg.gate(jb.key)
+		}
+		g, err := graphgen.Build(graphgen.Spec{
+			Family:  jb.can.Graph.Family,
+			N:       jb.can.Graph.N,
+			Latency: jb.can.Graph.Latency,
+			P:       jb.can.Graph.P,
+			Layers:  jb.can.Graph.Layers,
+			Seed:    jb.can.Seed,
+		})
+		if err != nil {
+			out <- outcome{err: fmt.Errorf("building graph: %w", err)}
+			return
+		}
+		res, err := gossip.Dispatch(jb.can.Driver, g, jb.driverOptions())
+		out <- outcome{res: res, err: err}
+	}()
+
+	timer := time.NewTimer(jb.timeout)
+	defer timer.Stop()
+	select {
+	case o := <-out:
+		if o.err != nil {
+			// Driver and graph errors are pure functions of the
+			// canonical request: cache them like results so identical
+			// requests replay the identical error stream.
+			body := append(append([]byte(nil), accepted...), errorLine(o.err.Error())...)
+			s.cache.put(jb.key, body)
+			if f != nil {
+				s.resolve(jb.key, f, body)
+			}
+			s.met.failed.Add(1)
+			flushWrite(w, body[len(accepted):])
+			return
+		}
+		tail := resultLines(o.res)
+		body := append(append([]byte(nil), accepted...), tail...)
+		s.cache.put(jb.key, body)
+		if f != nil {
+			s.resolve(jb.key, f, body)
+		}
+		s.met.completed.Add(1)
+		s.met.rounds.Add(int64(o.res.Rounds))
+		flushWrite(w, tail)
+	case <-timer.C:
+		// Timeouts are wall-clock, not canonical: never cached.
+		if f != nil {
+			s.resolve(jb.key, f, nil)
+		}
+		s.met.failed.Add(1)
+		flushWrite(w, errorLine(fmt.Sprintf("job exceeded its %v execution timeout", jb.timeout)))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, s.cache.len(), s.pool.Size())
+}
+
+// driverInfo is one /v1/drivers entry: the machine-readable options
+// schema clients validate against before submitting.
+type driverInfo struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	RequestKeys []string    `json:"request_keys"`
+	Options     []optionDoc `json:"options"`
+}
+
+type optionDoc struct {
+	Name string   `json:"name"`
+	Doc  string   `json:"doc"`
+	Keys []string `json:"keys,omitempty"`
+}
+
+func (s *Server) handleDrivers(w http.ResponseWriter, _ *http.Request) {
+	out := make([]driverInfo, 0, 8)
+	for _, name := range gossip.Names() {
+		d, _ := gossip.Lookup(name)
+		info := driverInfo{
+			Name:        d.Name,
+			Description: d.Description,
+			RequestKeys: d.RequestKeys(),
+		}
+		for _, o := range d.Options {
+			info.Options = append(info.Options, optionDoc{Name: o.Name, Doc: o.Doc, Keys: o.Keys})
+		}
+		out = append(out, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// a write error means the client went away mid-response; nothing to do
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func writeFieldError(w http.ResponseWriter, ferr *FieldError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(map[string]*FieldError{"error": ferr})
+}
+
+func writeUnavailable(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, `{"error":{"message":"server is draining; job rejected"}}`)
+}
+
+// writeStream serves a complete memoized NDJSON body.
+func writeStream(w http.ResponseWriter, body []byte, cacheStatus string) {
+	w.Header().Set(CacheHeader, cacheStatus)
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	flushWrite(w, body)
+}
+
+// flushWrite writes and flushes one chunk of the stream; write errors
+// mean the client went away and are deliberately ignored (the job's
+// outcome is published via cache/flight regardless).
+func flushWrite(w http.ResponseWriter, b []byte) {
+	if _, err := w.Write(b); err != nil {
+		return
+	}
+	_ = http.NewResponseController(w).Flush()
+}

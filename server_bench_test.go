@@ -1,0 +1,91 @@
+// Server benchmarks: end-to-end gossipd throughput over loopback HTTP,
+// cold (every job a distinct seed — validate, build graph, simulate,
+// stream) and hot (pure cache replay). Both are in the bench-json
+// artifact and the CI bench-regression gate; each iteration runs a
+// fixed batch of requests so the gate's single-iteration runs measure
+// tens of milliseconds, not one noisy sub-millisecond round trip.
+package gossip_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"testing"
+
+	"gossip/internal/loadgen"
+	"gossip/internal/server"
+)
+
+// BenchmarkServerThroughput drives the load generator's fixed mix (9
+// jobs across 6 drivers, adversity jobs included) through a fresh seed
+// every iteration: no cross-iteration cache reuse, so ns/op tracks the
+// full serve path under 4-way client concurrency.
+func BenchmarkServerThroughput(b *testing.B) {
+	l, err := loadgen.StartLocal(server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	ctx := context.Background()
+	var requests, rounds int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := loadgen.Run(ctx, loadgen.Options{
+			BaseURL:  l.URL,
+			Clients:  4,
+			Requests: 3,
+			BaseSeed: uint64(i)*1_000_003 + 17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+		requests += int64(rep.Requests)
+		rounds += rep.RoundsSimulated
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(requests)/float64(b.N), "requests/op")
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds")
+}
+
+// BenchmarkServerCachedHit measures the memoized path: one priming
+// execution, then batches of identical requests that must all replay
+// from cache byte-identically.
+func BenchmarkServerCachedHit(b *testing.B) {
+	const batch = 64
+	l, err := loadgen.StartLocal(server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := []byte(`{"driver":"push-pull","graph":{"family":"dumbbell","n":8,"latency":12},"seed":3}`)
+	client := &http.Client{}
+	post := func() (string, int) {
+		resp, err := client.Post(l.URL+"/v1/simulations", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		n, err := io.Copy(io.Discard, resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d err %v", resp.StatusCode, err)
+		}
+		return resp.Header.Get(server.CacheHeader), int(n)
+	}
+	if status, _ := post(); status != "miss" {
+		b.Fatalf("priming request served %q, want miss", status)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			if status, n := post(); status != "hit" || n == 0 {
+				b.Fatalf("request %d/%d: cache %q, %d bytes", i, j, status, n)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(batch, "requests/op")
+}
