@@ -42,7 +42,7 @@ bench:
 # BENCH_sim.json on every push so the perf trajectory is tracked across
 # PRs, then gates it against the committed baseline (bench-compare).
 bench-json:
-	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimLossyPushPull|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild|BenchmarkServerThroughput|BenchmarkServerCachedHit)' \
+	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimLossyPushPull|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild|BenchmarkServerThroughput|BenchmarkServerCachedHit|BenchmarkSweepWarmStart)' \
 		-benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # Refresh the committed regression baseline from the current machine.

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"gossip/internal/adversity"
 	"gossip/internal/conductance"
@@ -290,7 +291,8 @@ func BenchmarkSimMillionNode(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
 			res, err := proto.Dispatch("push-pull", nil, proto.DriverOptions{
-				CSR: csr, Source: 0, Seed: uint64(i + 1), MaxRounds: 1 << 12, Workers: workers,
+				Source: 0, Seed: uint64(i + 1), MaxRounds: 1 << 12,
+				ExecOptions: proto.ExecOptions{CSR: csr, Workers: workers},
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -311,7 +313,8 @@ func BenchmarkSimMillionNode(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
 			res, err := proto.Dispatch("dtg", nil, proto.DriverOptions{
-				CSR: csr, Seed: uint64(i + 1), Workers: workers,
+				Seed:        uint64(i + 1),
+				ExecOptions: proto.ExecOptions{CSR: csr, Workers: workers},
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -347,7 +350,8 @@ func BenchmarkSimLossyPushPull(b *testing.B) {
 	var rounds int
 	for i := 0; i < b.N; i++ {
 		res, err := proto.Dispatch("push-pull", g, proto.DriverOptions{
-			Source: 0, Seed: uint64(i + 1), MaxRounds: 1 << 18, Adversity: spec,
+			Source: 0, Seed: uint64(i + 1), MaxRounds: 1 << 18,
+			ExecOptions: proto.ExecOptions{Adversity: spec},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -400,6 +404,83 @@ func BenchmarkSpannerBuild(b *testing.B) {
 		if _, err := spanner.Build(g, spanner.Options{Seed: uint64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepWarmStart is the warm-start payoff gate: a 16-variant
+// sweep sharing one prefix forked near the end of the base run, timed
+// against the cold baseline that replays the prefix for every variant
+// (exactly what POST /v1/sweeps avoids). The benchmark enforces its own
+// floor — warm must be at least 5x faster than cold — because the
+// bench-compare gate only diffs same-name benchmarks across artifacts
+// and cannot relate two different ones. Correctness is asserted outside
+// the timer: the control variant must equal the cold run bit-for-bit.
+func BenchmarkSweepWarmStart(b *testing.B) {
+	const variants = 16
+	g := graphgen.Grid(32, 32, 2)
+	base := proto.DriverOptions{Source: 0, Seed: 11, MaxRounds: 1 << 14}
+	cold, err := proto.Dispatch("push-pull", g, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	forkAt := cold.Rounds - 2 // long shared prefix, short divergent tails
+	opts := make([]proto.DriverOptions, variants)
+	for i := range opts {
+		opts[i] = base
+		if i > 0 {
+			opts[i].Adversity = adversity.MustParseSpec(
+				"loss=0." + strconv.Itoa(10+i))
+		}
+	}
+
+	// Untimed: determinism contract behind the speedup claim.
+	prefix, err := proto.Fork("push-pull", g, base, forkAt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmCtl, err := prefix.Resume(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warmCtl.Rounds != cold.Rounds || warmCtl.Exchanges != cold.Exchanges {
+		b.Fatalf("warm control diverged: %d/%d rounds, %d/%d exchanges",
+			warmCtl.Rounds, cold.Rounds, warmCtl.Exchanges, cold.Exchanges)
+	}
+
+	// Cold baseline: every variant re-runs the prefix before diverging.
+	coldStart := time.Now()
+	for _, o := range opts {
+		w, err := proto.Fork("push-pull", g, base, forkAt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Resume(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	coldNs := float64(time.Since(coldStart))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := proto.Fork("push-pull", g, base, forkAt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range opts {
+			if _, err := w.Resume(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	warmNs := float64(b.Elapsed()) / float64(b.N)
+	speedup := coldNs / warmNs
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(forkAt), "fork_round")
+	if speedup < 5 {
+		b.Fatalf("warm sweep only %.2fx faster than cold replay (floor 5x): warm %.0fns cold %.0fns",
+			speedup, warmNs, coldNs)
 	}
 }
 

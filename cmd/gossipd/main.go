@@ -30,6 +30,7 @@ import (
 
 	"gossip/internal/loadgen"
 	"gossip/internal/server"
+	"gossip/internal/server/api"
 )
 
 // options holds the parsed command line.
@@ -37,6 +38,7 @@ type options struct {
 	addr           string
 	pool           int
 	cacheSize      int
+	storeDir       string
 	maxN           int
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
@@ -64,6 +66,7 @@ func parseArgs(args []string) (options, error) {
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
 	fs.IntVar(&o.pool, "pool", 0, "concurrently executing jobs (0 = GOMAXPROCS); further jobs queue")
 	fs.IntVar(&o.cacheSize, "cache", 1024, "completed-job LRU cache entries (0 = 1024, negative disables caching)")
+	fs.StringVar(&o.storeDir, "store", "", "content-addressed result store directory (empty = in-memory cache only); bodies persist across restarts")
 	fs.IntVar(&o.maxN, "max-n", 0, "largest accepted built graph size in nodes (0 = 131072); dumbbell builds 2n, ring layers*n")
 	fs.DurationVar(&o.defaultTimeout, "timeout", 0, "default per-job execution timeout (0 = 60s)")
 	fs.DurationVar(&o.maxTimeout, "max-timeout", 0, "largest per-job timeout a request may ask for (0 = 5m)")
@@ -119,9 +122,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 // then drains: admission stops, queued jobs get 503, in-flight jobs
 // finish within drainTimeout.
 func serve(o options, stdout io.Writer) error {
+	if o.storeDir != "" {
+		if err := os.MkdirAll(o.storeDir, 0o755); err != nil {
+			return fmt.Errorf("gossipd: result store: %w", err)
+		}
+	}
 	srv := server.New(server.Config{
 		Pool:           o.pool,
 		CacheSize:      o.cacheSize,
+		StoreDir:       o.storeDir,
 		MaxN:           o.maxN,
 		DefaultTimeout: o.defaultTimeout,
 		MaxTimeout:     o.maxTimeout,
@@ -131,8 +140,8 @@ func serve(o options, stdout io.Writer) error {
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(stdout, "gossipd: listening on %s (pool=%d, cache=%d entries)\n",
-		lis.Addr(), srv.Metrics().PoolSize, o.cacheSize)
+	fmt.Fprintf(stdout, "gossipd: listening on %s (pool=%d, cache=%d entries, schema v%d)\n",
+		lis.Addr(), srv.Metrics().PoolSize, o.cacheSize, api.SchemaVersion)
 	if o.ready != nil {
 		o.ready(lis.Addr().String())
 	}

@@ -225,9 +225,11 @@ func Disseminate(g *graph.Graph, opts Options) (Outcome, error) {
 		Seed:           opts.Seed,
 		MaxRounds:      opts.MaxRounds,
 		CrashAt:        crashAt,
-		Adversity:      opts.Adversity,
 		FaultTolerant:  opts.FaultTolerant,
-		Workers:        opts.Workers,
+		ExecOptions: gossip.ExecOptions{
+			Adversity: opts.Adversity,
+			Workers:   opts.Workers,
+		},
 	})
 	if err != nil {
 		return Outcome{}, err

@@ -47,7 +47,7 @@ func runE24(ctx context.Context, cfg Config) (*Table, error) {
 			if p := losses[c.CellIndex]; p > 0 {
 				spec = &adversity.Spec{Loss: p}
 			}
-			opts := gossip.DriverOptions{Source: 0, Seed: seed, MaxRounds: 1 << 14, Adversity: spec}
+			opts := gossip.DriverOptions{Source: 0, Seed: seed, MaxRounds: 1 << 14, ExecOptions: gossip.ExecOptions{Adversity: spec}}
 			serial, err := gossip.Dispatch("push-pull", g, opts)
 			if err != nil {
 				return runner.Sample{}, err
@@ -154,7 +154,7 @@ func runE25(ctx context.Context, cfg Config) (*Table, error) {
 					})
 				}
 			}
-			opts := gossip.DriverOptions{Source: 0, Seed: seed, MaxRounds: 1 << 14, Adversity: spec}
+			opts := gossip.DriverOptions{Source: 0, Seed: seed, MaxRounds: 1 << 14, ExecOptions: gossip.ExecOptions{Adversity: spec}}
 			serial, err := gossip.Dispatch("push-pull", g, opts)
 			if err != nil {
 				return runner.Sample{}, err

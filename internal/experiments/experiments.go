@@ -123,6 +123,7 @@ func All() []Experiment {
 		expE24LossSweep,
 		expE25Churn,
 		expE26Service,
+		expE27WarmSweep,
 	}
 }
 

@@ -40,7 +40,7 @@ func runE23(ctx context.Context, cfg Config) (*Table, error) {
 			if err != nil {
 				return runner.Sample{}, err
 			}
-			opts := gossip.DriverOptions{CSR: csr, Source: 0, Seed: seed, MaxRounds: 1 << 14}
+			opts := gossip.DriverOptions{Source: 0, Seed: seed, MaxRounds: 1 << 14, ExecOptions: gossip.ExecOptions{CSR: csr}}
 			serial, err := gossip.Dispatch("push-pull", nil, opts)
 			if err != nil {
 				return runner.Sample{}, err

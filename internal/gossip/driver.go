@@ -37,11 +37,42 @@ const (
 	VariantNonBlocking = "nonblocking"
 )
 
+// ExecOptions is the execution surface shared by every option struct in
+// this package — engine knobs orthogonal to any protocol choice. It is
+// embedded in DriverOptions and in each phase-level option struct
+// (RROptions, DTGOptions, SuperstepOptions, SpannerOptions,
+// PatternOptions, UnifiedOptions), so the knobs are declared and
+// documented once; Go field promotion keeps opts.Workers / opts.Adversity
+// / opts.CSR reads working everywhere.
+type ExecOptions struct {
+	// Workers shards intra-round simulation across goroutines (see
+	// sim.Config.Workers); results are bit-identical for any value.
+	Workers int
+	// Adversity attaches a declarative fault schedule — message loss,
+	// churn, link flaps, crash batches (see package adversity and
+	// sim.Config.Adversity). Every registered driver accepts it; the
+	// multi-phase pipelines rebase it between phases by the rounds
+	// already consumed, exactly as they shift CrashAt. When the schedule
+	// takes nodes down, completion is judged over survivors: nodes it
+	// never permanently removes, including temporarily-churned nodes,
+	// which must be informed after rejoining.
+	Adversity *adversity.Spec
+	// CSR supplies the topology in compressed sparse row form. The
+	// single-phase drivers (push-pull, flood, dtg, superstep) accept it
+	// with a nil *graph.Graph — the million-node path, where the
+	// adjacency-map representation is never materialized. The pipeline
+	// drivers (rr, spanner, pattern, auto) and the phase option structs
+	// of graph-requiring pipelines still need the legacy graph and
+	// ignore CSR.
+	CSR *graph.CSR
+}
+
 // DriverOptions is the one option surface shared by every registered
 // driver. Each driver documents (Driver.Options) which fields it reads;
 // the rest are ignored. The zero value is a valid configuration for every
 // driver: one-to-all from node 0 with defaulted horizons.
 type DriverOptions struct {
+	ExecOptions
 	// Source is the rumor source for Broadcast objectives.
 	Source graph.NodeID
 	// Sources seeds several simultaneous sources (Broadcast objective
@@ -73,15 +104,6 @@ type DriverOptions struct {
 	InitialRumors []*bitset.Set
 	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt).
 	CrashAt []int
-	// Adversity attaches a declarative fault schedule — message loss,
-	// churn, link flaps, crash batches (see package adversity and
-	// sim.Config.Adversity). Every registered driver accepts it; the
-	// multi-phase pipelines rebase it between phases by the rounds
-	// already consumed, exactly as they shift CrashAt. When the schedule
-	// takes nodes down, completion is judged over survivors: nodes it
-	// never permanently removes, including temporarily-churned nodes,
-	// which must be informed after rejoining.
-	Adversity *adversity.Spec
 	// MaxInPerRound caps accepted incoming initiations per node per
 	// round (0 = unbounded).
 	MaxInPerRound int
@@ -96,15 +118,6 @@ type DriverOptions struct {
 	SkipCheck bool
 	// Stop, when non-nil, additionally ends single-phase runs early.
 	Stop sim.StopFunc
-	// Workers shards intra-round simulation across goroutines (see
-	// sim.Config.Workers); results are bit-identical for any value.
-	Workers int
-	// CSR supplies the topology in compressed sparse row form. The
-	// single-phase drivers (push-pull, flood, dtg, superstep) accept it
-	// with a nil *graph.Graph — the million-node path, where the
-	// adjacency-map representation is never materialized. The pipeline
-	// drivers (rr, spanner, pattern, auto) still need the legacy graph.
-	CSR *graph.CSR
 }
 
 // DriverResult is the normalized outcome every driver reports: the
@@ -240,9 +253,21 @@ type Driver struct {
 	Description string
 	// Options is the schema: the DriverOptions fields this driver reads.
 	Options []OptionDoc
-	// Run executes the protocol on g.
+	// Run executes the protocol on g. Drivers that supply Prepare may
+	// leave Run nil; Register derives it.
 	Run func(g *graph.Graph, opts DriverOptions) (DriverResult, error)
+	// Prepare expands the options into the single sim.Run invocation the
+	// driver amounts to, without executing it. Only single-phase drivers
+	// have one; multi-phase pipelines (spanner, pattern, auto) leave it
+	// nil. A non-nil Prepare is what makes a driver warm-startable: Fork
+	// captures an engine snapshot from the prepared run and Resume
+	// re-prepares a variant's factory/stop against the frozen state.
+	Prepare func(g *graph.Graph, opts DriverOptions) (sim.Config, sim.Factory, sim.StopFunc, error)
 }
+
+// WarmStart reports whether the driver supports snapshot forking
+// (Fork/Resume); equivalently, whether it is a single sim.Run.
+func (d *Driver) WarmStart() bool { return d.Prepare != nil }
 
 var drivers = map[string]*Driver{}
 
@@ -255,6 +280,15 @@ func Register(d *Driver) {
 			if !requestKeyVocab[k] {
 				panic(fmt.Sprintf("gossip: driver %q option %q declares key %q outside the request vocabulary", d.Name, o.Name, k))
 			}
+		}
+	}
+	if d.Run == nil && d.Prepare != nil {
+		d.Run = func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+			cfg, factory, stop, err := d.Prepare(g, opts)
+			if err != nil {
+				return DriverResult{}, err
+			}
+			return fromSimResult(sim.Run(cfg, factory, stop))
 		}
 	}
 	for _, name := range append([]string{d.Name}, d.Aliases...) {
@@ -419,7 +453,7 @@ func init() {
 			{"MaxInPerRound", "bounded in-degree model of Daum et al.", []string{"max_in_per_round"}},
 			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
-		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+		Prepare: func(g *graph.Graph, opts DriverOptions) (sim.Config, sim.Factory, sim.StopFunc, error) {
 			// Slab-allocate the per-node protocol structs: one allocation
 			// for the whole run instead of n — measurable at n=10⁶.
 			n := topologyN(g, opts)
@@ -436,7 +470,7 @@ func init() {
 					return p
 				}
 			}
-			return fromSimResult(sim.Run(sim.Config{
+			return sim.Config{
 				Graph:         g,
 				CSR:           opts.CSR,
 				Workers:       opts.Workers,
@@ -448,7 +482,7 @@ func init() {
 				CrashAt:       opts.CrashAt,
 				Adversity:     opts.Adversity,
 				MaxInPerRound: opts.MaxInPerRound,
-			}, factory, objectiveStop(opts)))
+			}, factory, objectiveStop(opts), nil
 		},
 	})
 	Register(&Driver{
@@ -461,21 +495,21 @@ func init() {
 			{"Adversity", "fault schedule: loss, churn, flaps, crash batches", []string{"fault_spec"}},
 			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
-		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+		Prepare: func(g *graph.Graph, opts DriverOptions) (sim.Config, sim.Factory, sim.StopFunc, error) {
 			blocking := opts.Variant != VariantNonBlocking
-			return fromSimResult(sim.Run(sim.Config{
-				Graph:     g,
-				CSR:       opts.CSR,
-				Workers:   opts.Workers,
-				Seed:      opts.Seed,
-				MaxRounds: opts.MaxRounds,
-				Mode:      sim.OneToAll,
-				Source:    opts.Source,
-				CrashAt:   opts.CrashAt,
-				Adversity: opts.Adversity,
-			}, func(nv *sim.NodeView) sim.Protocol {
-				return NewFlood(nv, opts.Source, blocking)
-			}, broadcastStop(opts)))
+			return sim.Config{
+					Graph:     g,
+					CSR:       opts.CSR,
+					Workers:   opts.Workers,
+					Seed:      opts.Seed,
+					MaxRounds: opts.MaxRounds,
+					Mode:      sim.OneToAll,
+					Source:    opts.Source,
+					CrashAt:   opts.CrashAt,
+					Adversity: opts.Adversity,
+				}, func(nv *sim.NodeView) sim.Protocol {
+					return NewFlood(nv, opts.Source, blocking)
+				}, broadcastStop(opts), nil
 		},
 	})
 	Register(&Driver{
@@ -488,21 +522,21 @@ func init() {
 			{"Adversity", "fault schedule (DTG stalls on lost exchanges)", []string{"fault_spec"}},
 			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
-		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
-			return fromSimResult(sim.Run(sim.Config{
-				Graph:          g,
-				CSR:            opts.CSR,
-				Workers:        opts.Workers,
-				Seed:           opts.Seed,
-				KnownLatencies: true,
-				MaxRounds:      opts.MaxRounds,
-				Mode:           sim.AllToAll,
-				InitialRumors:  opts.InitialRumors,
-				CrashAt:        opts.CrashAt,
-				Adversity:      opts.Adversity,
-			}, func(nv *sim.NodeView) sim.Protocol {
-				return NewDTG(nv, opts.Ell)
-			}, sim.StopAllDone()))
+		Prepare: func(g *graph.Graph, opts DriverOptions) (sim.Config, sim.Factory, sim.StopFunc, error) {
+			return sim.Config{
+					Graph:          g,
+					CSR:            opts.CSR,
+					Workers:        opts.Workers,
+					Seed:           opts.Seed,
+					KnownLatencies: true,
+					MaxRounds:      opts.MaxRounds,
+					Mode:           sim.AllToAll,
+					InitialRumors:  opts.InitialRumors,
+					CrashAt:        opts.CrashAt,
+					Adversity:      opts.Adversity,
+				}, func(nv *sim.NodeView) sim.Protocol {
+					return NewDTG(nv, opts.Ell)
+				}, sim.StopAllDone(), nil
 		},
 	})
 	Register(&Driver{
@@ -516,21 +550,21 @@ func init() {
 			{"Adversity", "fault schedule; timeouts recover from losses", []string{"fault_spec"}},
 			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
-		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
-			return fromSimResult(sim.Run(sim.Config{
-				Graph:          g,
-				CSR:            opts.CSR,
-				Workers:        opts.Workers,
-				Seed:           opts.Seed,
-				KnownLatencies: true,
-				MaxRounds:      opts.MaxRounds,
-				Mode:           sim.AllToAll,
-				InitialRumors:  opts.InitialRumors,
-				CrashAt:        opts.CrashAt,
-				Adversity:      opts.Adversity,
-			}, func(nv *sim.NodeView) sim.Protocol {
-				return NewSuperstep(nv, opts.Ell, opts.LBTimeout)
-			}, sim.StopAllDone()))
+		Prepare: func(g *graph.Graph, opts DriverOptions) (sim.Config, sim.Factory, sim.StopFunc, error) {
+			return sim.Config{
+					Graph:          g,
+					CSR:            opts.CSR,
+					Workers:        opts.Workers,
+					Seed:           opts.Seed,
+					KnownLatencies: true,
+					MaxRounds:      opts.MaxRounds,
+					Mode:           sim.AllToAll,
+					InitialRumors:  opts.InitialRumors,
+					CrashAt:        opts.CrashAt,
+					Adversity:      opts.Adversity,
+				}, func(nv *sim.NodeView) sim.Protocol {
+					return NewSuperstep(nv, opts.Ell, opts.LBTimeout)
+				}, sim.StopAllDone(), nil
 		},
 	})
 	Register(&Driver{
@@ -543,9 +577,9 @@ func init() {
 			{"InitialRumors/CrashAt/Adversity/Stop", "phase state, failures, early stop", []string{"fault_spec"}},
 			{"Seed/MaxRounds", "determinism and horizon", nil},
 		},
-		Run: func(g *graph.Graph, opts DriverOptions) (DriverResult, error) {
+		Prepare: func(g *graph.Graph, opts DriverOptions) (sim.Config, sim.Factory, sim.StopFunc, error) {
 			if err := needGraph("rr", g); err != nil {
-				return DriverResult{}, err
+				return sim.Config{}, nil, nil, err
 			}
 			sp := opts.Spanner
 			if sp == nil {
@@ -556,14 +590,14 @@ func init() {
 				var err error
 				sp, err = spanner.Build(g, spanner.Options{K: k, Seed: opts.Seed ^ 0x5bd1e995})
 				if err != nil {
-					return DriverResult{}, err
+					return sim.Config{}, nil, nil, err
 				}
 			}
 			k := opts.K
 			if k <= 0 {
 				k = g.MaxLatency()
 			}
-			return fromSimResult(runRR(g, sp, RROptions{
+			return prepareRR(g, sp, RROptions{
 				K:             k,
 				Budget:        opts.Budget,
 				Seed:          opts.Seed,
@@ -571,9 +605,8 @@ func init() {
 				InitialRumors: opts.InitialRumors,
 				Stop:          opts.Stop,
 				CrashAt:       opts.CrashAt,
-				Adversity:     opts.Adversity,
-				Workers:       opts.Workers,
-			}))
+				ExecOptions:   opts.ExecOptions,
+			})
 		},
 	})
 	Register(&Driver{
@@ -599,8 +632,7 @@ func init() {
 				MaxPhaseRounds: opts.MaxRounds,
 				SkipCheck:      opts.SkipCheck,
 				CrashAt:        opts.CrashAt,
-				Adversity:      opts.Adversity,
-				Workers:        opts.Workers,
+				ExecOptions:    opts.ExecOptions,
 			}
 			if opts.FaultTolerant {
 				spOpts.UseSuperstep = true
@@ -631,8 +663,7 @@ func init() {
 				Seed:           opts.Seed,
 				MaxPhaseRounds: opts.MaxRounds,
 				SkipCheck:      opts.SkipCheck,
-				Adversity:      opts.Adversity,
-				Workers:        opts.Workers,
+				ExecOptions:    opts.ExecOptions,
 			}))
 		},
 	})
@@ -656,8 +687,7 @@ func init() {
 				D:              opts.D,
 				Seed:           opts.Seed,
 				MaxRounds:      opts.MaxRounds,
-				Adversity:      opts.Adversity,
-				Workers:        opts.Workers,
+				ExecOptions:    opts.ExecOptions,
 			})
 			if err != nil {
 				return DriverResult{}, err

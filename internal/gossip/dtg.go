@@ -1,7 +1,6 @@
 package gossip
 
 import (
-	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -46,7 +45,20 @@ var (
 	_ sim.DoneReporter   = (*DTG)(nil)
 	_ sim.Sleeper        = (*DTG)(nil)
 	_ sim.AmnesiaReseter = (*DTG)(nil)
+	_ sim.StateCloner    = (*DTG)(nil)
 )
+
+// CloneStateFrom deep-copies the state machine (heard set, linked
+// neighbors, remaining send schedule, in-flight marker) from a frozen
+// snapshot instance; eligible was rebuilt identically by the factory.
+func (d *DTG) CloneStateFrom(src sim.Protocol) {
+	s := src.(*DTG)
+	d.heard.cloneFrom(&s.heard)
+	d.contacted = append(d.contacted[:0], s.contacted...)
+	d.seq = append([]int(nil), s.seq...)
+	d.pending = s.pending
+	d.done = s.done
+}
 
 // NewDTG returns the ℓ-DTG protocol for one node. ell <= 0 means no
 // latency filter. Latencies must be known (Section 4 model) or already
@@ -164,13 +176,10 @@ type DTGOptions struct {
 	InitialRumors []*bitset.Set
 	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt). DTG
 	// has no timeout mechanism, so a node waiting on a crashed peer
-	// stalls — the fragility the paper's Section 6 notes.
+	// stalls — the fragility the paper's Section 6 notes; the embedded
+	// ExecOptions fault schedule stalls it the same way.
 	CrashAt []int
-	// Adversity attaches a fault schedule (see sim.Config.Adversity);
-	// like crashes, lost exchanges stall the blocking DTG schedule.
-	Adversity *adversity.Spec
-	// Workers shards intra-round simulation (see sim.Config.Workers).
-	Workers int
+	ExecOptions
 }
 
 // RunDTG runs one ℓ-DTG phase to quiescence (every node's local
@@ -182,7 +191,6 @@ func RunDTG(g *graph.Graph, opts DTGOptions) (sim.Result, error) {
 		MaxRounds:     opts.MaxRounds,
 		InitialRumors: opts.InitialRumors,
 		CrashAt:       opts.CrashAt,
-		Adversity:     opts.Adversity,
-		Workers:       opts.Workers,
+		ExecOptions:   opts.ExecOptions,
 	})
 }

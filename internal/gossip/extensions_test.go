@@ -189,7 +189,9 @@ func TestSuperstepAmnesiaRestartsProtocol(t *testing.T) {
 		Timeout:   4,
 		Seed:      3,
 		MaxRounds: 1 << 12,
-		Adversity: adversity.MustParseSpec("churn=2:4-12:amnesia"),
+		ExecOptions: ExecOptions{
+			Adversity: adversity.MustParseSpec("churn=2:4-12:amnesia"),
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +220,7 @@ func TestAmnesiaRestartAcrossDrivers(t *testing.T) {
 			run := func(workers int) DriverResult {
 				res, err := Dispatch(driver, g, DriverOptions{
 					Source: 0, Seed: 5, MaxRounds: 1 << 12,
-					Adversity: spec, Workers: workers,
+					ExecOptions: ExecOptions{Adversity: spec, Workers: workers},
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -243,7 +245,7 @@ func TestChurnedNodeMustBeInformedAfterRejoin(t *testing.T) {
 	g := graphgen.Clique(12, 1)
 	res, err := Dispatch("push-pull", g, DriverOptions{
 		Source: 0, Seed: 3, MaxRounds: 1 << 14,
-		Adversity: adversity.MustParseSpec("churn=1:1-300"),
+		ExecOptions: ExecOptions{Adversity: adversity.MustParseSpec("churn=1:1-300")},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +263,7 @@ func TestChurnedNodeMustBeInformedAfterRejoin(t *testing.T) {
 	// longer waits for the node.
 	gone, err := Dispatch("push-pull", g, DriverOptions{
 		Source: 0, Seed: 3, MaxRounds: 1 << 14,
-		Adversity: adversity.MustParseSpec("churn=1:1-inf"),
+		ExecOptions: ExecOptions{Adversity: adversity.MustParseSpec("churn=1:1-inf")},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -22,7 +22,16 @@ var (
 	_ sim.Protocol       = (*Flood)(nil)
 	_ sim.Sleeper        = (*Flood)(nil)
 	_ sim.AmnesiaReseter = (*Flood)(nil)
+	_ sim.StateCloner    = (*Flood)(nil)
 )
+
+// CloneStateFrom copies the round-robin cursor and blocking window from
+// a frozen snapshot instance.
+func (f *Flood) CloneStateFrom(src sim.Protocol) {
+	s := src.(*Flood)
+	f.next = s.next
+	f.inflight = s.inflight
+}
 
 // NewFlood returns the flooding protocol. Nodes activate only once they
 // hold source's rumor.

@@ -57,7 +57,8 @@ func goldenRuns(t *testing.T, g *graph.Graph, workers int) map[string]goldenReco
 	out := map[string]goldenRecord{}
 
 	flood, err := Dispatch("flood", g, DriverOptions{
-		Source: 0, Seed: 5, MaxRounds: goldenMaxRounds, Workers: workers,
+		Source: 0, Seed: 5, MaxRounds: goldenMaxRounds,
+		ExecOptions: ExecOptions{Workers: workers},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +66,8 @@ func goldenRuns(t *testing.T, g *graph.Graph, workers int) map[string]goldenReco
 	out["flood"] = goldenRecord{flood.Rounds, flood.Completed, flood.Exchanges, flood.InformedAt}
 
 	pp, err := Dispatch("push-pull", g, DriverOptions{
-		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds, Workers: workers,
+		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds,
+		ExecOptions: ExecOptions{Workers: workers},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,19 +78,19 @@ func goldenRuns(t *testing.T, g *graph.Graph, workers int) map[string]goldenReco
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr, err := RunRR(g, RROptions{Spanner: sp, K: g.MaxLatency(), Seed: 9, MaxRounds: goldenMaxRounds, Workers: workers})
+	rr, err := RunRR(g, RROptions{Spanner: sp, K: g.MaxLatency(), Seed: 9, MaxRounds: goldenMaxRounds, ExecOptions: ExecOptions{Workers: workers}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	out["rr"] = goldenRecord{rr.Rounds, rr.Completed, rr.Exchanges, rr.InformedAt}
 
-	dtg, err := RunDTG(g, DTGOptions{Ell: 0, Seed: 13, MaxRounds: goldenMaxRounds, Workers: workers})
+	dtg, err := RunDTG(g, DTGOptions{Ell: 0, Seed: 13, MaxRounds: goldenMaxRounds, ExecOptions: ExecOptions{Workers: workers}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	out["dtg"] = goldenRecord{dtg.Rounds, dtg.Completed, dtg.Exchanges, dtg.InformedAt}
 
-	sb, err := SpannerBroadcast(g, SpannerOptions{KnownLatencies: true, Seed: 11, MaxPhaseRounds: goldenMaxRounds, Workers: workers})
+	sb, err := SpannerBroadcast(g, SpannerOptions{KnownLatencies: true, Seed: 11, MaxPhaseRounds: goldenMaxRounds, ExecOptions: ExecOptions{Workers: workers}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,8 +109,8 @@ func faultGoldenRuns(t *testing.T, graphs map[string]*graph.Graph, workers int) 
 	out := map[string]goldenRecord{}
 
 	lossy, err := Dispatch("push-pull", graphs["er24"], DriverOptions{
-		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds, Workers: workers,
-		Adversity: adversity.MustParseSpec("loss=0.1"),
+		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds,
+		ExecOptions: ExecOptions{Workers: workers, Adversity: adversity.MustParseSpec("loss=0.1")},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -116,8 +118,8 @@ func faultGoldenRuns(t *testing.T, graphs map[string]*graph.Graph, workers int) 
 	out["push-pull+loss10/er24"] = goldenRecord{lossy.Rounds, lossy.Completed, lossy.Exchanges, lossy.InformedAt}
 
 	churny, err := Dispatch("push-pull", graphs["dumbbell8"], DriverOptions{
-		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds, Workers: workers,
-		Adversity: adversity.MustParseSpec("churn=1:4-30:amnesia;churn=3:10-inf;crash=20:2"),
+		Source: 0, Seed: 7, MaxRounds: goldenMaxRounds,
+		ExecOptions: ExecOptions{Workers: workers, Adversity: adversity.MustParseSpec("churn=1:4-30:amnesia;churn=3:10-inf;crash=20:2")},
 	})
 	if err != nil {
 		t.Fatal(err)

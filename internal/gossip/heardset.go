@@ -67,6 +67,16 @@ func (h *heardSet) Union(peer []int32) {
 	h.snap = nil
 }
 
+// cloneFrom replaces h with a deep copy of src's membership. The
+// snapshot cache restarts empty rather than being shared: src belongs to
+// a frozen engine read concurrently by parallel restores, and Snapshot()
+// mutates the cache. The rebuilt snapshot is element-identical.
+func (h *heardSet) cloneFrom(src *heardSet) {
+	h.ids = append(h.ids[:0], src.ids...)
+	h.snap = nil
+	h.buf = nil
+}
+
 // Snapshot returns the current membership as an immutable sorted slice.
 // The same slice is handed out until the set next changes; receivers
 // must treat it as read-only (the exchange-metadata contract).

@@ -3,7 +3,6 @@ package gossip
 import (
 	"fmt"
 
-	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -47,10 +46,9 @@ type PatternOptions struct {
 	// absolute against the schedule's cumulative count; each ℓ-DTG
 	// invocation receives it rebased by the rounds already consumed.
 	// Completion is judged over nodes that are not permanently gone.
-	Adversity *adversity.Spec
-	// Workers shards intra-round simulation in every phase (see
-	// sim.Config.Workers); results are bit-identical for any value.
-	Workers int
+	// Workers shards intra-round simulation in every phase with
+	// bit-identical results. Both ride on the embedded ExecOptions.
+	ExecOptions
 }
 
 // PatternBroadcast runs Algorithm 5: execute the schedule T(k) of ℓ-DTG
@@ -120,8 +118,10 @@ func runPattern(g *graph.Graph, guess int, opts PatternOptions, out *BroadcastRe
 			Seed:          opts.Seed + uint64(i)*31 + 7,
 			MaxRounds:     maxRounds,
 			InitialRumors: rumors,
-			Adversity:     opts.Adversity.Shift(out.Rounds + total),
-			Workers:       opts.Workers,
+			ExecOptions: ExecOptions{
+				Adversity: opts.Adversity.Shift(out.Rounds + total),
+				Workers:   opts.Workers,
+			},
 		})
 		if err != nil {
 			return nil, err

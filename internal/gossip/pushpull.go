@@ -26,7 +26,15 @@ var (
 	_ sim.Protocol       = (*PushPull)(nil)
 	_ sim.Sleeper        = (*PushPull)(nil)
 	_ sim.AmnesiaReseter = (*PushPull)(nil)
+	_ sim.StateCloner    = (*PushPull)(nil)
 )
+
+// CloneStateFrom copies the mutable protocol state (the blocking window)
+// from a frozen snapshot instance; nv and the variant flag come from
+// construction.
+func (p *PushPull) CloneStateFrom(src sim.Protocol) {
+	p.inflight = src.(*PushPull).inflight
+}
 
 // NewPushPull returns the non-blocking push-pull protocol for one node.
 func NewPushPull(nv *sim.NodeView) *PushPull { return &PushPull{nv: nv} }

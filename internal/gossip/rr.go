@@ -1,7 +1,6 @@
 package gossip
 
 import (
-	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -23,7 +22,14 @@ var (
 	_ sim.DoneReporter   = (*RR)(nil)
 	_ sim.Sleeper        = (*RR)(nil)
 	_ sim.AmnesiaReseter = (*RR)(nil)
+	_ sim.StateCloner    = (*RR)(nil)
 )
+
+// CloneStateFrom copies the schedule position from a frozen snapshot
+// instance; out-edges and budget come from construction.
+func (r *RR) CloneStateFrom(src sim.Protocol) {
+	r.steps = src.(*RR).steps
+}
 
 // NewRR returns the RR protocol for one node. outIdx are the node's
 // spanner out-edge adjacency indices (already filtered to latency <= k).
@@ -78,10 +84,7 @@ type RROptions struct {
 	Stop sim.StopFunc
 	// CrashAt injects fail-stop crashes (see sim.Config.CrashAt).
 	CrashAt []int
-	// Adversity attaches a fault schedule (see sim.Config.Adversity).
-	Adversity *adversity.Spec
-	// Workers shards intra-round simulation (see sim.Config.Workers).
-	Workers int
+	ExecOptions
 }
 
 // RunRR runs one RR Broadcast phase. It is sugar for the "rr" driver
@@ -92,6 +95,19 @@ func RunRR(g *graph.Graph, opts RROptions) (sim.Result, error) {
 
 // runRR is the "rr" driver body: spanner-oriented round-robin broadcast.
 func runRR(g *graph.Graph, sp *spanner.Spanner, opts RROptions) (sim.Result, error) {
+	cfg, factory, stop, err := prepareRR(g, sp, opts)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(cfg, factory, stop)
+}
+
+// prepareRR expands one RR phase into its sim.Run invocation without
+// executing it; the "rr" driver's Prepare hook (and thus warm-start
+// forking) goes through here. The out-edge orientation is rebuilt
+// deterministically from the spanner, so re-preparing a variant against
+// a frozen snapshot reproduces the schedule bit-identically.
+func prepareRR(g *graph.Graph, sp *spanner.Spanner, opts RROptions) (sim.Config, sim.Factory, sim.StopFunc, error) {
 	outIdx := make([][]int, g.N())
 	maxOut := 0
 	for u := 0; u < g.N(); u++ {
@@ -120,7 +136,7 @@ func runRR(g *graph.Graph, sp *spanner.Spanner, opts RROptions) (sim.Result, err
 	} else {
 		stop = sim.StopOr(stop, sim.StopAllDone())
 	}
-	return sim.Run(sim.Config{
+	return sim.Config{
 		Graph:          g,
 		Workers:        opts.Workers,
 		Seed:           opts.Seed,
@@ -130,5 +146,5 @@ func runRR(g *graph.Graph, sp *spanner.Spanner, opts RROptions) (sim.Result, err
 		InitialRumors:  opts.InitialRumors,
 		CrashAt:        opts.CrashAt,
 		Adversity:      opts.Adversity,
-	}, func(nv *sim.NodeView) sim.Protocol { return NewRR(outIdx[nv.ID()], budget) }, stop)
+	}, func(nv *sim.NodeView) sim.Protocol { return NewRR(outIdx[nv.ID()], budget) }, stop, nil
 }

@@ -84,10 +84,10 @@ type SpannerOptions struct {
 	// count; each phase receives the spec rebased by the rounds already
 	// consumed, exactly like CrashAt. Completion is judged over nodes
 	// that are not permanently gone.
-	Adversity *adversity.Spec
-	// Workers shards intra-round simulation in every phase (see
-	// sim.Config.Workers); results are bit-identical for any value.
-	Workers int
+	// consumed, exactly like CrashAt; Workers shards intra-round
+	// simulation in every phase with bit-identical results. Both ride on
+	// the embedded ExecOptions.
+	ExecOptions
 }
 
 // shiftCrashes rebases an absolute crash schedule to a phase that starts
@@ -198,8 +198,10 @@ func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *Broadc
 				MaxRounds:     maxRounds,
 				InitialRumors: rumors,
 				CrashAt:       shiftCrashes(opts.CrashAt, out.Rounds),
-				Adversity:     opts.Adversity.Shift(out.Rounds),
-				Workers:       opts.Workers,
+				ExecOptions: ExecOptions{
+					Adversity: opts.Adversity.Shift(out.Rounds),
+					Workers:   opts.Workers,
+				},
 			})
 		} else {
 			res, err = RunDTG(g, DTGOptions{
@@ -208,8 +210,10 @@ func spannerPipeline(g *graph.Graph, guess int, opts SpannerOptions, out *Broadc
 				MaxRounds:     maxRounds,
 				InitialRumors: rumors,
 				CrashAt:       shiftCrashes(opts.CrashAt, out.Rounds),
-				Adversity:     opts.Adversity.Shift(out.Rounds),
-				Workers:       opts.Workers,
+				ExecOptions: ExecOptions{
+					Adversity: opts.Adversity.Shift(out.Rounds),
+					Workers:   opts.Workers,
+				},
 			})
 		}
 		if err != nil {
@@ -267,8 +271,10 @@ func runRRPhase(g *graph.Graph, guess int, opts SpannerOptions, rumors []*bitset
 		InitialRumors: rumors,
 		Stop:          stop,
 		CrashAt:       phaseCrash,
-		Adversity:     opts.Adversity.Shift(offset),
-		Workers:       opts.Workers,
+		ExecOptions: ExecOptions{
+			Adversity: opts.Adversity.Shift(offset),
+			Workers:   opts.Workers,
+		},
 	})
 	if err != nil {
 		return phaseRun{}, nil, err

@@ -1,7 +1,6 @@
 package gossip
 
 import (
-	"gossip/internal/adversity"
 	"gossip/internal/bitset"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
@@ -40,7 +39,23 @@ var (
 	_ sim.Waiter         = (*Superstep)(nil)
 	_ sim.Sleeper        = (*Superstep)(nil)
 	_ sim.AmnesiaReseter = (*Superstep)(nil)
+	_ sim.StateCloner    = (*Superstep)(nil)
 )
+
+// CloneStateFrom deep-copies the state machine (heard set, abandonment
+// marks, in-flight marker and its start round) from a frozen snapshot
+// instance; eligible was rebuilt identically by the factory.
+func (s *Superstep) CloneStateFrom(src sim.Protocol) {
+	o := src.(*Superstep)
+	s.heard.cloneFrom(&o.heard)
+	s.abandoned = make(map[int]bool, len(o.abandoned))
+	for k, v := range o.abandoned {
+		s.abandoned[k] = v
+	}
+	s.pending = o.pending
+	s.pendingAt = o.pendingAt
+	s.done = o.done
+}
 
 // NextWake parks a finished node; a node blocked on an exchange sleeps
 // until either the delivery or — with the fault-tolerance extension — the
@@ -157,12 +172,10 @@ type SuperstepOptions struct {
 	MaxRounds     int
 	InitialRumors []*bitset.Set
 	CrashAt       []int
-	// Adversity attaches a fault schedule (see sim.Config.Adversity);
-	// with Timeout > 0 the primitive abandons exchanges the schedule
-	// loses, so it degrades gracefully where DTG stalls.
-	Adversity *adversity.Spec
-	// Workers shards intra-round simulation (see sim.Config.Workers).
-	Workers int
+	// With Timeout > 0 the primitive abandons exchanges the embedded
+	// ExecOptions fault schedule loses, so it degrades gracefully where
+	// DTG stalls.
+	ExecOptions
 }
 
 // RunSuperstep runs one randomized local-broadcast phase to quiescence.
@@ -174,7 +187,6 @@ func RunSuperstep(g *graph.Graph, opts SuperstepOptions) (sim.Result, error) {
 		MaxRounds:     opts.MaxRounds,
 		InitialRumors: opts.InitialRumors,
 		CrashAt:       opts.CrashAt,
-		Adversity:     opts.Adversity,
-		Workers:       opts.Workers,
+		ExecOptions:   opts.ExecOptions,
 	})
 }

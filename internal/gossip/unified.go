@@ -3,7 +3,6 @@ package gossip
 import (
 	"fmt"
 
-	"gossip/internal/adversity"
 	"gossip/internal/graph"
 	"gossip/internal/sim"
 )
@@ -34,10 +33,9 @@ type UnifiedOptions struct {
 	// Adversity attaches a fault schedule to both arms (the paper's
 	// side-by-side execution faces one network, so both arms see the
 	// same schedule).
-	Adversity *adversity.Spec
-	// Workers shards intra-round simulation in both arms (see
-	// sim.Config.Workers); results are bit-identical for any value.
-	Workers int
+	// Workers shards intra-round simulation in both arms with
+	// bit-identical results. Both ride on the embedded ExecOptions.
+	ExecOptions
 }
 
 // Unified runs the Theorem 31 algorithm: push-pull and the spanner-based
@@ -48,7 +46,7 @@ func Unified(g *graph.Graph, opts UnifiedOptions) (UnifiedResult, error) {
 	var out UnifiedResult
 	pp, err := dispatchSim("push-pull", g, DriverOptions{
 		Source: opts.Source, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
-		Adversity: opts.Adversity, Workers: opts.Workers,
+		ExecOptions: opts.ExecOptions,
 	})
 	if err != nil {
 		return out, fmt.Errorf("gossip: unified push-pull arm: %w", err)
@@ -59,8 +57,7 @@ func Unified(g *graph.Graph, opts UnifiedOptions) (UnifiedResult, error) {
 		KnownLatencies: opts.KnownLatencies,
 		Seed:           opts.Seed + 1,
 		MaxPhaseRounds: opts.MaxRounds,
-		Adversity:      opts.Adversity,
-		Workers:        opts.Workers,
+		ExecOptions:    opts.ExecOptions,
 	})
 	if err != nil {
 		return out, fmt.Errorf("gossip: unified spanner arm: %w", err)

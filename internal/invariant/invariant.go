@@ -12,7 +12,11 @@
 //     every node that is alive when the run ends;
 //   - payload accounting: only delivered (non-dropped) exchanges carry
 //     payload — benign runs drop nothing, Delivered+Dropped never
-//     exceeds Exchanges, and zero deliveries means zero payload.
+//     exceeds Exchanges, and zero deliveries means zero payload;
+//   - warm-fork equivalence: capturing an engine snapshot halfway
+//     through the run and resuming it reproduces the cold run
+//     bit-identically, at workers 1 and 8 (single-phase drivers; the
+//     pipelines fall back to a cold replay, which must also agree).
 //
 // The harness is a library so both the test suite (TestInvariants) and
 // `make determinism` exercise it; violations carry enough context to
@@ -20,6 +24,7 @@
 package invariant
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 
@@ -161,8 +166,10 @@ func Check(driver string, fam Family, sc Scenario, seed uint64) []Violation {
 			Source:    0,
 			Seed:      seed,
 			MaxRounds: MaxRounds,
-			Adversity: spec,
-			Workers:   workers,
+			ExecOptions: gossip.ExecOptions{
+				Adversity: spec,
+				Workers:   workers,
+			},
 		})
 	}
 	r1, err := run(1)
@@ -182,6 +189,26 @@ func Check(driver string, fam Family, sc Scenario, seed uint64) []Violation {
 	fp1, fp8 := fingerprintOf(r1), fingerprintOf(r8)
 	if !reflect.DeepEqual(fp1, fp8) {
 		report("determinism", "workers=1 %+v vs workers=8 %+v", fp1, fp8)
+	}
+
+	// Warm-fork equivalence: a snapshot at the halfway barrier, resumed
+	// under the identical options, must replay the cold run exactly — at
+	// both worker counts. Pipelines have no single engine to freeze
+	// (ErrNoWarmStart); for them the rule degrades to cold-replay
+	// determinism, which the same comparison covers.
+	for _, workers := range []int{1, 8} {
+		cold := fp1
+		if workers == 8 {
+			cold = fp8
+		}
+		warm, err := warmReplay(driver, fam.Graph, spec, seed, workers, r1.Rounds/2)
+		if err != nil {
+			report("warm-fork", "workers=%d: %v", workers, err)
+			continue
+		}
+		if !reflect.DeepEqual(warm, cold) {
+			report("warm-fork", "workers=%d: warm %+v vs cold %+v", workers, warm, cold)
+		}
 	}
 
 	// Payload accounting: drops carry nothing.
@@ -237,6 +264,38 @@ func Check(driver string, fam Family, sc Scenario, seed uint64) []Violation {
 		}
 	}
 	return out
+}
+
+// warmReplay re-runs one harness cell through the warm-start path: fork
+// the driver at atRound and resume with unchanged options. Drivers
+// without snapshot support (the multi-phase pipelines) re-Dispatch cold
+// instead — replay determinism is the strongest claim available there.
+func warmReplay(driver string, g *graph.Graph, spec *adversity.Spec, seed uint64, workers, atRound int) (fingerprint, error) {
+	opts := gossip.DriverOptions{
+		Source:    0,
+		Seed:      seed,
+		MaxRounds: MaxRounds,
+		ExecOptions: gossip.ExecOptions{
+			Adversity: spec,
+			Workers:   workers,
+		},
+	}
+	w, err := gossip.Fork(driver, g, opts, atRound)
+	if errors.Is(err, gossip.ErrNoWarmStart) {
+		res, err := gossip.Dispatch(driver, g, opts)
+		if err != nil {
+			return fingerprint{}, err
+		}
+		return fingerprintOf(res), nil
+	}
+	if err != nil {
+		return fingerprint{}, err
+	}
+	res, err := w.Resume(opts)
+	if err != nil {
+		return fingerprint{}, err
+	}
+	return fingerprintOf(res), nil
 }
 
 // Completion objectives per driver: broadcast drivers finish when every

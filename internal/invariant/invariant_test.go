@@ -44,7 +44,7 @@ func TestInvariants(t *testing.T) {
 func TestTotalLossAccounting(t *testing.T) {
 	res, err := gossip.Dispatch("push-pull", graphgen.Clique(12, 1), gossip.DriverOptions{
 		Source: 0, Seed: 7, MaxRounds: 256,
-		Adversity: &adversity.Spec{Loss: 1},
+		ExecOptions: gossip.ExecOptions{Adversity: &adversity.Spec{Loss: 1}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +79,8 @@ func TestLossSlowsSpread(t *testing.T) {
 			spec = &adversity.Spec{Loss: loss}
 		}
 		res, err := gossip.Dispatch("push-pull", graphgen.Clique(24, 1), gossip.DriverOptions{
-			Source: 0, Seed: 11, MaxRounds: 1 << 14, Adversity: spec,
+			Source: 0, Seed: 11, MaxRounds: 1 << 14,
+			ExecOptions: gossip.ExecOptions{Adversity: spec},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -103,7 +104,8 @@ func TestChurnRetentionVsAmnesia(t *testing.T) {
 	run := func(amnesia bool) int {
 		spec := &adversity.Spec{Churn: []adversity.Churn{{Node: 5, Leave: 2, Rejoin: 40, Amnesia: amnesia}}}
 		res, err := gossip.Dispatch("push-pull", graphgen.Path(8, 1), gossip.DriverOptions{
-			Source: 0, Seed: 3, MaxRounds: 1 << 14, Adversity: spec,
+			Source: 0, Seed: 3, MaxRounds: 1 << 14,
+			ExecOptions: gossip.ExecOptions{Adversity: spec},
 		})
 		if err != nil {
 			t.Fatal(err)

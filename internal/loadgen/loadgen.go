@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gossip/internal/server"
+	"gossip/internal/server/api"
 )
 
 // Options configure one load run.
@@ -37,6 +38,12 @@ type Options struct {
 	Requests int
 	// Mix is the request template list (empty: DefaultMix(BaseSeed)).
 	Mix []server.Request
+	// Sweeps are warm-start sweep jobs every client posts once after its
+	// mix requests (nil: DefaultSweeps(BaseSeed); empty non-nil: none).
+	// Identical concurrent sweeps must coalesce exactly like simulations:
+	// the same all-2xx / byte-identical / miss-once contracts apply to
+	// the sweep stream.
+	Sweeps []server.SweepRequest
 	// Surge, when true, prepends a barrier-synchronized wave: every
 	// client simultaneously submits one heavy unique-seed job (no
 	// coalescing, no cache reuse possible), which is what drives peak
@@ -60,6 +67,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Mix) == 0 {
 		o.Mix = DefaultMix(o.BaseSeed)
+	}
+	if o.Sweeps == nil {
+		o.Sweeps = DefaultSweeps(o.BaseSeed)
 	}
 	if o.Requests <= 0 {
 		o.Requests = (len(o.Mix) + o.Clients - 1) / o.Clients
@@ -153,6 +163,25 @@ func DefaultMix(seed uint64) []server.Request {
 	}
 }
 
+// DefaultSweeps is the warm-start sweep of the CI load-smoke job: one
+// push-pull base forked at round 6 into a control variant, a lossy
+// divergence and a shortened horizon. The base coincides with the first
+// DefaultMix entry, so the sweep's control variant must reproduce that
+// job's result through the snapshot path.
+func DefaultSweeps(seed uint64) []server.SweepRequest {
+	loss := "loss=0.25"
+	horizon := 24
+	return []server.SweepRequest{{
+		Base:      server.Request{Driver: "push-pull", Graph: server.GraphSpec{Family: "dumbbell", N: 8, Latency: 12}, Seed: seed},
+		ForkRound: 6,
+		Variants: []server.SweepVariant{
+			{},
+			{FaultSpec: &loss},
+			{MaxRounds: &horizon},
+		},
+	}}
+}
+
 // surgeRequest is client i's unique heavy job: a 4-regular random graph
 // push-pull run whose seed no other client shares, so the surge wave
 // cannot coalesce or hit cache and genuinely occupies the server.
@@ -199,10 +228,14 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 				req := surgeRequest(o, i)
 				armed.Done()
 				<-barrier // everyone fires together
-				c.do(ctx, o, req)
+				c.do(ctx, o, simPath, req, req.Driver)
 			}
 			for j := 0; j < o.Requests; j++ {
-				c.do(ctx, o, o.Mix[(i*o.Requests+j)%len(o.Mix)])
+				req := o.Mix[(i*o.Requests+j)%len(o.Mix)]
+				c.do(ctx, o, simPath, req, req.Driver)
+			}
+			for _, sw := range o.Sweeps {
+				c.do(ctx, o, sweepPath, sw, "sweep:"+sw.Base.Driver)
 			}
 		}(i)
 	}
@@ -218,7 +251,13 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		if ctx.Err() != nil {
 			break
 		}
-		c.verify(ctx, o, req)
+		c.verify(ctx, o, simPath, req)
+	}
+	for _, sw := range o.Sweeps {
+		if ctx.Err() != nil {
+			break
+		}
+		c.verify(ctx, o, sweepPath, sw)
 	}
 
 	c.report.Elapsed = time.Since(start)
@@ -234,9 +273,16 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	return &c.report, nil
 }
 
+// simPath and sweepPath are the two POST endpoints the generator
+// exercises; both speak the api package's NDJSON stream.
+const (
+	simPath   = "/v1/simulations"
+	sweepPath = "/v1/sweeps"
+)
+
 // track wraps one outstanding request, maintaining the peak concurrent
 // in-flight count across all clients.
-func (c *collector) track(ctx context.Context, o Options, req server.Request) (int, string, []byte, error) {
+func (c *collector) track(ctx context.Context, o Options, path string, payload any) (int, string, []byte, error) {
 	cur := c.outstanding.Add(1)
 	for {
 		old := c.peak.Load()
@@ -245,13 +291,13 @@ func (c *collector) track(ctx context.Context, o Options, req server.Request) (i
 		}
 	}
 	defer c.outstanding.Add(-1)
-	return post(ctx, o, req)
+	return post(ctx, o, path, payload)
 }
 
 // do issues one request and feeds the response through the contract
 // checks.
-func (c *collector) do(ctx context.Context, o Options, req server.Request) {
-	status, cache, body, err := c.track(ctx, o, req)
+func (c *collector) do(ctx context.Context, o Options, path string, payload any, label string) {
+	status, cache, body, err := c.track(ctx, o, path, payload)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.report.Requests++
@@ -265,16 +311,16 @@ func (c *collector) do(ctx context.Context, o Options, req server.Request) {
 	}
 	if status != http.StatusOK {
 		c.report.Non200++
-		c.violate("status %d for %s job (body %.120s)", status, req.Driver, body)
+		c.violate("status %d for %s job (body %.120s)", status, label, body)
 		return
 	}
 	key, rounds, errEvent, perr := parseStream(body)
 	if perr != nil {
-		c.violate("malformed stream for %s job: %v", req.Driver, perr)
+		c.violate("malformed stream for %s job: %v", label, perr)
 		return
 	}
 	if errEvent != "" {
-		c.violate("job error for %s (key %s): %s", req.Driver, key, errEvent)
+		c.violate("job error for %s (key %s): %s", label, key, errEvent)
 		return
 	}
 	c.report.RoundsSimulated += rounds
@@ -288,7 +334,7 @@ func (c *collector) do(ctx context.Context, o Options, req server.Request) {
 			c.violate("cache miss #%d for identical request key %s", c.missesByKey[key], key)
 		}
 	default:
-		c.violate("missing %s header (key %s)", server.CacheHeader, key)
+		c.violate("missing %s header (key %s)", api.CacheHeader, key)
 	}
 	if prev, ok := c.report.Bodies[key]; ok {
 		if !bytes.Equal(prev, body) {
@@ -302,8 +348,8 @@ func (c *collector) do(ctx context.Context, o Options, req server.Request) {
 // verify replays one mix request sequentially after the load phase: its
 // key was computed above, so the response must be a cache hit and match
 // the recorded body.
-func (c *collector) verify(ctx context.Context, o Options, req server.Request) {
-	status, cache, body, err := c.track(ctx, o, req)
+func (c *collector) verify(ctx context.Context, o Options, path string, payload any) {
+	status, cache, body, err := c.track(ctx, o, path, payload)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.report.Requests++
@@ -347,15 +393,14 @@ func (c *collector) violate(format string, args ...any) {
 	}
 }
 
-// post issues one simulation request, tracking the outstanding-request
-// peak across all clients.
-func post(ctx context.Context, o Options, req server.Request) (int, string, []byte, error) {
-	raw, err := json.Marshal(req)
+// post issues one request against the given endpoint.
+func post(ctx context.Context, o Options, path string, payload any) (int, string, []byte, error) {
+	raw, err := json.Marshal(payload)
 	if err != nil {
 		return 0, "", nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		o.BaseURL+"/v1/simulations", bytes.NewReader(raw))
+		o.BaseURL+path, bytes.NewReader(raw))
 	if err != nil {
 		return 0, "", nil, err
 	}
@@ -369,41 +414,35 @@ func post(ctx context.Context, o Options, req server.Request) (int, string, []by
 	if err != nil {
 		return 0, "", nil, err
 	}
-	return resp.StatusCode, resp.Header.Get(server.CacheHeader), body, nil
+	return resp.StatusCode, resp.Header.Get(api.CacheHeader), body, nil
 }
 
-// event is the subset of the NDJSON stream loadgen inspects.
-type event struct {
-	SchemaVersion int    `json:"schema_version"`
-	Event         string `json:"event"`
-	RequestKey    string `json:"request_key"`
-	Error         string `json:"error"`
-	Result        *struct {
-		Rounds int `json:"rounds"`
-	} `json:"result"`
-}
-
-// parseStream validates the stream shape (accepted first, then a result
-// or error terminator) and extracts the request key, the simulated
-// rounds and any in-stream error.
+// parseStream validates the stream shape (accepted first, then a
+// result, error or sweep_result terminator; see package api) and
+// extracts the request key, the simulated rounds and any in-stream
+// error — a sweep variant's error event anywhere in the stream counts.
 func parseStream(body []byte) (key string, rounds int64, errEvent string, err error) {
 	sc := bufio.NewScanner(bytes.NewReader(body))
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	var last event
+	var last api.Event
+	firstErr := ""
 	n := 0
 	for sc.Scan() {
-		var ev event
+		var ev api.Event
 		if uerr := json.Unmarshal(sc.Bytes(), &ev); uerr != nil {
 			return "", 0, "", fmt.Errorf("line %d: %w", n, uerr)
 		}
-		if ev.SchemaVersion != server.SchemaVersion {
-			return "", 0, "", fmt.Errorf("line %d: schema_version %d, want %d", n, ev.SchemaVersion, server.SchemaVersion)
+		if ev.SchemaVersion != api.SchemaVersion {
+			return "", 0, "", fmt.Errorf("line %d: schema_version %d, want %d", n, ev.SchemaVersion, api.SchemaVersion)
 		}
 		if n == 0 {
 			if ev.Event != "accepted" || ev.RequestKey == "" {
 				return "", 0, "", fmt.Errorf("stream does not start with accepted: %s", sc.Text())
 			}
 			key = ev.RequestKey
+		}
+		if ev.Event == "error" && firstErr == "" {
+			firstErr = ev.Error
 		}
 		last = ev
 		n++
@@ -414,12 +453,14 @@ func parseStream(body []byte) (key string, rounds int64, errEvent string, err er
 	switch {
 	case n == 0:
 		return "", 0, "", fmt.Errorf("empty stream")
-	case last.Event == "error":
-		return key, 0, last.Error, nil
-	case last.Event != "result":
-		return "", 0, "", fmt.Errorf("stream ends with %q, want result or error", last.Event)
+	case firstErr != "":
+		return key, 0, firstErr, nil
+	case last.Event == "result":
+		return key, int64(last.Result.Rounds), "", nil
+	case last.Event == "sweep_result":
+		return key, last.TotalRounds, "", nil
 	}
-	return key, int64(last.Result.Rounds), "", nil
+	return "", 0, "", fmt.Errorf("stream ends with %q, want result, sweep_result or error", last.Event)
 }
 
 // Local is an in-process gossipd on a loopback listener: the zero-setup

@@ -32,8 +32,8 @@ func TestRunAgainstLocalServer(t *testing.T) {
 	if err := rep.Err(); err != nil {
 		t.Fatalf("%v\nreport: %+v", err, rep)
 	}
-	// 6 surge + 6*4 mix + len(mix) verify
-	wantReqs := 6 + 6*4 + len(DefaultMix(7))
+	// 6 surge + 6*4 mix + 6 sweep posts + len(mix)+len(sweeps) verify
+	wantReqs := 6 + 6*4 + 6*len(DefaultSweeps(7)) + len(DefaultMix(7)) + len(DefaultSweeps(7))
 	if rep.Requests != wantReqs {
 		t.Fatalf("requests = %d, want %d", rep.Requests, wantReqs)
 	}

@@ -1,0 +1,129 @@
+// Package api is the wire schema of the gossipd NDJSON streams, shared
+// by the server, the gossipd CLI, the loadgen client and the tests so
+// the event shapes exist in exactly one place.
+//
+// # Streams
+//
+// POST /v1/simulations responds with: one "accepted" event, zero or
+// more "progress" events (the informed-count curve), then exactly one
+// "result" or "error" event.
+//
+// POST /v1/sweeps responds with: one "accepted" event (carrying
+// variants and fork_round), then per variant in index order one
+// "variant" event followed by that variant's progress and result (or
+// error) events, then exactly one "sweep_result" event.
+//
+// Every event carries schema_version.
+//
+// # Schema versioning policy
+//
+// SchemaVersion bumps only on breaking changes to events that already
+// exist: renaming or removing a field, changing a field's type or
+// meaning, or reordering the stream's required events. Additions are
+// not breaking and do not bump the version — new event types, new
+// endpoints, and new fields marked omitempty (clients must ignore
+// unknown fields and unknown event types). The sweep events, for
+// example, extend schema 1: an "accepted" event from /v1/simulations
+// is byte-identical to what it was before sweeps existed.
+package api
+
+// SchemaVersion stamps every NDJSON event so clients can detect stream
+// format changes, mirroring the experiment JSON artifact convention.
+const SchemaVersion = 1
+
+// ContentType is the response media type of the event streams.
+const ContentType = "application/x-ndjson"
+
+// CacheHeader reports whether the response body was replayed from the
+// request cache ("hit") or computed by this request ("miss"). It lives
+// in a header — never in the body — so identical requests produce
+// byte-identical bodies whether cold or cached.
+const CacheHeader = "X-Gossipd-Cache"
+
+// Accepted opens every stream. Variants and ForkRound are set only on
+// sweep streams (omitempty keeps simulation bodies byte-stable).
+type Accepted struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"` // "accepted"
+	Driver        string `json:"driver"`
+	RequestKey    string `json:"request_key"`
+	Variants      int    `json:"variants,omitempty"`
+	ForkRound     *int   `json:"fork_round,omitempty"`
+}
+
+// Progress is one point of the informed-count curve.
+type Progress struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"` // "progress"
+	Round         int    `json:"round"`
+	Informed      int    `json:"informed"`
+}
+
+// Result terminates a successful simulation (or one sweep variant).
+type Result struct {
+	SchemaVersion int       `json:"schema_version"`
+	Event         string    `json:"event"` // "result"
+	Result        JobResult `json:"result"`
+}
+
+// Error terminates a failed simulation, sweep, or sweep variant.
+type Error struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"` // "error"
+	Error         string `json:"error"`
+}
+
+// Variant announces one sweep variant's section of the stream; the
+// variant's progress and result (or error) events follow. RequestKey is
+// the variant's content address — the same key a later sweep sharing
+// this base, fork round and overlay would reuse.
+type Variant struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"` // "variant"
+	Index         int    `json:"index"`
+	RequestKey    string `json:"request_key"`
+}
+
+// SweepResult terminates a sweep stream: the variant tally and the
+// rounds summed over successful variants.
+type SweepResult struct {
+	SchemaVersion int    `json:"schema_version"`
+	Event         string `json:"event"` // "sweep_result"
+	Variants      int    `json:"variants"`
+	Completed     int    `json:"completed"`
+	Errors        int    `json:"errors"`
+	TotalRounds   int64  `json:"total_rounds"`
+}
+
+// JobResult is the final payload of a successful job: the normalized
+// DriverResult transport totals. InformedAt is deliberately absent (it
+// is O(n)); its shape is carried by the progress events instead.
+type JobResult struct {
+	Rounds       int    `json:"rounds"`
+	Completed    bool   `json:"completed"`
+	Exchanges    int64  `json:"exchanges"`
+	Messages     int64  `json:"messages,omitempty"`
+	Dropped      int64  `json:"dropped"`
+	Delivered    int64  `json:"delivered"`
+	RumorPayload int64  `json:"rumor_payload"`
+	Winner       string `json:"winner,omitempty"`
+}
+
+// Event is the decode-side union: every field of every event type, for
+// clients that scan a stream line by line and switch on Event.
+type Event struct {
+	SchemaVersion int        `json:"schema_version"`
+	Event         string     `json:"event"`
+	Driver        string     `json:"driver,omitempty"`
+	RequestKey    string     `json:"request_key,omitempty"`
+	Round         int        `json:"round,omitempty"`
+	Informed      int        `json:"informed,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	Result        *JobResult `json:"result,omitempty"`
+	Index         int        `json:"index,omitempty"`
+	Variants      int        `json:"variants,omitempty"`
+	ForkRound     *int       `json:"fork_round,omitempty"`
+	Completed     int        `json:"completed,omitempty"`
+	Errors        int        `json:"errors,omitempty"`
+	TotalRounds   int64      `json:"total_rounds,omitempty"`
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"gossip/internal/gossip"
@@ -140,5 +141,114 @@ func TestRequestKeyStability(t *testing.T) {
 	can.Seed = 4
 	if requestKey(can) == k1 {
 		t.Fatal("seed change did not change the key")
+	}
+}
+
+// TestLRUEvictionOrderUnderCoalescingAtCapacity: with the cache at
+// capacity and a flight in progress on a new key, follower traffic that
+// replays an old entry keeps it hot — so when the flight publishes, the
+// eviction lands on the true cold end, not on the refreshed entry. This
+// is the cross-layer interaction (flight table × LRU × publish order)
+// that the single-layer tests above cannot see.
+func TestLRUEvictionOrderUnderCoalescingAtCapacity(t *testing.T) {
+	s := New(Config{CacheSize: 2})
+	// Fill to capacity through the leader path — publish then resolve,
+	// the exact runLeader order. Recency after this: [b, a].
+	for _, k := range []string{"a", "b"} {
+		f, leader := s.join(k)
+		if !leader {
+			t.Fatalf("first join of %q must lead", k)
+		}
+		s.publish(k, []byte(k))
+		s.resolve(k, f, []byte(k))
+	}
+
+	fc, leader := s.join("c")
+	if !leader {
+		t.Fatal("join of in-flight key c must lead")
+	}
+	const followers = 8
+	var joined, done sync.WaitGroup
+	joined.Add(followers)
+	done.Add(followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			defer done.Done()
+			// Each follower replays the cold entry "a" (refreshing its
+			// recency) and then coalesces onto the live flight for "c".
+			if body, ok := s.lookup("a"); !ok || !bytes.Equal(body, []byte("a")) {
+				t.Errorf("entry a unavailable mid-flight: ok=%v body=%q", ok, body)
+			}
+			f, lead := s.join("c")
+			joined.Done()
+			if lead {
+				t.Error("follower led a live flight")
+				return
+			}
+			<-f.done
+			if !bytes.Equal(f.body, []byte("c")) {
+				t.Errorf("follower saw %q, want c's body", f.body)
+			}
+		}()
+	}
+	joined.Wait() // every follower refreshed "a" and holds the flight
+	s.publish("c", []byte("c"))
+	s.resolve("c", fc, []byte("c"))
+	done.Wait()
+
+	// "a" was refreshed by the followers while "c" was in flight, so the
+	// publish must have evicted "b" — the cold end at publish time, not
+	// at fill time.
+	if _, ok := s.cache.get("b"); ok {
+		t.Fatal("b survived eviction despite being the cold end")
+	}
+	for _, k := range []string{"a", "c"} {
+		if body, ok := s.cache.get(k); !ok || !bytes.Equal(body, []byte(k)) {
+			t.Fatalf("entry %q lost after eviction: ok=%v body=%q", k, ok, body)
+		}
+	}
+	if s.cache.len() != 2 {
+		t.Fatalf("len = %d, want capacity 2", s.cache.len())
+	}
+	s.mu.Lock()
+	live := len(s.inflight)
+	s.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("%d flights leaked", live)
+	}
+
+	// Stress the same interaction: joins, resolves, evictions and
+	// replays racing over more keys than capacity must never tear a body
+	// or overflow the cache (run under -race in CI).
+	keys := []string{"k0", "k1", "k2", "k3", "k4"}
+	var sg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		sg.Add(1)
+		go func(w int) {
+			defer sg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(i+w)%len(keys)]
+				if body, ok := s.lookup(k); ok {
+					if !bytes.Equal(body, []byte(k)) {
+						t.Errorf("torn body for %q: %q", k, body)
+					}
+					continue
+				}
+				f, lead := s.join(k)
+				if lead {
+					s.publish(k, []byte(k))
+					s.resolve(k, f, []byte(k))
+					continue
+				}
+				<-f.done
+				if f.body != nil && !bytes.Equal(f.body, []byte(k)) {
+					t.Errorf("coalesced body for %q: %q", k, f.body)
+				}
+			}
+		}(w)
+	}
+	sg.Wait()
+	if s.cache.len() > 2 {
+		t.Fatalf("cache over capacity: %d", s.cache.len())
 	}
 }

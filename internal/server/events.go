@@ -6,64 +6,21 @@ import (
 	"sort"
 
 	"gossip/internal/gossip"
+	"gossip/internal/server/api"
 )
 
-// SchemaVersion stamps every NDJSON event so clients can detect stream
-// format changes, mirroring the experiment JSON artifact convention.
-const SchemaVersion = 1
+// The NDJSON wire types live in internal/server/api (shared with the
+// gossipd CLI, loadgen and the tests); this file keeps the server-side
+// aliases and the deterministic rendering helpers.
+const (
+	SchemaVersion = api.SchemaVersion
+	ContentType   = api.ContentType
+	CacheHeader   = api.CacheHeader
+)
 
-// ContentType is the response media type of the simulation stream.
-const ContentType = "application/x-ndjson"
-
-// CacheHeader reports whether the response body was replayed from the
-// request cache ("hit") or computed by this request ("miss"). It lives in
-// a header — never in the body — so identical requests produce
-// byte-identical bodies whether cold or cached.
-const CacheHeader = "X-Gossipd-Cache"
-
-// The NDJSON stream of a simulation is: one "accepted" event, zero or
-// more "progress" events (the informed-count curve, at most
-// maxProgressEvents of them), then exactly one "result" or "error"
-// event. Every event carries schema_version.
-type acceptedEvent struct {
-	SchemaVersion int    `json:"schema_version"`
-	Event         string `json:"event"` // "accepted"
-	Driver        string `json:"driver"`
-	RequestKey    string `json:"request_key"`
-}
-
-type progressEvent struct {
-	SchemaVersion int    `json:"schema_version"`
-	Event         string `json:"event"` // "progress"
-	Round         int    `json:"round"`
-	Informed      int    `json:"informed"`
-}
-
-type resultEvent struct {
-	SchemaVersion int       `json:"schema_version"`
-	Event         string    `json:"event"` // "result"
-	Result        JobResult `json:"result"`
-}
-
-type errorEvent struct {
-	SchemaVersion int    `json:"schema_version"`
-	Event         string `json:"event"` // "error"
-	Error         string `json:"error"`
-}
-
-// JobResult is the final payload of a successful job: the normalized
-// DriverResult transport totals. InformedAt is deliberately absent (it is
-// O(n)); its shape is carried by the progress events instead.
-type JobResult struct {
-	Rounds       int    `json:"rounds"`
-	Completed    bool   `json:"completed"`
-	Exchanges    int64  `json:"exchanges"`
-	Messages     int64  `json:"messages,omitempty"`
-	Dropped      int64  `json:"dropped"`
-	Delivered    int64  `json:"delivered"`
-	RumorPayload int64  `json:"rumor_payload"`
-	Winner       string `json:"winner,omitempty"`
-}
+// JobResult is re-exported so existing server callers and tests keep
+// compiling against the one wire definition.
+type JobResult = api.JobResult
 
 // maxProgressEvents caps the informed-curve sampling so a 40k-round DTG
 // run does not stream 40k lines; change points are sampled evenly with
@@ -81,11 +38,16 @@ func mustLine(v any) []byte {
 }
 
 func acceptedLine(jb *job) []byte {
-	return mustLine(acceptedEvent{SchemaVersion, "accepted", jb.can.Driver, jb.key})
+	return mustLine(api.Accepted{
+		SchemaVersion: SchemaVersion,
+		Event:         "accepted",
+		Driver:        jb.can.Driver,
+		RequestKey:    jb.key,
+	})
 }
 
 func errorLine(msg string) []byte {
-	return mustLine(errorEvent{SchemaVersion, "error", msg})
+	return mustLine(api.Error{SchemaVersion: SchemaVersion, Event: "error", Error: msg})
 }
 
 // resultLines renders the deterministic tail of a successful stream: the
@@ -95,16 +57,20 @@ func resultLines(res gossip.DriverResult) []byte {
 	for _, p := range progressPoints(res, maxProgressEvents) {
 		out = append(out, mustLine(p)...)
 	}
-	out = append(out, mustLine(resultEvent{SchemaVersion, "result", JobResult{
-		Rounds:       res.Rounds,
-		Completed:    res.Completed,
-		Exchanges:    res.Exchanges,
-		Messages:     res.Messages,
-		Dropped:      res.Dropped,
-		Delivered:    res.Delivered,
-		RumorPayload: res.RumorPayload,
-		Winner:       res.Winner,
-	}})...)
+	out = append(out, mustLine(api.Result{
+		SchemaVersion: SchemaVersion,
+		Event:         "result",
+		Result: api.JobResult{
+			Rounds:       res.Rounds,
+			Completed:    res.Completed,
+			Exchanges:    res.Exchanges,
+			Messages:     res.Messages,
+			Dropped:      res.Dropped,
+			Delivered:    res.Delivered,
+			RumorPayload: res.RumorPayload,
+			Winner:       res.Winner,
+		},
+	})...)
 	return out
 }
 
@@ -114,7 +80,7 @@ func resultLines(res gossip.DriverResult) []byte {
 // multi-phase pipelines) report no curve. The derivation is a pure
 // function of the result, so the stream stays byte-identical across
 // worker counts and cache replays.
-func progressPoints(res gossip.DriverResult, max int) []progressEvent {
+func progressPoints(res gossip.DriverResult, max int) []api.Progress {
 	if len(res.InformedAt) == 0 {
 		return nil
 	}
@@ -135,17 +101,17 @@ func progressPoints(res gossip.DriverResult, max int) []progressEvent {
 		return nil
 	}
 	sort.Ints(rounds)
-	points := make([]progressEvent, len(rounds))
+	points := make([]api.Progress, len(rounds))
 	informed := 0
 	for i, r := range rounds {
 		informed += gains[r]
-		points[i] = progressEvent{SchemaVersion, "progress", r, informed}
+		points[i] = api.Progress{SchemaVersion: SchemaVersion, Event: "progress", Round: r, Informed: informed}
 	}
 	if len(points) <= max {
 		return points
 	}
 	// Evenly sample, always keeping the first and last change points.
-	sampled := make([]progressEvent, 0, max)
+	sampled := make([]api.Progress, 0, max)
 	for i := 0; i < max; i++ {
 		idx := i * (len(points) - 1) / (max - 1)
 		sampled = append(sampled, points[idx])

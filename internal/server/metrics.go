@@ -16,6 +16,8 @@ type metrics struct {
 	failed    atomic.Int64 // timeouts and deterministic job errors
 	hits      atomic.Int64 // cache + coalesced replays
 	misses    atomic.Int64 // executions
+	storeHits atomic.Int64 // lookups served by promoting a disk-store body
+	sweeps    atomic.Int64 // sweep requests that executed (sweep-level misses)
 	rounds    atomic.Int64 // simulated rounds, summed over completed jobs
 }
 
@@ -25,6 +27,8 @@ type Snapshot struct {
 	InFlight, Queued, Running int64
 	Completed, Failed         int64
 	CacheHits, CacheMisses    int64
+	StoreHits                 int64
+	SweepsExecuted            int64
 	RoundsSimulated           int64
 	CacheEntries              int
 	PoolSize                  int
@@ -41,6 +45,8 @@ func (s *Server) Metrics() Snapshot {
 		Failed:          s.met.failed.Load(),
 		CacheHits:       s.met.hits.Load(),
 		CacheMisses:     s.met.misses.Load(),
+		StoreHits:       s.met.storeHits.Load(),
+		SweepsExecuted:  s.met.sweeps.Load(),
 		RoundsSimulated: s.met.rounds.Load(),
 		CacheEntries:    s.cache.len(),
 		PoolSize:        s.pool.Size(),
@@ -61,6 +67,8 @@ func (m *metrics) render(w io.Writer, cacheEntries, poolSize int) {
 	counter("gossipd_jobs_failed_total", "jobs that produced an error event", m.failed.Load())
 	counter("gossipd_cache_hits_total", "responses replayed from the request cache or a coalesced flight", m.hits.Load())
 	counter("gossipd_cache_misses_total", "responses computed by executing the job", m.misses.Load())
+	counter("gossipd_store_hits_total", "lookups served from the disk result store", m.storeHits.Load())
+	counter("gossipd_sweeps_executed_total", "sweep requests executed rather than replayed", m.sweeps.Load())
 	counter("gossipd_rounds_simulated_total", "simulated rounds summed over completed jobs", m.rounds.Load())
 	gauge("gossipd_cache_entries", "request cache occupancy", int64(cacheEntries))
 	gauge("gossipd_pool_slots", "execution pool size", int64(poolSize))

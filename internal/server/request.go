@@ -405,7 +405,9 @@ func (j *job) driverOptions() gossip.DriverOptions {
 		FaultTolerant:  j.can.FaultTolerant,
 		LBTimeout:      j.can.LBTimeout,
 		SkipCheck:      j.can.SkipCheck,
-		Adversity:      j.spec,
-		Workers:        j.workers,
+		ExecOptions: gossip.ExecOptions{
+			Adversity: j.spec,
+			Workers:   j.workers,
+		},
 	}
 }

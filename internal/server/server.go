@@ -41,6 +41,13 @@ type Config struct {
 	// CacheSize is the completed-job LRU capacity in entries
 	// (0: 1024; negative: caching disabled — every request executes).
 	CacheSize int
+	// StoreDir, when set, adds a persistent tier under the LRU: completed
+	// bodies are written through to a content-addressed directory
+	// (<dir>/<key[:2]>/<key>.ndjson) and survive restarts; LRU misses
+	// fall through to disk and promote. Disabling the cache (negative
+	// CacheSize) disables the disk tier too. The directory should exist
+	// and be writable; open failures degrade to no persistent tier.
+	StoreDir string
 	// MaxN caps the graph size (<=0: 1<<17) — checked against the node
 	// count the family builds (dumbbell 2n, ring layers·n, grid side²),
 	// not just the raw n parameter.
@@ -92,6 +99,7 @@ type Server struct {
 	cfg      Config
 	pool     *runner.Pool
 	cache    *lruCache
+	store    *diskStore // nil: no persistent tier
 	met      metrics
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -104,13 +112,45 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		pool:     runner.NewPool(cfg.Pool),
 		cache:    newLRU(cfg.CacheSize),
 		inflight: make(map[string]*flight),
 		drainCtx: ctx,
 		drain:    cancel,
+	}
+	if cfg.StoreDir != "" && cfg.CacheSize >= 0 {
+		if st, err := newDiskStore(cfg.StoreDir); err == nil {
+			s.store = st
+		}
+	}
+	return s
+}
+
+// lookup consults the cache tiers in order — in-memory LRU, then the
+// disk store — promoting disk hits into the LRU so hot keys stop
+// paying the read.
+func (s *Server) lookup(key string) ([]byte, bool) {
+	if body, ok := s.cache.get(key); ok {
+		return body, true
+	}
+	if s.store == nil {
+		return nil, false
+	}
+	body, ok := s.store.get(key)
+	if ok {
+		s.met.storeHits.Add(1)
+		s.cache.put(key, body)
+	}
+	return body, ok
+}
+
+// publish records a completed deterministic body in both tiers.
+func (s *Server) publish(key string, body []byte) {
+	s.cache.put(key, body)
+	if s.store != nil {
+		s.store.put(key, body)
 	}
 }
 
@@ -124,10 +164,11 @@ func (s *Server) Drain() { s.drain() }
 func (s *Server) Draining() bool { return s.drainCtx.Err() != nil }
 
 // Handler returns the routed service: POST /v1/simulations,
-// GET /v1/drivers, GET /healthz, GET /metrics.
+// POST /v1/sweeps, GET /v1/drivers, GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/drivers", s.handleDrivers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -175,7 +216,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	for attempt := 0; ; attempt++ {
-		if body, ok := s.cache.get(jb.key); ok {
+		if body, ok := s.lookup(jb.key); ok {
 			s.met.hits.Add(1)
 			writeStream(w, body, "hit")
 			return
@@ -196,7 +237,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			// execute (and count a miss) twice, breaking the
 			// misses-== -distinct-keys invariant the load-smoke gate
 			// asserts.
-			if body, ok := s.cache.get(jb.key); ok {
+			if body, ok := s.lookup(jb.key); ok {
 				s.resolve(jb.key, f, body)
 				s.met.hits.Add(1)
 				writeStream(w, body, "hit")
@@ -291,7 +332,7 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 			// canonical request: cache them like results so identical
 			// requests replay the identical error stream.
 			body := append(append([]byte(nil), accepted...), errorLine(o.err.Error())...)
-			s.cache.put(jb.key, body)
+			s.publish(jb.key, body)
 			if f != nil {
 				s.resolve(jb.key, f, body)
 			}
@@ -301,7 +342,7 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 		}
 		tail := resultLines(o.res)
 		body := append(append([]byte(nil), accepted...), tail...)
-		s.cache.put(jb.key, body)
+		s.publish(jb.key, body)
 		if f != nil {
 			s.resolve(jb.key, f, body)
 		}

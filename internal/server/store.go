@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// diskStore is the persistent tier of the result cache: a
+// content-addressed directory of completed NDJSON bodies, keyed by the
+// same sha256-derived request keys as the in-memory LRU. Bodies are
+// deterministic, so the store never needs invalidation — a key's bytes
+// are either absent or correct forever.
+//
+// Layout: <dir>/<key[:2]>/<key>.ndjson. The two-character shard keeps
+// directory fan-out bounded (256 subdirectories) the way git's object
+// store does. Writes go through a temp file in the same directory
+// followed by an atomic rename, so a crash mid-write never leaves a
+// truncated body where a key should be.
+type diskStore struct {
+	dir string
+}
+
+// newDiskStore opens (creating if needed) the store rooted at dir.
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: result store: %w", err)
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+func (d *diskStore) path(key string) string {
+	return filepath.Join(d.dir, key[:2], key+".ndjson")
+}
+
+// get returns the stored body for key, or ok=false when absent. Read
+// errors degrade to a miss: the job re-executes and rewrites the entry.
+func (d *diskStore) get(key string) ([]byte, bool) {
+	if len(key) < 2 {
+		return nil, false
+	}
+	body, err := os.ReadFile(d.path(key))
+	if err != nil || len(body) == 0 {
+		return nil, false
+	}
+	return body, true
+}
+
+// put persists body under key, atomically. Failures are swallowed: the
+// store is a cache, and a write error only costs a future recompute.
+func (d *diskStore) put(key string, body []byte) {
+	if len(key) < 2 || len(body) == 0 {
+		return
+	}
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDiskStoreRoundTrip pins the storage unit: put/get round-trips,
+// absent keys miss, short keys are rejected, and the on-disk layout is
+// the sharded git-style <dir>/<key[:2]>/<key>.ndjson.
+func TestDiskStoreRoundTrip(t *testing.T) {
+	st, err := newDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "abcdef0123456789abcdef0123456789"
+	if _, ok := st.get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	body := []byte("{\"event\":\"accepted\"}\n{\"event\":\"result\"}\n")
+	st.put(key, body)
+	got, ok := st.get(key)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("round-trip: ok=%v got %q", ok, got)
+	}
+	if _, err := os.Stat(filepath.Join(st.dir, "ab", key+".ndjson")); err != nil {
+		t.Fatalf("sharded layout: %v", err)
+	}
+	if _, ok := st.get("x"); ok {
+		t.Fatal("short key served")
+	}
+	st.put("x", body) // must not panic or write
+	// A truncated entry degrades to a miss, never a corrupt replay.
+	if err := os.WriteFile(st.path(key), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.get(key); ok {
+		t.Fatal("empty entry served")
+	}
+}
+
+// TestStoreSurvivesRestart is the persistence contract: a fresh Server
+// sharing the store directory replays completed simulations and sweeps
+// byte-identically as cache hits, without re-executing.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := New(Config{StoreDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	_, cache1, simBody1 := postJob(t, ts1.URL, pushPullReq())
+	_, scache1, sweepBody1 := postSweep(t, ts1.URL, pushPullSweep())
+	ts1.Close()
+	if cache1 != "miss" || scache1 != "miss" {
+		t.Fatalf("first server: %q/%q, want miss/miss", cache1, scache1)
+	}
+
+	srv2 := New(Config{StoreDir: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	_, cache2, simBody2 := postJob(t, ts2.URL, pushPullReq())
+	_, scache2, sweepBody2 := postSweep(t, ts2.URL, pushPullSweep())
+	if cache2 != "hit" || scache2 != "hit" {
+		t.Fatalf("restarted server: %q/%q, want hit/hit", cache2, scache2)
+	}
+	if !bytes.Equal(simBody1, simBody2) || !bytes.Equal(sweepBody1, sweepBody2) {
+		t.Fatal("replayed bodies differ from the originals")
+	}
+	m := srv2.Metrics()
+	if m.StoreHits == 0 {
+		t.Fatalf("no store hits recorded: %+v", m)
+	}
+	if m.CacheMisses != 0 {
+		t.Fatalf("restarted server re-executed: %+v", m)
+	}
+}
+
+// TestStoreDisabledWithCache: negative CacheSize turns off every tier,
+// the disk store included.
+func TestStoreDisabledWithCache(t *testing.T) {
+	srv := New(Config{StoreDir: t.TempDir(), CacheSize: -1})
+	if srv.store != nil {
+		t.Fatal("disk store active with caching disabled")
+	}
+}

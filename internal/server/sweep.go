@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"gossip/internal/adversity"
+	"gossip/internal/gossip"
+	"gossip/internal/graphgen"
+	"gossip/internal/server/api"
+)
+
+// SweepRequest is the JSON body of POST /v1/sweeps: one base simulation
+// plus mid-run parameter divergences. The server runs the base job once
+// up to fork_round, freezes the engine there (gossip.Fork), and resumes
+// the shared warm prefix once per variant — so a 16-variant sweep pays
+// for the common prefix once instead of 16 times. The base must name a
+// single-phase driver (push-pull, flood, dtg, superstep, rr); the
+// multi-phase pipelines have no single engine to freeze and are a 400.
+type SweepRequest struct {
+	// Base is a complete /v1/simulations request: it defines the shared
+	// prefix and every knob the variants do not override.
+	Base Request `json:"base"`
+	// ForkRound is the round barrier the prefix is frozen at. The engine
+	// freezes at the first processed round >= ForkRound (event-driven
+	// rounds can jump); a fork past the end of the base run degenerates
+	// to the finished run for every variant.
+	ForkRound int `json:"fork_round"`
+	// Variants are the divergences, applied from the fork round on. A
+	// nil field inherits the base value; at least one variant required.
+	Variants []SweepVariant `json:"variants"`
+}
+
+// SweepVariant overrides the divergence-safe knobs of the base request.
+// Everything else — topology, seed, source, objective, protocol
+// parameters — shaped the prefix and is frozen (see gossip.WarmPrefix).
+type SweepVariant struct {
+	// FaultSpec replaces the base fault schedule from the fork round on
+	// (adversity DSL; "" clears it). Loss draws fresh per-variant random
+	// streams; scheduled events dated before the fork round are skipped.
+	FaultSpec *string `json:"fault_spec,omitempty"`
+	// MaxRounds replaces the base horizon (0 = driver default). It must
+	// not land before fork_round.
+	MaxRounds *int `json:"max_rounds,omitempty"`
+	// MaxInPerRound replaces the base in-degree cap, for drivers that
+	// accept it.
+	MaxInPerRound *int `json:"max_in_per_round,omitempty"`
+}
+
+// maxSweepVariants bounds the per-request fan-out; wider sweeps split
+// into several requests (which share variant results through the
+// content-addressed store anyway).
+const maxSweepVariants = 32
+
+// variantJob is one validated sweep variant: the diverged canonical
+// form plus its content address.
+type variantJob struct {
+	can  canonical
+	spec *adversity.Spec
+	// key addresses the variant body: a hash of (base canonical,
+	// fork_round, variant canonical). It deliberately does NOT collide
+	// with the /v1/simulations key of the same parameters — a warm
+	// continuation and a cold run are different computations with
+	// different bodies (the warm one has no accepted line), and a later
+	// sweep sharing this base, fork and overlay reuses it byte-for-byte.
+	key string
+}
+
+// options maps the variant onto the driver option surface; workers is
+// inherited from the base request (execution knob, not canonical).
+func (v *variantJob) options(workers int) gossip.DriverOptions {
+	j := job{can: v.can, workers: workers, spec: v.spec}
+	return j.driverOptions()
+}
+
+// sweepJob is a validated, normalized sweep ready to execute.
+type sweepJob struct {
+	base      *job
+	forkRound int
+	vars      []*variantJob
+	key       string // whole-stream cache key
+}
+
+// sweepCanonical and sweepVariantCanonical are the key material; struct
+// field order makes the JSON — and so the keys — deterministic.
+type sweepCanonical struct {
+	Base      canonical   `json:"base"`
+	ForkRound int         `json:"fork_round"`
+	Variants  []canonical `json:"variants"`
+}
+
+type sweepVariantCanonical struct {
+	Base      canonical `json:"base"`
+	ForkRound int       `json:"fork_round"`
+	Variant   canonical `json:"variant"`
+}
+
+func hashKey(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("server: canonical sweep marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// validateSweep checks a sweep against the server limits, the base
+// request rules and the warm-start divergence contract.
+func (s *Server) validateSweep(req SweepRequest) (*sweepJob, *FieldError) {
+	base, ferr := s.validate(req.Base)
+	if ferr != nil {
+		return nil, fieldErrf("base."+ferr.Field, "%s", ferr.Message)
+	}
+	d, _ := gossip.Lookup(base.can.Driver)
+	if !d.WarmStart() {
+		return nil, fieldErrf("base.driver",
+			"driver %q is a multi-phase pipeline and cannot be warm-start forked (single-phase drivers only)", d.Name)
+	}
+	if req.ForkRound < 0 || req.ForkRound > s.cfg.MaxRoundsCap {
+		return nil, fieldErrf("fork_round", "fork_round %d outside [0, %d]", req.ForkRound, s.cfg.MaxRoundsCap)
+	}
+	if len(req.Variants) == 0 {
+		return nil, fieldErrf("variants", "a sweep needs at least one variant")
+	}
+	if len(req.Variants) > maxSweepVariants {
+		return nil, fieldErrf("variants", "%d variants over the per-request cap %d", len(req.Variants), maxSweepVariants)
+	}
+
+	sj := &sweepJob{base: base, forkRound: req.ForkRound}
+	cans := make([]canonical, 0, len(req.Variants))
+	for i, v := range req.Variants {
+		field := func(name string) string { return fmt.Sprintf("variants[%d].%s", i, name) }
+		vcan := base.can
+		vspec := base.spec
+		if v.FaultSpec != nil {
+			vcan.FaultSpec = ""
+			vspec = nil
+			if strings.TrimSpace(*v.FaultSpec) != "" {
+				parsed, err := adversity.ParseSpec(*v.FaultSpec)
+				if err != nil {
+					return nil, fieldErrf(field("fault_spec"), "%v", err)
+				}
+				if !parsed.Empty() {
+					vspec = parsed
+					vcan.FaultSpec = parsed.String()
+				}
+			}
+		}
+		if v.MaxRounds != nil {
+			if *v.MaxRounds < 0 || *v.MaxRounds > s.cfg.MaxRoundsCap {
+				return nil, fieldErrf(field("max_rounds"), "max_rounds %d outside [0, %d]", *v.MaxRounds, s.cfg.MaxRoundsCap)
+			}
+			if *v.MaxRounds != 0 && *v.MaxRounds < req.ForkRound {
+				return nil, fieldErrf(field("max_rounds"), "max_rounds %d lands before fork_round %d", *v.MaxRounds, req.ForkRound)
+			}
+			vcan.MaxRounds = *v.MaxRounds
+		}
+		if v.MaxInPerRound != nil {
+			if !d.AcceptsKey("max_in_per_round") {
+				return nil, fieldErrf(field("max_in_per_round"),
+					"driver %q does not accept \"max_in_per_round\" (accepted keys: %s)", d.Name, strings.Join(d.RequestKeys(), ", "))
+			}
+			if *v.MaxInPerRound < 0 {
+				return nil, fieldErrf(field("max_in_per_round"), "max_in_per_round %d must be >= 0", *v.MaxInPerRound)
+			}
+			vcan.MaxInPerRound = *v.MaxInPerRound
+		}
+		sj.vars = append(sj.vars, &variantJob{
+			can:  vcan,
+			spec: vspec,
+			key:  hashKey(sweepVariantCanonical{Base: base.can, ForkRound: req.ForkRound, Variant: vcan}),
+		})
+		cans = append(cans, vcan)
+	}
+	sj.key = hashKey(sweepCanonical{Base: base.can, ForkRound: req.ForkRound, Variants: cans})
+	return sj, nil
+}
+
+// handleSweep mirrors handleSimulate's cache/coalesce/leader loop on the
+// sweep-level key: identical concurrent sweeps coalesce onto one
+// execution, completed sweeps replay byte-identically from the cache
+// tiers, and cache status travels in the X-Gossipd-Cache header only.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		writeFieldError(w, fieldErrf("body", "decoding sweep request: %v", err))
+		return
+	}
+	sj, ferr := s.validateSweep(req)
+	if ferr != nil {
+		writeFieldError(w, ferr)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	defer stop()
+
+	if s.cache.disabled() {
+		if s.Draining() {
+			writeUnavailable(w)
+			return
+		}
+		s.runSweepLeader(w, ctx, sj, nil)
+		return
+	}
+
+	for attempt := 0; ; attempt++ {
+		if body, ok := s.lookup(sj.key); ok {
+			s.met.hits.Add(1)
+			writeStream(w, body, "hit")
+			return
+		}
+		if s.Draining() {
+			writeUnavailable(w)
+			return
+		}
+		if attempt >= maxJoinAttempts {
+			s.runSweepLeader(w, ctx, sj, nil)
+			return
+		}
+		f, leader := s.join(sj.key)
+		if leader {
+			if body, ok := s.lookup(sj.key); ok {
+				s.resolve(sj.key, f, body)
+				s.met.hits.Add(1)
+				writeStream(w, body, "hit")
+				return
+			}
+			s.runSweepLeader(w, ctx, sj, f)
+			return
+		}
+		select {
+		case <-f.done:
+			if f.body != nil {
+				s.met.hits.Add(1)
+				writeStream(w, f.body, "hit")
+				return
+			}
+		case <-ctx.Done():
+			if s.Draining() {
+				writeUnavailable(w)
+			}
+			return
+		}
+	}
+}
+
+// sweepChunk is one ordered piece of the sweep stream after the
+// accepted line. nondet marks wall-clock content (drain aborts) that
+// must keep the whole body out of the cache.
+type sweepChunk struct {
+	line   []byte
+	nondet bool
+	rounds int64 // terminal chunk only: rounds summed over completed variants
+}
+
+// runSweepLeader queues the shared prefix for an execution slot, streams
+// the sweep and publishes the outcome like runLeader does for single
+// jobs. The base request's timeout governs the whole sweep; a timeout
+// terminates the stream with an error event and is never cached.
+func (s *Server) runSweepLeader(w http.ResponseWriter, ctx context.Context, sj *sweepJob, f *flight) {
+	s.met.queued.Add(1)
+	err := s.pool.Acquire(ctx)
+	s.met.queued.Add(-1)
+	if err != nil {
+		if f != nil {
+			s.resolve(sj.key, f, nil)
+		}
+		if s.Draining() {
+			writeUnavailable(w)
+		}
+		return
+	}
+
+	accepted := sweepAcceptedLine(sj)
+	s.met.misses.Add(1)
+	s.met.sweeps.Add(1)
+	w.Header().Set(CacheHeader, "miss")
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	flushWrite(w, accepted)
+
+	// The producer owns the acquired slot and runs to completion on its
+	// own schedule (like runLeader's execution goroutine): a vanished
+	// client or a timed-out stream does not stop variant bodies from
+	// reaching the content store. The channel is buffered for the whole
+	// stream so an abandoned producer never blocks.
+	out := make(chan sweepChunk, 2*len(sj.vars)+2)
+	s.met.running.Add(1)
+	go func() {
+		defer s.met.running.Add(-1)
+		s.produceSweep(sj, out)
+	}()
+
+	timer := time.NewTimer(sj.base.timeout)
+	defer timer.Stop()
+	body := append([]byte(nil), accepted...)
+	cacheable := true
+	var rounds int64
+	for {
+		select {
+		case c, ok := <-out:
+			if !ok {
+				if cacheable {
+					s.publish(sj.key, body)
+					if f != nil {
+						s.resolve(sj.key, f, body)
+					}
+					s.met.completed.Add(1)
+					s.met.rounds.Add(rounds)
+				} else {
+					if f != nil {
+						s.resolve(sj.key, f, nil)
+					}
+					s.met.failed.Add(1)
+				}
+				return
+			}
+			cacheable = cacheable && !c.nondet
+			rounds += c.rounds
+			body = append(body, c.line...)
+			flushWrite(w, c.line)
+		case <-timer.C:
+			// Wall-clock, not canonical: never cached. The producer keeps
+			// going so the per-variant bodies still land in the store.
+			if f != nil {
+				s.resolve(sj.key, f, nil)
+			}
+			s.met.failed.Add(1)
+			flushWrite(w, errorLine(fmt.Sprintf("sweep exceeded its %v execution timeout", sj.base.timeout)))
+			return
+		}
+	}
+}
+
+// produceSweep computes the stream after the accepted line: fork the
+// shared prefix (on the slot the caller acquired), resume every variant
+// in parallel on its own pool slot, and emit the per-variant sections in
+// index order followed by the sweep_result tally. Completed variant
+// bodies are content-addressed into the cache tiers, so overlapping
+// sweeps — and replays after an eviction or a restart — skip the resume.
+func (s *Server) produceSweep(sj *sweepJob, out chan<- sweepChunk) {
+	defer close(out)
+	if s.cfg.gate != nil {
+		s.cfg.gate(sj.key)
+	}
+	g, err := graphgen.Build(graphgen.Spec{
+		Family:  sj.base.can.Graph.Family,
+		N:       sj.base.can.Graph.N,
+		Latency: sj.base.can.Graph.Latency,
+		P:       sj.base.can.Graph.P,
+		Layers:  sj.base.can.Graph.Layers,
+		Seed:    sj.base.can.Seed,
+	})
+	if err != nil {
+		s.pool.Release()
+		out <- sweepChunk{line: errorLine(fmt.Sprintf("building graph: %v", err))}
+		return
+	}
+	prefix, err := gossip.Fork(sj.base.can.Driver, g, sj.base.driverOptions(), sj.forkRound)
+	s.pool.Release()
+	if err != nil {
+		// Deterministic (a pure function of the canonical sweep): the
+		// stream, error included, is cached like any other body.
+		out <- sweepChunk{line: errorLine(fmt.Sprintf("forking warm prefix: %v", err))}
+		return
+	}
+
+	type vOut struct {
+		tail   []byte
+		nondet bool
+	}
+	results := make([]chan vOut, len(sj.vars))
+	for i := range sj.vars {
+		results[i] = make(chan vOut, 1)
+		go func(i int, v *variantJob) {
+			if tail, ok := s.lookup(v.key); ok {
+				results[i] <- vOut{tail: tail}
+				return
+			}
+			if err := s.pool.Acquire(s.drainCtx); err != nil {
+				results[i] <- vOut{tail: errorLine("server is draining; variant aborted"), nondet: true}
+				return
+			}
+			res, err := prefix.Resume(v.options(sj.base.workers))
+			s.pool.Release()
+			var tail []byte
+			if err != nil {
+				tail = errorLine(err.Error())
+			} else {
+				tail = resultLines(res)
+			}
+			s.publish(v.key, tail)
+			results[i] <- vOut{tail: tail}
+		}(i, sj.vars[i])
+	}
+
+	var totalRounds int64
+	completed, errs := 0, 0
+	for i, v := range sj.vars {
+		out <- sweepChunk{line: variantLine(i, v.key)}
+		r := <-results[i]
+		rounds, isErr := tailSummary(r.tail)
+		if isErr {
+			errs++
+		} else {
+			completed++
+			totalRounds += rounds
+		}
+		out <- sweepChunk{line: r.tail, nondet: r.nondet}
+	}
+	out <- sweepChunk{line: sweepResultLine(len(sj.vars), completed, errs, totalRounds), rounds: totalRounds}
+}
+
+func sweepAcceptedLine(sj *sweepJob) []byte {
+	fr := sj.forkRound
+	return mustLine(api.Accepted{
+		SchemaVersion: SchemaVersion,
+		Event:         "accepted",
+		Driver:        sj.base.can.Driver,
+		RequestKey:    sj.key,
+		Variants:      len(sj.vars),
+		ForkRound:     &fr,
+	})
+}
+
+func variantLine(index int, key string) []byte {
+	return mustLine(api.Variant{SchemaVersion: SchemaVersion, Event: "variant", Index: index, RequestKey: key})
+}
+
+func sweepResultLine(variants, completed, errs int, totalRounds int64) []byte {
+	return mustLine(api.SweepResult{
+		SchemaVersion: SchemaVersion,
+		Event:         "sweep_result",
+		Variants:      variants,
+		Completed:     completed,
+		Errors:        errs,
+		TotalRounds:   totalRounds,
+	})
+}
+
+// tailSummary classifies a stored variant tail by its terminal event —
+// needed because a tail replayed from the content store arrives as
+// opaque bytes.
+func tailSummary(tail []byte) (rounds int64, isErr bool) {
+	trimmed := bytes.TrimRight(tail, "\n")
+	last := trimmed[bytes.LastIndexByte(trimmed, '\n')+1:]
+	var ev api.Event
+	if err := json.Unmarshal(last, &ev); err != nil {
+		return 0, true
+	}
+	if ev.Event == "result" && ev.Result != nil {
+		return int64(ev.Result.Rounds), false
+	}
+	return 0, true
+}

@@ -71,6 +71,19 @@ func (s *rumorSet) promote() {
 	s.sorted = nil
 }
 
+// cloneFrom replaces s with a deep copy of src (same representation:
+// sparse stays sparse, dense stays dense), reusing s's sparse backing
+// where possible. Used by snapshot restore; src is never mutated.
+func (s *rumorSet) cloneFrom(src *rumorSet) {
+	s.n = src.n
+	s.sorted = append(s.sorted[:0], src.sorted...)
+	if src.dense != nil {
+		s.dense = src.dense.Clone()
+	} else {
+		s.dense = nil
+	}
+}
+
 func (s *rumorSet) count() int {
 	if s.dense != nil {
 		return s.dense.Count()

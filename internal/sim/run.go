@@ -148,6 +148,12 @@ type engine struct {
 	amnesiac []AmnesiaReseter
 	world    *World
 
+	// pcgArena/rngArena back every NodeView's private stream; kept on the
+	// engine (not as setup locals) so a snapshot can copy the PCG cursors
+	// and a restored engine can splice them back in.
+	pcgArena []rand.PCG
+	rngArena []rand.Rand
+
 	watched    graph.NodeID
 	informedAt []int
 	wake       []int
@@ -171,11 +177,23 @@ type engine struct {
 	shards  []shard
 	workers int
 
+	// jitterPCG is the jitter draw stream, held by value (jitterRNG wraps
+	// it) so snapshots can copy the cursor like any per-node stream.
+	jitterPCG rand.PCG
 	jitterRNG *rand.Rand
 	useDelta  bool
 	inCount   []int
 	seq       int64
 	res       Result
+
+	// startRound is where the event loop enters (non-zero on a restored
+	// engine). snapAt >= 0 arms a capture barrier: the loop freezes and
+	// returns at the first processed round >= snapAt, recording it in
+	// snapRound and setting snapped.
+	startRound int
+	snapAt     int
+	snapRound  int
+	snapped    bool
 
 	crashRounds []int
 	crashNodes  map[int][]int32
@@ -242,17 +260,30 @@ func csrHasEdge(csr *graph.CSR, u, v int) bool {
 // Run executes the simulation until stop returns true or the horizon is
 // reached.
 func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
+	e, err := newEngine(cfg, factory)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run(stop)
+}
+
+// newEngine validates cfg and builds a ready-to-run engine positioned at
+// round 0: arenas, rumor seeding, protocol facets, the delivery calendar
+// and the worker shards. Run is newEngine + run; snapshot restore
+// (snapshot.go) builds the same fresh engine and splices captured state
+// over it, which is why everything mutable lives in engine fields.
+func newEngine(cfg Config, factory Factory) (*engine, error) {
 	csr := cfg.CSR
 	if csr == nil {
 		if cfg.Graph == nil {
-			return Result{}, fmt.Errorf("sim: nil graph")
+			return nil, fmt.Errorf("sim: nil graph")
 		}
 		if err := cfg.Graph.Validate(); err != nil {
-			return Result{}, fmt.Errorf("sim: invalid graph: %w", err)
+			return nil, fmt.Errorf("sim: invalid graph: %w", err)
 		}
 		csr = cfg.Graph.CSR()
 	} else if err := csr.Validate(); err != nil {
-		return Result{}, fmt.Errorf("sim: invalid graph: %w", err)
+		return nil, fmt.Errorf("sim: invalid graph: %w", err)
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = OneToAll
@@ -264,35 +295,35 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	// anything that is not a finite value in [0,1) is rejected up front
 	// (the negated-range form also catches NaN).
 	if cfg.LatencyJitter != 0 && !(cfg.LatencyJitter >= 0 && cfg.LatencyJitter < 1) {
-		return Result{}, fmt.Errorf("sim: latency jitter %v outside [0,1)", cfg.LatencyJitter)
+		return nil, fmt.Errorf("sim: latency jitter %v outside [0,1)", cfg.LatencyJitter)
 	}
 	n := csr.N()
 	if cfg.Source < 0 || cfg.Source >= n {
-		return Result{}, fmt.Errorf("sim: source %d out of range", cfg.Source)
+		return nil, fmt.Errorf("sim: source %d out of range", cfg.Source)
 	}
 	for _, s := range cfg.Sources {
 		if s < 0 || s >= n {
-			return Result{}, fmt.Errorf("sim: source %d out of range", s)
+			return nil, fmt.Errorf("sim: source %d out of range", s)
 		}
 	}
 	if cfg.CrashAt != nil && len(cfg.CrashAt) != n {
-		return Result{}, fmt.Errorf("sim: %d crash entries for %d nodes", len(cfg.CrashAt), n)
+		return nil, fmt.Errorf("sim: %d crash entries for %d nodes", len(cfg.CrashAt), n)
 	}
 	var sched *adversity.Schedule
 	if !cfg.Adversity.Empty() {
 		var err error
 		sched, err = cfg.Adversity.Compile(n)
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: %w", err)
+			return nil, fmt.Errorf("sim: %w", err)
 		}
 		for _, ref := range sched.EdgeRefs() {
 			if !csrHasEdge(csr, ref[0], ref[1]) {
-				return Result{}, fmt.Errorf("sim: adversity schedule references edge (%d,%d) not in the graph", ref[0], ref[1])
+				return nil, fmt.Errorf("sim: adversity schedule references edge (%d,%d) not in the graph", ref[0], ref[1])
 			}
 		}
 	}
 
-	e := &engine{cfg: cfg, csr: csr, n: n, adv: sched}
+	e := &engine{cfg: cfg, csr: csr, n: n, adv: sched, snapAt: -1}
 
 	// NodeViews, known-latency tables and RNG states are arena-allocated:
 	// a handful of slabs instead of ~4n small objects keeps setup off the
@@ -301,8 +332,9 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	views := make([]*NodeView, n)
 	protos := make([]Protocol, n)
 	knownArena := make([]int32, csr.HalfEdges())
-	pcgArena := make([]rand.PCG, n)
-	rngArena := make([]rand.Rand, n)
+	e.pcgArena = make([]rand.PCG, n)
+	e.rngArena = make([]rand.Rand, n)
+	pcgArena, rngArena := e.pcgArena, e.rngArena
 	for u := 0; u < n; u++ {
 		off := csr.Offset(u)
 		deg := csr.Degree(u)
@@ -345,7 +377,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	switch {
 	case cfg.InitialRumors != nil:
 		if len(cfg.InitialRumors) != n {
-			return Result{}, fmt.Errorf("sim: %d initial rumor sets for %d nodes", len(cfg.InitialRumors), n)
+			return nil, fmt.Errorf("sim: %d initial rumor sets for %d nodes", len(cfg.InitialRumors), n)
 		}
 		for u := 0; u < n; u++ {
 			nv := views[u]
@@ -372,7 +404,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		informedAt[watched] = 0
 		informed.Add(watched)
 	default:
-		return Result{}, fmt.Errorf("sim: unknown rumor mode %d", cfg.Mode)
+		return nil, fmt.Errorf("sim: unknown rumor mode %d", cfg.Mode)
 	}
 
 	// Sleeper/Waiter/MetaProducer/DoneReporter facets are fixed per
@@ -385,7 +417,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	for u := 0; u < n; u++ {
 		protos[u] = factory(views[u])
 		if protos[u] == nil {
-			return Result{}, fmt.Errorf("sim: factory returned nil protocol for node %d", u)
+			return nil, fmt.Errorf("sim: factory returned nil protocol for node %d", u)
 		}
 		if s, ok := protos[u].(Sleeper); ok {
 			e.sleeper[u] = s
@@ -448,7 +480,8 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 	e.res.InformedAt = informedAt
 	e.res.World = e.world
 
-	e.jitterRNG = rand.New(rand.NewPCG(cfg.Seed^0xdeadbeefcafe, 0x5851f42d4c957f2d))
+	e.jitterPCG = *rand.NewPCG(cfg.Seed^0xdeadbeefcafe, 0x5851f42d4c957f2d)
+	e.jitterRNG = rand.New(&e.jitterPCG)
 	// Delta windows require exchanges on an edge to deliver in initiation
 	// order; jitter can reorder them, so it falls back to full prefixes.
 	e.useDelta = cfg.LatencyJitter == 0
@@ -493,7 +526,7 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 		e.shards[i] = shard{lo: lo, hi: hi}
 	}
 
-	return e.run(stop)
+	return e, nil
 }
 
 // parallel runs fn over every shard: inline when serial, fanned across
@@ -857,7 +890,19 @@ func (e *engine) amnesia(u int, round int) {
 }
 
 func (e *engine) run(stop StopFunc) (Result, error) {
-	for round := 0; round <= e.cfg.MaxRounds; {
+	for round := e.startRound; round <= e.cfg.MaxRounds; {
+		// Capture barrier: the top of an iteration is the one point where
+		// no intermediate state exists — due is nil, shard buffers are
+		// empty, this round's crash/adversity events are unprocessed — so
+		// freezing here and re-entering at the same round replays the
+		// iteration exactly. Round jumps may overshoot snapAt; the round
+		// actually captured is recorded, and it is by construction a round
+		// the cold run would also have processed.
+		if e.snapAt >= 0 && round >= e.snapAt {
+			e.snapped = true
+			e.snapRound = round
+			return e.res, nil
+		}
 		e.world.Round = round
 		for e.nextCrash < len(e.crashRounds) && e.crashRounds[e.nextCrash] <= round {
 			for _, u := range e.crashNodes[e.crashRounds[e.nextCrash]] {

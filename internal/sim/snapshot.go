@@ -1,0 +1,236 @@
+// Deterministic engine snapshot/restore: CaptureAt runs a configuration
+// to a round barrier and freezes the complete engine state — gain
+// journals and rumor sets, the delivery calendar (bucket ring + overflow
+// heap), per-node protocol and loss-draw RNG stream cursors, adversity
+// and crash cursors, the informed tally and transport counters. Resume
+// rebuilds a fresh engine from an equivalent configuration and splices
+// the frozen state over it, so the continued run is bit-identical to a
+// cold run that never stopped — or, when the resume configuration
+// diverges in the permitted knobs, a deterministic fork of the shared
+// prefix. One snapshot can be resumed many times, concurrently: the
+// captured engine is never mutated again.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StateCloner is the Protocol extension snapshotting requires: a freshly
+// constructed protocol instance is asked to copy the mutable state of
+// the frozen source instance for the same node. The source belongs to a
+// finished capture run and must only be read; anything reachable from a
+// previously returned Meta() value must be treated as immutable (meta
+// snapshots captured by in-flight exchanges are shared across resumes).
+// State derived purely from construction inputs (topology, known
+// latencies, options) need not be copied — the factory already rebuilt
+// it identically.
+type StateCloner interface {
+	CloneStateFrom(src Protocol)
+}
+
+// Snapshot is a frozen engine at a round barrier, produced by CaptureAt.
+// It is immutable and safe for concurrent Resume calls.
+type Snapshot struct {
+	src   *engine // frozen capture engine; nil when done
+	round int
+	done  bool
+	res   Result
+}
+
+// CaptureAt runs cfg until the first processed round >= atRound and
+// freezes the engine there. The prefix runs under stop as usual; if the
+// run finishes (stop holds, quiescence, or the horizon) before reaching
+// atRound the snapshot is marked Done and carries the final result,
+// which every Resume then returns as-is — a fork past the end of a run
+// is just the run. Every protocol the factory builds must implement
+// StateCloner.
+func CaptureAt(cfg Config, factory Factory, stop StopFunc, atRound int) (*Snapshot, error) {
+	if atRound < 0 {
+		return nil, fmt.Errorf("sim: capture round %d is negative", atRound)
+	}
+	e, err := newEngine(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < e.n; u++ {
+		if _, ok := e.protos[u].(StateCloner); !ok {
+			return nil, fmt.Errorf("sim: protocol %T does not implement StateCloner and cannot be snapshotted", e.protos[u])
+		}
+	}
+	e.snapAt = atRound
+	res, err := e.run(stop)
+	if err != nil {
+		return nil, err
+	}
+	if !e.snapped {
+		return &Snapshot{done: true, res: res, round: res.Rounds}, nil
+	}
+	return &Snapshot{src: e, round: e.snapRound}, nil
+}
+
+// Round is the barrier round actually captured (>= the requested round
+// when the event loop jumped over it), or the final round when Done.
+func (s *Snapshot) Round() int { return s.round }
+
+// Done reports that the capture run finished before reaching the
+// requested round; Resume returns its final result directly.
+func (s *Snapshot) Done() bool { return s.done }
+
+// Resume continues the frozen run under cfg with a fresh engine. cfg
+// must agree with the capture configuration on everything that shaped
+// the prefix — topology (same Graph/CSR values), Seed, KnownLatencies,
+// Mode, Source/Sources, InitialRumors, CrashAt, LatencyJitter — and may
+// diverge on Workers, MaxRounds, MaxInPerRound and Adversity. With an
+// identical configuration the continued run is bit-identical to a cold
+// run at any worker count.
+//
+// Adversity divergence semantics: the prefix ran under the capture
+// schedule — in-flight exchange fates and the alive set carry over
+// unchanged — and the diverged schedule governs from the fork round on.
+// Diverged-schedule events scheduled before the fork round are skipped,
+// and loss draws come from fresh per-node streams, so a diverged resume
+// is deterministic but is not claimed equal to any cold run. Place
+// diverged events at or after the fork round for sane semantics.
+func (s *Snapshot) Resume(cfg Config, factory Factory, stop StopFunc) (Result, error) {
+	if s.done {
+		return s.res, nil
+	}
+	src := s.src
+	e, err := newEngine(cfg, factory)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := compatible(&src.cfg, &e.cfg); err != nil {
+		return Result{}, err
+	}
+	if e.cfg.MaxRounds < s.round {
+		return Result{}, fmt.Errorf("sim: resume horizon %d is before the snapshot round %d", e.cfg.MaxRounds, s.round)
+	}
+
+	// Per-node state: rumor set + journal, discovered latencies, protocol
+	// RNG cursors, protocol-private state.
+	for u := 0; u < e.n; u++ {
+		dst, so := e.views[u], src.views[u]
+		dst.rum.cloneFrom(&so.rum)
+		dst.journal = append(dst.journal[:0], so.journal...)
+		copy(dst.known, so.known)
+		e.pcgArena[u] = src.pcgArena[u]
+		cl, ok := e.protos[u].(StateCloner)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: protocol %T does not implement StateCloner and cannot be restored", e.protos[u])
+		}
+		cl.CloneStateFrom(src.protos[u])
+	}
+	copy(e.wake, src.wake)
+	copy(e.informedAt, src.informedAt)
+	if e.sent != nil {
+		copy(e.sent, src.sent)
+	}
+	e.world.informed = src.world.informed.Clone()
+	if src.world.alive != nil {
+		e.world.alive = src.world.alive.Clone()
+	}
+
+	// Calendar: every pending exchange, in (deliver, seq) order — the
+	// order cold execution appended them — re-pushed relative to the
+	// barrier round. Ring geometry is identical (same topology, same
+	// jitter setting), so near/far routing matches the capture run.
+	pend := make([]exch, 0, src.pendingLen())
+	for _, bucket := range src.ring {
+		pend = append(pend, bucket...)
+	}
+	pend = append(pend, src.overflow...)
+	sort.Slice(pend, func(i, j int) bool {
+		if pend[i].deliver != pend[j].deliver {
+			return pend[i].deliver < pend[j].deliver
+		}
+		return pend[i].seq < pend[j].seq
+	})
+	for _, ex := range pend {
+		e.push(ex, s.round)
+	}
+
+	// Counters and cursors. Rounds/Completed are set when the run ends;
+	// InformedAt/World already point at this engine's fresh slices.
+	e.seq = src.seq
+	e.res.Exchanges = src.res.Exchanges
+	e.res.Messages = src.res.Messages
+	e.res.Dropped = src.res.Dropped
+	e.res.Delivered = src.res.Delivered
+	e.res.RumorPayload = src.res.RumorPayload
+	e.nextCrash = src.nextCrash
+	e.jitterPCG = src.jitterPCG
+
+	if sameSpec(cfg.Adversity, src.cfg.Adversity) {
+		// Same schedule: events recompiled identically, cursor and loss
+		// stream positions carry over — the bit-identical path.
+		e.nextAdvEvent = src.nextAdvEvent
+		if src.advPCG != nil {
+			copy(e.advPCG, src.advPCG)
+		}
+	} else {
+		// Diverged schedule: it governs from the fork round on. Events it
+		// placed before the barrier never happen (the prefix already ran
+		// under the capture schedule); events at the barrier round apply.
+		for e.nextAdvEvent < len(e.advEvents) && e.advEvents[e.nextAdvEvent].Round < s.round {
+			e.nextAdvEvent++
+		}
+	}
+
+	e.startRound = s.round
+	return e.run(stop)
+}
+
+// sameSpec reports whether a resume reuses the capture run's adversity
+// spec (identity, not structural equality: cursor carry-over is only
+// meaningful for the exact schedule the prefix ran under).
+func sameSpec(a, b any) bool { return a == b }
+
+// compatible checks that a resume configuration matches the capture
+// configuration on every field that shaped the prefix. Both configs are
+// post-normalization (newEngine defaults applied).
+func compatible(capture, resume *Config) error {
+	switch {
+	case resume.Graph != capture.Graph || resume.CSR != capture.CSR:
+		return fmt.Errorf("sim: resume topology differs from the snapshot's (same Graph/CSR values required)")
+	case resume.Seed != capture.Seed:
+		return fmt.Errorf("sim: resume seed %d differs from the snapshot's %d", resume.Seed, capture.Seed)
+	case resume.KnownLatencies != capture.KnownLatencies:
+		return fmt.Errorf("sim: resume known-latencies mode differs from the snapshot's")
+	case resume.Mode != capture.Mode:
+		return fmt.Errorf("sim: resume rumor mode differs from the snapshot's")
+	case resume.Source != capture.Source:
+		return fmt.Errorf("sim: resume source %d differs from the snapshot's %d", resume.Source, capture.Source)
+	case !sameIntSlice(resume.Sources, capture.Sources):
+		return fmt.Errorf("sim: resume sources differ from the snapshot's")
+	case !sameIntSlice(resume.CrashAt, capture.CrashAt):
+		return fmt.Errorf("sim: resume crash schedule differs from the snapshot's")
+	case !sameRumorSeed(resume, capture):
+		return fmt.Errorf("sim: resume initial rumors differ from the snapshot's (same slice required)")
+	case resume.LatencyJitter != capture.LatencyJitter:
+		return fmt.Errorf("sim: resume latency jitter %v differs from the snapshot's %v", resume.LatencyJitter, capture.LatencyJitter)
+	}
+	return nil
+}
+
+func sameIntSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameRumorSeed compares InitialRumors by identity: the sets seeded the
+// prefix, so a resume must hand back the very same slice (or none).
+func sameRumorSeed(a, b *Config) bool {
+	if len(a.InitialRumors) != len(b.InitialRumors) {
+		return false
+	}
+	return len(a.InitialRumors) == 0 || &a.InitialRumors[0] == &b.InitialRumors[0]
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"gossip/internal/graphgen"
+)
+
+// cloningProtocol extends randProtocol with StateCloner; it has no
+// mutable state beyond the engine-owned RNG cursor, so the clone is a
+// no-op. It exists so snapshot tests can run without the gossip layer.
+type cloningProtocol struct{ randProtocol }
+
+func (p *cloningProtocol) CloneStateFrom(Protocol) {}
+
+func cloningFactory(nv *NodeView) Protocol {
+	return &cloningProtocol{randProtocol{nv: nv}}
+}
+
+// TestCaptureRejectsNonCloner pins the fail-fast contract: a protocol
+// without CloneStateFrom cannot be snapshotted, and CaptureAt says so
+// before running anything.
+func TestCaptureRejectsNonCloner(t *testing.T) {
+	g := graphgen.Clique(6, 1)
+	cfg := Config{Graph: g, Seed: 1, MaxRounds: 64}
+	_, err := CaptureAt(cfg, func(nv *NodeView) Protocol { return &randProtocol{nv: nv} }, StopAllInformed(0), 4)
+	if err == nil || !strings.Contains(err.Error(), "StateCloner") {
+		t.Fatalf("want StateCloner error, got %v", err)
+	}
+}
+
+// TestCaptureRejectsNegativeRound pins the argument guard.
+func TestCaptureRejectsNegativeRound(t *testing.T) {
+	g := graphgen.Clique(6, 1)
+	cfg := Config{Graph: g, Seed: 1, MaxRounds: 64}
+	if _, err := CaptureAt(cfg, cloningFactory, StopAllInformed(0), -1); err == nil {
+		t.Fatal("negative capture round accepted")
+	}
+}
+
+// TestCaptureAfterEndIsDone: forking past the end of the run yields a
+// Done snapshot whose every Resume returns the finished result.
+func TestCaptureAfterEndIsDone(t *testing.T) {
+	g := graphgen.Clique(8, 1)
+	cfg := Config{Graph: g, Seed: 3, MaxRounds: 1 << 12}
+	cold, err := Run(cfg, cloningFactory, StopAllInformed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := CaptureAt(cfg, cloningFactory, StopAllInformed(0), cold.Rounds+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Done() || snap.Round() != cold.Rounds {
+		t.Fatalf("want done snapshot at round %d, got done=%v round=%d", cold.Rounds, snap.Done(), snap.Round())
+	}
+	res, err := snap.Resume(cfg, cloningFactory, StopAllInformed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != cold.Rounds || res.Exchanges != cold.Exchanges {
+		t.Fatalf("done resume diverges from cold run: %+v vs %+v", res, cold)
+	}
+}
+
+// TestResumeRejectsIncompatibleConfig enumerates the frozen knobs: a
+// resume that diverges on any prefix-shaping field must be refused.
+func TestResumeRejectsIncompatibleConfig(t *testing.T) {
+	g := graphgen.Clique(8, 1)
+	base := Config{Graph: g, Seed: 3, MaxRounds: 1 << 12}
+	snap, err := CaptureAt(base, cloningFactory, StopAllInformed(0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Done() {
+		t.Fatal("capture finished before round 2; graph too easy for this test")
+	}
+	bad := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"seed", func(c *Config) { c.Seed = 4 }},
+		{"graph", func(c *Config) { c.Graph = graphgen.Clique(8, 1) }},
+		{"source", func(c *Config) { c.Source = 1 }},
+		{"crashes", func(c *Config) { c.CrashAt = make([]int, 8) }},
+		{"jitter", func(c *Config) { c.LatencyJitter = 0.25 }},
+		{"horizon-before-fork", func(c *Config) { c.MaxRounds = 1 }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			if _, err := snap.Resume(cfg, cloningFactory, StopAllInformed(0)); err == nil {
+				t.Fatalf("incompatible resume (%s) accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestResumeBitIdentical is the core engine-level guarantee on the
+// minimal protocol: capture at R, resume with the identical config, and
+// the continuation must equal the cold run exactly — counters, final
+// round, and the per-node informed schedule — at 1 and 8 workers and
+// in every cross combination of capture/resume worker counts.
+func TestResumeBitIdentical(t *testing.T) {
+	g := graphgen.Grid(8, 8, 3)
+	mk := func(workers int) Config {
+		return Config{Graph: g, Seed: 9, MaxRounds: 1 << 12, Workers: workers}
+	}
+	cold, err := Run(mk(1), cloningFactory, StopAllInformed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := cold.Rounds / 2
+	for _, cw := range []int{1, 8} {
+		snap, err := CaptureAt(mk(cw), cloningFactory, StopAllInformed(0), fork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rw := range []int{1, 8} {
+			warm, err := snap.Resume(mk(rw), cloningFactory, StopAllInformed(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Rounds != cold.Rounds || warm.Exchanges != cold.Exchanges ||
+				warm.Messages != cold.Messages || warm.Delivered != cold.Delivered ||
+				warm.RumorPayload != cold.RumorPayload {
+				t.Fatalf("capture@w%d/resume@w%d diverges:\n warm %+v\n cold %+v", cw, rw, warm, cold)
+			}
+			for u := range cold.InformedAt {
+				if warm.InformedAt[u] != cold.InformedAt[u] {
+					t.Fatalf("capture@w%d/resume@w%d: node %d informed at %d, cold %d",
+						cw, rw, u, warm.InformedAt[u], cold.InformedAt[u])
+				}
+			}
+		}
+	}
+}
