@@ -16,7 +16,7 @@ COVER_MIN := 83.5
 
 .PHONY: all build test race bench bench-json bench-baseline bench-compare \
 	determinism cover fuzz-smoke staticcheck fmt vet experiments serve \
-	load-smoke clean
+	load-smoke distributed-smoke clean
 
 all: build test
 
@@ -42,7 +42,7 @@ bench:
 # BENCH_sim.json on every push so the perf trajectory is tracked across
 # PRs, then gates it against the committed baseline (bench-compare).
 bench-json:
-	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimLossyPushPull|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild|BenchmarkServerThroughput|BenchmarkServerCachedHit|BenchmarkSweepWarmStart)' \
+	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimLossyPushPull|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild|BenchmarkServerThroughput|BenchmarkServerCachedHit|BenchmarkSweepWarmStart|BenchmarkDistributedShardMerge|BenchmarkDistributedCoordinator)' \
 		-benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # Refresh the committed regression baseline from the current machine.
@@ -135,7 +135,36 @@ serve:
 # miss for an identical request, any nondeterministic response body, a
 # cross-pool body mismatch, or peak concurrency below 200 in-flight jobs.
 load-smoke:
-	$(GO) run -race ./cmd/gossipd -selfcheck -clients 220 -requests 4 -min-peak 200
+	$(GO) run -race ./cmd/gossipd -selfcheck -clients 220 -requests 4 -min-peak 200 -max-wall 5m
+
+# The CI distributed-smoke gate: build gossipd once, launch a 3-member
+# fleet (shared -peers membership; any member coordinates) plus a
+# single-process reference server on fixed loopback ports, then run
+# `gossipd -distcheck`, which byte-compares every fleet response against
+# the reference: the 6-driver mix rotated across members, one n=2^18
+# push-pull job sharded over 2 workers, and a cross-member
+# cache-forwarding probe that must come back X-Gossipd-Cache: hit.
+DIST_REF  := 127.0.0.1:9700
+DIST_PEERS := 127.0.0.1:9701,127.0.0.1:9702,127.0.0.1:9703
+
+distributed-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); pids=""; \
+	trap 'kill $$pids 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/gossipd ./cmd/gossipd; \
+	for peer in $$(echo '$(DIST_PEERS)' | tr ',' ' '); do \
+		$$tmp/gossipd -addr $$peer -peers '$(DIST_PEERS)' -advertise $$peer -max-n 262144 & pids="$$pids $$!"; \
+	done; \
+	$$tmp/gossipd -addr $(DIST_REF) -max-n 262144 & pids="$$pids $$!"; \
+	for peer in $(DIST_REF) $$(echo '$(DIST_PEERS)' | tr ',' ' '); do \
+		ok=""; \
+		for i in $$(seq 1 100); do \
+			if curl -sf http://$$peer/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+			sleep 0.2; \
+		done; \
+		[ -n "$$ok" ] || { echo "distributed-smoke: gossipd at $$peer never became healthy" >&2; exit 1; }; \
+	done; \
+	$$tmp/gossipd -distcheck -fleet '$(DIST_PEERS)' -reference $(DIST_REF) -shards 2 -shard-n 262144
 
 clean:
 	rm -rf results

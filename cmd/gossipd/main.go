@@ -23,8 +23,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // routed only behind -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +45,9 @@ type options struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	drainTimeout   time.Duration
+	peers          string
+	advertise      string
+	pprof          bool
 
 	selfcheck bool
 	clients   int
@@ -50,6 +55,13 @@ type options struct {
 	minPeak   int
 	surgeN    int
 	seed      uint64
+	maxWall   time.Duration
+
+	distcheck  bool
+	fleetURLs  string
+	reference  string
+	distShards int
+	shardN     int
 
 	// test seams: ready receives the bound address once listening; a
 	// closed stop channel triggers the same graceful drain as SIGTERM.
@@ -71,19 +83,84 @@ func parseArgs(args []string) (options, error) {
 	fs.DurationVar(&o.defaultTimeout, "timeout", 0, "default per-job execution timeout (0 = 60s)")
 	fs.DurationVar(&o.maxTimeout, "max-timeout", 0, "largest per-job timeout a request may ask for (0 = 5m)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	fs.StringVar(&o.peers, "peers", "", "comma-separated fleet membership (host:port, this process included); enables the partitioned cache and distributed execution")
+	fs.StringVar(&o.advertise, "advertise", "", "this process's own entry in -peers")
+	fs.BoolVar(&o.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	fs.BoolVar(&o.selfcheck, "selfcheck", false, "boot in-process servers, drive the load generator, exit")
 	fs.IntVar(&o.clients, "clients", 16, "selfcheck: concurrent closed-loop clients")
 	fs.IntVar(&o.requests, "requests", 4, "selfcheck: mix requests per client")
 	fs.IntVar(&o.minPeak, "min-peak", 0, "selfcheck: required peak concurrent in-flight jobs (0 = clients less 10%)")
 	fs.IntVar(&o.surgeN, "surge-n", 2048, "selfcheck: surge job graph size")
 	fs.Uint64Var(&o.seed, "seed", 1, "selfcheck: base seed")
+	fs.DurationVar(&o.maxWall, "max-wall", 0, "selfcheck: load-phase wall-clock budget (0 = unlimited)")
+	fs.BoolVar(&o.distcheck, "distcheck", false, "check a running fleet against a reference server, exit")
+	fs.StringVar(&o.fleetURLs, "fleet", "", "distcheck: comma-separated fleet member base URLs")
+	fs.StringVar(&o.reference, "reference", "", "distcheck: single-process reference server base URL")
+	fs.IntVar(&o.distShards, "shards", 0, "distcheck: sharded-job worker count (0 = 2)")
+	fs.IntVar(&o.shardN, "shard-n", 0, "distcheck: sharded-job graph size (0 = 4096)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if _, err := o.fleet(); err != nil {
+		return options{}, err
+	}
+	if o.distcheck {
+		if len(o.fleetList()) < 2 || o.reference == "" {
+			return options{}, fmt.Errorf("-distcheck needs -fleet with at least 2 URLs and -reference")
+		}
+	}
 	return o, nil
+}
+
+// fleetList splits -fleet into base URLs, normalizing bare host:port
+// entries to http://.
+func (o *options) fleetList() []string {
+	var urls []string
+	for _, u := range strings.Split(o.fleetURLs, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+	}
+	return urls
+}
+
+// fleet validates and splits the -peers/-advertise pair. Both empty
+// means no fleet; otherwise both are required, the list needs at least
+// two members, and -advertise must be one of them.
+func (o *options) fleet() ([]string, error) {
+	if o.peers == "" && o.advertise == "" {
+		return nil, nil
+	}
+	if o.peers == "" || o.advertise == "" {
+		return nil, fmt.Errorf("-peers and -advertise must be set together")
+	}
+	var peers []string
+	self := false
+	for _, p := range strings.Split(o.peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		peers = append(peers, p)
+		if p == o.advertise {
+			self = true
+		}
+	}
+	if len(peers) < 2 {
+		return nil, fmt.Errorf("-peers needs at least 2 members, got %d", len(peers))
+	}
+	if !self {
+		return nil, fmt.Errorf("-advertise %q is not in -peers", o.advertise)
+	}
+	return peers, nil
 }
 
 func main() {
@@ -96,6 +173,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	if opts.distcheck {
+		ref := opts.reference
+		if !strings.Contains(ref, "://") {
+			ref = "http://" + ref
+		}
+		err := loadgen.DistCheck(context.Background(), loadgen.DistCheckOptions{
+			FleetURLs:    opts.fleetList(),
+			ReferenceURL: ref,
+			Shards:       opts.distShards,
+			ShardN:       opts.shardN,
+			Seed:         opts.seed,
+			Out:          stdout,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
 	if opts.selfcheck {
 		err := loadgen.SelfCheck(context.Background(), loadgen.SelfCheckOptions{
 			Clients:         opts.clients,
@@ -103,6 +199,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MinPeakInFlight: opts.minPeak,
 			SurgeN:          opts.surgeN,
 			Seed:            opts.seed,
+			MaxWall:         opts.maxWall,
 			Out:             stdout,
 		})
 		if err != nil {
@@ -127,6 +224,10 @@ func serve(o options, stdout io.Writer) error {
 			return fmt.Errorf("gossipd: result store: %w", err)
 		}
 	}
+	peers, err := o.fleet()
+	if err != nil {
+		return err
+	}
 	srv := server.New(server.Config{
 		Pool:           o.pool,
 		CacheSize:      o.cacheSize,
@@ -134,14 +235,28 @@ func serve(o options, stdout io.Writer) error {
 		MaxN:           o.maxN,
 		DefaultTimeout: o.defaultTimeout,
 		MaxTimeout:     o.maxTimeout,
+		Peers:          peers,
+		Advertise:      o.advertise,
 	})
 	lis, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if o.pprof {
+		// net/http/pprof registers on DefaultServeMux at import; the
+		// flag decides whether those routes are reachable.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	fmt.Fprintf(stdout, "gossipd: listening on %s (pool=%d, cache=%d entries, schema v%d)\n",
 		lis.Addr(), srv.Metrics().PoolSize, o.cacheSize, api.SchemaVersion)
+	if len(peers) > 0 {
+		fmt.Fprintf(stdout, "gossipd: fleet member %s of %d peers\n", o.advertise, len(peers))
+	}
 	if o.ready != nil {
 		o.ready(lis.Addr().String())
 	}

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gossip/internal/loadgen"
+	"gossip/internal/server"
 )
 
 func TestParseArgsDefaults(t *testing.T) {
@@ -119,5 +122,76 @@ func TestServeBadAddr(t *testing.T) {
 	}
 	if err := serve(o, io.Discard); err == nil {
 		t.Fatal("serve bound an impossible address")
+	}
+}
+
+func TestParseArgsFleet(t *testing.T) {
+	o, err := parseArgs([]string{"-peers", "a:1, b:2,c:3", "-advertise", "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, err := o.fleet()
+	if err != nil || len(peers) != 3 || peers[1] != "b:2" {
+		t.Fatalf("fleet: %v %v", peers, err)
+	}
+	for _, args := range [][]string{
+		{"-peers", "a:1,b:2"},                      // -advertise missing
+		{"-advertise", "a:1"},                      // -peers missing
+		{"-peers", "a:1", "-advertise", "a:1"},     // fewer than 2 members
+		{"-peers", "a:1,b:2", "-advertise", "c:3"}, // self not in list
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) accepted", args)
+		}
+	}
+}
+
+func TestParseArgsDistCheck(t *testing.T) {
+	o, err := parseArgs([]string{"-distcheck", "-fleet", "a:1,b:2,c:3", "-reference", "r:4",
+		"-shards", "2", "-shard-n", "1024"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := o.fleetList()
+	if len(urls) != 3 || urls[0] != "http://a:1" || o.distShards != 2 || o.shardN != 1024 {
+		t.Fatalf("distcheck opts: %v %+v", urls, o)
+	}
+	for _, args := range [][]string{
+		{"-distcheck"},                                     // no fleet, no reference
+		{"-distcheck", "-fleet", "a:1,b:2"},                // no reference
+		{"-distcheck", "-fleet", "a:1", "-reference", "r"}, // one member
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunDistCheck drives the -distcheck mode through run() against an
+// in-process fleet and reference — the CI distributed-smoke behavior,
+// minus the process spawns.
+func TestRunDistCheck(t *testing.T) {
+	fleet, err := loadgen.StartFleet(3, server.Config{Pool: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	ref, err := loadgen.StartLocal(server.Config{Pool: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-distcheck",
+		"-fleet", strings.Join(fleet.URLs(), ","),
+		"-reference", ref.URL,
+		"-shards", "2", "-shard-n", "256", "-seed", "13"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "distcheck: OK") {
+		t.Fatalf("stdout: %s", stdout.String())
 	}
 }

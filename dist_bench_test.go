@@ -1,0 +1,135 @@
+// Distributed-execution benchmarks: the shard wire codec's round-trip
+// cost (the per-barrier overhead every worker pays) and the end-to-end
+// coordinator path against a single process. Both are in the bench-json
+// artifact; the coordinator benchmark also records the wall-clock ratio
+// as a metric so the perf trajectory of distributed mode is tracked
+// across PRs.
+package gossip_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"gossip/internal/loadgen"
+	"gossip/internal/server"
+	"gossip/internal/server/api"
+	"gossip/internal/sim"
+)
+
+// BenchmarkDistributedShardMerge round-trips one realistic round
+// barrier through the wire codec: two shard frames (intents, gains,
+// calendar bits) encoded, then decoded the way a worker ingests the
+// coordinator's rebroadcast bundle. This is the fixed per-round tax of
+// distributed mode on top of the simulation itself.
+func BenchmarkDistributedShardMerge(b *testing.B) {
+	const perShard = 2048
+	frames := make([]sim.DistFrame, 2)
+	for s := range frames {
+		f := &frames[s]
+		f.Round = 7
+		f.Shard = s
+		f.MinWake = 8
+		f.SleeperWake = sim.WakeOnDelivery
+		f.NextDeliver = 8
+		f.Pending = true
+		for i := 0; i < perShard; i++ {
+			u := int32(s*perShard + i)
+			f.Intents = append(f.Intents, sim.DistIntent{
+				U: u, Idx: int32(i % 4), V: u ^ 1, VIdx: int32(i % 4),
+				Lat: int32(1 + i%3), Lost: i%10 == 0,
+			})
+			f.Gains = append(f.Gains, sim.DistGain{Node: u, Rumor: u ^ 1})
+		}
+	}
+	enc := make([][]byte, 2)
+	var decoded sim.DistFrame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := range frames {
+			enc[s] = api.AppendRoundFrame(enc[s][:0], &frames[s])
+		}
+		for s := range enc {
+			if err := api.DecodeRoundFrame(enc[s], &decoded); err != nil {
+				b.Fatal(err)
+			}
+			if len(decoded.Intents) != perShard {
+				b.Fatalf("decoded %d intents, want %d", len(decoded.Intents), perShard)
+			}
+		}
+	}
+	b.ReportMetric(float64(2*perShard), "intents/op")
+}
+
+// BenchmarkDistributedCoordinator times a sharded push-pull job through
+// the full fleet path — coordinator fan-out, HTTP shard sessions, round
+// barriers, result assembly — with a fresh seed every iteration so no
+// cache short-circuits the measurement. The single-process wall clock
+// for the same jobs is measured untimed and the ratio reported as
+// single/coordinator; on a single-core host the distributed run
+// time-slices one CPU, so the honest ratio sits below 1 there (E28
+// records the critical-path compute ratio alongside).
+func BenchmarkDistributedCoordinator(b *testing.B) {
+	fleet, err := loadgen.StartFleet(3, server.Config{Pool: 2, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+	single, err := loadgen.StartLocal(server.Config{Pool: 2, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer single.Close()
+
+	post := func(base string, req server.Request) error {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/v1/simulations", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %.200s", resp.StatusCode, body)
+		}
+		return nil
+	}
+	job := func(seed uint64) server.Request {
+		return server.Request{
+			Driver: "push-pull",
+			Graph:  server.GraphSpec{Family: "regular", N: 4096, Latency: 1},
+			Seed:   seed,
+		}
+	}
+
+	// Untimed single-process baseline over the same seed sequence.
+	singleStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := post(single.URL, job(uint64(i)*2_654_435_761+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	singleNS := float64(time.Since(singleStart))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := job(uint64(i)*2_654_435_761 + 1)
+		req.Shards = 2
+		if err := post(fleet.URLs()[0], req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	coordNS := float64(b.Elapsed())
+	if coordNS > 0 {
+		b.ReportMetric(singleNS/coordNS, "single/coord-wall")
+	}
+}

@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"gossip/internal/server/api"
+	"gossip/internal/sim"
+)
+
+// connExchange is the worker half of the shard RPC: a sim.Exchanger
+// whose barrier is one frame write plus Shards frame reads on the
+// coordinator connection. Decoded bundles are double-buffered to honor
+// the Exchanger aliasing contract (returned frames stay valid until the
+// caller's next call of the same kind) without per-barrier allocation.
+type connExchange struct {
+	rw     *bufio.ReadWriter
+	shards int
+	enc    []byte // encode scratch
+	rbuf   []byte // frame read scratch
+	err    error  // sticky: once the stream breaks, every barrier fails
+
+	frames     [2][]sim.DistFrame
+	barriers   int
+	metaFrames [2][]sim.DistMetaFrame
+	metaBars   int
+}
+
+func newConnExchange(rw *bufio.ReadWriter, shards int) *connExchange {
+	ex := &connExchange{rw: rw, shards: shards}
+	for p := 0; p < 2; p++ {
+		ex.frames[p] = make([]sim.DistFrame, shards)
+		ex.metaFrames[p] = make([]sim.DistMetaFrame, shards)
+	}
+	return ex
+}
+
+// readBundle reads the relayed bundle: Shards frames of the expected
+// kind in shard order, or a single error frame from the coordinator.
+func (c *connExchange) readBundle(kind byte, decode func(i int, payload []byte) error) error {
+	for i := 0; i < c.shards; i++ {
+		k, p, err := api.ReadFrame(c.rw.Reader, c.rbuf[:0])
+		if err != nil {
+			return fmt.Errorf("cluster: reading barrier bundle: %w", err)
+		}
+		c.rbuf = p
+		switch k {
+		case kind:
+			if err := decode(i, p); err != nil {
+				return err
+			}
+		case api.FrameError:
+			return fmt.Errorf("cluster: coordinator aborted: %s", p)
+		default:
+			return fmt.Errorf("cluster: frame kind %d in a kind-%d bundle", k, kind)
+		}
+	}
+	return nil
+}
+
+func (c *connExchange) ExchangeFrames(f *sim.DistFrame) ([]*sim.DistFrame, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.enc = api.AppendRoundFrame(c.enc[:0], f)
+	if err := api.WriteFrame(c.rw.Writer, api.FrameRound, c.enc); err != nil {
+		c.err = err
+		return nil, err
+	}
+	if err := c.rw.Writer.Flush(); err != nil {
+		c.err = err
+		return nil, err
+	}
+	slots := c.frames[c.barriers&1]
+	c.barriers++
+	bundle := make([]*sim.DistFrame, c.shards)
+	err := c.readBundle(api.FrameRound, func(i int, p []byte) error {
+		if err := api.DecodeRoundFrame(p, &slots[i]); err != nil {
+			return err
+		}
+		if slots[i].Shard != i {
+			return fmt.Errorf("cluster: bundle slot %d holds shard %d", i, slots[i].Shard)
+		}
+		bundle[i] = &slots[i]
+		return nil
+	})
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	return bundle, nil
+}
+
+func (c *connExchange) ExchangeMetas(f *sim.DistMetaFrame) ([]*sim.DistMetaFrame, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.enc = api.AppendMetaFrame(c.enc[:0], f)
+	if err := api.WriteFrame(c.rw.Writer, api.FrameMeta, c.enc); err != nil {
+		c.err = err
+		return nil, err
+	}
+	if err := c.rw.Writer.Flush(); err != nil {
+		c.err = err
+		return nil, err
+	}
+	slots := c.metaFrames[c.metaBars&1]
+	c.metaBars++
+	bundle := make([]*sim.DistMetaFrame, c.shards)
+	err := c.readBundle(api.FrameMeta, func(i int, p []byte) error {
+		if err := api.DecodeMetaFrame(p, &slots[i]); err != nil {
+			return err
+		}
+		if slots[i].Shard != i {
+			return fmt.Errorf("cluster: meta bundle slot %d holds shard %d", i, slots[i].Shard)
+		}
+		bundle[i] = &slots[i]
+		return nil
+	})
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	return bundle, nil
+}
+
+// ServeShard runs the worker half of one shard session on a hijacked
+// connection whose 101 response has already been written: it reads the
+// job frame, hands the job and a connected Exchanger to run, and
+// terminates the stream with the result or error frame. The deadline
+// bounds every read and write (the coordinator's job timeout plus
+// slack), so an orphaned session cannot pin the connection forever.
+func ServeShard(conn net.Conn, rw *bufio.ReadWriter, deadline time.Time,
+	run func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error)) error {
+	_ = conn.SetDeadline(deadline)
+	fail := func(err error) error {
+		if werr := api.WriteFrame(rw.Writer, api.FrameError, []byte(err.Error())); werr == nil {
+			_ = rw.Writer.Flush()
+		}
+		return err
+	}
+	kind, payload, err := api.ReadFrame(rw.Reader, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: reading job frame: %w", err)
+	}
+	if kind != api.FrameJob {
+		return fail(fmt.Errorf("cluster: first frame kind %d, want job", kind))
+	}
+	var job api.ShardJob
+	if err := json.Unmarshal(payload, &job); err != nil {
+		return fail(fmt.Errorf("cluster: decoding job: %w", err))
+	}
+	if job.Shards < 2 || job.Shard < 0 || job.Shard >= job.Shards {
+		return fail(fmt.Errorf("cluster: shard %d of %d out of range", job.Shard, job.Shards))
+	}
+	res, err := run(job, newConnExchange(rw, job.Shards))
+	if err != nil {
+		return fail(err)
+	}
+	out := api.AppendShardResult(nil, res)
+	if err := api.WriteFrame(rw.Writer, api.FrameResult, out); err != nil {
+		return err
+	}
+	return rw.Writer.Flush()
+}
+
+// WorkerConn is the coordinator's handle on one worker shard session.
+type WorkerConn struct {
+	Addr string
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rbuf []byte
+}
+
+// Close tears the session down; safe to call more than once.
+func (wc *WorkerConn) Close() { _ = wc.conn.Close() }
+
+// DialShard opens a shard session: TCP connect, HTTP upgrade handshake
+// on api.ShardPath, then the job frame. addr is host:port (an optional
+// http:// prefix is accepted).
+func DialShard(ctx context.Context, addr string, job api.ShardJob) (*WorkerConn, error) {
+	host := strings.TrimPrefix(strings.TrimPrefix(addr, "http://"), "https://")
+	host = strings.TrimSuffix(host, "/")
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
+	}
+	wc := &WorkerConn{Addr: addr, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	req, err := http.NewRequest(http.MethodPost, "http://"+host+api.ShardPath, nil)
+	if err != nil {
+		wc.Close()
+		return nil, err
+	}
+	req.Header.Set("Connection", "Upgrade")
+	req.Header.Set("Upgrade", api.ShardProtocol)
+	if err := req.Write(wc.bw); err != nil {
+		wc.Close()
+		return nil, fmt.Errorf("cluster: handshake with %s: %w", addr, err)
+	}
+	if err := wc.bw.Flush(); err != nil {
+		wc.Close()
+		return nil, fmt.Errorf("cluster: handshake with %s: %w", addr, err)
+	}
+	// The response must be read through wc.br: bytes after the 101 are
+	// already shard frames and may sit in the same buffer.
+	resp, err := http.ReadResponse(wc.br, req)
+	if err != nil {
+		wc.Close()
+		return nil, fmt.Errorf("cluster: handshake with %s: %w", addr, err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		msg := resp.Status
+		resp.Body.Close()
+		wc.Close()
+		return nil, fmt.Errorf("cluster: worker %s refused shard session: %s", addr, msg)
+	}
+	payload, err := json.Marshal(job)
+	if err != nil {
+		wc.Close()
+		return nil, err
+	}
+	if err := api.WriteFrame(wc.bw, api.FrameJob, payload); err != nil {
+		wc.Close()
+		return nil, fmt.Errorf("cluster: sending job to %s: %w", addr, err)
+	}
+	if err := wc.bw.Flush(); err != nil {
+		wc.Close()
+		return nil, fmt.Errorf("cluster: sending job to %s: %w", addr, err)
+	}
+	return wc, nil
+}
+
+// Relay is the coordinator loop: a dumb lockstep relay. Each generation
+// it reads exactly one frame from every worker and either re-broadcasts
+// the whole bundle to all of them (round and meta barriers — payloads
+// are relayed opaquely, never decoded) or, when every worker has sent
+// its terminal result, assembles the aggregate. Any worker error or
+// connection failure aborts all sessions; such failures are transient
+// from the cache's point of view — the caller must never memoize them.
+//
+// The merge order guarantee costs the coordinator nothing here: workers
+// merge bundles themselves in shard order, the relay only has to keep
+// each bundle's frames in shard order, which reading the connections in
+// shard sequence does naturally.
+func Relay(ctx context.Context, conns []*WorkerConn) (*api.ShardResult, []sim.DistStats, error) {
+	s := len(conns)
+	relayDone := make(chan struct{})
+	defer close(relayDone)
+	go func() {
+		// Watchdog: a cancelled coordinator (job timeout, shutdown)
+		// closes every session so blocked reads fail promptly.
+		select {
+		case <-ctx.Done():
+			for _, wc := range conns {
+				wc.Close()
+			}
+		case <-relayDone:
+		}
+	}()
+	abort := func(msg string) {
+		for _, wc := range conns {
+			if err := api.WriteFrame(wc.bw, api.FrameError, []byte(msg)); err == nil {
+				_ = wc.bw.Flush()
+			}
+			wc.Close()
+		}
+	}
+
+	payloads := make([][]byte, s)
+	kinds := make([]byte, s)
+	for {
+		for i, wc := range conns {
+			kind, p, err := api.ReadFrame(wc.br, wc.rbuf[:0])
+			if err != nil {
+				if ctx.Err() != nil {
+					err = ctx.Err()
+				}
+				abort(fmt.Sprintf("shard %d (%s) failed: %v", i, wc.Addr, err))
+				return nil, nil, fmt.Errorf("cluster: shard %d (%s): %w", i, wc.Addr, err)
+			}
+			wc.rbuf = p
+			kinds[i], payloads[i] = kind, p
+		}
+		for i := 1; i < s; i++ {
+			if kinds[i] != kinds[0] {
+				abort("shard frame kinds diverged")
+				return nil, nil, fmt.Errorf("cluster: shard 0 sent kind %d but shard %d sent kind %d — workers diverged", kinds[0], i, kinds[i])
+			}
+		}
+		switch kinds[0] {
+		case api.FrameRound, api.FrameMeta:
+			for i, wc := range conns {
+				for j := 0; j < s; j++ {
+					if err := api.WriteFrame(wc.bw, kinds[0], payloads[j]); err != nil {
+						abort(fmt.Sprintf("relaying to shard %d failed: %v", i, err))
+						return nil, nil, fmt.Errorf("cluster: relaying to shard %d (%s): %w", i, wc.Addr, err)
+					}
+				}
+				if err := wc.bw.Flush(); err != nil {
+					abort(fmt.Sprintf("relaying to shard %d failed: %v", i, err))
+					return nil, nil, fmt.Errorf("cluster: relaying to shard %d (%s): %w", i, wc.Addr, err)
+				}
+			}
+		case api.FrameResult:
+			return assemble(conns, payloads)
+		case api.FrameError:
+			msg := string(payloads[0])
+			abort(msg)
+			return nil, nil, fmt.Errorf("cluster: shard 0 (%s): %s", conns[0].Addr, msg)
+		default:
+			abort(fmt.Sprintf("unexpected frame kind %d", kinds[0]))
+			return nil, nil, fmt.Errorf("cluster: unexpected frame kind %d from %s", kinds[0], conns[0].Addr)
+		}
+	}
+}
+
+// assemble folds the per-shard results into the job result: counters
+// sum (each worker attributed only what it owns); Rounds, Completed and
+// the InformedAt hash must agree bitwise — that cross-check is the
+// bit-identity guarantee surfacing at the protocol level.
+func assemble(conns []*WorkerConn, payloads [][]byte) (*api.ShardResult, []sim.DistStats, error) {
+	agg := &api.ShardResult{}
+	stats := make([]sim.DistStats, len(conns))
+	for i, p := range payloads {
+		r, err := api.DecodeShardResult(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: decoding shard %d result: %w", i, err)
+		}
+		stats[i] = r.Stats
+		if i == 0 {
+			agg.Rounds, agg.Completed, agg.Hash = r.Rounds, r.Completed, r.Hash
+			agg.InformedAt = r.InformedAt
+		} else if r.Rounds != agg.Rounds || r.Completed != agg.Completed || r.Hash != agg.Hash {
+			return nil, nil, fmt.Errorf("cluster: shard %d (%s) result diverged from shard 0 (rounds %d vs %d, completed %v vs %v, hash %x vs %x)",
+				i, conns[i].Addr, r.Rounds, agg.Rounds, r.Completed, agg.Completed, r.Hash, agg.Hash)
+		}
+		agg.Exchanges += r.Exchanges
+		agg.Messages += r.Messages
+		agg.Dropped += r.Dropped
+		agg.Delivered += r.Delivered
+		agg.RumorPayload += r.RumorPayload
+	}
+	return agg, stats, nil
+}

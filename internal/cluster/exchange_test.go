@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gossip/internal/server/api"
+	"gossip/internal/sim"
+)
+
+// shardServer accepts shard-session upgrades the way gossipd's handler
+// does — minus the HTTP mux — and runs ServeShard with the given run
+// callback. It lets the test drive DialShard/Relay end to end over real
+// TCP without importing the server package (which imports this one).
+func shardServer(t *testing.T, run func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error)) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if _, err := http.ReadRequest(br); err != nil {
+					return
+				}
+				bw := bufio.NewWriter(conn)
+				fmt.Fprintf(bw, "HTTP/1.1 101 Switching Protocols\r\nConnection: Upgrade\r\nUpgrade: %s\r\n\r\n", api.ShardProtocol)
+				if err := bw.Flush(); err != nil {
+					return
+				}
+				_ = ServeShard(conn, bufio.NewReadWriter(br, bw), time.Now().Add(10*time.Second), run)
+			}(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// echoWorker exchanges `rounds` round barriers and one meta barrier,
+// verifying each relayed bundle holds every shard's frame in shard
+// order, then reports a result derived from the job.
+func echoWorker(rounds int) func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error) {
+	return func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error) {
+		for r := 0; r < rounds; r++ {
+			f := sim.DistFrame{
+				Round: r, Shard: job.Shard,
+				Intents: []sim.DistIntent{{U: int32(job.Shard), Idx: 0, V: int32(r), VIdx: 1, Lat: 1}},
+				Gains:   []sim.DistGain{{Node: int32(job.Shard), Rumor: int32(r)}},
+				MinWake: sim.WakeOnDelivery, SleeperWake: sim.WakeOnDelivery, NextDeliver: -1,
+			}
+			bundle, err := ex.ExchangeFrames(&f)
+			if err != nil {
+				return nil, err
+			}
+			if len(bundle) != job.Shards {
+				return nil, fmt.Errorf("bundle has %d frames, want %d", len(bundle), job.Shards)
+			}
+			for i, bf := range bundle {
+				if bf.Shard != i || bf.Round != r || len(bf.Intents) != 1 || bf.Intents[0].U != int32(i) {
+					return nil, fmt.Errorf("round %d slot %d holds shard %d round %d", r, i, bf.Shard, bf.Round)
+				}
+			}
+		}
+		mf := sim.DistMetaFrame{Round: rounds, Shard: job.Shard,
+			Metas: []sim.DistNodeMeta{{Node: int32(job.Shard), Meta: []int32{int32(job.Shard)}}}}
+		mb, err := ex.ExchangeMetas(&mf)
+		if err != nil {
+			return nil, err
+		}
+		for i, bf := range mb {
+			if bf.Shard != i || len(bf.Metas) != 1 {
+				return nil, fmt.Errorf("meta slot %d holds shard %d", i, bf.Shard)
+			}
+		}
+		informed := []int{0, 1, 2}
+		res := &api.ShardResult{
+			Rounds: rounds, Completed: true,
+			Exchanges: int64(job.Shard + 1), Messages: 2 * int64(job.Shard+1),
+			Hash:  api.InformedHash(rounds, true, informed),
+			Stats: sim.DistStats{Rounds: int64(rounds), Barriers: int64(rounds)},
+		}
+		if job.Shard == 0 {
+			res.InformedAt = informed
+		}
+		return res, nil
+	}
+}
+
+func dialWorkers(t *testing.T, addrs []string) []*WorkerConn {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	conns := make([]*WorkerConn, len(addrs))
+	for i, addr := range addrs {
+		job := api.ShardJob{SchemaVersion: 1, Shard: i, Shards: len(addrs), RequestKey: "k"}
+		wc, err := DialShard(ctx, addr, job)
+		if err != nil {
+			t.Fatalf("dialing shard %d: %v", i, err)
+		}
+		t.Cleanup(wc.Close)
+		conns[i] = wc
+	}
+	return conns
+}
+
+// TestRelayRoundTrip drives two real shard sessions — TCP dial, HTTP
+// upgrade, job frame, three barriers, terminal results — through the
+// coordinator relay and checks the assembled aggregate.
+func TestRelayRoundTrip(t *testing.T) {
+	const rounds = 2
+	addr := shardServer(t, echoWorker(rounds))
+	conns := dialWorkers(t, []string{addr, addr})
+	agg, stats, err := Relay(context.Background(), conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Rounds != rounds || !agg.Completed {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	if agg.Exchanges != 3 || agg.Messages != 6 { // 1+2, 2+4: owner-attributed sums
+		t.Fatalf("summed counters: %+v", agg)
+	}
+	if len(agg.InformedAt) != 3 {
+		t.Fatalf("InformedAt %v", agg.InformedAt)
+	}
+	if len(stats) != 2 || stats[0].Barriers != rounds || stats[1].Barriers != rounds {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestRelayDivergence gives shard 1 a different terminal hash: the
+// coordinator must refuse to assemble — the bit-identity cross-check.
+func TestRelayDivergence(t *testing.T) {
+	base := echoWorker(1)
+	addr := shardServer(t, func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error) {
+		res, err := base(job, ex)
+		if err != nil {
+			return nil, err
+		}
+		res.Hash += uint64(job.Shard) // shard 1 diverges
+		return res, nil
+	})
+	conns := dialWorkers(t, []string{addr, addr})
+	if _, _, err := Relay(context.Background(), conns); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("Relay = %v, want divergence error", err)
+	}
+}
+
+// TestRelayWorkerError makes one worker fail mid-run: the relay must
+// surface the shard error and abort every session.
+func TestRelayWorkerError(t *testing.T) {
+	addr := shardServer(t, func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error) {
+		if job.Shard == 1 {
+			return nil, fmt.Errorf("shard 1 exploded")
+		}
+		return echoWorker(0)(job, ex)
+	})
+	conns := dialWorkers(t, []string{addr, addr})
+	_, _, err := Relay(context.Background(), conns)
+	if err == nil {
+		t.Fatal("Relay succeeded despite a failing worker")
+	}
+}
+
+func TestServeShardRejectsBadJob(t *testing.T) {
+	addr := shardServer(t, echoWorker(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Shards < 2 is refused by the worker with an error frame, which
+	// DialShard has no reason to read — the relay does.
+	wc, err := DialShard(ctx, addr, api.ShardJob{Shard: 0, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	if _, _, err := Relay(ctx, []*WorkerConn{wc}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Relay = %v, want out-of-range job error", err)
+	}
+}
+
+func TestDialShardRefused(t *testing.T) {
+	// A plain HTTP server that never upgrades: DialShard must fail with
+	// the refusal status, not hang.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, err := http.ReadRequest(br); err != nil {
+			return
+		}
+		fmt.Fprint(conn, "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n")
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := DialShard(ctx, lis.Addr().String(), api.ShardJob{Shard: 0, Shards: 2}); err == nil ||
+		!strings.Contains(err.Error(), "refused") {
+		t.Fatalf("DialShard = %v, want refusal", err)
+	}
+	// And a dead port errors at connect time.
+	if _, err := DialShard(ctx, "127.0.0.1:1", api.ShardJob{Shard: 0, Shards: 2}); err == nil {
+		t.Fatal("DialShard to a dead port succeeded")
+	}
+}

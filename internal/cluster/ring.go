@@ -1,0 +1,86 @@
+// Package cluster is gossipd's fleet layer: the consistent-hash ring
+// that partitions the request cache across peers, and the shard RPC
+// transport (coordinator relay + worker-side exchanger) that runs one
+// simulation across several processes in lockstep.
+//
+// The package deliberately knows nothing about requests or drivers —
+// frames in, frames out. Request parsing and validation stay in
+// internal/server; the wire schema lives in internal/server/api.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// vnodes is the number of ring points per peer. 64 keeps the expected
+// per-peer load imbalance in the low single-digit percent for small
+// fleets while the ring stays a few KiB.
+const vnodes = 64
+
+// Ring is a consistent-hash ring over peer addresses. Keys are the
+// sha256 canonical request keys the server already computes, so any
+// fleet member maps any request to the same owner without coordination.
+type Ring struct {
+	points []ringPoint
+	peers  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// NewRing builds a ring over the peer addresses (order-insensitive:
+// point placement depends only on each address string). Duplicate
+// addresses are collapsed.
+func NewRing(peers []string) (*Ring, error) {
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashString(fmt.Sprintf("%s#%d", p, i)), addr: p})
+		}
+	}
+	if len(r.peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.addr < b.addr
+	})
+	sort.Strings(r.peers)
+	return r, nil
+}
+
+// Owner returns the peer owning key: the first ring point clockwise
+// from the key's hash.
+func (r *Ring) Owner(key string) string {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// Peers returns the deduplicated member addresses in sorted order.
+func (r *Ring) Peers() []string { return r.peers }
+
+func hashString(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestRingOwnerStableAcrossMemberOrder(t *testing.T) {
+	peers := []string{"a:1", "b:2", "c:3", "d:4"}
+	shuffled := []string{"c:3", "a:1", "d:4", "b:2"}
+	r1, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if o1, o2 := r1.Owner(key), r2.Owner(key); o1 != o2 {
+			t.Fatalf("owner of %q depends on membership order: %s vs %s", key, o1, o2)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	peers := []string{"a:1", "b:2", "c:3"}
+	r, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		owned[r.Owner(fmt.Sprintf("req-%d", i))]++
+	}
+	for _, p := range peers {
+		// 64 vnodes per peer keep the spread well inside a factor of two
+		// of fair share; the floor here only guards against a peer being
+		// starved or monopolizing.
+		if owned[p] < keys/10 {
+			t.Errorf("peer %s owns %d of %d keys, suspiciously few", p, owned[p], keys)
+		}
+	}
+}
+
+func TestRingPeersSortedAndDeduped(t *testing.T) {
+	r, err := NewRing([]string{"b:2", "a:1", "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Peers()
+	want := []string{"a:1", "b:2"}
+	if !sort.StringsAreSorted(got) || len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Peers() = %v, want %v", got, want)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{"a:1", ""}); err == nil {
+		t.Error("NewRing with empty addr succeeded")
+	}
+}

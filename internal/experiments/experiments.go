@@ -124,6 +124,7 @@ func All() []Experiment {
 		expE25Churn,
 		expE26Service,
 		expE27WarmSweep,
+		expE28Distributed,
 	}
 }
 

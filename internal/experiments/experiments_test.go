@@ -11,8 +11,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 27 {
-		t.Fatalf("registered %d experiments, want 27", len(all))
+	if len(all) != 28 {
+		t.Fatalf("registered %d experiments, want 28", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -16,7 +16,10 @@
 //   - warm-fork equivalence: capturing an engine snapshot halfway
 //     through the run and resuming it reproduces the cold run
 //     bit-identically, at workers 1 and 8 (single-phase drivers; the
-//     pipelines fall back to a cold replay, which must also agree).
+//     pipelines fall back to a cold replay, which must also agree);
+//   - distributed equivalence: partitioning the run over 2 and 3
+//     shards of the distributed exchanger reproduces the serial run
+//     bit-identically (distributable drivers).
 //
 // The harness is a library so both the test suite (TestInvariants) and
 // `make determinism` exercise it; violations carry enough context to
@@ -98,8 +101,8 @@ func Scenarios() []Scenario {
 // Violation is one broken invariant, with the coordinates to replay it.
 type Violation struct {
 	Driver, Family, Scenario string
-	// Rule names the invariant: determinism, monotonic-informed,
-	// survivor-completion, accounting, run-error.
+	// Rule names the invariant: determinism, distributed, warm-fork,
+	// monotonic-informed, survivor-completion, accounting, run-error.
 	Rule   string
 	Detail string
 }
@@ -189,6 +192,31 @@ func Check(driver string, fam Family, sc Scenario, seed uint64) []Violation {
 	fp1, fp8 := fingerprintOf(r1), fingerprintOf(r8)
 	if !reflect.DeepEqual(fp1, fp8) {
 		report("determinism", "workers=1 %+v vs workers=8 %+v", fp1, fp8)
+	}
+
+	// Distributed equivalence: the same cell partitioned over the
+	// in-process shard exchanger must reproduce the serial run exactly —
+	// the bit-identical guarantee behind gossipd's multi-worker mode,
+	// checked here at the engine level for every distributable driver.
+	if gossip.Distributable(driver) {
+		for _, shards := range []int{2, 3} {
+			rd, _, err := gossip.DispatchLocalSharded(driver, fam.Graph, gossip.DriverOptions{
+				Source:    0,
+				Seed:      seed,
+				MaxRounds: MaxRounds,
+				ExecOptions: gossip.ExecOptions{
+					Adversity: spec,
+					Workers:   1,
+				},
+			}, shards)
+			if err != nil {
+				report("distributed", "shards=%d: %v", shards, err)
+				continue
+			}
+			if fpd := fingerprintOf(rd); !reflect.DeepEqual(fp1, fpd) {
+				report("distributed", "shards=%d: serial %+v vs distributed %+v", shards, fp1, fpd)
+			}
+		}
 	}
 
 	// Warm-fork equivalence: a snapshot at the halfway barrier, resumed

@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gossip/internal/server"
+	"gossip/internal/server/api"
+)
+
+// DistCheckOptions configure the distributed-mode end-to-end check
+// behind `gossipd -distcheck` and the CI distributed-smoke job. The
+// fleet and the reference server are external (already running); the
+// check is a pure client.
+type DistCheckOptions struct {
+	// FleetURLs are the fleet members' base URLs (>= 2 required; the
+	// first member coordinates the sharded job).
+	FleetURLs []string
+	// ReferenceURL is a single-process gossipd outside the fleet; every
+	// body the fleet produces must match this server's byte for byte.
+	ReferenceURL string
+	// Shards is the sharded job's worker count (<=0: 2). Must be at
+	// most len(FleetURLs)-1.
+	Shards int
+	// ShardN is the sharded job's graph size (<=0: 4096; CI passes 1<<18).
+	ShardN int
+	// Seed decorrelates runs (default 1).
+	Seed uint64
+	// Out receives the progress report (default: discard).
+	Out io.Writer
+}
+
+func (o DistCheckOptions) withDefaults() DistCheckOptions {
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.ShardN <= 0 {
+		o.ShardN = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// DistCheck proves the fleet contract end to end:
+//
+//  1. The 6-driver DefaultMix, rotated across every fleet member, must
+//     produce bodies byte-identical to the reference single-process
+//     server — through whatever path each member takes (local
+//     execution, cache-key forwarding, cache replay).
+//  2. One sharded push-pull job (shards workers) posted to the first
+//     member must be byte-identical to the reference server running the
+//     identical request single-process: the distributed merge is
+//     bit-exact, not just statistically equivalent.
+//  3. A fresh unique job posted to one member and then re-posted to a
+//     *different* member must come back X-Gossipd-Cache: hit — the
+//     consistent-hash routing makes N processes one cache.
+func DistCheck(ctx context.Context, o DistCheckOptions) error {
+	o = o.withDefaults()
+	if len(o.FleetURLs) < 2 {
+		return fmt.Errorf("distcheck: need at least 2 fleet members, got %d", len(o.FleetURLs))
+	}
+	if o.ReferenceURL == "" {
+		return fmt.Errorf("distcheck: ReferenceURL required")
+	}
+	if o.Shards > len(o.FleetURLs)-1 {
+		return fmt.Errorf("distcheck: %d shards needs %d fleet members, have %d", o.Shards, o.Shards+1, len(o.FleetURLs))
+	}
+	client := &http.Client{Transport: tunedTransport(8)}
+	fetch := func(base string, req server.Request) (string, []byte, error) {
+		opts := Options{BaseURL: base, Client: client}
+		status, cache, body, err := post(ctx, opts, simPath, req)
+		if err != nil {
+			return "", nil, err
+		}
+		if status != http.StatusOK {
+			return "", nil, fmt.Errorf("status %d from %s (body %.200s)", status, base, body)
+		}
+		if _, _, errEvent, perr := parseStream(body); perr != nil {
+			return "", nil, fmt.Errorf("malformed stream from %s: %v", base, perr)
+		} else if errEvent != "" {
+			return "", nil, fmt.Errorf("job error from %s: %s", base, errEvent)
+		}
+		return cache, body, nil
+	}
+
+	// Phase 1: the driver mix, rotated across members, vs the reference.
+	for i, req := range DefaultMix(o.Seed) {
+		member := o.FleetURLs[i%len(o.FleetURLs)]
+		_, fleetBody, err := fetch(member, req)
+		if err != nil {
+			return fmt.Errorf("distcheck: mix job %d (%s) via %s: %w", i, req.Driver, member, err)
+		}
+		_, refBody, err := fetch(o.ReferenceURL, req)
+		if err != nil {
+			return fmt.Errorf("distcheck: mix job %d (%s) on reference: %w", i, req.Driver, err)
+		}
+		if !bytes.Equal(fleetBody, refBody) {
+			return fmt.Errorf("distcheck: mix job %d (%s): fleet body differs from the reference server", i, req.Driver)
+		}
+	}
+	fmt.Fprintf(o.Out, "distcheck: %d mix jobs byte-identical across %d fleet members and the reference\n",
+		len(DefaultMix(o.Seed)), len(o.FleetURLs))
+
+	// Phase 2: the sharded job vs the identical single-process run.
+	// shards is an execution knob outside the canonical form, so both
+	// servers compute the same request key — and must produce the same
+	// bytes.
+	shardReq := server.Request{
+		Driver: "push-pull",
+		Graph:  server.GraphSpec{Family: "regular", N: o.ShardN, Latency: 1},
+		Seed:   o.Seed*7_368_787 + 5,
+		Shards: o.Shards,
+	}
+	_, distBody, err := fetch(o.FleetURLs[0], shardReq)
+	if err != nil {
+		return fmt.Errorf("distcheck: sharded n=%d job: %w", o.ShardN, err)
+	}
+	single := shardReq
+	single.Shards = 0
+	_, refBody, err := fetch(o.ReferenceURL, single)
+	if err != nil {
+		return fmt.Errorf("distcheck: single-process reference of the sharded job: %w", err)
+	}
+	if !bytes.Equal(distBody, refBody) {
+		return fmt.Errorf("distcheck: sharded n=%d run diverged from the single-process reference", o.ShardN)
+	}
+	fmt.Fprintf(o.Out, "distcheck: sharded n=%d job (%d workers) byte-identical to single-process\n", o.ShardN, o.Shards)
+
+	// Phase 3: cache-key forwarding. A fresh key computed via one member
+	// must be a cache hit when requested through a different member.
+	fwdReq := server.Request{
+		Driver: "flood",
+		Graph:  server.GraphSpec{Family: "clique", N: 14},
+		Seed:   o.Seed*9_176_041 + 11,
+	}
+	_, coldBody, err := fetch(o.FleetURLs[0], fwdReq)
+	if err != nil {
+		return fmt.Errorf("distcheck: forward probe (cold): %w", err)
+	}
+	cache, warmBody, err := fetch(o.FleetURLs[1], fwdReq)
+	if err != nil {
+		return fmt.Errorf("distcheck: forward probe via second member: %w", err)
+	}
+	if cache != "hit" {
+		return fmt.Errorf("distcheck: identical request to a different fleet member served %q, want %s: hit", cache, api.CacheHeader)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		return fmt.Errorf("distcheck: forwarded cache replay differs from the original body")
+	}
+	fmt.Fprintf(o.Out, "distcheck: OK — cross-member request hit the partitioned cache\n")
+	return nil
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gossip/internal/server"
+)
+
+// TestDistCheckFleet drives the full distributed stack in-process: a
+// 3-member fleet (partitioned cache + sharded execution over real HTTP
+// shard sessions) checked byte-for-byte against a single-process
+// reference.
+func TestDistCheckFleet(t *testing.T) {
+	fleet, err := StartFleet(3, server.Config{Pool: 2})
+	if err != nil {
+		t.Fatalf("StartFleet: %v", err)
+	}
+	defer fleet.Close()
+	ref, err := StartLocal(server.Config{Pool: 2})
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer ref.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var out bytes.Buffer
+	err = DistCheck(ctx, DistCheckOptions{
+		FleetURLs:    fleet.URLs(),
+		ReferenceURL: ref.URL,
+		Shards:       2,
+		ShardN:       512,
+		Seed:         7,
+		Out:          &out,
+	})
+	if err != nil {
+		t.Fatalf("DistCheck: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "distcheck: OK") {
+		t.Fatalf("missing final OK line in report:\n%s", out.String())
+	}
+
+	// The check must have exercised the distributed paths, not just
+	// happened to pass: one coordinated shard job, worker sessions on the
+	// other members, and at least one cross-member cache forward.
+	var shardJobs, sessions, forwarded, served int64
+	for _, m := range fleet.Members {
+		snap := m.Server.Metrics()
+		shardJobs += snap.ShardJobs
+		sessions += snap.ShardSessions
+		forwarded += snap.Forwarded
+		served += snap.ForwardServed
+	}
+	if shardJobs == 0 {
+		t.Error("no fleet member coordinated a sharded job")
+	}
+	if sessions < 2 {
+		t.Errorf("shard sessions = %d, want >= 2 (one per worker)", sessions)
+	}
+	if forwarded == 0 {
+		t.Error("no request was forwarded to its cache-key owner")
+	}
+	if served == 0 {
+		t.Error("no owner served a forwarded request")
+	}
+}
+
+func TestDistCheckRejects(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		o    DistCheckOptions
+		want string
+	}{
+		{"one member", DistCheckOptions{FleetURLs: []string{"http://a"}, ReferenceURL: "http://r"}, "at least 2"},
+		{"no reference", DistCheckOptions{FleetURLs: []string{"http://a", "http://b"}}, "ReferenceURL"},
+		{"too many shards", DistCheckOptions{FleetURLs: []string{"http://a", "http://b"}, ReferenceURL: "http://r", Shards: 2}, "fleet members"},
+	}
+	for _, tc := range cases {
+		err := DistCheck(ctx, tc.o)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestStartFleetRejectsSingleton(t *testing.T) {
+	if _, err := StartFleet(1, server.Config{}); err == nil {
+		t.Fatal("StartFleet(1) succeeded, want error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"gossip/internal/server"
 )
@@ -24,6 +25,11 @@ type SelfCheckOptions struct {
 	SurgeN int
 	// Seed decorrelates runs (default 1).
 	Seed uint64
+	// MaxWall fails the check when the load phase (surge + mix against
+	// server A) takes longer than this wall-clock budget. Zero means no
+	// budget — CI sets one so transport or scheduling regressions fail
+	// the smoke instead of silently slowing it.
+	MaxWall time.Duration
 	// Pools are the two server pool sizes whose responses are
 	// cross-compared byte for byte. They must differ for the comparison
 	// to mean anything, so the defaults are fixed at 2 and 6 rather
@@ -79,6 +85,7 @@ func SelfCheck(ctx context.Context, o SelfCheckOptions) error {
 	poolA := a.Server.Metrics().PoolSize
 	fmt.Fprintf(o.Out, "selfcheck: server A up at %s (pool=%d)\n", a.URL, poolA)
 
+	loadStart := time.Now()
 	rep, err := Run(ctx, Options{
 		BaseURL:  a.URL,
 		Clients:  o.Clients,
@@ -90,6 +97,7 @@ func SelfCheck(ctx context.Context, o SelfCheckOptions) error {
 	if err != nil {
 		return fmt.Errorf("selfcheck: load phase: %w", err)
 	}
+	loadWall := time.Since(loadStart)
 	rep.Fprint(o.Out)
 	if err := rep.Err(); err != nil {
 		return err
@@ -98,6 +106,12 @@ func SelfCheck(ctx context.Context, o SelfCheckOptions) error {
 		return fmt.Errorf("selfcheck: peak in-flight %d below the required %d (clients %d)",
 			rep.PeakInFlight, o.MinPeakInFlight, o.Clients)
 	}
+	if o.MaxWall > 0 && loadWall > o.MaxWall {
+		return fmt.Errorf("selfcheck: load phase took %v, over the %v wall-clock budget",
+			loadWall.Round(time.Millisecond), o.MaxWall)
+	}
+	fmt.Fprintf(o.Out, "selfcheck: load phase wall clock %v (budget %v)\n",
+		loadWall.Round(time.Millisecond), o.MaxWall)
 
 	// Cross-server determinism: a differently-sized pool must produce
 	// the same bytes for every mix job.

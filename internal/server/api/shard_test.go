@@ -1,0 +1,194 @@
+package api
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"gossip/internal/sim"
+)
+
+func sampleRoundFrame() sim.DistFrame {
+	return sim.DistFrame{
+		Round: 7,
+		Shard: 1,
+		Intents: []sim.DistIntent{
+			{U: 3, Idx: 0, V: 9, VIdx: 2, Lat: 1},
+			{U: 4, Idx: 3, V: 0, VIdx: 5, Lat: 12, Lost: true},
+		},
+		Gains:       []sim.DistGain{{Node: 9, Rumor: 3}, {Node: 0, Rumor: 4}},
+		MinWake:     10,
+		SleeperWake: sim.WakeOnDelivery,
+		NextDeliver: 8,
+		Pending:     true,
+		Idle:        true,
+		Called:      true,
+		Waiting:     true,
+		DonePre:     true,
+		DonePost:    true,
+		MetaCapable: true,
+		Err:         "shard says ouch",
+	}
+}
+
+func TestRoundFrameRoundTrip(t *testing.T) {
+	want := sampleRoundFrame()
+	enc := AppendRoundFrame(nil, &want)
+	var got sim.DistFrame
+	if err := DecodeRoundFrame(enc, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round frame round-trip:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A minimal frame (no intents, no gains, sentinel calendar) must
+	// round-trip too, reusing the decode target's slice capacity.
+	minimal := sim.DistFrame{Round: 0, Shard: 0, MinWake: sim.WakeOnDelivery,
+		SleeperWake: sim.WakeOnDelivery, NextDeliver: -1}
+	enc = AppendRoundFrame(enc[:0], &minimal)
+	if err := DecodeRoundFrame(enc, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 0 || got.NextDeliver != -1 || got.MinWake != sim.WakeOnDelivery ||
+		len(got.Intents) != 0 || len(got.Gains) != 0 || got.Pending || got.Err != "" {
+		t.Fatalf("minimal frame round-trip: %+v", got)
+	}
+}
+
+// TestRoundFrameTruncations feeds every proper prefix of a valid
+// encoding to the decoder: each must error, never panic or succeed.
+func TestRoundFrameTruncations(t *testing.T) {
+	f := sampleRoundFrame()
+	enc := AppendRoundFrame(nil, &f)
+	var got sim.DistFrame
+	for i := 0; i < len(enc); i++ {
+		if err := DecodeRoundFrame(enc[:i], &got); err == nil {
+			t.Fatalf("decoding %d of %d bytes succeeded", i, len(enc))
+		}
+	}
+}
+
+func TestMetaFrameRoundTrip(t *testing.T) {
+	want := sim.DistMetaFrame{
+		Round: 4,
+		Shard: 2,
+		Metas: []sim.DistNodeMeta{
+			{Node: 7, Meta: []int32{1, 2, 3}},
+			{Node: 12, Meta: []int32{}},
+		},
+	}
+	enc := AppendMetaFrame(nil, &want)
+	var got sim.DistMetaFrame
+	if err := DecodeMetaFrame(enc, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("meta frame round-trip:\n got %+v\nwant %+v", got, want)
+	}
+	for i := 0; i < len(enc); i++ {
+		if err := DecodeMetaFrame(enc[:i], &got); err == nil {
+			t.Fatalf("decoding %d of %d bytes succeeded", i, len(enc))
+		}
+	}
+	if err := DecodeMetaFrame(append(enc, 0), &got); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestShardResultRoundTrip(t *testing.T) {
+	want := &ShardResult{
+		Rounds:       19,
+		Completed:    true,
+		Exchanges:    100,
+		Messages:     200,
+		Dropped:      3,
+		Delivered:    97,
+		RumorPayload: 512,
+		Hash:         0xdeadbeefcafe,
+		InformedAt:   []int{0, 2, -1, 5},
+		Stats: sim.DistStats{Rounds: 19, Barriers: 20, MetaBarriers: 1,
+			Intents: 100, CrossIntents: 40, Gains: 50, ComputeNS: 123456, WaitNS: 7890},
+	}
+	enc := AppendShardResult(nil, want)
+	got, err := DecodeShardResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shard result round-trip:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Non-shard-0 results ship no InformedAt; nil must survive.
+	want.InformedAt = nil
+	enc = AppendShardResult(enc[:0], want)
+	if got, err = DecodeShardResult(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.InformedAt != nil {
+		t.Fatalf("nil InformedAt decoded as %v", got.InformedAt)
+	}
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeShardResult(enc[:i]); err == nil {
+			t.Fatalf("decoding %d of %d bytes succeeded", i, len(enc))
+		}
+	}
+}
+
+func TestWriteReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{7}, 1<<16)}
+	kinds := []byte{FrameJob, FrameRound, FrameResult}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, kinds[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		kind, p, err := ReadFrame(&buf, scratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = p
+		if kind != kinds[i] || !bytes.Equal(p, want) {
+			t.Fatalf("frame %d: kind %d payload %d bytes", i, kind, len(p))
+		}
+	}
+
+	// A header advertising an over-cap payload must be rejected before
+	// any allocation.
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(MaxFramePayload+1))
+	hdr[4] = FrameRound
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:]), nil); err == nil {
+		t.Fatal("over-cap frame header accepted")
+	}
+	// Truncated header and truncated payload both error.
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:3]), nil); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	binary.BigEndian.PutUint32(hdr[:4], 10)
+	short := append(append([]byte{}, hdr[:]...), 1, 2, 3)
+	if _, _, err := ReadFrame(bytes.NewReader(short), nil); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestInformedHash(t *testing.T) {
+	base := InformedHash(5, true, []int{0, 1, 2})
+	if InformedHash(5, true, []int{0, 1, 2}) != base {
+		t.Fatal("hash is not deterministic")
+	}
+	for name, h := range map[string]uint64{
+		"rounds":    InformedHash(6, true, []int{0, 1, 2}),
+		"completed": InformedHash(5, false, []int{0, 1, 2}),
+		"informed":  InformedHash(5, true, []int{0, 1, 3}),
+		"length":    InformedHash(5, true, []int{0, 1}),
+	} {
+		if h == base {
+			t.Errorf("changing %s did not change the hash", name)
+		}
+	}
+}

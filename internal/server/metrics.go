@@ -19,6 +19,13 @@ type metrics struct {
 	storeHits atomic.Int64 // lookups served by promoting a disk-store body
 	sweeps    atomic.Int64 // sweep requests that executed (sweep-level misses)
 	rounds    atomic.Int64 // simulated rounds, summed over completed jobs
+
+	shardJobs     atomic.Int64 // sharded jobs this process coordinated
+	shardSessions atomic.Int64 // worker shard sessions this process served
+	shardFailures atomic.Int64 // shard sessions or coordinated jobs that failed
+	forwarded     atomic.Int64 // requests forwarded to their cache-key owner
+	forwardServed atomic.Int64 // forwarded requests this owner served
+	forwardFailed atomic.Int64 // forwards that fell back to local execution
 }
 
 // Snapshot is a point-in-time copy of the service counters, used by
@@ -30,6 +37,12 @@ type Snapshot struct {
 	StoreHits                 int64
 	SweepsExecuted            int64
 	RoundsSimulated           int64
+	ShardJobs                 int64
+	ShardSessions             int64
+	ShardFailures             int64
+	Forwarded                 int64
+	ForwardServed             int64
+	ForwardFailed             int64
 	CacheEntries              int
 	PoolSize                  int
 }
@@ -48,6 +61,12 @@ func (s *Server) Metrics() Snapshot {
 		StoreHits:       s.met.storeHits.Load(),
 		SweepsExecuted:  s.met.sweeps.Load(),
 		RoundsSimulated: s.met.rounds.Load(),
+		ShardJobs:       s.met.shardJobs.Load(),
+		ShardSessions:   s.met.shardSessions.Load(),
+		ShardFailures:   s.met.shardFailures.Load(),
+		Forwarded:       s.met.forwarded.Load(),
+		ForwardServed:   s.met.forwardServed.Load(),
+		ForwardFailed:   s.met.forwardFailed.Load(),
 		CacheEntries:    s.cache.len(),
 		PoolSize:        s.pool.Size(),
 	}
@@ -70,6 +89,12 @@ func (m *metrics) render(w io.Writer, cacheEntries, poolSize int) {
 	counter("gossipd_store_hits_total", "lookups served from the disk result store", m.storeHits.Load())
 	counter("gossipd_sweeps_executed_total", "sweep requests executed rather than replayed", m.sweeps.Load())
 	counter("gossipd_rounds_simulated_total", "simulated rounds summed over completed jobs", m.rounds.Load())
+	counter("gossipd_shard_jobs_total", "sharded jobs coordinated by this process", m.shardJobs.Load())
+	counter("gossipd_shard_sessions_total", "worker shard sessions served by this process", m.shardSessions.Load())
+	counter("gossipd_shard_failures_total", "failed shard sessions and coordinated jobs", m.shardFailures.Load())
+	counter("gossipd_cache_forwarded_total", "requests forwarded to their cache-key owner", m.forwarded.Load())
+	counter("gossipd_cache_forward_served_total", "forwarded requests served by this owner", m.forwardServed.Load())
+	counter("gossipd_cache_forward_failures_total", "forwards that fell back to local execution", m.forwardFailed.Load())
 	gauge("gossipd_cache_entries", "request cache occupancy", int64(cacheEntries))
 	gauge("gossipd_pool_slots", "execution pool size", int64(poolSize))
 }

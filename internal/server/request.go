@@ -32,6 +32,12 @@ type Request struct {
 	// for any value, so it is an execution knob excluded from the cache
 	// key.
 	Workers int `json:"workers,omitempty"`
+	// Shards distributes the job across that many worker gossipd
+	// processes (0 = run in this process; otherwise >= 2, at most the
+	// fleet's worker count). Like workers, results are bit-identical for
+	// any value, so it is an execution knob excluded from the cache key.
+	// Requires a fleet (-peers) and a distributable driver.
+	Shards int `json:"shards,omitempty"`
 	// MaxRounds overrides the driver's horizon (0 = driver default).
 	MaxRounds int `json:"max_rounds,omitempty"`
 	// FaultSpec is the adversity DSL (see package adversity), e.g.
@@ -118,6 +124,7 @@ type job struct {
 	can     canonical
 	key     string
 	workers int
+	shards  int
 	timeout time.Duration
 	spec    *adversity.Spec
 }
@@ -244,7 +251,26 @@ func (s *Server) validate(req Request) (*job, *FieldError) {
 		return nil, ferr
 	}
 
-	jb := &job{can: can, workers: req.Workers, timeout: timeout, spec: spec}
+	if req.Shards != 0 {
+		if req.Shards < 2 {
+			return nil, fieldErrf("shards", "shards %d must be 0 (run in-process) or >= 2", req.Shards)
+		}
+		workers := s.shardWorkers()
+		if len(workers) == 0 {
+			return nil, fieldErrf("shards", "distributed execution needs a fleet (start gossipd with -peers/-advertise)")
+		}
+		if req.Shards > len(workers) {
+			return nil, fieldErrf("shards", "shards %d exceeds the fleet's %d workers", req.Shards, len(workers))
+		}
+		if !gossip.Distributable(d.Name) {
+			return nil, fieldErrf("shards", "driver %q does not support distributed execution (distributable: push-pull, flood, dtg, superstep)", d.Name)
+		}
+		if can.MaxInPerRound > 0 {
+			return nil, fieldErrf("shards", "distributed execution does not support max_in_per_round")
+		}
+	}
+
+	jb := &job{can: can, workers: req.Workers, shards: req.Shards, timeout: timeout, spec: spec}
 	jb.key = requestKey(can)
 	return jb, nil
 }

@@ -27,9 +27,11 @@ import (
 	"sync"
 	"time"
 
+	"gossip/internal/cluster"
 	"gossip/internal/gossip"
 	"gossip/internal/graphgen"
 	"gossip/internal/runner"
+	"gossip/internal/server/api"
 )
 
 // Config tunes one Server. The zero value is production-serviceable.
@@ -61,6 +63,17 @@ type Config struct {
 	// (<=0: 5m). Queue wait is not counted.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+
+	// Peers is the full fleet membership (host:port, this process
+	// included) and Advertise is this process's own entry. Setting both
+	// (with at least 2 peers) enables the fleet features: the
+	// consistent-hash partitioned cache (requests are forwarded to their
+	// key's owner) and distributed execution (this process can
+	// coordinate sharded jobs across the other peers and serve worker
+	// shard sessions itself). Every fleet member must be started with
+	// the identical Peers list.
+	Peers     []string
+	Advertise string
 
 	// gate, when set (tests only), is called on the execution goroutine
 	// before the job runs — a seam for holding a job mid-flight to
@@ -104,6 +117,11 @@ type Server struct {
 	mu       sync.Mutex
 	inflight map[string]*flight
 
+	// ring partitions the request-key space across Peers; nil outside a
+	// fleet. fleet is the tuned intra-fleet HTTP client.
+	ring  *cluster.Ring
+	fleet *http.Client
+
 	drainCtx context.Context
 	drain    context.CancelFunc
 }
@@ -123,6 +141,12 @@ func New(cfg Config) *Server {
 	if cfg.StoreDir != "" && cfg.CacheSize >= 0 {
 		if st, err := newDiskStore(cfg.StoreDir); err == nil {
 			s.store = st
+		}
+	}
+	if len(cfg.Peers) >= 2 && cfg.Advertise != "" {
+		if ring, err := cluster.NewRing(cfg.Peers); err == nil {
+			s.ring = ring
+			s.fleet = &http.Client{Transport: fleetTransport()}
 		}
 	}
 	return s
@@ -169,6 +193,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("POST "+api.ShardPath, s.handleShard)
 	mux.HandleFunc("GET /v1/drivers", s.handleDrivers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -203,6 +228,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	stop := context.AfterFunc(s.drainCtx, cancel)
 	defer stop()
+
+	// Fleet cache routing: the key's ring owner holds the fleet's one
+	// authoritative cache slot for this request, so a non-owner forwards
+	// after missing locally — unless the request was already forwarded
+	// once (the owner serves, never re-forwards: the loop guard) or the
+	// owner is unreachable (degrade to local execution, never fail).
+	if s.ring != nil && !s.cache.disabled() {
+		if r.Header.Get(ForwardedHeader) != "" {
+			s.met.forwardServed.Add(1)
+		} else if owner := s.ring.Owner(jb.key); owner != s.cfg.Advertise {
+			if body, ok := s.lookup(jb.key); ok {
+				s.met.hits.Add(1)
+				writeStream(w, body, "hit")
+				return
+			}
+			if s.forwardToOwner(ctx, w, owner, req) {
+				s.met.forwarded.Add(1)
+				return
+			}
+			s.met.forwardFailed.Add(1)
+		}
+	}
 
 	// Caching off means genuinely off: no memoization and no coalescing,
 	// every request is its own execution.
@@ -298,6 +345,10 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 	type outcome struct {
 		res gossip.DriverResult
 		err error
+		// transient marks errors that are not a function of the
+		// canonical request (a worker died, a dial failed): streamed but
+		// never cached, like timeouts.
+		transient bool
 	}
 	out := make(chan outcome, 1)
 	s.met.running.Add(1)
@@ -306,6 +357,13 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 		defer s.met.running.Add(-1)
 		if s.cfg.gate != nil {
 			s.cfg.gate(jb.key)
+		}
+		if jb.shards > 0 {
+			// Coordinator path: the workers rebuild the graph; this
+			// process only relays barrier frames.
+			res, err := s.coordinate(jb)
+			out <- outcome{res: res, err: err, transient: err != nil}
+			return
 		}
 		g, err := graphgen.Build(graphgen.Spec{
 			Family:  jb.can.Graph.Family,
@@ -327,6 +385,17 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 	defer timer.Stop()
 	select {
 	case o := <-out:
+		if o.err != nil && o.transient {
+			// Not a function of the canonical request (a peer died
+			// mid-job): stream the error but never memoize it, and let
+			// any coalesced followers retry rather than inherit it.
+			if f != nil {
+				s.resolve(jb.key, f, nil)
+			}
+			s.met.failed.Add(1)
+			flushWrite(w, errorLine(o.err.Error()))
+			return
+		}
 		if o.err != nil {
 			// Driver and graph errors are pure functions of the
 			// canonical request: cache them like results so identical

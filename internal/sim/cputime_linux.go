@@ -1,0 +1,18 @@
+//go:build linux
+
+package sim
+
+import "syscall"
+
+// threadCPUNS returns the CPU time (user + system) consumed by the
+// calling OS thread, in nanoseconds, or -1 when the kernel refuses the
+// query. The caller must hold runtime.LockOSThread for the duration it
+// wants attributed, otherwise the goroutine migrates and deltas mix
+// threads.
+func threadCPUNS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_THREAD, &ru); err != nil {
+		return -1
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

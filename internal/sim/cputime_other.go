@@ -1,0 +1,8 @@
+//go:build !linux
+
+package sim
+
+// threadCPUNS reports per-thread CPU time where the platform exposes it
+// (see cputime_linux.go); elsewhere workers fall back to wall clock
+// minus barrier wait.
+func threadCPUNS() int64 { return -1 }

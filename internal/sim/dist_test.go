@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gossip/internal/adversity"
+	"gossip/internal/graph"
+)
+
+// distMetaProto exercises the full distributed facet surface the real
+// meta protocols (DTG, superstep) use: []int32 exchange metadata that
+// feeds back into behavior, a DoneReporter whose flag flips inside
+// Activate, Sleeper parking, and amnesia restart — so any divergence in
+// how metas or done flags cross shard boundaries changes the
+// fingerprint.
+type distMetaProto struct {
+	nv    *NodeView
+	heard map[int32]bool
+	done  bool
+}
+
+func newDistMetaProto(nv *NodeView) *distMetaProto {
+	p := &distMetaProto{nv: nv, heard: map[int32]bool{}}
+	p.heard[int32(nv.ID())] = true
+	return p
+}
+
+func (p *distMetaProto) Meta() any {
+	out := make([]int32, 0, len(p.heard))
+	for r := range p.heard {
+		out = append(out, r)
+	}
+	// map order is nondeterministic; metas must be deterministic data.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (p *distMetaProto) Done() bool { return p.done }
+
+func (p *distMetaProto) Activate(int) (int, bool) {
+	if p.done {
+		return 0, false
+	}
+	// Done flips during Activate (like DTG.startIteration), pinning the
+	// pre- vs post-activation capture split.
+	missing := -1
+	for i := 0; i < p.nv.Degree(); i++ {
+		if !p.heard[int32(p.nv.NeighborID(i))] {
+			missing = i
+			break
+		}
+	}
+	if missing < 0 {
+		p.done = true
+		return 0, false
+	}
+	// Behavior depends on the heard set, which grows from peer metas:
+	// a meta delivery divergence changes the activation sequence.
+	return missing, true
+}
+
+func (p *distMetaProto) OnDeliver(d Delivery) {
+	if peer, ok := d.PeerMeta.([]int32); ok {
+		for _, r := range peer {
+			p.heard[r] = true
+		}
+	}
+	p.heard[int32(d.Peer)] = true
+}
+
+func (p *distMetaProto) NextWake(round int) int {
+	if p.done {
+		return WakeOnDelivery
+	}
+	return round + 1
+}
+
+func (p *distMetaProto) OnAmnesia() {
+	p.heard = map[int32]bool{int32(p.nv.ID()): true}
+	p.done = false
+}
+
+// TestDistMatchesSerial is the distributed bit-identity gate at the
+// engine level: RunDistLocal must reproduce the serial Run fingerprint —
+// counters, informed times, every node's gain journal — for every shard
+// count, across seeding modes, fail-stop crashes and the full adversity
+// surface (loss draws, amnesic churn, link flaps, crash batches).
+func TestDistMatchesSerial(t *testing.T) {
+	const n = 37
+	g := denseTestGraph(n)
+	crashAt := make([]int, n)
+	for u := range crashAt {
+		crashAt[u] = -1
+	}
+	crashAt[5], crashAt[11] = 4, 9
+	cfgs := map[string]Config{
+		"plain":    {Graph: g, Seed: 42, Mode: OneToAll, Source: 0, MaxRounds: 1 << 12},
+		"alltoall": {Graph: g, Seed: 7, Mode: AllToAll, MaxRounds: 1 << 12},
+		"crashes":  {Graph: g, Seed: 11, Mode: OneToAll, Source: 1, MaxRounds: 1 << 12, CrashAt: crashAt},
+		"adversity": {Graph: g, Seed: 3, Mode: OneToAll, Source: 2, MaxRounds: 1 << 12,
+			Adversity: adversity.MustParseSpec("loss=0.15;churn=2:6-14:amnesia;flap=0-1:3-8;crash=9:5")},
+	}
+	for name, base := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			stop := StopAllInformed(base.Source)
+			switch {
+			case base.Mode == AllToAll:
+				stop = StopAllHaveAll()
+			case base.CrashAt != nil:
+				stop = StopAllAliveInformed(base.Source)
+			case base.Adversity != nil:
+				stop = StopAllSurvivorsInformed(base.Source, nil, base.Adversity)
+			}
+			factory := func(nv *NodeView) Protocol { return &randomProto{nv: nv} }
+			serial, err := Run(base, factory, stop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fingerprint(serial)
+			for _, shards := range []int{2, 3, 5} {
+				res, stats, err := RunDistLocal(base, shards, factory, stop)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				// The assembled World is shard 0's replica: journals are
+				// synchronized every round, so the fingerprint matches in
+				// full.
+				got := fingerprint(res)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d diverged from serial:\n got %+v\nwant %+v", shards, got, want)
+				}
+				var rounds int64
+				for i := range stats {
+					rounds += stats[i].Rounds
+				}
+				if rounds == 0 {
+					t.Fatalf("shards=%d: no rounds recorded in stats", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestDistMetaProtocols covers the meta sub-barrier: protocols whose
+// behavior depends on peer metadata (the DTG/superstep shape) must be
+// bit-identical distributed, including under amnesic churn, and the
+// StopAllDone path must agree with the serial facet scan.
+func TestDistMetaProtocols(t *testing.T) {
+	g := denseTestGraph(29)
+	cfgs := map[string]Config{
+		"benign": {Graph: g, Seed: 17, Mode: AllToAll, MaxRounds: 1 << 12, KnownLatencies: true},
+		"churny": {Graph: g, Seed: 23, Mode: AllToAll, MaxRounds: 1 << 12, KnownLatencies: true,
+			Adversity: adversity.MustParseSpec("churn=3:2-9:amnesia;flap=1-2:3-7")},
+	}
+	factory := func(nv *NodeView) Protocol { return newDistMetaProto(nv) }
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			serial, err := Run(cfg, factory, StopAllDone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.Completed {
+				t.Fatalf("serial meta run did not complete: %+v", serial)
+			}
+			want := fingerprint(serial)
+			for _, shards := range []int{2, 4} {
+				res, stats, err := RunDistLocal(cfg, shards, factory, StopAllDone())
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				got := fingerprint(res)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d diverged from serial:\n got %+v\nwant %+v", shards, got, want)
+				}
+				var cross int64
+				for i := range stats {
+					cross += stats[i].CrossIntents
+				}
+				if cross == 0 {
+					t.Fatalf("shards=%d: no cross-shard intents — the meta barrier was never exercised", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestDistRejectsUnsupported pins the distributed gating: configurations
+// whose serial semantics cannot be replicated shard-locally are refused
+// up front, not silently diverged from.
+func TestDistRejectsUnsupported(t *testing.T) {
+	g := denseTestGraph(8)
+	factory := func(nv *NodeView) Protocol { return &randomProto{nv: nv} }
+	cases := []struct {
+		name string
+		cfg  Config
+		dc   DistConfig
+		want string
+	}{
+		{"one-shard", Config{Graph: g}, DistConfig{Shard: 0, Shards: 1, Exchanger: NewLocalExchange(1)}, "at least 2 shards"},
+		{"bad-shard", Config{Graph: g}, DistConfig{Shard: 2, Shards: 2, Exchanger: NewLocalExchange(2)}, "out of range"},
+		{"no-exchanger", Config{Graph: g}, DistConfig{Shard: 0, Shards: 2}, "exchanger"},
+		{"bounded-in", Config{Graph: g, MaxInPerRound: 2}, DistConfig{Shard: 0, Shards: 2, Exchanger: NewLocalExchange(2)}, "bounded in-degree"},
+		{"jitter", Config{Graph: g, LatencyJitter: 0.2}, DistConfig{Shard: 0, Shards: 2, Exchanger: NewLocalExchange(2)}, "latency jitter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RunDist(tc.cfg, tc.dc, factory, StopNever())
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want one containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// badIdxProto returns an invalid neighbor index at round 3 on one node.
+type badIdxProto struct {
+	nv  *NodeView
+	bad bool
+}
+
+func (p *badIdxProto) Activate(round int) (int, bool) {
+	if p.bad && round >= 3 {
+		return 99, true
+	}
+	return p.nv.RNG().IntN(p.nv.Degree()), true
+}
+func (p *badIdxProto) OnDeliver(Delivery) {}
+
+// TestDistErrorPropagates: an activation error on one shard must abort
+// every worker with that error (shipped through the frame, applied after
+// the barrier), matching the serial engine's error.
+func TestDistErrorPropagates(t *testing.T) {
+	g := denseTestGraph(16)
+	factory := func(nv *NodeView) Protocol {
+		return &badIdxProto{nv: nv, bad: nv.ID() == 12} // owned by the last shard
+	}
+	cfg := Config{Graph: g, Seed: 1, Mode: OneToAll, Source: 0, MaxRounds: 64}
+	_, serialErr := Run(cfg, factory, StopAllInformed(0))
+	if serialErr == nil {
+		t.Fatal("serial run did not error")
+	}
+	_, _, err := RunDistLocal(cfg, 3, factory, StopAllInformed(0))
+	if err == nil || !strings.Contains(err.Error(), "invalid neighbor index") {
+		t.Fatalf("distributed error %v, want activation error like serial %v", err, serialErr)
+	}
+}
+
+// TestDistManyShards: more shards than convenient divisors (including
+// empty tail shards when shards > n) still assemble the serial result.
+func TestDistManyShards(t *testing.T) {
+	g := graph.New(5)
+	for u := 0; u < 4; u++ {
+		g.MustAddEdge(u, u+1, 1+u%2)
+	}
+	cfg := Config{Graph: g, Seed: 4, Mode: OneToAll, Source: 0, MaxRounds: 1 << 10}
+	factory := func(nv *NodeView) Protocol { return &randomProto{nv: nv} }
+	serial, err := Run(cfg, factory, StopAllInformed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(serial)
+	for _, shards := range []int{2, 5, 7} {
+		res, _, err := RunDistLocal(cfg, shards, factory, StopAllInformed(0))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := fingerprint(res); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d diverged from serial", shards)
+		}
+	}
+}

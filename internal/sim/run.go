@@ -50,6 +50,11 @@ type World struct {
 	// protocols without one) so quiescence stops skip per-check type
 	// assertions.
 	dones []DoneReporter
+	// distDone, on a distributed shard worker, holds every shard's
+	// captured all-done flag for the stop evaluation in progress (remote
+	// protocol facets are not materialized on a worker, so StopAllDone
+	// consults these instead of scanning dones). Nil in serial runs.
+	distDone []bool
 }
 
 // Alive reports whether node u is up (not crashed, not churned out) as
@@ -173,6 +178,13 @@ type engine struct {
 
 	due    []exch // scratch: this round's deliveries in (deliver,seq) order
 	dueBuf []exch // merge buffer when overflow items join a bucket
+	// spare is the drained bucket's backing array, handed forward to the
+	// next first-touch slot: a drained slot is not due again for
+	// len(ring) rounds, while the slot the current round schedules into
+	// usually starts empty — recycling makes steady-state scheduling
+	// allocation-free at fixed latency instead of regrowing a multi-MB
+	// bucket through doublings every round.
+	spare []exch
 
 	shards  []shard
 	workers int
@@ -208,6 +220,10 @@ type engine struct {
 	advRNG       []rand.Rand
 	advEvents    []adversity.Event
 	nextAdvEvent int
+
+	// dist is the distributed-execution state of a shard worker (nil in
+	// ordinary runs); see dist.go.
+	dist *distRun
 }
 
 // down reports whether node u is unavailable at round (crashed per the
@@ -273,6 +289,17 @@ func Run(cfg Config, factory Factory, stop StopFunc) (Result, error) {
 // (snapshot.go) builds the same fresh engine and splices captured state
 // over it, which is why everything mutable lives in engine fields.
 func newEngine(cfg Config, factory Factory) (*engine, error) {
+	return newEngineShard(cfg, factory, 0, 1)
+}
+
+// newEngineShard is newEngine generalized to a distributed shard worker:
+// with shardCount > 1 the engine still builds the full deterministic
+// node-state arenas (views, journals, RNG streams, seeding — all
+// derivable from cfg alone), but protocol instances and their facets are
+// constructed only for the worker's contiguous node range, and the
+// single execution shard covers exactly that range. shardCount <= 1 is
+// the ordinary full-range engine.
+func newEngineShard(cfg Config, factory Factory, shardIdx, shardCount int) (*engine, error) {
 	csr := cfg.CSR
 	if csr == nil {
 		if cfg.Graph == nil {
@@ -409,12 +436,27 @@ func newEngine(cfg Config, factory Factory) (*engine, error) {
 
 	// Sleeper/Waiter/MetaProducer/DoneReporter facets are fixed per
 	// protocol: resolve the type assertions once instead of per round.
+	// A distributed shard worker instantiates protocols only for its
+	// owned range; remote entries stay nil and are never invoked (remote
+	// protocol effects arrive through barrier frames instead).
+	ownLo, ownHi := 0, n
+	if shardCount > 1 {
+		per := (n + shardCount - 1) / shardCount
+		ownLo = shardIdx * per
+		if ownLo > n {
+			ownLo = n
+		}
+		ownHi = ownLo + per
+		if ownHi > n {
+			ownHi = n
+		}
+	}
 	e.sleeper = make([]Sleeper, n)
 	e.waiter = make([]Waiter, n)
 	e.meta = make([]MetaProducer, n)
 	e.amnesiac = make([]AmnesiaReseter, n)
 	dones := make([]DoneReporter, n)
-	for u := 0; u < n; u++ {
+	for u := ownLo; u < ownHi; u++ {
 		protos[u] = factory(views[u])
 		if protos[u] == nil {
 			return nil, fmt.Errorf("sim: factory returned nil protocol for node %d", u)
@@ -508,6 +550,14 @@ func newEngine(cfg Config, factory Factory) (*engine, error) {
 	e.ring = make([][]exch, ringSize)
 	e.ringMask = ringSize - 1
 
+	if shardCount > 1 {
+		// One execution shard spanning exactly the owned range; the
+		// goroutine fan-out is pointless on a worker that owns a single
+		// contiguous slice of the network.
+		e.workers = 1
+		e.shards = []shard{{lo: ownLo, hi: ownHi}}
+		return e, nil
+	}
 	e.workers = cfg.Workers
 	if e.workers < 1 {
 		e.workers = 1
@@ -562,7 +612,11 @@ func (e *engine) shardOf(u int32) *shard {
 func (e *engine) push(ex exch, round int) {
 	if ex.deliver-round < len(e.ring) {
 		slot := ex.deliver & e.ringMask
-		e.ring[slot] = append(e.ring[slot], ex)
+		b := e.ring[slot]
+		if cap(b) == 0 && cap(e.spare) != 0 {
+			b, e.spare = e.spare, nil
+		}
+		e.ring[slot] = append(b, ex)
 		e.ringCount++
 	} else {
 		heap.Push(&e.overflow, ex)
@@ -589,10 +643,10 @@ func (e *engine) nextDeliver(round int) int {
 	return nd
 }
 
-// drainDue collects the exchanges completing at round into e.due in
-// (deliver, seq) order, applies crash drops and payload accounting, and
-// routes per-endpoint delivery records to the owning shards.
-func (e *engine) drainDue(round int) {
+// collectDue gathers the exchanges completing at round into e.due in
+// (deliver, seq) order, merging overflow-heap items with the calendar
+// bucket when slow-edge deliveries fall due.
+func (e *engine) collectDue(round int) {
 	bucket := e.ring[round&e.ringMask]
 	e.ringCount -= len(bucket)
 	if len(e.overflow) > 0 && e.overflow[0].deliver <= round {
@@ -619,6 +673,13 @@ func (e *engine) drainDue(round int) {
 	} else {
 		e.due = bucket
 	}
+}
+
+// drainDue collects the exchanges completing at round into e.due in
+// (deliver, seq) order, applies crash drops and payload accounting, and
+// routes per-endpoint delivery records to the owning shards.
+func (e *engine) drainDue(round int) {
+	e.collectDue(round)
 	for i := range e.due {
 		ex := &e.due[i]
 		// A fail-stop endpoint neither responds nor forwards: the whole
@@ -707,7 +768,11 @@ func (e *engine) finishDeliveries(round int) {
 		e.due[i].uNews, e.due[i].vNews = nil, nil
 	}
 	slot := round & e.ringMask
-	e.ring[slot] = e.ring[slot][:0]
+	if b := e.ring[slot][:0]; cap(b) > cap(e.spare) {
+		e.ring[slot], e.spare = nil, b
+	} else {
+		e.ring[slot] = b
+	}
 	e.due = nil
 }
 

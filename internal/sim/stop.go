@@ -130,6 +130,18 @@ func StopAllSurvivorsInformed(r graph.NodeID, crashAt []int, spec *adversity.Spe
 // DoneReporter facets are resolved once at setup, not per check.
 func StopAllDone() StopFunc {
 	return func(w *World) bool {
+		if w.distDone != nil {
+			// Distributed shard worker: remote facets are not
+			// materialized, so the check rides the per-shard all-done
+			// flags every owner captured at the same point of the round
+			// the serial engine would evaluate its facets.
+			for _, done := range w.distDone {
+				if !done {
+					return false
+				}
+			}
+			return true
+		}
 		if w.dones != nil {
 			for u, dr := range w.dones {
 				if dr != nil && w.Alive(u) && !dr.Done() {
