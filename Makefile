@@ -7,12 +7,12 @@ GO ?= go
 # internal/gossip (keep in sync with gossip.Names()).
 DRIVERS := auto dtg flood pattern push-pull rr spanner superstep
 
-# Ratcheted total-coverage minimum for `make cover`: the percentage
-# recorded at the merge of the adversity/invariant-harness PR. Repeated
-# local runs measured 83.7–84.2% (scheduler-dependent test paths move a
-# few tenths), so the floor sits just under that band. Raise it when
-# coverage improves; never lower it without a written reason.
-COVER_MIN := 83.5
+# Ratcheted total-coverage minimum for `make cover`: raised at the
+# /v1/estimates PR, which measured 85.3% (scheduler-dependent test
+# paths move a few tenths, so the floor sits just under the measured
+# value). Raise it when coverage improves; never lower it without a
+# written reason.
+COVER_MIN := 84.5
 
 .PHONY: all build test race bench bench-json bench-baseline bench-compare \
 	determinism cover fuzz-smoke staticcheck fmt vet experiments serve \
@@ -42,7 +42,7 @@ bench:
 # BENCH_sim.json on every push so the perf trajectory is tracked across
 # PRs, then gates it against the committed baseline (bench-compare).
 bench-json:
-	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimLossyPushPull|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild|BenchmarkServerThroughput|BenchmarkServerCachedHit|BenchmarkSweepWarmStart|BenchmarkDistributedShardMerge|BenchmarkDistributedCoordinator)' \
+	$(GO) test -bench='^(BenchmarkSimPushPullRound|BenchmarkSimLargeScale|BenchmarkSimLossyPushPull|BenchmarkSimMillionNode|BenchmarkConductance|BenchmarkSpannerBuild|BenchmarkServerThroughput|BenchmarkServerCachedHit|BenchmarkSweepWarmStart|BenchmarkDistributedShardMerge|BenchmarkDistributedCoordinator|BenchmarkEstimateFit)' \
 		-benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # Refresh the committed regression baseline from the current machine.
@@ -99,10 +99,12 @@ cover:
 		{ echo "coverage $$total% fell below the ratcheted minimum $(COVER_MIN)%" >&2; exit 1; }
 
 # Short fuzz smoke of the structured-input parsers/builders (the fault
-# schedule DSL and the CSR builder); CI-friendly seconds, not hours.
+# schedule DSL, the CSR builder and the /v1/estimates request
+# validator); CI-friendly seconds, not hours.
 fuzz-smoke:
 	$(GO) test ./internal/adversity -fuzz FuzzFaultSpec -fuzztime 10s -run '^$$'
 	$(GO) test ./internal/graph -fuzz FuzzCSRBuilder -fuzztime 10s -run '^$$'
+	$(GO) test ./internal/server -fuzz FuzzEstimateValidate -fuzztime 10s -run '^$$'
 
 # Static analysis beyond go vet. Requires staticcheck on PATH
 # (go install honnef.co/go/tools/cmd/staticcheck@latest); CI installs it.

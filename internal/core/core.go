@@ -157,12 +157,6 @@ type Options struct {
 	// Every algorithm accepts it; multi-phase pipelines rebase it
 	// between phases.
 	Adversity *adversity.Spec
-	// CrashAt is the per-node crash-round vector (-1 = never).
-	//
-	// Deprecated: CrashAt predates the crash schedule; it remains
-	// functional but new code should express crashes as Crashes batches
-	// (or a full Adversity spec). Setting both is an error.
-	CrashAt []int
 	// FaultTolerant switches the spanner pipeline to the Superstep
 	// primitive with timeouts (the Section 7 extension). Only meaningful
 	// for Spanner and Auto.
@@ -196,18 +190,11 @@ func Disseminate(g *graph.Graph, opts Options) (Outcome, error) {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = sim.DefaultMaxRounds
 	}
-	crashAt := opts.CrashAt
-	if len(opts.Crashes) > 0 {
-		if crashAt != nil {
-			return Outcome{}, fmt.Errorf("core: set either Crashes or the deprecated CrashAt, not both")
-		}
-		var err error
-		crashAt, err = adversity.CrashAtVector(g.N(), opts.Crashes)
-		if err != nil {
-			return Outcome{}, fmt.Errorf("core: %w", err)
-		}
+	crashAt, err := adversity.CrashAtVector(g.N(), opts.Crashes)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("core: %w", err)
 	}
-	// A node failed by both the legacy vector and the adversity spec is
+	// A node failed by both the crash schedule and the adversity spec is
 	// the same double-specification CrashAtVector rejects within one
 	// schedule: refuse it rather than letting the earlier failure
 	// silently shadow the other.

@@ -9,13 +9,9 @@ import (
 
 func TestDisseminateWithCrashes(t *testing.T) {
 	g := graphgen.Clique(12, 1)
-	crashAt := make([]int, 12)
-	for i := range crashAt {
-		crashAt[i] = -1
-	}
-	crashAt[3] = 2
 	out, err := Disseminate(g, Options{
-		Algorithm: PushPull, Source: 0, Seed: 1, CrashAt: crashAt,
+		Algorithm: PushPull, Source: 0, Seed: 1,
+		Crashes: []adversity.Crash{{Round: 2, Nodes: []int{3}}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -27,14 +23,10 @@ func TestDisseminateWithCrashes(t *testing.T) {
 
 func TestDisseminateFaultTolerantSpanner(t *testing.T) {
 	g := graphgen.Clique(12, 2)
-	crashAt := make([]int, 12)
-	for i := range crashAt {
-		crashAt[i] = -1
-	}
-	crashAt[1] = 5
 	out, err := Disseminate(g, Options{
 		Algorithm: Spanner, KnownLatencies: true, Seed: 2,
-		CrashAt: crashAt, FaultTolerant: true, MaxRounds: 4096,
+		Crashes:       []adversity.Crash{{Round: 5, Nodes: []int{1}}},
+		FaultTolerant: true, MaxRounds: 4096,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -44,11 +36,9 @@ func TestDisseminateFaultTolerantSpanner(t *testing.T) {
 	}
 }
 
-// TestDisseminateCrashSchedule covers the generalized crash-batch field
-// and its guards: batches behave like the deprecated per-node vector,
-// Crashes+CrashAt is rejected, and a node failed by both a crash
-// schedule and the Adversity spec is rejected instead of silently
-// letting the earlier failure win.
+// TestDisseminateCrashSchedule covers the crash-batch field and its
+// guard: a node failed by both a crash schedule and the Adversity spec
+// is rejected instead of silently letting the earlier failure win.
 func TestDisseminateCrashSchedule(t *testing.T) {
 	g := graphgen.Clique(12, 1)
 	out, err := Disseminate(g, Options{
@@ -60,17 +50,6 @@ func TestDisseminateCrashSchedule(t *testing.T) {
 	}
 	if !out.Completed {
 		t.Fatalf("survivors not informed: %+v", out)
-	}
-	crashAt := make([]int, g.N())
-	for i := range crashAt {
-		crashAt[i] = -1
-	}
-	crashAt[4] = 2
-	if _, err := Disseminate(g, Options{
-		Algorithm: PushPull, CrashAt: crashAt,
-		Crashes: []adversity.Crash{{Round: 2, Nodes: []int{5}}},
-	}); err == nil {
-		t.Fatal("Crashes+CrashAt accepted")
 	}
 	if _, err := Disseminate(g, Options{
 		Algorithm: PushPull,

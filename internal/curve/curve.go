@@ -1,0 +1,168 @@
+// Package curve is the one informed-count curve derivation shared by the
+// gossipd service layer and the parameter estimator: from a simulation's
+// InformedAt vector it derives the cumulative informed-vs-round curve at
+// full resolution, downsamples it for streaming, and transforms it into
+// ICC space (incidence vs cumulative informed, after Lega's "Parameter
+// Estimation from ICC curves") where two runs can be compared without
+// aligning their time axes.
+//
+// Everything here is a pure function evaluated in a fixed order, so the
+// same inputs yield bit-identical outputs at any worker count — the
+// service-layer determinism contract extends through the estimator.
+package curve
+
+import "math"
+
+// Point is one change point of the cumulative informed curve: Informed
+// nodes first held the watched rumor at or before Round. Informed is a
+// float because observed curves submitted for estimation may carry
+// averaged (fractional) counts; curves derived from a simulation are
+// integral.
+type Point struct {
+	Round    int
+	Informed float64
+}
+
+// Curve is a cumulative informed-count curve: rounds strictly
+// increasing, counts non-decreasing.
+type Curve []Point
+
+// FromInformedAt derives the full-resolution curve from a result's
+// InformedAt vector (first round each node held the watched rumor; -1 =
+// never). Nil or all-negative input — the multi-phase pipelines, which
+// have no single watched rumor — yields a nil curve.
+func FromInformedAt(informedAt []int) Curve {
+	if len(informedAt) == 0 {
+		return nil
+	}
+	// gains[r] = nodes first informed at round r. Rounds are bounded by
+	// the final simulated round, so a dense count-then-scan stays linear
+	// without sorting; the map variant this replaces sorted per call.
+	maxRound := -1
+	for _, r := range informedAt {
+		if r > maxRound {
+			maxRound = r
+		}
+	}
+	if maxRound < 0 {
+		return nil
+	}
+	gains := make([]int, maxRound+1)
+	points := 0
+	for _, r := range informedAt {
+		if r < 0 {
+			continue
+		}
+		if gains[r] == 0 {
+			points++
+		}
+		gains[r]++
+	}
+	c := make(Curve, 0, points)
+	informed := 0
+	for r, g := range gains {
+		if g == 0 {
+			continue
+		}
+		informed += g
+		c = append(c, Point{Round: r, Informed: float64(informed)})
+	}
+	return c
+}
+
+// Sample downsamples the curve to at most max points, evenly over the
+// change-point index with the first and last always kept — the shape the
+// service streams as progress events. max < 2 or a curve already within
+// the budget returns the curve unchanged.
+func (c Curve) Sample(max int) Curve {
+	if max < 2 || len(c) <= max {
+		return c
+	}
+	sampled := make(Curve, 0, max)
+	for i := 0; i < max; i++ {
+		sampled = append(sampled, c[i*(len(c)-1)/(max-1)])
+	}
+	return sampled
+}
+
+// Final is the curve's last cumulative count (0 for an empty curve).
+func (c Curve) Final() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1].Informed
+}
+
+// FinalRound is the curve's last change-point round (-1 for an empty
+// curve).
+func (c Curve) FinalRound() int {
+	if len(c) == 0 {
+		return -1
+	}
+	return c[len(c)-1].Round
+}
+
+// iccGrid is the number of cumulative levels the ICC distance is
+// evaluated at. The grid spans the observed curve's cumulative range, so
+// resolution is relative, not absolute.
+const iccGrid = 64
+
+// incidenceAt evaluates the curve's ICC transform at a cumulative level:
+// the per-round incidence dI/dt of the segment whose cumulative interval
+// (Informed[i-1], Informed[i]] contains the level, and 0 outside the
+// curve's range (before the first point or past the plateau). The
+// transform is piecewise constant, which keeps it exact on the change
+// points the engine actually produces.
+func (c Curve) incidenceAt(level float64) float64 {
+	if len(c) < 2 || level <= c[0].Informed || level > c[len(c)-1].Informed {
+		return 0
+	}
+	// Binary search for the first point with Informed >= level; its
+	// segment covers the level.
+	lo, hi := 1, len(c)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c[mid].Informed < level {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	dI := c[lo].Informed - c[lo-1].Informed
+	dR := c[lo].Round - c[lo-1].Round
+	if dR <= 0 || dI <= 0 {
+		return 0
+	}
+	return dI / float64(dR)
+}
+
+// ICCDistance scores a candidate curve against an observed one in ICC
+// space: the RMS gap between the two incidence profiles over iccGrid
+// cumulative levels spanning the observed range, plus the absolute
+// final-size mismatch. Comparing in (cumulative, incidence) coordinates
+// removes time alignment — two runs that spread through the same states
+// at different speeds per Lega score close — while the final-size term
+// penalizes candidates that stall below the observed plateau even where
+// their incidence profiles agree. An empty observed curve against an
+// empty candidate is 0; against a non-empty one, +Inf.
+func ICCDistance(observed, candidate Curve) float64 {
+	if len(observed) == 0 || len(candidate) == 0 {
+		if len(observed) == len(candidate) {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	lo := observed[0].Informed
+	hi := observed[len(observed)-1].Informed
+	if hi <= lo {
+		// Degenerate observed curve (a single level): only size remains.
+		return math.Abs(candidate.Final() - hi)
+	}
+	var sum float64
+	for k := 0; k < iccGrid; k++ {
+		level := lo + (hi-lo)*float64(k)/float64(iccGrid-1)
+		d := observed.incidenceAt(level) - candidate.incidenceAt(level)
+		sum += d * d
+	}
+	return math.Sqrt(sum/iccGrid) + math.Abs(candidate.Final()-observed.Final())
+}

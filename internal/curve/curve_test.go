@@ -1,0 +1,128 @@
+package curve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestFromInformedAt(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []int
+		want Curve
+	}{
+		{"nil", nil, nil},
+		{"never informed", []int{-1, -1}, nil},
+		{"change points only", []int{0, 2, 2, 5, -1},
+			Curve{{0, 1}, {2, 3}, {5, 4}}},
+		{"single node", []int{0}, Curve{{0, 1}}},
+		{"source not at round zero", []int{3, 3}, Curve{{3, 2}}},
+	}
+	for _, tc := range cases {
+		if got := FromInformedAt(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: FromInformedAt(%v) = %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	var long Curve
+	for i := 0; i < 500; i++ {
+		long = append(long, Point{Round: i, Informed: float64(i + 1)})
+	}
+	s := long.Sample(32)
+	if len(s) != 32 {
+		t.Fatalf("sampled to %d, want 32", len(s))
+	}
+	if s[0] != long[0] || s[31] != long[499] {
+		t.Fatalf("endpoints not kept: %v ... %v", s[0], s[31])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Round <= s[i-1].Round || s[i].Informed < s[i-1].Informed {
+			t.Fatalf("not monotone at %d: %v -> %v", i, s[i-1], s[i])
+		}
+	}
+	// Already within budget, or a degenerate max: unchanged (same slice).
+	if got := long.Sample(500); &got[0] != &long[0] {
+		t.Fatal("Sample copied a curve already within budget")
+	}
+	if got := long.Sample(1); &got[0] != &long[0] {
+		t.Fatal("Sample(1) must return the curve unchanged")
+	}
+	if got := Curve(nil).Sample(8); got != nil {
+		t.Fatalf("nil curve sampled to %v", got)
+	}
+}
+
+func TestFinalAndFinalRound(t *testing.T) {
+	c := Curve{{0, 1}, {4, 9}}
+	if c.Final() != 9 || c.FinalRound() != 4 {
+		t.Fatalf("Final/FinalRound = %v/%d", c.Final(), c.FinalRound())
+	}
+	var empty Curve
+	if empty.Final() != 0 || empty.FinalRound() != -1 {
+		t.Fatalf("empty Final/FinalRound = %v/%d", empty.Final(), empty.FinalRound())
+	}
+}
+
+func TestICCDistanceIdentityAndOrdering(t *testing.T) {
+	obs := FromInformedAt([]int{0, 1, 1, 2, 2, 2, 3, 3})
+	if d := ICCDistance(obs, obs); d != 0 {
+		t.Fatalf("self-distance %v, want 0", d)
+	}
+	// A candidate that spreads at the same per-round incidence but shifted
+	// in time scores 0 too — ICC space removes time alignment.
+	shifted := make(Curve, len(obs))
+	for i, p := range obs {
+		shifted[i] = Point{Round: p.Round + 7, Informed: p.Informed}
+	}
+	if d := ICCDistance(obs, shifted); d != 0 {
+		t.Fatalf("time-shifted distance %v, want 0", d)
+	}
+	// A candidate that stalls below the plateau is strictly worse than one
+	// that reaches it.
+	stalled := Curve{{0, 1}, {1, 3}}
+	full := FromInformedAt([]int{0, 1, 1, 2, 2, 2, 4, 4})
+	if ds, df := ICCDistance(obs, stalled), ICCDistance(obs, full); ds <= df {
+		t.Fatalf("stalled %v should score worse than full-spread %v", ds, df)
+	}
+}
+
+func TestICCDistanceEdgeCases(t *testing.T) {
+	if d := ICCDistance(nil, nil); d != 0 {
+		t.Fatalf("empty-vs-empty = %v, want 0", d)
+	}
+	if d := ICCDistance(nil, Curve{{0, 1}}); !math.IsInf(d, 1) {
+		t.Fatalf("empty-vs-nonempty = %v, want +Inf", d)
+	}
+	if d := ICCDistance(Curve{{0, 1}}, nil); !math.IsInf(d, 1) {
+		t.Fatalf("nonempty-vs-empty = %v, want +Inf", d)
+	}
+	// Degenerate single-level observed curve: only the size term remains.
+	obs := Curve{{0, 4}}
+	if d := ICCDistance(obs, Curve{{0, 1}, {2, 6}}); d != 2 {
+		t.Fatalf("degenerate observed distance %v, want |6-4| = 2", d)
+	}
+}
+
+func TestIncidenceAt(t *testing.T) {
+	// 1 @r0, 3 @r2 (incidence 1), 4 @r5 (incidence 1/3).
+	c := Curve{{0, 1}, {2, 3}, {5, 4}}
+	cases := []struct {
+		level, want float64
+	}{
+		{0.5, 0}, // below the curve's first level
+		{1, 0},   // the boundary itself is outside (open interval)
+		{2, 1},   // inside (1, 3]
+		{3, 1},   // segment upper boundary included
+		{3.5, 1. / 3},
+		{4, 1. / 3},
+		{4.5, 0}, // past the plateau
+	}
+	for _, tc := range cases {
+		if got := c.incidenceAt(tc.level); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("incidenceAt(%v) = %v, want %v", tc.level, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package estimate solves the inverse problem of the simulator: given
+// an observed cumulative informed-count curve, find the adversity
+// parameters — uniform loss rate, churn intensity, latency scale (the
+// conductance proxy) — under which the base protocol reproduces it.
+//
+// The search is a coarse-to-fine lattice walk scored by the ICC-space
+// distance of package curve (incidence vs cumulative informed, after
+// Lega, which removes time alignment): a cold grid pass over
+// Grid.Candidates, then Refine halving passes around the incumbent that
+// the caller may score with cheap warm-start continuations, then one
+// cold re-simulation of the refined incumbent so the reported winner is
+// always verified against the real (from-round-0) model. Every
+// decision — candidate order, tie-breaking, incumbent updates — is a
+// pure function of the evaluator outputs, so a deterministic evaluator
+// makes the whole fit bit-identical at any worker count.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gossip/internal/adversity"
+	"gossip/internal/curve"
+	"gossip/internal/graph"
+)
+
+// ChurnLeave and ChurnRejoin are the fixed leave/rejoin rounds of the
+// churn interval every candidate's churned nodes share: out during
+// [ChurnLeave, ChurnRejoin) with amnesia, so churn intensity is the one
+// free parameter of the axis. ChurnLeave is also the natural warm-start
+// fork round — candidates are indistinguishable before it except for
+// loss, so a prefix forked there is reusable across the churn axis.
+const (
+	ChurnLeave  = 2
+	ChurnRejoin = 10
+)
+
+// Candidate is one point of the parameter lattice.
+type Candidate struct {
+	// Loss is the uniform per-exchange loss probability.
+	Loss float64
+	// Churn is the churn intensity: how many nodes leave (with amnesia)
+	// during [ChurnLeave, ChurnRejoin).
+	Churn int
+	// Scale multiplies every edge latency — the conductance proxy:
+	// scaling latencies dilates mixing time without changing topology.
+	Scale int
+}
+
+// Spec renders the candidate as the adversity schedule it parameterizes
+// (Scale is applied to the topology by the caller, not here): churned
+// nodes are taken from the top of the id space downward, skipping the
+// protected node (the rumor source must survive or the curve dies with
+// it). A benign candidate returns nil.
+func (c Candidate) Spec(n int, protected graph.NodeID) *adversity.Spec {
+	if c.Loss == 0 && c.Churn == 0 {
+		return nil
+	}
+	s := &adversity.Spec{Loss: c.Loss}
+	node := graph.NodeID(n - 1)
+	for k := 0; k < c.Churn && node >= 0; k++ {
+		if node == protected {
+			node--
+			if node < 0 {
+				break
+			}
+		}
+		s.Churn = append(s.Churn, adversity.Churn{
+			Node: node, Leave: ChurnLeave, Rejoin: ChurnRejoin, Amnesia: true,
+		})
+		node--
+	}
+	return s
+}
+
+// Grid bounds the coarse lattice: LossSteps evenly spaced rates in
+// [0, LossMax] × ChurnSteps evenly spaced intensities in [0, ChurnMax]
+// × the listed latency scales.
+type Grid struct {
+	LossMax    float64
+	LossSteps  int
+	ChurnMax   int
+	ChurnSteps int
+	Scales     []int
+}
+
+// DefaultGrid sizes the lattice for an n-node graph: loss up to 0.4 in
+// 5 steps, churn up to half the non-source nodes (capped at 6) in up to
+// 4 steps, scales 1 and 2 — 40 candidates at most.
+func DefaultGrid(n int) Grid {
+	churnMax := (n - 1) / 2
+	if churnMax > 6 {
+		churnMax = 6
+	}
+	churnSteps := 4
+	if churnSteps > churnMax+1 {
+		churnSteps = churnMax + 1
+	}
+	return Grid{LossMax: 0.4, LossSteps: 5, ChurnMax: churnMax, ChurnSteps: churnSteps, Scales: []int{1, 2}}
+}
+
+// Candidates enumerates the lattice in a fixed order — scale-major,
+// then churn, then loss, each axis ascending — so the benign candidate
+// comes first and score ties break toward fewer faults.
+func (g Grid) Candidates() []Candidate {
+	scales := g.Scales
+	if len(scales) == 0 {
+		scales = []int{1}
+	}
+	out := make([]Candidate, 0, len(scales)*g.ChurnSteps*g.LossSteps)
+	for _, sc := range scales {
+		for ci := 0; ci < max(g.ChurnSteps, 1); ci++ {
+			for li := 0; li < max(g.LossSteps, 1); li++ {
+				out = append(out, Candidate{
+					Loss:  axisFloat(li, g.LossSteps, g.LossMax),
+					Churn: axisInt(ci, g.ChurnSteps, g.ChurnMax),
+					Scale: sc,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func axisFloat(i, steps int, maxV float64) float64 {
+	if steps <= 1 {
+		return 0
+	}
+	return maxV * float64(i) / float64(steps-1)
+}
+
+func axisInt(i, steps, maxV int) int {
+	if steps <= 1 {
+		return 0
+	}
+	// Round to the nearest integer intensity.
+	return (2*maxV*i + (steps - 1)) / (2 * (steps - 1))
+}
+
+// lossSpacing and churnSpacing are the coarse lattice cell sizes the
+// refinement passes halve from.
+func (g Grid) lossSpacing() float64 {
+	if g.LossSteps <= 1 {
+		return g.LossMax
+	}
+	return g.LossMax / float64(g.LossSteps-1)
+}
+
+func (g Grid) churnSpacing() int {
+	if g.ChurnSteps <= 1 {
+		return g.ChurnMax
+	}
+	return (g.ChurnMax + g.ChurnSteps - 2) / (g.ChurnSteps - 1)
+}
+
+// Eval is one scored candidate, in the deterministic order the fit
+// evaluated it. Score is +Inf when the candidate's simulation failed
+// (Err says why) or produced no curve.
+type Eval struct {
+	Stage     string
+	Candidate Candidate
+	Score     float64
+	Err       string
+}
+
+// BatchOut is one candidate's evaluator outcome within a batch.
+type BatchOut struct {
+	Curve curve.Curve
+	Err   error
+}
+
+// Config parameterizes one fit.
+type Config struct {
+	// Observed is the target curve (required, at least one point).
+	Observed curve.Curve
+	// Grid is the coarse lattice (required, at least one candidate).
+	Grid Grid
+	// Refine is how many halving refinement passes follow the coarse
+	// grid (0 = none).
+	Refine int
+	// EvalCold simulates a candidate from round 0 (required). It must be
+	// deterministic: the same candidate always yields the same curve.
+	EvalCold func(Candidate) (curve.Curve, error)
+	// EvalWarm scores refinement candidates; it may be a cheaper
+	// warm-start continuation (deterministic, but allowed to differ from
+	// EvalCold — the fit re-verifies cold before reporting). Nil falls
+	// back to EvalCold.
+	EvalWarm func(Candidate) (curve.Curve, error)
+	// Batch evaluates candidates concurrently, returning outcomes in
+	// index order; a non-nil error aborts the fit (transient failures
+	// like shutdown). Nil evaluates serially. Per-candidate failures
+	// belong in BatchOut.Err, not the batch error.
+	Batch func(stage string, cands []Candidate, eval func(Candidate) (curve.Curve, error)) ([]BatchOut, error)
+	// OnEval observes every scored candidate in deterministic order.
+	OnEval func(Eval)
+}
+
+// Result is a completed fit. Score/BestCurve come from Best's cold
+// (from-round-0) evaluation, never a warm continuation.
+type Result struct {
+	Best        Candidate
+	Score       float64
+	BestCurve   curve.Curve
+	Coarse      Candidate
+	CoarseScore float64
+	Evaluated   int
+}
+
+// Fit runs the coarse-to-fine search. The returned error is either a
+// batch abort (propagated verbatim) or the no-usable-candidate failure;
+// both leave no Result.
+func Fit(cfg Config) (*Result, error) {
+	if len(cfg.Observed) == 0 {
+		return nil, errors.New("estimate: empty observed curve")
+	}
+	if cfg.EvalCold == nil {
+		return nil, errors.New("estimate: EvalCold is required")
+	}
+	cands := cfg.Grid.Candidates()
+	batch := cfg.Batch
+	if batch == nil {
+		batch = serialBatch
+	}
+	evalWarm := cfg.EvalWarm
+	if evalWarm == nil {
+		evalWarm = cfg.EvalCold
+	}
+
+	evaluated := 0
+	// score runs one batch and folds it into (scores, curves) in index
+	// order; the OnEval callbacks fire here, serially.
+	score := func(stage string, cs []Candidate, eval func(Candidate) (curve.Curve, error)) ([]float64, []curve.Curve, error) {
+		outs, err := batch(stage, cs, eval)
+		if err != nil {
+			return nil, nil, err
+		}
+		scores := make([]float64, len(cs))
+		curves := make([]curve.Curve, len(cs))
+		for i := range cs {
+			sc, errStr := math.Inf(1), ""
+			if outs[i].Err != nil {
+				errStr = outs[i].Err.Error()
+			} else {
+				sc = curve.ICCDistance(cfg.Observed, outs[i].Curve)
+				curves[i] = outs[i].Curve
+			}
+			scores[i] = sc
+			evaluated++
+			if cfg.OnEval != nil {
+				cfg.OnEval(Eval{Stage: stage, Candidate: cs[i], Score: sc, Err: errStr})
+			}
+		}
+		return scores, curves, nil
+	}
+
+	coarseScores, coarseCurves, err := score("coarse", cands, cfg.EvalCold)
+	if err != nil {
+		return nil, err
+	}
+	bi := argmin(coarseScores)
+	if bi < 0 || math.IsInf(coarseScores[bi], 1) {
+		return nil, errors.New("estimate: no candidate produced a usable curve")
+	}
+	coarse, coarseScore, coarseCurve := cands[bi], coarseScores[bi], coarseCurves[bi]
+
+	// Refinement: halve the lattice spacing around the incumbent each
+	// pass, scoring the (at most 9) neighborhood candidates warm. The
+	// incumbent moves on warm scores only — cold verification below has
+	// the last word.
+	incumbent := coarse
+	for r := 1; r <= cfg.Refine; r++ {
+		lStep := cfg.Grid.lossSpacing() / float64(int(1)<<r)
+		cStep := cfg.Grid.churnSpacing() >> r
+		if cfg.Grid.churnSpacing() > 0 && cStep < 1 {
+			cStep = 1
+		}
+		neigh := neighborhood(incumbent, lStep, cStep, cfg.Grid)
+		scores, _, err := score(fmt.Sprintf("refine-%d", r), neigh, evalWarm)
+		if err != nil {
+			return nil, err
+		}
+		if bj := argmin(scores); bj >= 0 && !math.IsInf(scores[bj], 1) {
+			incumbent = neigh[bj]
+		}
+	}
+
+	// Verify: the refined incumbent is re-simulated cold and only
+	// replaces the coarse winner if it beats it in cold score — warm
+	// continuations score the tail of the run, not the whole curve.
+	best, bestScore, bestCurve := coarse, coarseScore, coarseCurve
+	if incumbent != coarse {
+		scores, curves, err := score("verify", []Candidate{incumbent}, cfg.EvalCold)
+		if err != nil {
+			return nil, err
+		}
+		if scores[0] < bestScore {
+			best, bestScore, bestCurve = incumbent, scores[0], curves[0]
+		}
+	}
+	return &Result{
+		Best: best, Score: bestScore, BestCurve: bestCurve,
+		Coarse: coarse, CoarseScore: coarseScore, Evaluated: evaluated,
+	}, nil
+}
+
+// neighborhood is the ±1-step lattice box around c (same scale), axis
+// values clamped to the grid bounds, deduplicated, the incumbent first.
+func neighborhood(c Candidate, lStep float64, cStep int, g Grid) []Candidate {
+	out := make([]Candidate, 0, 9)
+	seen := map[Candidate]bool{}
+	add := func(n Candidate) {
+		if n.Loss < 0 {
+			n.Loss = 0
+		}
+		if n.Loss > g.LossMax {
+			n.Loss = g.LossMax
+		}
+		if n.Churn < 0 {
+			n.Churn = 0
+		}
+		if n.Churn > g.ChurnMax {
+			n.Churn = g.ChurnMax
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	add(c)
+	for _, dl := range []float64{-lStep, 0, lStep} {
+		for _, dc := range []int{-cStep, 0, cStep} {
+			add(Candidate{Loss: c.Loss + dl, Churn: c.Churn + dc, Scale: c.Scale})
+		}
+	}
+	return out
+}
+
+// argmin returns the lowest index attaining the minimum (-1 for an
+// empty slice) — lowest index, so Candidates' benign-first order breaks
+// ties toward fewer faults.
+func argmin(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func serialBatch(_ string, cands []Candidate, eval func(Candidate) (curve.Curve, error)) ([]BatchOut, error) {
+	outs := make([]BatchOut, len(cands))
+	for i, c := range cands {
+		cv, err := eval(c)
+		outs[i] = BatchOut{Curve: cv, Err: err}
+	}
+	return outs, nil
+}

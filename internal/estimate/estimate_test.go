@@ -1,0 +1,218 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"gossip/internal/curve"
+)
+
+// synthCurve is a deterministic analytic stand-in for a simulation: the
+// rumor spreads to n*(1-loss) nodes (never below 1), one change point
+// every scale*(churn+1) rounds — enough structure that distinct
+// candidates produce distinct curves.
+func synthCurve(c Candidate, n int) curve.Curve {
+	final := int(float64(n) * (1 - c.Loss))
+	if final < 1 {
+		final = 1
+	}
+	step := c.Scale * (c.Churn + 1)
+	var out curve.Curve
+	for i := 1; i <= final; i++ {
+		out = append(out, curve.Point{Round: (i - 1) * step, Informed: float64(i)})
+	}
+	return out
+}
+
+func TestGridCandidatesOrderAndBounds(t *testing.T) {
+	g := Grid{LossMax: 0.4, LossSteps: 3, ChurnMax: 4, ChurnSteps: 3, Scales: []int{1, 2}}
+	cands := g.Candidates()
+	if len(cands) != 2*3*3 {
+		t.Fatalf("got %d candidates, want 18", len(cands))
+	}
+	if (cands[0] != Candidate{Scale: 1}) {
+		t.Fatalf("first candidate %+v must be benign at scale 1", cands[0])
+	}
+	// Fixed enumeration order: scale-major, churn, loss.
+	want := []Candidate{
+		{0, 0, 1}, {0.2, 0, 1}, {0.4, 0, 1},
+		{0, 2, 1}, {0.2, 2, 1}, {0.4, 2, 1},
+		{0, 4, 1}, {0.2, 4, 1}, {0.4, 4, 1},
+	}
+	for i, w := range want {
+		if math.Abs(cands[i].Loss-w.Loss) > 1e-12 || cands[i].Churn != w.Churn || cands[i].Scale != w.Scale {
+			t.Fatalf("candidate %d = %+v, want %+v", i, cands[i], w)
+		}
+	}
+	// Empty scales defaults to [1]; degenerate axes collapse to one value.
+	if got := (Grid{LossSteps: 1, ChurnSteps: 1}).Candidates(); len(got) != 1 || got[0] != (Candidate{Scale: 1}) {
+		t.Fatalf("degenerate grid candidates %+v", got)
+	}
+}
+
+func TestDefaultGridScalesWithN(t *testing.T) {
+	g := DefaultGrid(16)
+	if g.ChurnMax != 6 || g.ChurnSteps != 4 {
+		t.Fatalf("n=16 grid %+v", g)
+	}
+	if g = DefaultGrid(4); g.ChurnMax != 1 || g.ChurnSteps != 2 {
+		t.Fatalf("n=4 grid %+v", g)
+	}
+	if n := len(DefaultGrid(16).Candidates()); n > 128 {
+		t.Fatalf("default grid too large: %d", n)
+	}
+}
+
+func TestCandidateSpec(t *testing.T) {
+	if (Candidate{Scale: 2}).Spec(8, 0) != nil {
+		t.Fatal("benign candidate must have a nil spec (scale is topological)")
+	}
+	s := Candidate{Loss: 0.2, Churn: 3}.Spec(8, 7)
+	if s.Loss != 0.2 || len(s.Churn) != 3 {
+		t.Fatalf("spec %+v", s)
+	}
+	// Nodes come from the top of the id space, skipping the protected
+	// source (7 here), every interval [ChurnLeave, ChurnRejoin) amnesiac.
+	for i, want := range []int{6, 5, 4} {
+		ch := s.Churn[i]
+		if int(ch.Node) != want || ch.Leave != ChurnLeave || ch.Rejoin != ChurnRejoin || !ch.Amnesia {
+			t.Fatalf("churn %d = %+v, want node %d", i, ch, want)
+		}
+	}
+	// The rendered spec round-trips through the fault-spec grammar.
+	if str := s.String(); str == "" {
+		t.Fatal("spec did not render")
+	}
+}
+
+func TestFitRecoversPlantedCandidate(t *testing.T) {
+	const n = 16
+	truth := Candidate{Loss: 0.2, Churn: 2, Scale: 1}
+	grid := Grid{LossMax: 0.4, LossSteps: 3, ChurnMax: 4, ChurnSteps: 3, Scales: []int{1}}
+	observed := synthCurve(truth, n)
+	var evals []Eval
+	res, err := Fit(Config{
+		Observed: observed,
+		Grid:     grid,
+		Refine:   2,
+		EvalCold: func(c Candidate) (curve.Curve, error) { return synthCurve(c, n), nil },
+		OnEval:   func(e Eval) { evals = append(evals, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != truth {
+		t.Fatalf("best %+v, want planted %+v (coarse %+v)", res.Best, truth, res.Coarse)
+	}
+	if res.Score != 0 || res.CoarseScore != 0 {
+		t.Fatalf("planted candidate must score 0, got %v / %v", res.Score, res.CoarseScore)
+	}
+	if res.Evaluated != len(evals) || res.Evaluated < len(grid.Candidates()) {
+		t.Fatalf("evaluated %d, callbacks %d", res.Evaluated, len(evals))
+	}
+	if evals[0].Stage != "coarse" || evals[0].Candidate != (Candidate{Scale: 1}) {
+		t.Fatalf("first eval %+v, want benign coarse", evals[0])
+	}
+	if !reflect.DeepEqual(res.BestCurve, observed) {
+		t.Fatal("best curve is not the cold re-simulation of the winner")
+	}
+}
+
+func TestFitTieBreaksBenignFirst(t *testing.T) {
+	// Every candidate produces the identical curve: the fit must report
+	// the benign lattice origin, not an arbitrary faulty tie.
+	flat := curve.Curve{{Round: 0, Informed: 1}, {Round: 3, Informed: 8}}
+	res, err := Fit(Config{
+		Observed: flat,
+		Grid:     Grid{LossMax: 0.4, LossSteps: 3, ChurnMax: 2, ChurnSteps: 2, Scales: []int{1, 2}},
+		Refine:   1,
+		EvalCold: func(Candidate) (curve.Curve, error) { return flat, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != (Candidate{Scale: 1}) {
+		t.Fatalf("tie broke to %+v, want benign", res.Best)
+	}
+}
+
+func TestFitWarmRefinementVerifiesCold(t *testing.T) {
+	// A warm evaluator that lies (scores everything as a perfect match)
+	// must not be able to displace the coarse winner: verification
+	// re-simulates cold and keeps the incumbent only on a strict win.
+	const n = 16
+	truth := Candidate{Loss: 0.2, Churn: 0, Scale: 1}
+	observed := synthCurve(truth, n)
+	coldCalls := 0
+	res, err := Fit(Config{
+		Observed: observed,
+		Grid:     Grid{LossMax: 0.4, LossSteps: 3, ChurnMax: 2, ChurnSteps: 3, Scales: []int{1}},
+		Refine:   1,
+		EvalCold: func(c Candidate) (curve.Curve, error) { coldCalls++; return synthCurve(c, n), nil },
+		EvalWarm: func(Candidate) (curve.Curve, error) { return observed, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != truth || res.Score != 0 {
+		t.Fatalf("lying warm evaluator displaced the winner: %+v score %v", res.Best, res.Score)
+	}
+	// The warm pass never hit the cold evaluator beyond grid + verify.
+	if wantMax := 9 + 1; coldCalls > wantMax {
+		t.Fatalf("%d cold calls, want at most %d", coldCalls, wantMax)
+	}
+}
+
+func TestFitFailures(t *testing.T) {
+	obs := curve.Curve{{Round: 0, Informed: 1}, {Round: 2, Informed: 4}}
+	if _, err := Fit(Config{Grid: DefaultGrid(8), EvalCold: func(Candidate) (curve.Curve, error) { return obs, nil }}); err == nil {
+		t.Fatal("empty observed curve accepted")
+	}
+	if _, err := Fit(Config{Observed: obs, Grid: DefaultGrid(8)}); err == nil {
+		t.Fatal("nil EvalCold accepted")
+	}
+	// Every candidate failing deterministically is a deterministic error.
+	boom := errors.New("boom")
+	if _, err := Fit(Config{
+		Observed: obs, Grid: DefaultGrid(8),
+		EvalCold: func(Candidate) (curve.Curve, error) { return nil, boom },
+	}); err == nil {
+		t.Fatal("all-failed grid accepted")
+	}
+	// A batch error (transient abort) propagates verbatim.
+	abort := errors.New("draining")
+	if _, err := Fit(Config{
+		Observed: obs, Grid: DefaultGrid(8),
+		EvalCold: func(Candidate) (curve.Curve, error) { return obs, nil },
+		Batch: func(string, []Candidate, func(Candidate) (curve.Curve, error)) ([]BatchOut, error) {
+			return nil, abort
+		},
+	}); !errors.Is(err, abort) {
+		t.Fatalf("batch abort not propagated: %v", err)
+	}
+}
+
+func TestNeighborhoodClampsAndDedupes(t *testing.T) {
+	g := Grid{LossMax: 0.4, LossSteps: 3, ChurnMax: 4, ChurnSteps: 3}
+	// At the lattice origin the negative offsets clamp onto existing
+	// points; every candidate must still be unique, incumbent first.
+	neigh := neighborhood(Candidate{Scale: 1}, 0.1, 1, g)
+	if neigh[0] != (Candidate{Scale: 1}) {
+		t.Fatalf("incumbent not first: %+v", neigh[0])
+	}
+	seen := map[Candidate]bool{}
+	for _, c := range neigh {
+		if seen[c] {
+			t.Fatalf("duplicate %+v", c)
+		}
+		seen[c] = true
+		if c.Loss < 0 || c.Loss > g.LossMax || c.Churn < 0 || c.Churn > g.ChurnMax {
+			t.Fatalf("unclamped %+v", c)
+		}
+	}
+	if len(neigh) != 4 { // origin, +loss, +churn, +both
+		t.Fatalf("origin neighborhood size %d, want 4: %+v", len(neigh), neigh)
+	}
+}

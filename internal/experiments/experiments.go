@@ -125,6 +125,7 @@ func All() []Experiment {
 		expE26Service,
 		expE27WarmSweep,
 		expE28Distributed,
+		expE29Estimate,
 	}
 }
 

@@ -44,6 +44,11 @@ type Options struct {
 	// the same all-2xx / byte-identical / miss-once contracts apply to
 	// the sweep stream.
 	Sweeps []server.SweepRequest
+	// Estimates are inverse-estimation jobs every client posts once after
+	// its sweeps (nil: DefaultEstimates(BaseSeed); empty non-nil: none).
+	// The estimate stream is held to the same contracts: all-2xx,
+	// byte-identical replays, at most one miss per estimate key.
+	Estimates []server.EstimateRequest
 	// Surge, when true, prepends a barrier-synchronized wave: every
 	// client simultaneously submits one heavy unique-seed job (no
 	// coalescing, no cache reuse possible), which is what drives peak
@@ -70,6 +75,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Sweeps == nil {
 		o.Sweeps = DefaultSweeps(o.BaseSeed)
+	}
+	if o.Estimates == nil {
+		o.Estimates = DefaultEstimates(o.BaseSeed)
 	}
 	if o.Requests <= 0 {
 		o.Requests = (len(o.Mix) + o.Clients - 1) / o.Clients
@@ -194,6 +202,25 @@ func DefaultSweeps(seed uint64) []server.SweepRequest {
 	}}
 }
 
+// DefaultEstimates is the inverse-estimation job of the CI load-smoke
+// mix: fit the loss rate of a lossy reference run over a small lattice.
+// The base coincides with the first DefaultMix entry and the planted
+// loss sits on the lattice, so the estimate must terminate with an
+// estimate event whose candidate evaluations share the simulation
+// cache with the mix jobs.
+func DefaultEstimates(seed uint64) []server.EstimateRequest {
+	base := server.Request{Driver: "push-pull", Graph: server.GraphSpec{Family: "dumbbell", N: 8, Latency: 12}, Seed: seed}
+	ref := base
+	ref.FaultSpec = "loss=0.2"
+	refine := 1
+	return []server.EstimateRequest{{
+		Base:      base,
+		Reference: &ref,
+		Grid:      &api.EstimateGrid{LossMax: 0.4, LossSteps: 3, ChurnMax: 2, ChurnSteps: 2, Scales: []int{1}},
+		Refine:    &refine,
+	}}
+}
+
 // surgeRequest is client i's unique heavy job: a 4-regular random graph
 // push-pull run whose seed no other client shares, so the surge wave
 // cannot coalesce or hit cache and genuinely occupies the server.
@@ -249,6 +276,9 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 			for _, sw := range o.Sweeps {
 				c.do(ctx, o, sweepPath, sw, "sweep:"+sw.Base.Driver)
 			}
+			for _, est := range o.Estimates {
+				c.do(ctx, o, estimatePath, est, "estimate:"+est.Base.Driver)
+			}
 		}(i)
 	}
 	if o.Surge {
@@ -271,6 +301,12 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		}
 		c.verify(ctx, o, sweepPath, sw)
 	}
+	for _, est := range o.Estimates {
+		if ctx.Err() != nil {
+			break
+		}
+		c.verify(ctx, o, estimatePath, est)
+	}
 
 	c.report.Elapsed = time.Since(start)
 	if c.report.Elapsed > 0 {
@@ -285,11 +321,12 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	return &c.report, nil
 }
 
-// simPath and sweepPath are the two POST endpoints the generator
-// exercises; both speak the api package's NDJSON stream.
+// simPath, sweepPath and estimatePath are the POST endpoints the
+// generator exercises; all speak the api package's NDJSON stream.
 const (
-	simPath   = "/v1/simulations"
-	sweepPath = "/v1/sweeps"
+	simPath      = "/v1/simulations"
+	sweepPath    = "/v1/sweeps"
+	estimatePath = "/v1/estimates"
 )
 
 // track wraps one outstanding request, maintaining the peak concurrent
@@ -453,8 +490,8 @@ func parseStream(body []byte) (key string, rounds int64, errEvent string, err er
 			}
 			key = ev.RequestKey
 		}
-		if ev.Event == "error" && firstErr == "" {
-			firstErr = ev.Error
+		if ev.Event == "error" && firstErr == "" && ev.Error != nil {
+			firstErr = ev.Error.Error()
 		}
 		last = ev
 		n++
@@ -471,8 +508,10 @@ func parseStream(body []byte) (key string, rounds int64, errEvent string, err er
 		return key, int64(last.Result.Rounds), "", nil
 	case last.Event == "sweep_result":
 		return key, last.TotalRounds, "", nil
+	case last.Event == "estimate":
+		return key, 0, "", nil
 	}
-	return "", 0, "", fmt.Errorf("stream ends with %q, want result, sweep_result or error", last.Event)
+	return "", 0, "", fmt.Errorf("stream ends with %q, want result, sweep_result, estimate or error", last.Event)
 }
 
 // Local is an in-process gossipd on a loopback listener: the zero-setup

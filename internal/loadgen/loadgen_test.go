@@ -32,8 +32,10 @@ func TestRunAgainstLocalServer(t *testing.T) {
 	if err := rep.Err(); err != nil {
 		t.Fatalf("%v\nreport: %+v", err, rep)
 	}
-	// 6 surge + 6*4 mix + 6 sweep posts + len(mix)+len(sweeps) verify
-	wantReqs := 6 + 6*4 + 6*len(DefaultSweeps(7)) + len(DefaultMix(7)) + len(DefaultSweeps(7))
+	// 6 surge + 6*4 mix + 6 sweep + 6 estimate posts, then one verify
+	// replay per mix, sweep and estimate entry.
+	wantReqs := 6 + 6*4 + 6*len(DefaultSweeps(7)) + 6*len(DefaultEstimates(7)) +
+		len(DefaultMix(7)) + len(DefaultSweeps(7)) + len(DefaultEstimates(7))
 	if rep.Requests != wantReqs {
 		t.Fatalf("requests = %d, want %d", rep.Requests, wantReqs)
 	}
@@ -99,19 +101,27 @@ func TestParseStreamRejectsGarbage(t *testing.T) {
 	for _, body := range []string{
 		"",
 		"not json\n",
-		`{"schema_version":1,"event":"progress","round":1}` + "\n", // no accepted first
+		`{"schema_version":2,"event":"progress","round":1}` + "\n", // no accepted first
 		`{"schema_version":99,"event":"accepted","request_key":"k"}` + "\n",
-		`{"schema_version":1,"event":"accepted","request_key":"k"}` + "\n", // no terminator
+		`{"schema_version":1,"event":"accepted","request_key":"k"}` + "\n", // stale schema
+		`{"schema_version":2,"event":"accepted","request_key":"k"}` + "\n", // no terminator
 	} {
 		if _, _, _, err := parseStream([]byte(body)); err == nil {
 			t.Fatalf("parseStream accepted %q", body)
 		}
 	}
 	key, rounds, errEvent, err := parseStream([]byte(
-		`{"schema_version":1,"event":"accepted","request_key":"k"}` + "\n" +
-			`{"schema_version":1,"event":"error","error":"boom"}` + "\n"))
+		`{"schema_version":2,"event":"accepted","request_key":"k"}` + "\n" +
+			`{"schema_version":2,"event":"error","error":{"message":"boom"}}` + "\n"))
 	if err != nil || key != "k" || rounds != 0 || errEvent != "boom" {
 		t.Fatalf("error stream: %q %d %q %v", key, rounds, errEvent, err)
+	}
+	// An estimate terminator is a valid stream end.
+	key, _, errEvent, err = parseStream([]byte(
+		`{"schema_version":2,"event":"accepted","request_key":"e"}` + "\n" +
+			`{"schema_version":2,"event":"estimate","best":{"loss":0.2,"churn":0,"scale":1}}` + "\n"))
+	if err != nil || key != "e" || errEvent != "" {
+		t.Fatalf("estimate stream: %q %q %v", key, errEvent, err)
 	}
 }
 

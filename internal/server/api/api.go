@@ -1,6 +1,7 @@
-// Package api is the wire schema of the gossipd NDJSON streams, shared
-// by the server, the gossipd CLI, the loadgen client and the tests so
-// the event shapes exist in exactly one place.
+// Package api is the wire schema of the gossipd NDJSON streams and the
+// /v1 request envelopes, shared by the server, the gossipd CLI, the
+// loadgen client and the tests so the request and event shapes exist in
+// exactly one place.
 //
 // # Streams
 //
@@ -13,6 +14,11 @@
 // "variant" event followed by that variant's progress and result (or
 // error) events, then exactly one "sweep_result" event.
 //
+// POST /v1/estimates responds with: one "accepted" event, one
+// "progress" event per scored candidate (carrying stage and candidate
+// instead of the curve fields), then exactly one "estimate" or "error"
+// event.
+//
 // Every event carries schema_version.
 //
 // # Schema versioning policy
@@ -23,13 +29,20 @@
 // not breaking and do not bump the version — new event types, new
 // endpoints, and new fields marked omitempty (clients must ignore
 // unknown fields and unknown event types). The sweep events, for
-// example, extend schema 1: an "accepted" event from /v1/simulations
-// is byte-identical to what it was before sweeps existed.
+// example, extended schema 1 without a bump.
+//
+// Schema 2 (the estimates release) changed the "error" event's error
+// field from a bare string to the structured ErrorDetail object that
+// 400 responses always used — a type change on an existing field, the
+// canonical breaking case. ErrorDetail.UnmarshalJSON still accepts the
+// schema-1 string form, so clients built against this package decode
+// old persisted streams.
 package api
 
 // SchemaVersion stamps every NDJSON event so clients can detect stream
 // format changes, mirroring the experiment JSON artifact convention.
-const SchemaVersion = 1
+// Version 2: structured error events (see the versioning policy above).
+const SchemaVersion = 2
 
 // ContentType is the response media type of the event streams.
 const ContentType = "application/x-ndjson"
@@ -66,11 +79,14 @@ type Result struct {
 	Result        JobResult `json:"result"`
 }
 
-// Error terminates a failed simulation, sweep, or sweep variant.
+// Error terminates a failed simulation, sweep, estimate, or sweep
+// variant. Since schema 2 the error field is the same ErrorDetail
+// object the 400 response body uses, so clients handle one error shape
+// everywhere.
 type Error struct {
-	SchemaVersion int    `json:"schema_version"`
-	Event         string `json:"event"` // "error"
-	Error         string `json:"error"`
+	SchemaVersion int         `json:"schema_version"`
+	Event         string      `json:"event"` // "error"
+	Error         ErrorDetail `json:"error"`
 }
 
 // Variant announces one sweep variant's section of the stream; the
@@ -109,21 +125,79 @@ type JobResult struct {
 	Winner       string `json:"winner,omitempty"`
 }
 
+// EstimateCandidate is one point of the estimator's parameter space:
+// a uniform loss rate, a churn intensity (how many nodes cycle through
+// leave/rejoin), and a latency scale — the conductance proxy, since
+// scaling every edge latency dilates the mixing time without changing
+// the topology.
+type EstimateCandidate struct {
+	Loss  float64 `json:"loss"`
+	Churn int     `json:"churn"`
+	Scale int     `json:"scale"`
+}
+
+// EstimateProgress is one scored candidate of an estimate stream. The
+// event name is "progress" like the curve points, distinguished by the
+// stage field ("coarse", "refine-1"…, "verify"). Score is absent when
+// the candidate's simulation failed (Err says why).
+type EstimateProgress struct {
+	SchemaVersion int               `json:"schema_version"`
+	Event         string            `json:"event"` // "progress"
+	Stage         string            `json:"stage"`
+	Candidate     EstimateCandidate `json:"candidate"`
+	Score         *float64          `json:"score,omitempty"`
+	Err           string            `json:"err,omitempty"`
+	Evaluated     int               `json:"evaluated"`
+}
+
+// EstimateResidual reports how well the winning candidate's
+// re-simulation reproduces the observed curve: the ICC-space distance
+// plus the raw final-size and spread-time gaps.
+type EstimateResidual struct {
+	ICC                float64 `json:"icc"`
+	FinalInformedDelta float64 `json:"final_informed_delta"`
+	RoundsDelta        int     `json:"rounds_delta"`
+}
+
+// Estimate terminates a successful estimate stream: the fitted
+// parameters, their adversity-DSL rendering (directly replayable as a
+// /v1/simulations fault_spec), the verification residual, and the
+// search tally.
+type Estimate struct {
+	SchemaVersion int               `json:"schema_version"`
+	Event         string            `json:"event"` // "estimate"
+	Best          EstimateCandidate `json:"best"`
+	FaultSpec     string            `json:"fault_spec"`
+	Score         float64           `json:"score"`
+	Residual      EstimateResidual  `json:"residual"`
+	Candidates    int               `json:"candidates"`
+	CoarseScore   float64           `json:"coarse_score"`
+}
+
 // Event is the decode-side union: every field of every event type, for
 // clients that scan a stream line by line and switch on Event.
 type Event struct {
-	SchemaVersion int        `json:"schema_version"`
-	Event         string     `json:"event"`
-	Driver        string     `json:"driver,omitempty"`
-	RequestKey    string     `json:"request_key,omitempty"`
-	Round         int        `json:"round,omitempty"`
-	Informed      int        `json:"informed,omitempty"`
-	Error         string     `json:"error,omitempty"`
-	Result        *JobResult `json:"result,omitempty"`
-	Index         int        `json:"index,omitempty"`
-	Variants      int        `json:"variants,omitempty"`
-	ForkRound     *int       `json:"fork_round,omitempty"`
-	Completed     int        `json:"completed,omitempty"`
-	Errors        int        `json:"errors,omitempty"`
-	TotalRounds   int64      `json:"total_rounds,omitempty"`
+	SchemaVersion int                `json:"schema_version"`
+	Event         string             `json:"event"`
+	Driver        string             `json:"driver,omitempty"`
+	RequestKey    string             `json:"request_key,omitempty"`
+	Round         int                `json:"round,omitempty"`
+	Informed      int                `json:"informed,omitempty"`
+	Error         *ErrorDetail       `json:"error,omitempty"`
+	Result        *JobResult         `json:"result,omitempty"`
+	Index         int                `json:"index,omitempty"`
+	Variants      int                `json:"variants,omitempty"`
+	ForkRound     *int               `json:"fork_round,omitempty"`
+	Completed     int                `json:"completed,omitempty"`
+	Errors        int                `json:"errors,omitempty"`
+	TotalRounds   int64              `json:"total_rounds,omitempty"`
+	Stage         string             `json:"stage,omitempty"`
+	Candidate     *EstimateCandidate `json:"candidate,omitempty"`
+	Score         *float64           `json:"score,omitempty"`
+	Evaluated     int                `json:"evaluated,omitempty"`
+	Best          *EstimateCandidate `json:"best,omitempty"`
+	FaultSpec     string             `json:"fault_spec,omitempty"`
+	Residual      *EstimateResidual  `json:"residual,omitempty"`
+	Candidates    int                `json:"candidates,omitempty"`
+	CoarseScore   float64            `json:"coarse_score,omitempty"`
 }

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestErrorDetailBackCompat pins the schema-1 → schema-2 decoding
+// contract: the error event's payload used to be a bare string; clients
+// built against this package must still decode streams persisted under
+// schema 1 (the disk result store outlives releases).
+func TestErrorDetailBackCompat(t *testing.T) {
+	var old Event
+	if err := json.Unmarshal([]byte(
+		`{"schema_version":1,"event":"error","error":"graph family \"x\" unknown"}`), &old); err != nil {
+		t.Fatal(err)
+	}
+	if old.Error == nil || old.Error.Message != `graph family "x" unknown` || old.Error.Field != "" {
+		t.Fatalf("schema-1 error decoded as %+v", old.Error)
+	}
+
+	var cur Event
+	if err := json.Unmarshal([]byte(
+		`{"schema_version":2,"event":"error","error":{"field":"graph.family","message":"unknown"}}`), &cur); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Error == nil || cur.Error.Field != "graph.family" || cur.Error.Message != "unknown" {
+		t.Fatalf("schema-2 error decoded as %+v", cur.Error)
+	}
+
+	// The error stringer is stable (loadgen and the CLI print it).
+	if got := cur.Error.Error(); got != "graph.family: unknown" {
+		t.Fatalf("Error() = %q", got)
+	}
+	if got := old.Error.Error(); got != `graph family "x" unknown` {
+		t.Fatalf("fieldless Error() = %q", got)
+	}
+}
+
+// TestJobSpecBackCompat: request payloads written before the estimates
+// release (no progress_points, no estimate envelope) decode unchanged,
+// and progress_points stays out of the serialized form when unset so
+// old clients' bytes round-trip.
+func TestJobSpecBackCompat(t *testing.T) {
+	old := `{"driver":"push-pull","graph":{"family":"dumbbell","n":8,"latency":12},"seed":3,"fault_spec":"loss=0.1","workers":4,"timeout_ms":500}`
+	var spec JobSpec
+	dec := json.NewDecoder(strings.NewReader(old))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		t.Fatalf("pre-estimates payload rejected: %v", err)
+	}
+	if spec.Driver != "push-pull" || spec.Graph.N != 8 || spec.FaultSpec != "loss=0.1" || spec.ProgressPoints != nil {
+		t.Fatalf("decoded %+v", spec)
+	}
+	out, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(out, &round); err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := round["progress_points"]; leaked {
+		t.Fatalf("unset progress_points serialized: %s", out)
+	}
+}
+
+// TestEventUnionCoversEstimate: the line-scanning union decodes every
+// estimate event shape the server emits.
+func TestEventUnionCoversEstimate(t *testing.T) {
+	score := 0.25
+	lines := []any{
+		EstimateProgress{SchemaVersion: SchemaVersion, Event: "progress", Stage: "coarse",
+			Candidate: EstimateCandidate{Loss: 0.2, Churn: 1, Scale: 2}, Score: &score, Evaluated: 3},
+		Estimate{SchemaVersion: SchemaVersion, Event: "estimate",
+			Best: EstimateCandidate{Loss: 0.2}, FaultSpec: "loss=0.2", Score: 0,
+			Residual: EstimateResidual{RoundsDelta: -1}, Candidates: 12, CoarseScore: 0.5},
+	}
+	for _, src := range lines {
+		raw, err := json.Marshal(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("union rejected %s: %v", raw, err)
+		}
+		switch ev.Event {
+		case "progress":
+			if ev.Stage != "coarse" || ev.Candidate == nil || ev.Candidate.Scale != 2 || ev.Score == nil || *ev.Score != score {
+				t.Fatalf("progress decoded as %+v", ev)
+			}
+		case "estimate":
+			if ev.Best == nil || ev.Best.Loss != 0.2 || ev.FaultSpec != "loss=0.2" || ev.Residual == nil || ev.Residual.RoundsDelta != -1 {
+				t.Fatalf("estimate decoded as %+v", ev)
+			}
+		}
+	}
+}

@@ -2,10 +2,12 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"sync"
 	"testing"
 
 	"gossip/internal/gossip"
+	"gossip/internal/server/api"
 )
 
 func TestLRUEvictsColdEnd(t *testing.T) {
@@ -50,14 +52,38 @@ func TestLRUZeroCapacityStoresNothing(t *testing.T) {
 	}
 }
 
-// TestProgressPointsCurve pins the informed-curve derivation: cumulative,
-// change-points only, monotone, and stable under sampling.
-func TestProgressPointsCurve(t *testing.T) {
+// bodyProgress parses every progress event out of a rendered NDJSON
+// body, failing the test on anything malformed.
+func bodyProgress(t *testing.T, body []byte) []api.Progress {
+	t.Helper()
+	var pts []api.Progress
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("unmarshal %q: %v", line, err)
+		}
+		if ev.Event != "progress" {
+			continue
+		}
+		if ev.SchemaVersion != SchemaVersion {
+			t.Fatalf("progress line badly stamped: %s", line)
+		}
+		pts = append(pts, api.Progress{SchemaVersion: ev.SchemaVersion, Event: ev.Event, Round: ev.Round, Informed: ev.Informed})
+	}
+	return pts
+}
+
+// TestResultLinesCurve pins the informed-curve derivation in a rendered
+// body: cumulative counts, change-points only, full resolution.
+func TestResultLinesCurve(t *testing.T) {
 	res := gossip.DriverResult{
 		// rounds: node0@0, node1@2, node2@2, node3@5, node4 never
 		InformedAt: []int{0, 2, 2, 5, -1},
 	}
-	pts := progressPoints(res, 32)
+	pts := bodyProgress(t, resultLines(res))
 	want := []struct{ round, informed int }{{0, 1}, {2, 3}, {5, 4}}
 	if len(pts) != len(want) {
 		t.Fatalf("points = %+v, want %d entries", pts, len(want))
@@ -66,18 +92,22 @@ func TestProgressPointsCurve(t *testing.T) {
 		if pts[i].Round != w.round || pts[i].Informed != w.informed {
 			t.Fatalf("point %d = %+v, want %+v", i, pts[i], w)
 		}
-		if pts[i].SchemaVersion != SchemaVersion || pts[i].Event != "progress" {
-			t.Fatalf("point %d badly stamped: %+v", i, pts[i])
-		}
 	}
 }
 
-func TestProgressPointsSampling(t *testing.T) {
+// TestSampleStreamCurve pins serve-time sampling: a full-resolution
+// body is evenly sampled to progress_points lines with the first and
+// last change points always kept, and non-progress lines untouched.
+func TestSampleStreamCurve(t *testing.T) {
 	informedAt := make([]int, 500)
 	for i := range informedAt {
 		informedAt[i] = i // a change point every round
 	}
-	pts := progressPoints(gossip.DriverResult{InformedAt: informedAt}, 32)
+	body := resultLines(gossip.DriverResult{InformedAt: informedAt})
+	if got := len(bodyProgress(t, body)); got != 500 {
+		t.Fatalf("full-resolution body has %d points, want 500", got)
+	}
+	pts := bodyProgress(t, sampleStream(body, 32))
 	if len(pts) != 32 {
 		t.Fatalf("sampled to %d points, want 32", len(pts))
 	}
@@ -93,13 +123,24 @@ func TestProgressPointsSampling(t *testing.T) {
 			t.Fatalf("sampled curve not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
 		}
 	}
+	// The result terminator survives sampling.
+	var lastEv api.Event
+	lines := bytes.Split(bytes.TrimSuffix(sampleStream(body, 32), []byte("\n")), []byte("\n"))
+	if err := json.Unmarshal(lines[len(lines)-1], &lastEv); err != nil || lastEv.Event != "result" {
+		t.Fatalf("sampled body terminator: %v / %+v", err, lastEv)
+	}
+	// A body that already fits is returned unchanged — the same backing
+	// array, not a copy.
+	if small := sampleStream(body, 4096); &small[0] != &body[0] {
+		t.Fatal("sampleStream copied a body that needed no sampling")
+	}
 }
 
-func TestProgressPointsEmpty(t *testing.T) {
-	if pts := progressPoints(gossip.DriverResult{}, 32); pts != nil {
+func TestResultLinesEmptyCurve(t *testing.T) {
+	if pts := bodyProgress(t, resultLines(gossip.DriverResult{})); pts != nil {
 		t.Fatalf("nil InformedAt should derive no curve, got %+v", pts)
 	}
-	if pts := progressPoints(gossip.DriverResult{InformedAt: []int{-1, -1}}, 32); pts != nil {
+	if pts := bodyProgress(t, resultLines(gossip.DriverResult{InformedAt: []int{-1, -1}})); pts != nil {
 		t.Fatalf("never-informed curve should be empty, got %+v", pts)
 	}
 }

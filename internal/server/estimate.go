@@ -1,0 +1,591 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"gossip/internal/curve"
+	"gossip/internal/estimate"
+	"gossip/internal/gossip"
+	"gossip/internal/graphgen"
+	"gossip/internal/server/api"
+)
+
+// EstimateRequest is the JSON body of POST /v1/estimates; the struct
+// lives in internal/server/api with the rest of the /v1 envelopes.
+type EstimateRequest = api.EstimateRequest
+
+// maxObservedPoints bounds a submitted curve; maxEstimateCandidates
+// bounds the coarse lattice a single request may fan out.
+const (
+	maxObservedPoints      = 4096
+	maxEstimateCandidates  = 128
+	maxEstimateScales      = 4
+	maxEstimateScale       = 8
+	maxEstimateRefine      = 4
+	defaultEstimateRefine  = 2
+	defaultEstimateLossCap = 1.0 // loss_max must stay below certain spread
+)
+
+// errEstimateAborted marks transient (drain) aborts inside an estimate:
+// streamed but never cached, like timeouts.
+var errEstimateAborted = errors.New("server is draining; estimate aborted")
+
+// estimateJob is a validated, normalized estimate request.
+type estimateJob struct {
+	base     *job
+	ref      *job // nil when the request carried an observed curve
+	observed curve.Curve
+	grid     estimate.Grid
+	refine   int
+	key      string
+}
+
+// estimateCanonical is the key material of an estimate: the base and
+// reference canonical forms, the observed curve, the normalized grid
+// and the refinement depth. Struct field order makes the JSON — and so
+// the key — deterministic.
+type estimateCanonical struct {
+	Base      canonical        `json:"base"`
+	Observed  []api.CurvePoint `json:"observed"`
+	Reference *canonical       `json:"reference"`
+	Grid      api.EstimateGrid `json:"grid"`
+	Refine    int              `json:"refine"`
+}
+
+// validateEstimate checks an estimate against the server limits and the
+// curve/grid contracts, returning the normalized job or a field-level
+// error. Like validate, it never panics on any input — FuzzEstimateValidate
+// pins that.
+func (s *Server) validateEstimate(req EstimateRequest) (*estimateJob, *FieldError) {
+	base, ferr := s.validate(req.Base)
+	if ferr != nil {
+		return nil, fieldErrf("base."+ferr.Field, "%s", ferr.Message)
+	}
+	d, _ := gossip.Lookup(base.can.Driver)
+	if !d.WarmStart() {
+		return nil, fieldErrf("base.driver",
+			"driver %q is a multi-phase pipeline and cannot be fitted (single-phase drivers only)", d.Name)
+	}
+	if base.can.FaultSpec != "" {
+		return nil, fieldErrf("base.fault_spec", "an estimate's base must be benign; the candidates supply the faults")
+	}
+	if base.shards != 0 {
+		return nil, fieldErrf("base.shards", "estimates run their candidate simulations in-process; shards is not supported")
+	}
+	nodes := graphSpecNodes(base.can.Graph)
+
+	ej := &estimateJob{base: base}
+	switch {
+	case len(req.Observed) > 0 && req.Reference != nil:
+		return nil, fieldErrf("observed", "set exactly one of observed and reference, not both")
+	case len(req.Observed) == 0 && req.Reference == nil:
+		return nil, fieldErrf("observed", "an estimate needs an observed curve or a reference job to simulate one")
+	case req.Reference != nil:
+		ref, ferr := s.validate(*req.Reference)
+		if ferr != nil {
+			return nil, fieldErrf("reference."+ferr.Field, "%s", ferr.Message)
+		}
+		rd, _ := gossip.Lookup(ref.can.Driver)
+		if !rd.WarmStart() {
+			return nil, fieldErrf("reference.driver",
+				"driver %q reports no informed curve (single-phase drivers only)", rd.Name)
+		}
+		if ref.shards != 0 {
+			return nil, fieldErrf("reference.shards", "estimates run the reference simulation in-process; shards is not supported")
+		}
+		ej.ref = ref
+	default:
+		if len(req.Observed) < 2 {
+			return nil, fieldErrf("observed", "an observed curve needs at least 2 points")
+		}
+		if len(req.Observed) > maxObservedPoints {
+			return nil, fieldErrf("observed", "%d points over the cap %d", len(req.Observed), maxObservedPoints)
+		}
+		prev := curve.Point{Round: -1}
+		for i, p := range req.Observed {
+			field := fmt.Sprintf("observed[%d]", i)
+			if p.Round < 0 || p.Round > s.cfg.MaxRoundsCap {
+				return nil, fieldErrf(field, "round %d outside [0, %d]", p.Round, s.cfg.MaxRoundsCap)
+			}
+			if p.Round <= prev.Round {
+				return nil, fieldErrf(field, "rounds must be strictly increasing (%d after %d)", p.Round, prev.Round)
+			}
+			if math.IsNaN(p.Informed) || math.IsInf(p.Informed, 0) {
+				return nil, fieldErrf(field, "informed count must be finite")
+			}
+			if p.Informed <= 0 {
+				return nil, fieldErrf(field, "informed count %v must be positive", p.Informed)
+			}
+			if p.Informed < prev.Informed {
+				return nil, fieldErrf(field, "informed counts must be non-decreasing (%v after %v)", p.Informed, prev.Informed)
+			}
+			if p.Informed > float64(nodes) {
+				return nil, fieldErrf(field, "informed count %v exceeds the %d nodes the base graph builds", p.Informed, nodes)
+			}
+			prev = curve.Point{Round: p.Round, Informed: p.Informed}
+			ej.observed = append(ej.observed, prev)
+		}
+	}
+
+	grid := estimate.DefaultGrid(nodes)
+	if req.Grid != nil {
+		g := *req.Grid
+		if g.LossMax != 0 || g.LossSteps != 0 {
+			if math.IsNaN(g.LossMax) || g.LossMax < 0 || g.LossMax >= defaultEstimateLossCap {
+				return nil, fieldErrf("grid.loss_max", "loss_max %v outside [0, 1)", g.LossMax)
+			}
+			if g.LossSteps < 1 || g.LossSteps > 16 {
+				return nil, fieldErrf("grid.loss_steps", "loss_steps %d outside [1, 16]", g.LossSteps)
+			}
+			grid.LossMax, grid.LossSteps = g.LossMax, g.LossSteps
+		}
+		if g.ChurnMax != 0 || g.ChurnSteps != 0 {
+			if g.ChurnMax < 0 || g.ChurnMax >= nodes {
+				return nil, fieldErrf("grid.churn_max", "churn_max %d outside [0, %d)", g.ChurnMax, nodes)
+			}
+			if g.ChurnSteps < 1 || g.ChurnSteps > 8 {
+				return nil, fieldErrf("grid.churn_steps", "churn_steps %d outside [1, 8]", g.ChurnSteps)
+			}
+			grid.ChurnMax, grid.ChurnSteps = g.ChurnMax, g.ChurnSteps
+		}
+		if len(g.Scales) > 0 {
+			if len(g.Scales) > maxEstimateScales {
+				return nil, fieldErrf("grid.scales", "%d scales over the cap %d", len(g.Scales), maxEstimateScales)
+			}
+			for i, sc := range g.Scales {
+				if sc < 1 || sc > maxEstimateScale {
+					return nil, fieldErrf("grid.scales", "scale %d outside [1, %d]", sc, maxEstimateScale)
+				}
+				if i > 0 && sc <= g.Scales[i-1] {
+					return nil, fieldErrf("grid.scales", "scales must be strictly increasing")
+				}
+				if base.can.Graph.Latency*sc > 1<<20 {
+					return nil, fieldErrf("grid.scales", "scale %d lifts the base latency %d over 2^20", sc, base.can.Graph.Latency)
+				}
+			}
+			grid.Scales = append([]int(nil), g.Scales...)
+		}
+	}
+	// The defaults always pass these bounds; re-check after overrides.
+	if n := len(grid.Candidates()); n > maxEstimateCandidates {
+		return nil, fieldErrf("grid", "%d coarse candidates over the cap %d", n, maxEstimateCandidates)
+	}
+	for _, sc := range grid.Scales {
+		if base.can.Graph.Latency*sc > 1<<20 {
+			return nil, fieldErrf("grid.scales", "scale %d lifts the base latency %d over 2^20", sc, base.can.Graph.Latency)
+		}
+	}
+	ej.grid = grid
+
+	ej.refine = defaultEstimateRefine
+	if req.Refine != nil {
+		if *req.Refine < 0 || *req.Refine > maxEstimateRefine {
+			return nil, fieldErrf("refine", "refine %d outside [0, %d]", *req.Refine, maxEstimateRefine)
+		}
+		ej.refine = *req.Refine
+	}
+
+	can := estimateCanonical{
+		Base:   base.can,
+		Grid:   api.EstimateGrid{LossMax: grid.LossMax, LossSteps: grid.LossSteps, ChurnMax: grid.ChurnMax, ChurnSteps: grid.ChurnSteps, Scales: grid.Scales},
+		Refine: ej.refine,
+	}
+	for _, p := range ej.observed {
+		can.Observed = append(can.Observed, api.CurvePoint{Round: p.Round, Informed: p.Informed})
+	}
+	if ej.ref != nil {
+		refCan := ej.ref.can
+		can.Reference = &refCan
+	}
+	ej.key = hashKey(can)
+	return ej, nil
+}
+
+// handleEstimate serves POST /v1/estimates on the shared
+// cache/coalesce/leader loop. Estimate bodies are served verbatim
+// (their progress events are scored candidates, not curve points, so
+// progress_points sampling does not apply).
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req EstimateRequest
+	if err := dec.Decode(&req); err != nil {
+		writeFieldError(w, fieldErrf("body", "decoding estimate request: %v", err))
+		return
+	}
+	ej, ferr := s.validateEstimate(req)
+	if ferr != nil {
+		writeFieldError(w, ferr)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	defer stop()
+
+	s.serveJob(w, ctx, ej.key, nil,
+		func(w http.ResponseWriter, ctx context.Context, f *flight) { s.runEstimateLeader(w, ctx, ej, f) })
+}
+
+// estChunk is one ordered piece of the estimate stream after the
+// accepted line; nondet marks wall-clock content (drain aborts) that
+// must keep the body out of the cache.
+type estChunk struct {
+	line   []byte
+	nondet bool
+}
+
+// runEstimateLeader mirrors runSweepLeader: queue for a slot, stream
+// the fit's progress, publish the outcome unless it was transient. The
+// base request's timeout governs the whole estimate.
+func (s *Server) runEstimateLeader(w http.ResponseWriter, ctx context.Context, ej *estimateJob, f *flight) {
+	s.met.queued.Add(1)
+	err := s.pool.Acquire(ctx)
+	s.met.queued.Add(-1)
+	if err != nil {
+		if f != nil {
+			s.resolve(ej.key, f, nil)
+		}
+		if s.Draining() {
+			writeUnavailable(w)
+		}
+		return
+	}
+
+	accepted := estimateAcceptedLine(ej)
+	s.met.misses.Add(1)
+	s.met.estimates.Add(1)
+	w.Header().Set(CacheHeader, "miss")
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	flushWrite(w, accepted)
+
+	// Generous buffer: every eval emits one chunk, plus the terminal one.
+	out := make(chan estChunk, len(ej.grid.Candidates())+9*(ej.refine+1)+8)
+	s.met.running.Add(1)
+	go func() {
+		defer s.met.running.Add(-1)
+		s.produceEstimate(ej, out)
+	}()
+
+	timer := time.NewTimer(ej.base.timeout)
+	defer timer.Stop()
+	body := append([]byte(nil), accepted...)
+	cacheable := true
+	for {
+		select {
+		case c, ok := <-out:
+			if !ok {
+				if cacheable {
+					s.publish(ej.key, body)
+					if f != nil {
+						s.resolve(ej.key, f, body)
+					}
+					s.met.completed.Add(1)
+				} else {
+					if f != nil {
+						s.resolve(ej.key, f, nil)
+					}
+					s.met.failed.Add(1)
+				}
+				return
+			}
+			cacheable = cacheable && !c.nondet
+			body = append(body, c.line...)
+			flushWrite(w, c.line)
+		case <-timer.C:
+			// Wall-clock, not canonical: never cached. The producer keeps
+			// going so candidate bodies still land in the shared cache.
+			if f != nil {
+				s.resolve(ej.key, f, nil)
+			}
+			s.met.failed.Add(1)
+			flushWrite(w, errorLine(fmt.Sprintf("estimate exceeded its %v execution timeout", ej.base.timeout)))
+			return
+		}
+	}
+}
+
+// produceEstimate computes the stream after the accepted line: resolve
+// the observation (simulating the reference on the slot the caller
+// acquired if needed), release the slot, then run the coarse-to-fine
+// fit with candidate simulations fanning out on their own pool slots —
+// the leader-releases-before-fan-out pattern produceSweep uses, so an
+// estimate makes progress even on a 1-slot pool.
+func (s *Server) produceEstimate(ej *estimateJob, out chan<- estChunk) {
+	defer close(out)
+	if s.cfg.gate != nil {
+		s.cfg.gate(ej.key)
+	}
+	observed := ej.observed
+	if ej.ref != nil {
+		cv, err := s.estimateEvalJob(ej.ref, true)
+		s.pool.Release()
+		if err != nil {
+			out <- estChunk{line: errorLine("reference: " + err.Error()), nondet: errors.Is(err, errEstimateAborted)}
+			return
+		}
+		if len(cv) == 0 {
+			out <- estChunk{line: errorLine("reference simulation produced no informed curve")}
+			return
+		}
+		observed = cv
+	} else {
+		s.pool.Release()
+	}
+
+	nodes := graphSpecNodes(ej.base.can.Graph)
+	protected := ej.base.can.Source
+
+	// Warm prefixes are per latency scale (the one candidate axis a fork
+	// cannot diverge on), created lazily under a lock; creation is a
+	// deterministic function of the scale, so the lazy order never shows.
+	var mu sync.Mutex
+	prefixes := map[int]*gossip.WarmPrefix{}
+	prefixErrs := map[int]error{}
+	forkFor := func(scale int) (*gossip.WarmPrefix, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err, ok := prefixErrs[scale]; ok {
+			return nil, err
+		}
+		if p, ok := prefixes[scale]; ok {
+			return p, nil
+		}
+		g, err := graphgen.Build(candidateGraphSpec(ej.base, scale))
+		if err == nil {
+			var p *gossip.WarmPrefix
+			p, err = gossip.Fork(ej.base.can.Driver, g, ej.base.driverOptions(), estimate.ChurnLeave)
+			if err == nil {
+				prefixes[scale] = p
+				return p, nil
+			}
+		}
+		prefixErrs[scale] = err
+		return nil, err
+	}
+
+	evalCold := func(c estimate.Candidate) (curve.Curve, error) {
+		return s.estimateEvalJob(s.candidateJob(ej.base, c, nodes, protected), false)
+	}
+	evalWarm := func(c estimate.Candidate) (curve.Curve, error) {
+		if err := s.pool.Acquire(s.drainCtx); err != nil {
+			return nil, errEstimateAborted
+		}
+		defer s.pool.Release()
+		p, err := forkFor(c.Scale)
+		if err != nil {
+			return nil, err
+		}
+		opts := ej.base.driverOptions()
+		opts.Adversity = c.Spec(nodes, protected)
+		res, err := p.Resume(opts)
+		if err != nil {
+			return nil, err
+		}
+		return curve.FromInformedAt(res.InformedAt), nil
+	}
+
+	evaluated := 0
+	res, err := estimate.Fit(estimate.Config{
+		Observed: observed,
+		Grid:     ej.grid,
+		Refine:   ej.refine,
+		EvalCold: evalCold,
+		EvalWarm: evalWarm,
+		Batch:    s.estimateBatch,
+		OnEval: func(e estimate.Eval) {
+			evaluated++
+			out <- estChunk{line: estimateProgressLine(e, evaluated)}
+		},
+	})
+	if err != nil {
+		out <- estChunk{line: errorLine(err.Error()), nondet: errors.Is(err, errEstimateAborted)}
+		return
+	}
+	out <- estChunk{line: estimateLine(observed, res, nodes, protected)}
+}
+
+// estimateBatch fans one fit stage across the pool, one goroutine (and
+// one slot, acquired inside eval) per candidate, outcomes in index
+// order. A drain abort anywhere fails the whole batch as transient.
+func (s *Server) estimateBatch(_ string, cands []estimate.Candidate, eval func(estimate.Candidate) (curve.Curve, error)) ([]estimate.BatchOut, error) {
+	outs := make([]estimate.BatchOut, len(cands))
+	var wg sync.WaitGroup
+	for i, c := range cands {
+		wg.Add(1)
+		go func(i int, c estimate.Candidate) {
+			defer wg.Done()
+			cv, err := eval(c)
+			outs[i] = estimate.BatchOut{Curve: cv, Err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if errors.Is(o.Err, errEstimateAborted) {
+			return nil, errEstimateAborted
+		}
+	}
+	return outs, nil
+}
+
+// candidateGraphSpec is the base topology with the candidate's latency
+// scale applied.
+func candidateGraphSpec(base *job, scale int) graphgen.Spec {
+	return graphgen.Spec{
+		Family:  base.can.Graph.Family,
+		N:       base.can.Graph.N,
+		Latency: base.can.Graph.Latency * scale,
+		P:       base.can.Graph.P,
+		Layers:  base.can.Graph.Layers,
+		Seed:    base.can.Seed,
+	}
+}
+
+// candidateJob maps a candidate onto the exact /v1/simulations job it
+// parameterizes — same canonical form, same request key — so candidate
+// evaluations share cache entries with direct simulation requests.
+func (s *Server) candidateJob(base *job, c estimate.Candidate, nodes, protected int) *job {
+	can := base.can
+	can.Graph.Latency = base.can.Graph.Latency * c.Scale
+	spec := c.Spec(nodes, protected)
+	if spec != nil {
+		can.FaultSpec = spec.String()
+	}
+	jb := &job{can: can, workers: base.workers, timeout: base.timeout, points: maxProgressPoints, spec: spec}
+	jb.key = requestKey(can)
+	return jb
+}
+
+// estimateEvalJob runs one simulation job for the estimator: replay its
+// curve from the shared cache when possible, otherwise execute and
+// publish the exact body /v1/simulations would have (byte-identical, so
+// the entry serves both surfaces). haveSlot marks the caller as already
+// holding a pool slot (the leader resolving its reference); otherwise
+// one is acquired on the drain context.
+func (s *Server) estimateEvalJob(jb *job, haveSlot bool) (curve.Curve, error) {
+	if !s.cache.disabled() {
+		if body, ok := s.lookup(jb.key); ok {
+			return curveFromBody(body)
+		}
+	}
+	if !haveSlot {
+		if err := s.pool.Acquire(s.drainCtx); err != nil {
+			return nil, errEstimateAborted
+		}
+		defer s.pool.Release()
+	}
+	g, err := graphgen.Build(graphgen.Spec{
+		Family:  jb.can.Graph.Family,
+		N:       jb.can.Graph.N,
+		Latency: jb.can.Graph.Latency,
+		P:       jb.can.Graph.P,
+		Layers:  jb.can.Graph.Layers,
+		Seed:    jb.can.Seed,
+	})
+	if err != nil {
+		err = fmt.Errorf("building graph: %w", err)
+		s.publish(jb.key, append(append([]byte(nil), acceptedLine(jb)...), errorLine(err.Error())...))
+		return nil, err
+	}
+	res, err := gossip.Dispatch(jb.can.Driver, g, jb.driverOptions())
+	if err != nil {
+		// Deterministic like runLeader's driver errors: publish the error
+		// stream so replays and direct requests see the identical body.
+		s.publish(jb.key, append(append([]byte(nil), acceptedLine(jb)...), errorLine(err.Error())...))
+		return nil, err
+	}
+	body := append(append([]byte(nil), acceptedLine(jb)...), resultLines(res)...)
+	s.publish(jb.key, body)
+	return curve.FromInformedAt(res.InformedAt), nil
+}
+
+// curveFromBody re-derives the informed curve from a cached simulation
+// body (full resolution — cached bodies are never sampled). A body that
+// terminates in an error event yields that error.
+func curveFromBody(body []byte) (curve.Curve, error) {
+	var c curve.Curve
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var last api.Event
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("cached body: %w", err)
+		}
+		if ev.Event == "progress" {
+			c = append(c, curve.Point{Round: ev.Round, Informed: float64(ev.Informed)})
+		}
+		last = ev
+	}
+	if last.Event == "error" && last.Error != nil {
+		return nil, errors.New(last.Error.Message)
+	}
+	return c, nil
+}
+
+func estimateAcceptedLine(ej *estimateJob) []byte {
+	return mustLine(api.Accepted{
+		SchemaVersion: SchemaVersion,
+		Event:         "accepted",
+		Driver:        ej.base.can.Driver,
+		RequestKey:    ej.key,
+	})
+}
+
+// estimateProgressLine renders one scored candidate. Scores can be +Inf
+// (failed candidates), which JSON cannot carry — those events omit the
+// score and carry the error string instead.
+func estimateProgressLine(e estimate.Eval, evaluated int) []byte {
+	p := api.EstimateProgress{
+		SchemaVersion: SchemaVersion,
+		Event:         "progress",
+		Stage:         e.Stage,
+		Candidate:     api.EstimateCandidate{Loss: e.Candidate.Loss, Churn: e.Candidate.Churn, Scale: e.Candidate.Scale},
+		Err:           e.Err,
+		Evaluated:     evaluated,
+	}
+	if !math.IsInf(e.Score, 0) && !math.IsNaN(e.Score) {
+		sc := e.Score
+		p.Score = &sc
+	}
+	return mustLine(p)
+}
+
+func estimateLine(observed curve.Curve, res *estimate.Result, nodes, protected int) []byte {
+	faultSpec := ""
+	if spec := res.Best.Spec(nodes, protected); spec != nil {
+		faultSpec = spec.String()
+	}
+	return mustLine(api.Estimate{
+		SchemaVersion: SchemaVersion,
+		Event:         "estimate",
+		Best:          api.EstimateCandidate{Loss: res.Best.Loss, Churn: res.Best.Churn, Scale: res.Best.Scale},
+		FaultSpec:     faultSpec,
+		Score:         res.Score,
+		Residual: api.EstimateResidual{
+			ICC:                res.Score,
+			FinalInformedDelta: res.BestCurve.Final() - observed.Final(),
+			RoundsDelta:        res.BestCurve.FinalRound() - observed.FinalRound(),
+		},
+		Candidates:  res.Evaluated,
+		CoarseScore: res.CoarseScore,
+	})
+}

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
-	"sort"
+	"strconv"
 
+	"gossip/internal/curve"
 	"gossip/internal/gossip"
 	"gossip/internal/server/api"
 )
@@ -22,10 +24,16 @@ const (
 // compiling against the one wire definition.
 type JobResult = api.JobResult
 
-// maxProgressEvents caps the informed-curve sampling so a 40k-round DTG
-// run does not stream 40k lines; change points are sampled evenly with
-// the first and last always kept.
-const maxProgressEvents = 32
+// defaultProgressPoints is the informed-curve cap a request gets when
+// it does not set progress_points — the historical 32-line shape.
+// maxProgressPoints bounds what a request may ask for. Bodies are
+// cached at full resolution regardless (the estimator needs every
+// change point); the cap is applied when a body is served
+// (sampleStream), so it is an execution knob outside the cache key.
+const (
+	defaultProgressPoints = 32
+	maxProgressPoints     = 4096
+)
 
 // mustLine marshals one event and appends the newline. Events are plain
 // structs of scalars; a marshal failure is a programming error.
@@ -47,15 +55,27 @@ func acceptedLine(jb *job) []byte {
 }
 
 func errorLine(msg string) []byte {
-	return mustLine(api.Error{SchemaVersion: SchemaVersion, Event: "error", Error: msg})
+	return mustLine(api.Error{
+		SchemaVersion: SchemaVersion,
+		Event:         "error",
+		Error:         api.ErrorDetail{Message: msg},
+	})
 }
 
-// resultLines renders the deterministic tail of a successful stream: the
-// sampled informed-count curve followed by the result event.
+// resultLines renders the deterministic tail of a successful stream:
+// the full-resolution informed-count curve followed by the result
+// event. Cached bodies keep every change point; serving samples them
+// down to the request's progress_points (sampleStream).
 func resultLines(res gossip.DriverResult) []byte {
 	var out []byte
-	for _, p := range progressPoints(res, maxProgressEvents) {
-		out = append(out, mustLine(p)...)
+	for _, p := range curve.FromInformedAt(res.InformedAt) {
+		out = append(out, mustLine(api.Progress{
+			SchemaVersion: SchemaVersion,
+			Event:         "progress",
+			Round:         p.Round,
+			// Engine-derived curves are integral counts.
+			Informed: int(p.Informed),
+		})...)
 	}
 	out = append(out, mustLine(api.Result{
 		SchemaVersion: SchemaVersion,
@@ -74,47 +94,67 @@ func resultLines(res gossip.DriverResult) []byte {
 	return out
 }
 
-// progressPoints derives the per-round informed-count curve from
-// InformedAt (rounds where the count changed, cumulative), sampled down
-// to at most max points. Drivers with no single watched rumor (the
-// multi-phase pipelines) report no curve. The derivation is a pure
-// function of the result, so the stream stays byte-identical across
-// worker counts and cache replays.
-func progressPoints(res gossip.DriverResult, max int) []api.Progress {
-	if len(res.InformedAt) == 0 {
-		return nil
+// progressPrefix identifies curve progress lines inside a rendered body
+// byte-cheaply. The server renders every such line itself (mustLine of
+// api.Progress), so the layout is exact; estimate progress events carry
+// "stage" where "round" sits and estimate bodies never flow through
+// sampling anyway.
+var progressPrefix = []byte(`{"schema_version":` + strconv.Itoa(SchemaVersion) + `,"event":"progress","round":`)
+
+// sampleStream rewrites a full-resolution body for serving: every
+// maximal run of consecutive progress lines (one run per simulation,
+// one per variant in a sweep body) is evenly sampled down to at most
+// max lines, the first and last always kept — the same selection
+// curve.Sample makes on points. A body whose runs already fit is
+// returned unchanged, so default-shaped bodies serve with zero copies.
+func sampleStream(body []byte, max int) []byte {
+	if max < 2 {
+		max = defaultProgressPoints
 	}
-	// gains[r] = nodes first informed at round r (InformedAt values are
-	// bounded by the final round).
-	gains := map[int]int{}
-	rounds := make([]int, 0, 16)
-	for _, r := range res.InformedAt {
-		if r < 0 {
+	var out []byte
+	changed := false
+	for i := 0; i < len(body); {
+		if !bytes.HasPrefix(body[i:], progressPrefix) {
+			j := lineEnd(body, i)
+			if changed {
+				out = append(out, body[i:j]...)
+			}
+			i = j
 			continue
 		}
-		if gains[r] == 0 {
-			rounds = append(rounds, r)
+		start := i
+		var starts []int
+		for i < len(body) && bytes.HasPrefix(body[i:], progressPrefix) {
+			starts = append(starts, i)
+			i = lineEnd(body, i)
 		}
-		gains[r]++
+		if len(starts) <= max {
+			if changed {
+				out = append(out, body[start:i]...)
+			}
+			continue
+		}
+		if !changed {
+			changed = true
+			out = append(out, body[:start]...)
+		}
+		for k := 0; k < max; k++ {
+			ls := starts[k*(len(starts)-1)/(max-1)]
+			out = append(out, body[ls:lineEnd(body, ls)]...)
+		}
 	}
-	if len(rounds) == 0 {
-		return nil
+	if !changed {
+		return body
 	}
-	sort.Ints(rounds)
-	points := make([]api.Progress, len(rounds))
-	informed := 0
-	for i, r := range rounds {
-		informed += gains[r]
-		points[i] = api.Progress{SchemaVersion: SchemaVersion, Event: "progress", Round: r, Informed: informed}
+	return out
+}
+
+// lineEnd returns the index one past line i's newline (or len(b) for an
+// unterminated final line).
+func lineEnd(b []byte, i int) int {
+	j := bytes.IndexByte(b[i:], '\n')
+	if j < 0 {
+		return len(b)
 	}
-	if len(points) <= max {
-		return points
-	}
-	// Evenly sample, always keeping the first and last change points.
-	sampled := make([]api.Progress, 0, max)
-	for i := 0; i < max; i++ {
-		idx := i * (len(points) - 1) / (max - 1)
-		sampled = append(sampled, points[idx])
-	}
-	return sampled
+	return i + j + 1
 }

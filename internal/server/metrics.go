@@ -18,6 +18,7 @@ type metrics struct {
 	misses    atomic.Int64 // executions
 	storeHits atomic.Int64 // lookups served by promoting a disk-store body
 	sweeps    atomic.Int64 // sweep requests that executed (sweep-level misses)
+	estimates atomic.Int64 // estimate requests that executed (estimate-level misses)
 	rounds    atomic.Int64 // simulated rounds, summed over completed jobs
 
 	shardJobs     atomic.Int64 // sharded jobs this process coordinated
@@ -36,6 +37,7 @@ type Snapshot struct {
 	CacheHits, CacheMisses    int64
 	StoreHits                 int64
 	SweepsExecuted            int64
+	EstimatesExecuted         int64
 	RoundsSimulated           int64
 	ShardJobs                 int64
 	ShardSessions             int64
@@ -51,24 +53,25 @@ type Snapshot struct {
 // individually atomic).
 func (s *Server) Metrics() Snapshot {
 	return Snapshot{
-		InFlight:        s.met.inflight.Load(),
-		Queued:          s.met.queued.Load(),
-		Running:         s.met.running.Load(),
-		Completed:       s.met.completed.Load(),
-		Failed:          s.met.failed.Load(),
-		CacheHits:       s.met.hits.Load(),
-		CacheMisses:     s.met.misses.Load(),
-		StoreHits:       s.met.storeHits.Load(),
-		SweepsExecuted:  s.met.sweeps.Load(),
-		RoundsSimulated: s.met.rounds.Load(),
-		ShardJobs:       s.met.shardJobs.Load(),
-		ShardSessions:   s.met.shardSessions.Load(),
-		ShardFailures:   s.met.shardFailures.Load(),
-		Forwarded:       s.met.forwarded.Load(),
-		ForwardServed:   s.met.forwardServed.Load(),
-		ForwardFailed:   s.met.forwardFailed.Load(),
-		CacheEntries:    s.cache.len(),
-		PoolSize:        s.pool.Size(),
+		InFlight:          s.met.inflight.Load(),
+		Queued:            s.met.queued.Load(),
+		Running:           s.met.running.Load(),
+		Completed:         s.met.completed.Load(),
+		Failed:            s.met.failed.Load(),
+		CacheHits:         s.met.hits.Load(),
+		CacheMisses:       s.met.misses.Load(),
+		StoreHits:         s.met.storeHits.Load(),
+		SweepsExecuted:    s.met.sweeps.Load(),
+		EstimatesExecuted: s.met.estimates.Load(),
+		RoundsSimulated:   s.met.rounds.Load(),
+		ShardJobs:         s.met.shardJobs.Load(),
+		ShardSessions:     s.met.shardSessions.Load(),
+		ShardFailures:     s.met.shardFailures.Load(),
+		Forwarded:         s.met.forwarded.Load(),
+		ForwardServed:     s.met.forwardServed.Load(),
+		ForwardFailed:     s.met.forwardFailed.Load(),
+		CacheEntries:      s.cache.len(),
+		PoolSize:          s.pool.Size(),
 	}
 }
 
@@ -88,6 +91,7 @@ func (m *metrics) render(w io.Writer, cacheEntries, poolSize int) {
 	counter("gossipd_cache_misses_total", "responses computed by executing the job", m.misses.Load())
 	counter("gossipd_store_hits_total", "lookups served from the disk result store", m.storeHits.Load())
 	counter("gossipd_sweeps_executed_total", "sweep requests executed rather than replayed", m.sweeps.Load())
+	counter("gossipd_estimates_executed_total", "estimate requests executed rather than replayed", m.estimates.Load())
 	counter("gossipd_rounds_simulated_total", "simulated rounds summed over completed jobs", m.rounds.Load())
 	counter("gossipd_shard_jobs_total", "sharded jobs coordinated by this process", m.shardJobs.Load())
 	counter("gossipd_shard_sessions_total", "worker shard sessions served by this process", m.shardSessions.Load())

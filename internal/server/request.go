@@ -12,83 +12,23 @@ import (
 	"gossip/internal/adversity"
 	"gossip/internal/gossip"
 	"gossip/internal/graphgen"
+	"gossip/internal/server/api"
 )
 
-// Request is the JSON body of POST /v1/simulations: one simulation job.
-// `driver` and `graph` are required; everything else defaults. The
-// driver-specific fields (source, variant, ell, k, d, known_latencies)
-// are validated against the driver's machine-readable options schema
-// (gossip.Driver.RequestKeys) — setting a field the driver does not read
-// is a 400, not a silent no-op.
-type Request struct {
-	// Driver is a name or alias from the gossip driver registry.
-	Driver string `json:"driver"`
-	// Graph names the generated topology.
-	Graph GraphSpec `json:"graph"`
-	// Seed drives all randomness (graph generation and protocol); it is
-	// the determinism anchor the response cache is keyed on.
-	Seed uint64 `json:"seed"`
-	// Workers shards intra-round simulation; results are bit-identical
-	// for any value, so it is an execution knob excluded from the cache
-	// key.
-	Workers int `json:"workers,omitempty"`
-	// Shards distributes the job across that many worker gossipd
-	// processes (0 = run in this process; otherwise >= 2, at most the
-	// fleet's worker count). Like workers, results are bit-identical for
-	// any value, so it is an execution knob excluded from the cache key.
-	// Requires a fleet (-peers) and a distributable driver.
-	Shards int `json:"shards,omitempty"`
-	// MaxRounds overrides the driver's horizon (0 = driver default).
-	MaxRounds int `json:"max_rounds,omitempty"`
-	// FaultSpec is the adversity DSL (see package adversity), e.g.
-	// "loss=0.1;churn=3:10-20:amnesia;flap=0-1:5-9;crash=4:6,7".
-	FaultSpec string `json:"fault_spec,omitempty"`
-	// TimeoutMS bounds job execution (not queue wait). Absent means the
-	// server default; zero or negative is a 400; larger than the server
-	// maximum is clamped. Excluded from the cache key.
-	TimeoutMS *int `json:"timeout_ms,omitempty"`
+// Request is the JSON body of POST /v1/simulations. The struct itself —
+// the shared /v1 job spec, also the base of sweeps and estimates —
+// lives in internal/server/api; these aliases keep the server-side name
+// every existing caller and test uses.
+type Request = api.JobSpec
 
-	// Driver-specific options; see GET /v1/drivers for which driver
-	// accepts which. Every key a driver's request_keys advertises is
-	// settable here (pinned by TestRequestCoversDriverSchemas).
-	Source         *int    `json:"source,omitempty"`
-	Sources        []int   `json:"sources,omitempty"`
-	Objective      *string `json:"objective,omitempty"`
-	Variant        *string `json:"variant,omitempty"`
-	Ell            *int    `json:"ell,omitempty"`
-	K              *int    `json:"k,omitempty"`
-	D              *int    `json:"d,omitempty"`
-	Budget         *int    `json:"budget,omitempty"`
-	KnownLatencies *bool   `json:"known_latencies,omitempty"`
-	MaxInPerRound  *int    `json:"max_in_per_round,omitempty"`
-	FaultTolerant  *bool   `json:"fault_tolerant,omitempty"`
-	LBTimeout      *int    `json:"lb_timeout,omitempty"`
-	SkipCheck      *bool   `json:"skip_check,omitempty"`
-}
+// GraphSpec is the request form of graphgen.Spec (see api.GraphSpec).
+type GraphSpec = api.GraphSpec
 
-// GraphSpec is the request form of graphgen.Spec.
-type GraphSpec struct {
-	// Family is one of graphgen.Families().
-	Family string `json:"family"`
-	// N follows the CLI -n semantics (per-side for dumbbell/gadget,
-	// per-layer for ring); every family yields at least N nodes.
-	N int `json:"n"`
-	// Latency (0 = 1), P (0 = 0.3, er/gadget only) and Layers (0 = 6,
-	// ring only) mirror the CLI flags.
-	Latency int     `json:"latency,omitempty"`
-	P       float64 `json:"p,omitempty"`
-	Layers  int     `json:"layers,omitempty"`
-}
-
-// FieldError is a structured request-validation failure: which field was
-// wrong and why. It renders as the 400 body
-// {"error":{"field":...,"message":...}}.
-type FieldError struct {
-	Field   string `json:"field"`
-	Message string `json:"message"`
-}
-
-func (e *FieldError) Error() string { return e.Field + ": " + e.Message }
+// FieldError is a structured request-validation failure: which field
+// was wrong and why. It is the one error schema of the /v1 surface
+// (api.ErrorDetail): the 400 body {"error":{"field":…,"message":…}} and
+// the payload of stream-terminating error events.
+type FieldError = api.ErrorDetail
 
 func fieldErrf(field, format string, args ...any) *FieldError {
 	return &FieldError{Field: field, Message: fmt.Sprintf(format, args...)}
@@ -126,6 +66,7 @@ type job struct {
 	workers int
 	shards  int
 	timeout time.Duration
+	points  int // progress_points: serve-time curve sampling cap
 	spec    *adversity.Spec
 }
 
@@ -227,6 +168,14 @@ func (s *Server) validate(req Request) (*job, *FieldError) {
 		}
 	}
 
+	points := defaultProgressPoints
+	if req.ProgressPoints != nil {
+		if *req.ProgressPoints < 2 || *req.ProgressPoints > maxProgressPoints {
+			return nil, fieldErrf("progress_points", "progress_points %d outside [2, %d]", *req.ProgressPoints, maxProgressPoints)
+		}
+		points = *req.ProgressPoints
+	}
+
 	var spec *adversity.Spec
 	faultSpec := ""
 	if strings.TrimSpace(req.FaultSpec) != "" {
@@ -270,7 +219,7 @@ func (s *Server) validate(req Request) (*job, *FieldError) {
 		}
 	}
 
-	jb := &job{can: can, workers: req.Workers, shards: req.Shards, timeout: timeout, spec: spec}
+	jb := &job{can: can, workers: req.Workers, shards: req.Shards, timeout: timeout, points: points, spec: spec}
 	jb.key = requestKey(can)
 	return jb, nil
 }
@@ -400,6 +349,14 @@ func knownFamily(name string) bool {
 	return false
 }
 
+// bodyVersionSalt folds the rendered-body generation into every cache
+// key. The disk store persists bodies across restarts, so when the body
+// format changes incompatibly (schema 2 moved error events to the
+// structured form and caches curves at full resolution), salting the
+// keys retires the previous generation's entries instead of replaying
+// them in the old shape. Bump the suffix alongside api.SchemaVersion.
+const bodyVersionSalt = "gossipd-body-v2\n"
+
 // requestKey hashes the canonical form into the memoization key surfaced
 // to clients as request_key. Struct field order makes the JSON — and so
 // the key — deterministic.
@@ -409,7 +366,7 @@ func requestKey(can canonical) string {
 		// canonical contains only marshalable scalar fields
 		panic(fmt.Sprintf("server: canonical request marshal: %v", err))
 	}
-	sum := sha256.Sum256(b)
+	sum := sha256.Sum256(append([]byte(bodyVersionSalt), b...))
 	return hex.EncodeToString(sum[:16])
 }
 

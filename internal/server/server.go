@@ -188,11 +188,13 @@ func (s *Server) Drain() { s.drain() }
 func (s *Server) Draining() bool { return s.drainCtx.Err() != nil }
 
 // Handler returns the routed service: POST /v1/simulations,
-// POST /v1/sweeps, GET /v1/drivers, GET /healthz, GET /metrics.
+// POST /v1/sweeps, POST /v1/estimates, GET /v1/drivers, GET /healthz,
+// GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("POST /v1/estimates", s.handleEstimate)
 	mux.HandleFunc("POST "+api.ShardPath, s.handleShard)
 	mux.HandleFunc("GET /v1/drivers", s.handleDrivers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -240,7 +242,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		} else if owner := s.ring.Owner(jb.key); owner != s.cfg.Advertise {
 			if body, ok := s.lookup(jb.key); ok {
 				s.met.hits.Add(1)
-				writeStream(w, body, "hit")
+				writeStream(w, sampleStream(body, jb.points), "hit")
 				return
 			}
 			if s.forwardToOwner(ctx, w, owner, req) {
@@ -251,6 +253,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.serveJob(w, ctx, jb.key,
+		func(body []byte) []byte { return sampleStream(body, jb.points) },
+		func(w http.ResponseWriter, ctx context.Context, f *flight) { s.runLeader(w, ctx, jb, f) })
+}
+
+// serveJob is the cache/coalesce/leader loop every /v1 job endpoint
+// shares: replay a memoized body, join a concurrent identical request's
+// flight, or become the leader and execute via lead. render rewrites a
+// replayed body for this request (serve-time progress sampling); nil
+// serves bodies verbatim. Leaders write their own stream and publish
+// the full-resolution body themselves.
+func (s *Server) serveJob(w http.ResponseWriter, ctx context.Context, key string,
+	render func([]byte) []byte, lead func(w http.ResponseWriter, ctx context.Context, f *flight)) {
+
+	serve := func(body []byte) {
+		if render != nil {
+			body = render(body)
+		}
+		s.met.hits.Add(1)
+		writeStream(w, body, "hit")
+	}
+
 	// Caching off means genuinely off: no memoization and no coalescing,
 	// every request is its own execution.
 	if s.cache.disabled() {
@@ -258,14 +282,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			writeUnavailable(w)
 			return
 		}
-		s.runLeader(w, ctx, jb, nil)
+		lead(w, ctx, nil)
 		return
 	}
 
 	for attempt := 0; ; attempt++ {
-		if body, ok := s.lookup(jb.key); ok {
-			s.met.hits.Add(1)
-			writeStream(w, body, "hit")
+		if body, ok := s.lookup(key); ok {
+			serve(body)
 			return
 		}
 		if s.Draining() {
@@ -273,10 +296,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if attempt >= maxJoinAttempts {
-			s.runLeader(w, ctx, jb, nil)
+			lead(w, ctx, nil)
 			return
 		}
-		f, leader := s.join(jb.key)
+		f, leader := s.join(key)
 		if leader {
 			// Re-check the cache now that we hold leadership: a previous
 			// leader may have published and resolved between our cache
@@ -284,20 +307,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			// execute (and count a miss) twice, breaking the
 			// misses-== -distinct-keys invariant the load-smoke gate
 			// asserts.
-			if body, ok := s.lookup(jb.key); ok {
-				s.resolve(jb.key, f, body)
-				s.met.hits.Add(1)
-				writeStream(w, body, "hit")
+			if body, ok := s.lookup(key); ok {
+				s.resolve(key, f, body)
+				serve(body)
 				return
 			}
-			s.runLeader(w, ctx, jb, f)
+			lead(w, ctx, f)
 			return
 		}
 		select {
 		case <-f.done:
 			if f.body != nil {
-				s.met.hits.Add(1)
-				writeStream(w, f.body, "hit")
+				serve(f.body)
 				return
 			}
 			// The leader failed nondeterministically; try again.
@@ -409,6 +430,8 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 			flushWrite(w, body[len(accepted):])
 			return
 		}
+		// Publish (and resolve followers with) the full-resolution body;
+		// this request's own stream is sampled to its progress_points.
 		tail := resultLines(o.res)
 		body := append(append([]byte(nil), accepted...), tail...)
 		s.publish(jb.key, body)
@@ -417,7 +440,7 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 		}
 		s.met.completed.Add(1)
 		s.met.rounds.Add(int64(o.res.Rounds))
-		flushWrite(w, tail)
+		flushWrite(w, sampleStream(tail, jb.points))
 	case <-timer.C:
 		// Timeouts are wall-clock, not canonical: never cached.
 		if f != nil {

@@ -345,7 +345,7 @@ func TestJobTimeout(t *testing.T) {
 	}
 	events := decodeStream(t, body)
 	last := events[len(events)-1]
-	if last["event"] != "error" || !strings.Contains(last["error"].(string), "timeout") {
+	if last["event"] != "error" || !strings.Contains(last["error"].(map[string]any)["message"].(string), "timeout") {
 		t.Fatalf("timed-out job ended with %+v", last)
 	}
 	if srv.Metrics().Failed != 1 {

@@ -17,42 +17,12 @@ import (
 	"gossip/internal/server/api"
 )
 
-// SweepRequest is the JSON body of POST /v1/sweeps: one base simulation
-// plus mid-run parameter divergences. The server runs the base job once
-// up to fork_round, freezes the engine there (gossip.Fork), and resumes
-// the shared warm prefix once per variant — so a 16-variant sweep pays
-// for the common prefix once instead of 16 times. The base must name a
-// single-phase driver (push-pull, flood, dtg, superstep, rr); the
-// multi-phase pipelines have no single engine to freeze and are a 400.
-type SweepRequest struct {
-	// Base is a complete /v1/simulations request: it defines the shared
-	// prefix and every knob the variants do not override.
-	Base Request `json:"base"`
-	// ForkRound is the round barrier the prefix is frozen at. The engine
-	// freezes at the first processed round >= ForkRound (event-driven
-	// rounds can jump); a fork past the end of the base run degenerates
-	// to the finished run for every variant.
-	ForkRound int `json:"fork_round"`
-	// Variants are the divergences, applied from the fork round on. A
-	// nil field inherits the base value; at least one variant required.
-	Variants []SweepVariant `json:"variants"`
-}
+// SweepRequest is the JSON body of POST /v1/sweeps; the struct lives in
+// internal/server/api with the rest of the /v1 envelopes.
+type SweepRequest = api.SweepRequest
 
-// SweepVariant overrides the divergence-safe knobs of the base request.
-// Everything else — topology, seed, source, objective, protocol
-// parameters — shaped the prefix and is frozen (see gossip.WarmPrefix).
-type SweepVariant struct {
-	// FaultSpec replaces the base fault schedule from the fork round on
-	// (adversity DSL; "" clears it). Loss draws fresh per-variant random
-	// streams; scheduled events dated before the fork round are skipped.
-	FaultSpec *string `json:"fault_spec,omitempty"`
-	// MaxRounds replaces the base horizon (0 = driver default). It must
-	// not land before fork_round.
-	MaxRounds *int `json:"max_rounds,omitempty"`
-	// MaxInPerRound replaces the base in-degree cap, for drivers that
-	// accept it.
-	MaxInPerRound *int `json:"max_in_per_round,omitempty"`
-}
+// SweepVariant is one sweep divergence (see api.SweepVariant).
+type SweepVariant = api.SweepVariant
 
 // maxSweepVariants bounds the per-request fan-out; wider sweeps split
 // into several requests (which share variant results through the
@@ -105,9 +75,9 @@ type sweepVariantCanonical struct {
 func hashKey(v any) string {
 	b, err := json.Marshal(v)
 	if err != nil {
-		panic(fmt.Sprintf("server: canonical sweep marshal: %v", err))
+		panic(fmt.Sprintf("server: canonical key marshal: %v", err))
 	}
-	sum := sha256.Sum256(b)
+	sum := sha256.Sum256(append([]byte(bodyVersionSalt), b...))
 	return hex.EncodeToString(sum[:16])
 }
 
@@ -209,54 +179,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.drainCtx, cancel)
 	defer stop()
 
-	if s.cache.disabled() {
-		if s.Draining() {
-			writeUnavailable(w)
-			return
-		}
-		s.runSweepLeader(w, ctx, sj, nil)
-		return
-	}
-
-	for attempt := 0; ; attempt++ {
-		if body, ok := s.lookup(sj.key); ok {
-			s.met.hits.Add(1)
-			writeStream(w, body, "hit")
-			return
-		}
-		if s.Draining() {
-			writeUnavailable(w)
-			return
-		}
-		if attempt >= maxJoinAttempts {
-			s.runSweepLeader(w, ctx, sj, nil)
-			return
-		}
-		f, leader := s.join(sj.key)
-		if leader {
-			if body, ok := s.lookup(sj.key); ok {
-				s.resolve(sj.key, f, body)
-				s.met.hits.Add(1)
-				writeStream(w, body, "hit")
-				return
-			}
-			s.runSweepLeader(w, ctx, sj, f)
-			return
-		}
-		select {
-		case <-f.done:
-			if f.body != nil {
-				s.met.hits.Add(1)
-				writeStream(w, f.body, "hit")
-				return
-			}
-		case <-ctx.Done():
-			if s.Draining() {
-				writeUnavailable(w)
-			}
-			return
-		}
-	}
+	s.serveJob(w, ctx, sj.key,
+		func(body []byte) []byte { return sampleStream(body, sj.base.points) },
+		func(w http.ResponseWriter, ctx context.Context, f *flight) { s.runSweepLeader(w, ctx, sj, f) })
 }
 
 // sweepChunk is one ordered piece of the sweep stream after the
@@ -332,8 +257,10 @@ func (s *Server) runSweepLeader(w http.ResponseWriter, ctx context.Context, sj *
 			}
 			cacheable = cacheable && !c.nondet
 			rounds += c.rounds
+			// The accumulated (published) body keeps full resolution; the
+			// live stream is sampled to the base's progress_points.
 			body = append(body, c.line...)
-			flushWrite(w, c.line)
+			flushWrite(w, sampleStream(c.line, sj.base.points))
 		case <-timer.C:
 			// Wall-clock, not canonical: never cached. The producer keeps
 			// going so the per-variant bodies still land in the store.

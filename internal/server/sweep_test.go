@@ -224,7 +224,7 @@ func TestSweepTimeoutNotCached(t *testing.T) {
 	}
 	events := decodeStream(t, body)
 	last := events[len(events)-1]
-	if last["event"] != "error" || !strings.Contains(last["error"].(string), "timeout") {
+	if last["event"] != "error" || !strings.Contains(last["error"].(map[string]any)["message"].(string), "timeout") {
 		t.Fatalf("timed-out sweep ended with %+v", last)
 	}
 
