@@ -16,7 +16,7 @@ COVER_MIN := 84.5
 
 .PHONY: all build test race bench bench-json bench-baseline bench-compare \
 	determinism cover fuzz-smoke staticcheck fmt vet experiments serve \
-	load-smoke distributed-smoke clean
+	load-smoke distributed-smoke netcheck clean
 
 all: build test
 
@@ -139,6 +139,15 @@ serve:
 load-smoke:
 	$(GO) run -race ./cmd/gossipd -selfcheck -clients 220 -requests 4 -min-peak 200 -max-wall 5m
 
+# Real-network cross-validation: run push-pull and flood on a live
+# goroutine mesh (gossip.RunNet over transport.ChanMesh) and check every
+# trial's (rounds, messages) against the simulator's 16-replica
+# statistical envelope. The verdict is statistical — each trial must
+# complete and land inside the per-level bands, with at most one outlier
+# per five trials tolerated.
+netcheck:
+	$(GO) test -count=1 -run 'TestNetCheck' ./internal/netcheck
+
 # The CI distributed-smoke gate: build gossipd once, launch a 3-member
 # fleet (shared -peers membership; any member coordinates) plus a
 # single-process reference server on fixed loopback ports, then run
@@ -146,13 +155,17 @@ load-smoke:
 # the reference: the 6-driver mix rotated across members, one n=2^18
 # push-pull job sharded over 2 workers, and a cross-member
 # cache-forwarding probe that must come back X-Gossipd-Cache: hit.
+# A second step runs a 2-process gossipnode fleet over loopback TCP —
+# real sockets, real wall-clock rounds — whose lead exits 0 only when
+# the fleet's spread curve lands inside the simulator's envelope.
 DIST_REF  := 127.0.0.1:9700
 DIST_PEERS := 127.0.0.1:9701,127.0.0.1:9702,127.0.0.1:9703
+NODE_PEERS := 127.0.0.1:9711,127.0.0.1:9712
 
 distributed-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); pids=""; \
-	trap 'kill $$pids 2>/dev/null; rm -rf $$tmp' EXIT; \
+	trap 'kill $$pids 2>/dev/null || :; rm -rf $$tmp' EXIT; \
 	$(GO) build -o $$tmp/gossipd ./cmd/gossipd; \
 	for peer in $$(echo '$(DIST_PEERS)' | tr ',' ' '); do \
 		$$tmp/gossipd -addr $$peer -peers '$(DIST_PEERS)' -advertise $$peer -max-n 262144 & pids="$$pids $$!"; \
@@ -166,7 +179,11 @@ distributed-smoke:
 		done; \
 		[ -n "$$ok" ] || { echo "distributed-smoke: gossipd at $$peer never became healthy" >&2; exit 1; }; \
 	done; \
-	$$tmp/gossipd -distcheck -fleet '$(DIST_PEERS)' -reference $(DIST_REF) -shards 2 -shard-n 262144
+	$$tmp/gossipd -distcheck -fleet '$(DIST_PEERS)' -reference $(DIST_REF) -shards 2 -shard-n 262144; \
+	$(GO) build -o $$tmp/gossipnode ./cmd/gossipnode; \
+	$$tmp/gossipnode -index 1 -peers '$(NODE_PEERS)' -graph grid -n 49 -seed 11 & pids="$$pids $$!"; \
+	$$tmp/gossipnode -index 0 -peers '$(NODE_PEERS)' -graph grid -n 49 -seed 11; \
+	echo "distributed-smoke: gossipnode TCP fleet landed inside the simulator envelope"
 
 clean:
 	rm -rf results

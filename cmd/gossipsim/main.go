@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gossip/internal/adversity"
 	"gossip/internal/core"
 	"gossip/internal/gossip"
 	"gossip/internal/graph"
 	"gossip/internal/graphgen"
+	"gossip/internal/netcheck"
 	"gossip/internal/viz"
 )
 
@@ -44,6 +46,10 @@ type options struct {
 	churn     string
 	faultSpec string
 	adversity *adversity.Spec
+	mode      string
+	roundDur  time.Duration
+	trials    int
+	replicas  int
 }
 
 // parseArgs parses the command line into options. Split from main so the
@@ -68,6 +74,10 @@ func parseArgs(args []string) (options, error) {
 	fs.BoolVar(&o.curve, "curve", false, "print the push-pull spreading curve as a sparkline")
 	fs.StringVar(&o.loadPath, "load", "", "load the graph from an edge-list file instead of generating")
 	fs.StringVar(&o.savePath, "save", "", "save the generated graph to an edge-list file")
+	fs.StringVar(&o.mode, "mode", "sim", "execution mode: sim (deterministic calendar) | net (real goroutine mesh, validated against a simulator-derived ICC envelope)")
+	fs.DurationVar(&o.roundDur, "round-duration", 2*time.Millisecond, "net mode: wall-clock tick length")
+	fs.IntVar(&o.trials, "trials", 5, "net mode: real-mesh trials to classify")
+	fs.IntVar(&o.replicas, "replicas", 16, "net mode: simulator replicas the envelope is built from")
 	fs.Float64Var(&o.loss, "loss", 0, "uniform per-exchange message-loss probability in [0,1]")
 	fs.StringVar(&o.churn, "churn", "", "churn items NODE:FROM-TO[:amnesia], comma-separated (TO may be \"inf\")")
 	fs.StringVar(&o.faultSpec, "fault-spec", "", "full fault schedule DSL, e.g. 'loss=0.1;churn=3:10-20:amnesia;flap=0-1:5-9;crash=4:6,7'")
@@ -77,14 +87,25 @@ func parseArgs(args []string) (options, error) {
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	algo, err := core.ParseAlgorithm(o.algoName)
+	if o.mode != "sim" && o.mode != "net" {
+		return options{}, fmt.Errorf("unknown -mode %q (sim|net)", o.mode)
+	}
+	if o.mode == "net" {
+		if d, ok := gossip.Lookup(o.algoName); !ok || d.Prepare == nil {
+			return options{}, fmt.Errorf("-mode net needs a single-phase driver (push-pull, flood), got %q", o.algoName)
+		}
+	} else {
+		algo, err := core.ParseAlgorithm(o.algoName)
+		if err != nil {
+			return options{}, err
+		}
+		o.algo = algo
+	}
+	adv, err := buildSpec(o)
 	if err != nil {
 		return options{}, err
 	}
-	o.algo = algo
-	if o.adversity, err = buildSpec(o); err != nil {
-		return options{}, err
-	}
+	o.adversity = adv
 	return o, nil
 }
 
@@ -189,6 +210,9 @@ func run() int {
 	if opts.adversity != nil {
 		fmt.Printf("adversity: %s\n", opts.adversity)
 	}
+	if opts.mode == "net" {
+		return runNet(g, opts)
+	}
 	out, err := core.Disseminate(g, core.Options{
 		Algorithm:      opts.algo,
 		Source:         opts.source,
@@ -214,6 +238,38 @@ func run() int {
 	if !out.Completed {
 		return 2
 	}
+	return 0
+}
+
+// runNet is the -mode net path: the same protocol code on a real
+// in-process goroutine mesh instead of the calendar, each trial
+// classified against a simulator-derived ICC envelope (see package
+// netcheck). Exit 0 = every trial completed and the spec passed.
+func runNet(g *graph.Graph, opts options) int {
+	rep, err := netcheck.RunChan(netcheck.Spec{
+		Name:   fmt.Sprintf("%s/%s", opts.algoName, opts.graphName),
+		CSR:    g.CSR(),
+		Driver: opts.algoName,
+		Opts: gossip.DriverOptions{
+			Source:         opts.source,
+			Seed:           opts.seed,
+			KnownLatencies: opts.known,
+			MaxRounds:      1 << 20,
+		},
+		Trials:   opts.trials,
+		Replicas: opts.replicas,
+		Round:    opts.roundDur,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(rep.String())
+	if !rep.Passed() {
+		fmt.Println("netcheck: FAIL")
+		return 2
+	}
+	fmt.Println("netcheck: PASS")
 	return 0
 }
 

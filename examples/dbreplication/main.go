@@ -19,7 +19,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gossip"
 )
@@ -52,41 +54,48 @@ func buildDeployment(wanLatency int) *gossip.Graph {
 }
 
 func main() {
-	fmt.Println("anti-entropy replication across 3 datacenters, 8 replicas each")
-	fmt.Println("a write lands on replica 0 of DC0 and must reach every replica")
-	fmt.Println()
-	fmt.Printf("%-12s %-12s %-12s %-12s %-10s\n", "WAN latency", "push-pull", "spanner", "unified", "winner")
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "anti-entropy replication across 3 datacenters, 8 replicas each")
+	fmt.Fprintln(w, "a write lands on replica 0 of DC0 and must reach every replica")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %-12s %-12s %-12s %-10s\n", "WAN latency", "push-pull", "spanner", "unified", "winner")
 	for _, wan := range []int{2, 8, 32, 128} {
 		g := buildDeployment(wan)
 		pp, err := gossip.Disseminate(g, gossip.Options{
 			Algorithm: gossip.PushPull, Source: 0, Seed: 7,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sp, err := gossip.Disseminate(g, gossip.Options{
 			Algorithm: gossip.Spanner, Source: 0, KnownLatencies: true, Seed: 7,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		uni, err := gossip.Disseminate(g, gossip.Options{
 			Algorithm: gossip.Auto, Source: 0, KnownLatencies: true, Seed: 7,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-12d %-12d %-12d %-12d %-10v\n",
+		fmt.Fprintf(w, "%-12d %-12d %-12d %-12d %-10v\n",
 			wan, pp.Rounds, sp.Rounds, uni.Rounds, uni.Algorithm)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	g := buildDeployment(32)
 	profile, err := gossip.Analyze(g)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("profile at WAN=32: D=%d Δ=%d φ*=%.4f ℓ*=%d φavg=%.5f\n",
+	fmt.Fprintf(w, "profile at WAN=32: D=%d Δ=%d φ*=%.4f ℓ*=%d φavg=%.5f\n",
 		profile.Diameter, profile.MaxDegree,
 		profile.Conductance.PhiStar, profile.Conductance.EllStar, profile.Conductance.PhiAvg)
-	fmt.Println("note how ℓ* tracks the WAN latency: the WAN cut is the gossip bottleneck")
+	fmt.Fprintln(w, "note how ℓ* tracks the WAN latency: the WAN cut is the gossip bottleneck")
+	return nil
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: four WAN-latency rows and
+// the conductance profile, no errors.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"anti-entropy replication", "WAN latency", "profile at WAN=32"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBuildDeployment pins the deployment topology: 3 cliques of 8 plus
+// two WAN links per DC pair.
+func TestBuildDeployment(t *testing.T) {
+	g := buildDeployment(32)
+	if g.N() != replicasPerDC*numDCs {
+		t.Fatalf("n = %d, want %d", g.N(), replicasPerDC*numDCs)
+	}
+	wantM := numDCs*replicasPerDC*(replicasPerDC-1)/2 + numDCs*(numDCs-1)
+	if g.M() != wantM {
+		t.Fatalf("m = %d, want %d", g.M(), wantM)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: four slow-fraction rows
+// plus the closing observation, no errors.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"p2p overlay", "slow frac", "critical weighted conductance"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One row per slow fraction after the header.
+	for _, pct := range []string{"0", "10", "30", "60"} {
+		if !strings.Contains(out, "\n"+pct+" ") {
+			t.Fatalf("missing the %s%% slow-fraction row:\n%s", pct, out)
+		}
+	}
+}

@@ -9,12 +9,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gossip"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// A 6-node network: a fast 5-hop ring plus one very slow chord.
 	// The paper's motivating observation: the multi-hop fast path beats
 	// the direct slow edge, and classical conductance cannot see that.
@@ -26,15 +34,15 @@ func main() {
 
 	profile, err := gossip.Analyze(g)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("n=%d m=%d Δ=%d weighted diameter D=%d\n",
+	fmt.Fprintf(w, "n=%d m=%d Δ=%d weighted diameter D=%d\n",
 		profile.N, profile.M, profile.MaxDegree, profile.Diameter)
-	fmt.Printf("critical weighted conductance φ* = %.4f at critical latency ℓ* = %d\n",
+	fmt.Fprintf(w, "critical weighted conductance φ* = %.4f at critical latency ℓ* = %d\n",
 		profile.Conductance.PhiStar, profile.Conductance.EllStar)
-	fmt.Printf("average weighted conductance φavg = %.4f (L = %d latency classes)\n",
+	fmt.Fprintf(w, "average weighted conductance φavg = %.4f (L = %d latency classes)\n",
 		profile.Conductance.PhiAvg, profile.Conductance.NonEmptyClasses)
-	fmt.Printf("predicted: push-pull ≤ ~%.0f rounds, unified ≤ ~%.0f rounds\n",
+	fmt.Fprintf(w, "predicted: push-pull ≤ ~%.0f rounds, unified ≤ ~%.0f rounds\n",
 		profile.Bounds.PushPull, profile.Bounds.Unified)
 
 	for _, algo := range []gossip.Algorithm{gossip.PushPull, gossip.Spanner, gossip.Auto} {
@@ -45,9 +53,10 @@ func main() {
 			Seed:           42,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-10v rounds=%-5d exchanges=%-5d completed=%v\n",
+		fmt.Fprintf(w, "%-10v rounds=%-5d exchanges=%-5d completed=%v\n",
 			algo, out.Rounds, out.Exchanges, out.Completed)
 	}
+	return nil
 }

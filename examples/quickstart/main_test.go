@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: it must finish without
+// error and report every algorithm completing.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "critical weighted conductance") {
+		t.Fatalf("no conductance line in output:\n%s", out)
+	}
+	if strings.Contains(out, "completed=false") || strings.Count(out, "completed=true") != 3 {
+		t.Fatalf("not every algorithm completed:\n%s", out)
+	}
+}

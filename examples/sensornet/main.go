@@ -16,13 +16,21 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gossip/internal/gossip"
 	"gossip/internal/graphgen"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const rows, cols = 6, 6
 	const degradedLatency = 12
 
@@ -32,20 +40,20 @@ func main() {
 	for i, e := range g.Edges() {
 		if i%5 == 0 {
 			if err := g.SetLatency(e.U, e.V, degradedLatency); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			degraded++
 		}
 	}
-	fmt.Printf("sensor grid %dx%d: %d links, %d degraded (latency %d), rest latency 1\n",
+	fmt.Fprintf(w, "sensor grid %dx%d: %d links, %d degraded (latency %d), rest latency 1\n",
 		rows, cols, g.M(), degraded, degradedLatency)
-	fmt.Println()
-	fmt.Printf("%-4s %-18s %-10s %-22s\n", "ℓ", "rounds (ℓ-DTG)", "complete", "neighbors covered")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-4s %-18s %-10s %-22s\n", "ℓ", "rounds (ℓ-DTG)", "complete", "neighbors covered")
 
 	for _, ell := range []int{1, 4, degradedLatency} {
 		res, err := gossip.RunDTG(g, gossip.DTGOptions{Ell: ell, Seed: 3, MaxRounds: 1 << 20})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		// Count how many (node, neighbor) obligations the threshold
 		// covers and how many were met.
@@ -61,17 +69,18 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("%-4d %-18d %-10v %d/%d within ℓ (of %d total)\n",
+		fmt.Fprintf(w, "%-4d %-18d %-10v %d/%d within ℓ (of %d total)\n",
 			ell, res.Rounds, res.Completed, met, covered, 2*g.M())
 	}
 
-	fmt.Println()
-	fmt.Println("escalating: full dissemination of all readings to every sensor")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "escalating: full dissemination of all readings to every sensor")
 	res, err := gossip.PatternBroadcast(g, gossip.PatternOptions{Seed: 3})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("pattern broadcast (no global knowledge needed): %d rounds, complete=%v, final k=%d\n",
+	fmt.Fprintf(w, "pattern broadcast (no global knowledge needed): %d rounds, complete=%v, final k=%d\n",
 		res.Rounds, res.Completed, res.FinalGuess)
-	fmt.Println("the T(k) schedule hugs fast links and touches degraded links as rarely as possible")
+	fmt.Fprintln(w, "the T(k) schedule hugs fast links and touches degraded links as rarely as possible")
+	return nil
 }

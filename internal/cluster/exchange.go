@@ -21,6 +21,8 @@ import (
 // caller's next call of the same kind) without per-barrier allocation.
 type connExchange struct {
 	rw     *bufio.ReadWriter
+	conn   net.Conn      // deadline refresh target; nil in unit harnesses
+	idle   time.Duration // per-barrier idle window (0: no deadline management)
 	shards int
 	enc    []byte // encode scratch
 	rbuf   []byte // frame read scratch
@@ -39,6 +41,17 @@ func newConnExchange(rw *bufio.ReadWriter, shards int) *connExchange {
 		ex.metaFrames[p] = make([]sim.DistMetaFrame, shards)
 	}
 	return ex
+}
+
+// refresh pushes the connection deadline one idle window out. Called at
+// every barrier, it gives the session idle-timeout semantics: the
+// deadline fires only when the stream stops making progress, never
+// because a healthy long run outlived one absolute deadline set at
+// session start.
+func (c *connExchange) refresh() {
+	if c.conn != nil && c.idle > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.idle))
+	}
 }
 
 // readBundle reads the relayed bundle: Shards frames of the expected
@@ -68,6 +81,7 @@ func (c *connExchange) ExchangeFrames(f *sim.DistFrame) ([]*sim.DistFrame, error
 	if c.err != nil {
 		return nil, c.err
 	}
+	c.refresh()
 	c.enc = api.AppendRoundFrame(c.enc[:0], f)
 	if err := api.WriteFrame(c.rw.Writer, api.FrameRound, c.enc); err != nil {
 		c.err = err
@@ -101,6 +115,7 @@ func (c *connExchange) ExchangeMetas(f *sim.DistMetaFrame) ([]*sim.DistMetaFrame
 	if c.err != nil {
 		return nil, c.err
 	}
+	c.refresh()
 	c.enc = api.AppendMetaFrame(c.enc[:0], f)
 	if err := api.WriteFrame(c.rw.Writer, api.FrameMeta, c.enc); err != nil {
 		c.err = err
@@ -130,15 +145,43 @@ func (c *connExchange) ExchangeMetas(f *sim.DistMetaFrame) ([]*sim.DistMetaFrame
 	return bundle, nil
 }
 
+// shardIdleSlack pads the job's own execution timeout into the worker's
+// idle window: the coordinator needs a moment beyond the job timeout to
+// relay the last bundle or the abort frame.
+const shardIdleSlack = 30 * time.Second
+
+// shardIdle derives the worker session's per-barrier idle window: the
+// job's own effective timeout plus relay slack, clamped to maxIdle (the
+// worker's server-level ceiling — a coordinator cannot ask a worker to
+// wait longer than the worker's own policy allows). A job that carries
+// no timeout (an older coordinator) gets the ceiling.
+func shardIdle(maxIdle time.Duration, timeoutMS int) time.Duration {
+	if timeoutMS <= 0 {
+		return maxIdle
+	}
+	d := time.Duration(timeoutMS)*time.Millisecond + shardIdleSlack
+	if d > maxIdle {
+		return maxIdle
+	}
+	return d
+}
+
 // ServeShard runs the worker half of one shard session on a hijacked
 // connection whose 101 response has already been written: it reads the
 // job frame, hands the job and a connected Exchanger to run, and
-// terminates the stream with the result or error frame. The deadline
-// bounds every read and write (the coordinator's job timeout plus
-// slack), so an orphaned session cannot pin the connection forever.
-func ServeShard(conn net.Conn, rw *bufio.ReadWriter, deadline time.Time,
+// terminates the stream with the result or error frame.
+//
+// maxIdle bounds how long the session may sit without frame progress,
+// so an orphaned session cannot pin the connection forever. It is an
+// idle window, not an absolute deadline: every barrier pushes the
+// deadline out again, so a healthy run whose total wall time exceeds
+// the window keeps going as long as frames keep flowing. Once the job
+// frame arrives, the window tightens to the job's own timeout plus
+// slack (shardIdle) — the coordinator abandons the job then, so waiting
+// longer only pins a dead session.
+func ServeShard(conn net.Conn, rw *bufio.ReadWriter, maxIdle time.Duration,
 	run func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error)) error {
-	_ = conn.SetDeadline(deadline)
+	_ = conn.SetDeadline(time.Now().Add(maxIdle))
 	fail := func(err error) error {
 		if werr := api.WriteFrame(rw.Writer, api.FrameError, []byte(err.Error())); werr == nil {
 			_ = rw.Writer.Flush()
@@ -159,10 +202,16 @@ func ServeShard(conn net.Conn, rw *bufio.ReadWriter, deadline time.Time,
 	if job.Shards < 2 || job.Shard < 0 || job.Shard >= job.Shards {
 		return fail(fmt.Errorf("cluster: shard %d of %d out of range", job.Shard, job.Shards))
 	}
-	res, err := run(job, newConnExchange(rw, job.Shards))
+	ex := newConnExchange(rw, job.Shards)
+	ex.conn, ex.idle = conn, shardIdle(maxIdle, job.TimeoutMS)
+	ex.refresh()
+	res, err := run(job, ex)
 	if err != nil {
 		return fail(err)
 	}
+	// The run's tail (post-barrier compute, result encoding) gets one
+	// more idle window to ship the terminal frame.
+	ex.refresh()
 	out := api.AppendShardResult(nil, res)
 	if err := api.WriteFrame(rw.Writer, api.FrameResult, out); err != nil {
 		return err

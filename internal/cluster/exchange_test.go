@@ -19,6 +19,11 @@ import (
 // callback. It lets the test drive DialShard/Relay end to end over real
 // TCP without importing the server package (which imports this one).
 func shardServer(t *testing.T, run func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error)) string {
+	return shardServerIdle(t, 10*time.Second, run)
+}
+
+// shardServerIdle is shardServer with an explicit session idle window.
+func shardServerIdle(t *testing.T, idle time.Duration, run func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error)) string {
 	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -42,7 +47,7 @@ func shardServer(t *testing.T, run func(job api.ShardJob, ex sim.Exchanger) (*ap
 				if err := bw.Flush(); err != nil {
 					return
 				}
-				_ = ServeShard(conn, bufio.NewReadWriter(br, bw), time.Now().Add(10*time.Second), run)
+				_ = ServeShard(conn, bufio.NewReadWriter(br, bw), idle, run)
 			}(conn)
 		}
 	}()
@@ -172,6 +177,59 @@ func TestRelayWorkerError(t *testing.T) {
 	_, _, err := Relay(context.Background(), conns)
 	if err == nil {
 		t.Fatal("Relay succeeded despite a failing worker")
+	}
+}
+
+// TestServeShardSlowRunOutlivesIdleWindow is the regression test for
+// the absolute-deadline bug: ServeShard used to set one absolute
+// deadline at session start, so a healthy shard run whose total wall
+// time exceeded the window was killed mid-barrier even though every
+// barrier made progress. The deadline is now an idle window refreshed
+// at each barrier: this run's total time is several multiples of the
+// window, but no single barrier gap exceeds it, so it must complete.
+func TestServeShardSlowRunOutlivesIdleWindow(t *testing.T) {
+	const idle = 250 * time.Millisecond
+	const rounds = 8 // 8 barriers x 90ms ≈ 720ms total, ~3x the window
+	addr := shardServerIdle(t, idle, func(job api.ShardJob, ex sim.Exchanger) (*api.ShardResult, error) {
+		for r := 0; r < rounds; r++ {
+			time.Sleep(90 * time.Millisecond)
+			f := sim.DistFrame{Round: r, Shard: job.Shard,
+				MinWake: sim.WakeOnDelivery, SleeperWake: sim.WakeOnDelivery, NextDeliver: -1}
+			if _, err := ex.ExchangeFrames(&f); err != nil {
+				return nil, err
+			}
+		}
+		informed := []int{0, 1}
+		res := &api.ShardResult{Rounds: rounds, Completed: true,
+			Hash: api.InformedHash(rounds, true, informed)}
+		if job.Shard == 0 {
+			res.InformedAt = informed
+		}
+		return res, nil
+	})
+	conns := dialWorkers(t, []string{addr, addr})
+	agg, _, err := Relay(context.Background(), conns)
+	if err != nil {
+		t.Fatalf("slow-but-healthy shard run killed: %v", err)
+	}
+	if agg.Rounds != rounds || !agg.Completed {
+		t.Fatalf("aggregate %+v", agg)
+	}
+}
+
+// TestShardIdle pins the worker-side idle-window derivation: the job's
+// own timeout plus slack, clamped to the worker's ceiling; jobs without
+// a timeout (older coordinators) get the ceiling.
+func TestShardIdle(t *testing.T) {
+	ceiling := 10 * time.Minute
+	if got := shardIdle(ceiling, 0); got != ceiling {
+		t.Fatalf("no job timeout: %v, want ceiling %v", got, ceiling)
+	}
+	if got, want := shardIdle(ceiling, 60_000), time.Minute+shardIdleSlack; got != want {
+		t.Fatalf("60s job: %v, want %v", got, want)
+	}
+	if got := shardIdle(40*time.Second, 60_000); got != 40*time.Second {
+		t.Fatalf("clamp: %v, want the 40s ceiling", got)
 	}
 }
 

@@ -136,6 +136,13 @@ func (c Curve) incidenceAt(level float64) float64 {
 	return dI / float64(dR)
 }
 
+// IncidenceAt exposes the ICC transform at one cumulative level — the
+// evaluation primitive consumers that build statistics over ICC space
+// (the spread-curve envelopes of package envelope) share with
+// ICCDistance, so "inside the envelope" and "close in ICC distance"
+// mean the same transform.
+func (c Curve) IncidenceAt(level float64) float64 { return c.incidenceAt(level) }
+
 // ICCDistance scores a candidate curve against an observed one in ICC
 // space: the RMS gap between the two incidence profiles over iccGrid
 // cumulative levels spanning the observed range, plus the absolute

@@ -1,0 +1,254 @@
+// Package envelope derives statistical spread-curve envelopes from
+// simulator replicas and classifies real-network runs against them.
+//
+// Real-transport executions (package transport, gossip.RunNet) are
+// nondeterministic: goroutine scheduling, socket timing and inbox drops
+// make every run unique, so no golden output can validate them. What
+// the simulator *can* predict is the family of spread curves a
+// (graph, protocol, seed-family) induces. An Envelope captures that
+// family in ICC space (incidence vs cumulative informed, after Lega,
+// "Parameter Estimation from ICC curves"): per-level incidence bounds
+// over N simulated replicas, plus final-size bounds. ICC coordinates
+// are invariant under time shifts, and the Check tolerance absorbs
+// uniform time dilation — a real mesh whose exchange round-trip spans
+// ~2 ticks instead of the calendar's collapsed single round scales
+// every incidence by the same factor, which a per-level slack of
+// Dilation accepts without accepting differently *shaped* spreads.
+//
+// Everything here is a pure function evaluated in fixed order: the same
+// replicas yield a bit-identical envelope, so envelopes themselves are
+// testable deterministically even though the runs they classify are not.
+package envelope
+
+import (
+	"fmt"
+	"math"
+
+	"gossip/internal/curve"
+)
+
+// Options shape envelope construction and classification.
+type Options struct {
+	// Levels is the number of cumulative levels bounds are evaluated at
+	// (default 32). Levels span the replicas' common cumulative range.
+	Levels int
+	// Dilation is the per-level incidence slack factor (default 2):
+	// a candidate incidence x passes a band [lo, hi] when
+	// lo/Dilation <= x <= hi*Dilation (with lo-side slack waived where
+	// the candidate has no segment at that level, see Check). It absorbs
+	// a uniform time-scale difference between the calendar's round model
+	// and real round-trips of up to the same factor.
+	Dilation float64
+	// FinalSlack is the allowed relative deviation of the candidate's
+	// final size from the replica bounds (default 0: the candidate must
+	// finish inside [FinalLo, FinalHi] exactly — for one-to-all runs on
+	// n nodes, every replica finishes at n, so a real run must too).
+	FinalSlack float64
+	// BandTolerance is the fraction of band checks allowed to fail
+	// before Check fails (default 0: any band violation fails). Real
+	// fabrics jitter: one slow tick puts a momentary incidence of 1 at
+	// one level even when the spread's shape is right, so statistical
+	// consumers accept a small fraction of outlier levels. Final-size
+	// violations are never tolerated.
+	BandTolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Levels <= 0 {
+		o.Levels = 32
+	}
+	if o.Dilation <= 0 {
+		o.Dilation = 2
+	}
+	return o
+}
+
+// Band is the incidence interval observed across replicas at one
+// cumulative level.
+type Band struct {
+	Level float64 `json:"level"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+}
+
+// Envelope is the ICC-space spread-curve family of a (graph, protocol,
+// seed-family) triple, derived from N simulator replicas.
+type Envelope struct {
+	// Bands are the per-level incidence bounds, ascending by level.
+	Bands []Band `json:"bands"`
+	// FinalLo/FinalHi bound the replicas' final cumulative size.
+	FinalLo float64 `json:"final_lo"`
+	FinalHi float64 `json:"final_hi"`
+	// RoundsLo/RoundsHi bound the replicas' completion rounds — not used
+	// for classification (ICC space has no time axis) but the handle
+	// callers size real-run horizons with.
+	RoundsLo int `json:"rounds_lo"`
+	RoundsHi int `json:"rounds_hi"`
+	// DIntra is the maximum pairwise ICC distance among the replicas
+	// themselves: how spread the simulated family already is, the scale
+	// any real-run deviation should be read against.
+	DIntra float64 `json:"d_intra"`
+	// Replicas is the number of curves the envelope was built from.
+	Replicas int `json:"replicas"`
+	// Opts echoes the construction options; Check reuses them.
+	Opts Options `json:"opts"`
+}
+
+// Build derives the envelope of the given replica curves. At least two
+// replicas are required — a single curve has no spread to bound.
+// Construction is deterministic: same replicas in the same order yield
+// a bit-identical envelope (and order only matters for nothing: bounds
+// are min/max over replicas, so any order yields the same envelope).
+func Build(replicas []curve.Curve, opts Options) (*Envelope, error) {
+	opts = opts.withDefaults()
+	if len(replicas) < 2 {
+		return nil, fmt.Errorf("envelope: need >= 2 replicas, got %d", len(replicas))
+	}
+	for i, c := range replicas {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("envelope: replica %d is empty", i)
+		}
+	}
+	// The level grid spans the replicas' common cumulative range: above
+	// every curve's starting count (incidence is 0 at or below it) and up
+	// to the smallest final size.
+	lo, hi := 0.0, math.Inf(1)
+	e := &Envelope{
+		FinalLo:  math.Inf(1),
+		RoundsLo: math.MaxInt,
+		Replicas: len(replicas),
+		Opts:     opts,
+	}
+	for _, c := range replicas {
+		if s := c[0].Informed; s > lo {
+			lo = s
+		}
+		f := c.Final()
+		if f < hi {
+			hi = f
+		}
+		e.FinalLo = math.Min(e.FinalLo, f)
+		e.FinalHi = math.Max(e.FinalHi, f)
+		r := c.FinalRound()
+		if r < e.RoundsLo {
+			e.RoundsLo = r
+		}
+		if r > e.RoundsHi {
+			e.RoundsHi = r
+		}
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("envelope: degenerate replicas (common cumulative range [%g, %g])", lo, hi)
+	}
+	e.Bands = make([]Band, opts.Levels)
+	for k := range e.Bands {
+		// Levels are placed strictly above lo: incidenceAt is 0 at a
+		// curve's own starting count, which would pin every lower bound
+		// to 0 at the first level.
+		level := lo + (hi-lo)*float64(k+1)/float64(opts.Levels)
+		b := Band{Level: level, Lo: math.Inf(1)}
+		for _, c := range replicas {
+			x := c.IncidenceAt(level)
+			b.Lo = math.Min(b.Lo, x)
+			b.Hi = math.Max(b.Hi, x)
+		}
+		e.Bands[k] = b
+	}
+	for i := range replicas {
+		for j := i + 1; j < len(replicas); j++ {
+			d := curve.ICCDistance(replicas[i], replicas[j])
+			if d > e.DIntra {
+				e.DIntra = d
+			}
+		}
+	}
+	return e, nil
+}
+
+// Violation describes one way a candidate curve left the envelope.
+type Violation struct {
+	// Level is the cumulative level of the violated band, or -1 for a
+	// final-size violation.
+	Level float64
+	// Got is the candidate's incidence (or final size) there.
+	Got float64
+	// Lo, Hi are the allowed bounds after slack.
+	Lo, Hi float64
+}
+
+func (v Violation) String() string {
+	if v.Level < 0 {
+		return fmt.Sprintf("final size %g outside [%g, %g]", v.Got, v.Lo, v.Hi)
+	}
+	return fmt.Sprintf("incidence %g at level %g outside [%g, %g]", v.Got, v.Level, v.Lo, v.Hi)
+}
+
+// Violations classifies a candidate curve against the envelope,
+// returning every band and final-size bound it breaks (empty = inside).
+// Band checks apply the Dilation slack both ways; the lower bound is
+// additionally waived at levels where the candidate's transform is
+// exactly 0 but the level lies outside the candidate's own cumulative
+// range — classification there is the final-size check's job.
+func (e *Envelope) Violations(c curve.Curve) []Violation {
+	opts := e.Opts.withDefaults()
+	var out []Violation
+	slack := e.FinalHi * opts.FinalSlack
+	final := c.Final()
+	fLo, fHi := e.FinalLo-slack, e.FinalHi+slack
+	if final < fLo || final > fHi {
+		out = append(out, Violation{Level: -1, Got: final, Lo: fLo, Hi: fHi})
+	}
+	cLo := 0.0
+	if len(c) > 0 {
+		cLo = c[0].Informed
+	}
+	for _, b := range e.Bands {
+		lo := b.Lo / opts.Dilation
+		hi := b.Hi * opts.Dilation
+		x := c.IncidenceAt(b.Level)
+		if x == 0 && (b.Level <= cLo || b.Level > final) {
+			// The level is outside the candidate's range entirely; the
+			// final-size bound already scores that.
+			continue
+		}
+		if x < lo || x > hi {
+			out = append(out, Violation{Level: b.Level, Got: x, Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// Check is Violations reduced to a verdict: nil when the candidate lies
+// inside the envelope, an error naming the first few violations
+// otherwise. A final-size violation always fails; band violations fail
+// once they exceed BandTolerance·len(Bands).
+func (e *Envelope) Check(c curve.Curve) error {
+	vs := e.Violations(c)
+	if len(vs) == 0 {
+		return nil
+	}
+	finals, bands := 0, 0
+	for _, v := range vs {
+		if v.Level < 0 {
+			finals++
+		} else {
+			bands++
+		}
+	}
+	allowed := int(e.Opts.BandTolerance * float64(len(e.Bands)))
+	if finals == 0 && bands <= allowed {
+		return nil
+	}
+	msg := ""
+	for i, v := range vs {
+		if i == 3 {
+			msg += fmt.Sprintf("; ... %d more", len(vs)-i)
+			break
+		}
+		if i > 0 {
+			msg += "; "
+		}
+		msg += v.String()
+	}
+	return fmt.Errorf("envelope: curve outside envelope (%d violations): %s", len(vs), msg)
+}

@@ -1,0 +1,255 @@
+package envelope
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"gossip/internal/curve"
+)
+
+// linearCurve builds a curve gaining `step` nodes per round from 1 up
+// to final.
+func linearCurve(final, step int) curve.Curve {
+	c := curve.Curve{{Round: 0, Informed: 1}}
+	informed := 1
+	for r := 1; informed < final; r++ {
+		informed += step
+		if informed > final {
+			informed = final
+		}
+		c = append(c, curve.Point{Round: r, Informed: float64(informed)})
+	}
+	return c
+}
+
+// syntheticReplicas builds a small family of slightly jittered
+// exponential spread curves, the shape one-to-all gossip produces.
+func syntheticReplicas(n, count int, seed uint64) []curve.Curve {
+	rng := rand.New(rand.NewPCG(seed, seed))
+	out := make([]curve.Curve, count)
+	for i := range out {
+		c := curve.Curve{{Round: 0, Informed: 1}}
+		informed := 1.0
+		for r := 1; informed < float64(n); r++ {
+			informed *= 1.6 + 0.2*rng.Float64()
+			if informed > float64(n) {
+				informed = float64(n)
+			}
+			c = append(c, curve.Point{Round: r, Informed: informed})
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestBuildDeterministic pins the construction contract: the same
+// replicas yield a byte-identical envelope, run after run.
+func TestBuildDeterministic(t *testing.T) {
+	reps := syntheticReplicas(1000, 8, 42)
+	a, err := Build(reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two builds over the same replicas differ:\n%+v\n%+v", a, b)
+	}
+	// Order independence: bounds are min/max over replicas.
+	rev := make([]curve.Curve, len(reps))
+	for i, c := range reps {
+		rev[len(reps)-1-i] = c
+	}
+	c, err := Build(rev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("replica order changed the envelope")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if _, err := Build([]curve.Curve{linearCurve(10, 1)}, Options{}); err == nil {
+		t.Fatal("single replica accepted")
+	}
+	if _, err := Build([]curve.Curve{linearCurve(10, 1), nil}, Options{}); err == nil {
+		t.Fatal("empty replica accepted")
+	}
+	flat := curve.Curve{{Round: 0, Informed: 1}}
+	if _, err := Build([]curve.Curve{flat, flat}, Options{}); err == nil {
+		t.Fatal("degenerate (no-spread) replicas accepted")
+	}
+}
+
+func TestBuildBoundsContainReplicas(t *testing.T) {
+	reps := syntheticReplicas(500, 6, 7)
+	e, err := Build(reps, Options{Levels: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every replica must lie inside its own envelope even at Dilation 1.
+	e.Opts.Dilation = 1
+	for i, c := range reps {
+		if err := e.Check(c); err != nil {
+			t.Fatalf("replica %d outside its own envelope: %v", i, err)
+		}
+	}
+	if e.FinalLo != 500 || e.FinalHi != 500 {
+		t.Fatalf("final bounds [%g, %g], want [500, 500]", e.FinalLo, e.FinalHi)
+	}
+	if e.DIntra < 0 {
+		t.Fatalf("negative DIntra %g", e.DIntra)
+	}
+}
+
+// TestCheckBoundaryClassification is the synthetic boundary table: a
+// family of linear curves with per-round incidence in [2, 4] (steps 2,
+// 3, 4), then candidates engineered to sit inside, on, and outside the
+// dilated bounds.
+func TestCheckBoundaryClassification(t *testing.T) {
+	// 145 = 1 + 144, and 144 is divisible by every step used below, so
+	// no curve has a clipped (fractional-incidence) final segment and
+	// the boundary arithmetic is exact.
+	reps := []curve.Curve{linearCurve(145, 2), linearCurve(145, 3), linearCurve(145, 4)}
+	e, err := Build(reps, Options{Levels: 16, Dilation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		cand   curve.Curve
+		inside bool
+	}{
+		// Incidence 3 everywhere: strictly interior.
+		{"interior", linearCurve(145, 3), true},
+		// Incidence 1 = exactly Lo/Dilation (2/2): boundary, inclusive.
+		{"on lower boundary", linearCurve(145, 1), true},
+		// Incidence 8 = exactly Hi*Dilation (4*2): boundary, inclusive.
+		{"on upper boundary", linearCurve(145, 8), true},
+		// Incidence 9 > 8: one step past the upper boundary.
+		{"past upper boundary", linearCurve(145, 9), false},
+		// A curve that stalls at half the final size: the incidence
+		// profile matches but the plateau is short (73 = 1 + 72).
+		{"stalls below final size", linearCurve(73, 3), false},
+		// Overshooting the final size (more nodes than any replica saw;
+		// 217 = 1 + 216).
+		{"overshoots final size", linearCurve(217, 3), false},
+	}
+	for _, tc := range cases {
+		err := e.Check(tc.cand)
+		if tc.inside && err != nil {
+			t.Errorf("%s: classified outside: %v", tc.name, err)
+		}
+		if !tc.inside && err == nil {
+			t.Errorf("%s: classified inside, want outside", tc.name)
+		}
+	}
+	// Sub-lower-incidence *interior* violation: halve incidence below
+	// Lo/Dilation while still finishing. Incidence 0.9 < 1 everywhere.
+	slow := curve.Curve{{Round: 0, Informed: 1}}
+	informed := 1.0
+	for r := 1; informed < 145; r++ {
+		informed += 0.9
+		if informed > 145 {
+			informed = 145
+		}
+		slow = append(slow, curve.Point{Round: r, Informed: informed})
+	}
+	if err := e.Check(slow); err == nil {
+		t.Error("sub-lower-bound incidence classified inside")
+	}
+}
+
+// TestCheckDilationAbsorbsTimeScale pins the reason Dilation exists: a
+// candidate that is exactly a 2x time-dilated replica (the real mesh's
+// two-tick round trips) passes at Dilation 2 and fails at Dilation 1.
+func TestCheckDilationAbsorbsTimeScale(t *testing.T) {
+	reps := []curve.Curve{linearCurve(145, 3), linearCurve(145, 4)}
+	e, err := Build(reps, Options{Levels: 16, Dilation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dilated := make(curve.Curve, 0)
+	for _, p := range linearCurve(145, 3) {
+		dilated = append(dilated, curve.Point{Round: 2 * p.Round, Informed: p.Informed})
+	}
+	if err := e.Check(dilated); err != nil {
+		t.Fatalf("2x-dilated replica outside Dilation-2 envelope: %v", err)
+	}
+	e.Opts.Dilation = 1
+	if err := e.Check(dilated); err == nil {
+		t.Fatal("2x-dilated replica inside Dilation-1 envelope")
+	}
+}
+
+func TestCheckFinalSlack(t *testing.T) {
+	reps := []curve.Curve{linearCurve(100, 3), linearCurve(100, 4)}
+	e, err := Build(reps, Options{Levels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := linearCurve(96, 3)
+	if err := e.Check(short); err == nil {
+		t.Fatal("4% final shortfall passed with zero slack")
+	}
+	e.Opts.FinalSlack = 0.05
+	if err := e.Check(short); err != nil {
+		t.Fatalf("4%% final shortfall failed with 5%% slack: %v", err)
+	}
+}
+
+// TestCheckBandTolerance pins the statistical knob: a candidate with a
+// few outlier levels passes once BandTolerance covers them, but a
+// final-size violation is never tolerated.
+func TestCheckBandTolerance(t *testing.T) {
+	reps := []curve.Curve{linearCurve(145, 3), linearCurve(145, 4)}
+	e, err := Build(reps, Options{Levels: 16, Dilation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One slow stretch: incidence 1 (below Lo=3) while informed crosses
+	// a couple of levels, normal speed elsewhere.
+	cand := curve.Curve{{Round: 0, Informed: 1}}
+	informed, round := 1, 0
+	for informed < 145 {
+		step := 3
+		if informed > 60 && informed < 80 {
+			step = 1
+		}
+		informed += step
+		if informed > 145 {
+			informed = 145
+		}
+		round++
+		cand = append(cand, curve.Point{Round: round, Informed: float64(informed)})
+	}
+	if err := e.Check(cand); err == nil {
+		t.Fatal("outlier levels passed with zero tolerance")
+	}
+	e.Opts.BandTolerance = 0.25
+	if err := e.Check(cand); err != nil {
+		t.Fatalf("outlier levels failed with 25%% tolerance: %v", err)
+	}
+	// Tolerance never excuses a final-size violation.
+	if err := e.Check(linearCurve(73, 3)); err == nil {
+		t.Fatal("final-size violation tolerated")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Level: -1, Got: 50, Lo: 100, Hi: 100}
+	if v.String() == "" {
+		t.Fatal("empty final-size violation string")
+	}
+	v = Violation{Level: 10, Got: 9, Lo: 1, Hi: 8}
+	if v.String() == "" {
+		t.Fatal("empty band violation string")
+	}
+}

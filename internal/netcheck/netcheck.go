@@ -1,0 +1,224 @@
+// Package netcheck cross-validates real-transport executions against
+// the simulator: it derives an ICC-space spread envelope from N
+// deterministic simulator replicas (package envelope) and asserts that
+// nondeterministic real-mesh runs (gossip.RunNet over package
+// transport) land inside it. This is the statistical bridge the
+// real-network mode's credibility rests on — no golden outputs exist
+// for real runs, but the simulator bounds what spreading on this graph
+// with this protocol can look like, and a real run outside those bounds
+// is a real disagreement.
+//
+// The same harness backs `make netcheck` (goroutine mesh, tier-1 time
+// budget, via the tests in this package), `gossipsim -mode net`
+// (one-shot CLI runs) and `cmd/gossipnode` (multi-process TCP fleets,
+// where the lead process assembles the fleet's informed times and
+// applies the same verdict).
+package netcheck
+
+import (
+	"fmt"
+	"time"
+
+	"gossip/internal/curve"
+	"gossip/internal/envelope"
+	"gossip/internal/gossip"
+	"gossip/internal/graph"
+	"gossip/internal/transport"
+)
+
+// Spec is one cross-validation workload: a topology, a driver and a
+// seed family, plus replica/trial counts.
+type Spec struct {
+	// Name labels the spec in reports, e.g. "push-pull/clique".
+	Name string
+	// CSR is the topology.
+	CSR *graph.CSR
+	// Driver names a Prepare-capable driver (push-pull, flood).
+	Driver string
+	// Opts is the shared option surface. Opts.Seed is the base of the
+	// seed family: simulator replica i runs with Seed+i, and real trials
+	// reuse Seed (their nondeterminism comes from the fabric, not the
+	// seed).
+	Opts gossip.DriverOptions
+	// Replicas is the number of simulator runs the envelope is built
+	// from (default 16).
+	Replicas int
+	// Trials is the number of real-mesh runs to classify (default 5).
+	Trials int
+	// Round is the real-mesh tick length (default 2ms).
+	Round time.Duration
+	// Envelope shapes construction and classification; the zero value
+	// gets the netcheck defaults (32 levels, Dilation 3, BandTolerance
+	// 0.2 — up to a fifth of levels may be jitter outliers): a real
+	// exchange's ACK lands a tick or two after its SYN, where the
+	// calendar collapses the round trip into one round, so real
+	// incidence runs up to ~2-3x slower than simulated incidence at
+	// every level — a uniform time dilation, exactly what the Dilation
+	// slack absorbs while still rejecting differently shaped spreads.
+	Envelope envelope.Options
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Replicas <= 0 {
+		s.Replicas = 16
+	}
+	if s.Trials <= 0 {
+		s.Trials = 5
+	}
+	if s.Round <= 0 {
+		s.Round = 2 * time.Millisecond
+	}
+	if s.Envelope.Levels <= 0 {
+		s.Envelope.Levels = 32
+	}
+	if s.Envelope.Dilation <= 0 {
+		s.Envelope.Dilation = 3
+	}
+	if s.Envelope.BandTolerance <= 0 {
+		s.Envelope.BandTolerance = 0.2
+	}
+	return s
+}
+
+// TrialResult is the outcome of one real-mesh run.
+type TrialResult struct {
+	Completed bool
+	Rounds    int
+	Messages  int64
+	Drops     int64
+	// Violation is the envelope verdict ("" = inside).
+	Violation string
+}
+
+// Report is the outcome of a full spec: the simulator-derived envelope
+// and every trial's classification.
+type Report struct {
+	Name     string
+	Envelope *envelope.Envelope
+	Trials   []TrialResult
+}
+
+// Passed reports the spec verdict. Completion is a hard per-trial
+// requirement: every trial must inform every node. The envelope
+// classification is statistical, so one outlier trial per five is
+// tolerated — a real fabric occasionally has a globally unlucky
+// schedule, while a systematic disagreement makes most trials violate.
+func (r Report) Passed() bool {
+	if len(r.Trials) == 0 {
+		return false
+	}
+	outliers := 0
+	for _, t := range r.Trials {
+		if !t.Completed {
+			return false
+		}
+		if t.Violation != "" {
+			outliers++
+		}
+	}
+	return outliers <= len(r.Trials)/5
+}
+
+// String renders a one-spec summary line per trial.
+func (r Report) String() string {
+	out := fmt.Sprintf("%s: envelope from %d replicas (rounds [%d, %d], intra-spread %.3f)\n",
+		r.Name, r.Envelope.Replicas, r.Envelope.RoundsLo, r.Envelope.RoundsHi, r.Envelope.DIntra)
+	for i, t := range r.Trials {
+		verdict := "inside"
+		if !t.Completed {
+			verdict = "INCOMPLETE"
+		} else if t.Violation != "" {
+			verdict = "OUTSIDE: " + t.Violation
+		}
+		out += fmt.Sprintf("  trial %d: rounds=%d messages=%d drops=%d %s\n", i, t.Rounds, t.Messages, t.Drops, verdict)
+	}
+	return out
+}
+
+// BuildSimEnvelope derives the spec's envelope from Replicas simulator
+// runs with seeds Opts.Seed .. Opts.Seed+Replicas-1. Deterministic:
+// the same spec always yields a bit-identical envelope.
+func BuildSimEnvelope(spec Spec) (*envelope.Envelope, error) {
+	spec = spec.withDefaults()
+	curves := make([]curve.Curve, 0, spec.Replicas)
+	for i := 0; i < spec.Replicas; i++ {
+		opts := spec.Opts
+		opts.CSR = spec.CSR
+		opts.Seed = spec.Opts.Seed + uint64(i)
+		res, err := gossip.Dispatch(spec.Driver, nil, opts)
+		if err != nil {
+			return nil, fmt.Errorf("netcheck: simulator replica %d: %w", i, err)
+		}
+		if !res.Completed {
+			return nil, fmt.Errorf("netcheck: simulator replica %d did not complete (envelope needs completed replicas; raise MaxRounds)", i)
+		}
+		curves = append(curves, curve.FromInformedAt(res.InformedAt))
+	}
+	return envelope.Build(curves, spec.Envelope)
+}
+
+// Horizon is the real-run round budget derived from an envelope: the
+// slowest simulated replica, dilated by the envelope's time-scale
+// slack, doubled for fabric jitter, floored at 50 ticks.
+func Horizon(e *envelope.Envelope) int {
+	dil := e.Opts.Dilation
+	if dil <= 0 {
+		dil = 3
+	}
+	h := int(2 * dil * float64(e.RoundsHi))
+	if h < 50 {
+		h = 50
+	}
+	return h
+}
+
+// CheckResult classifies one real-mesh result against the envelope:
+// completion first (the hard functional claim — every node informed),
+// then the ICC-space envelope verdict. The same check applies whether
+// the result came from one goroutine mesh or was assembled from a TCP
+// fleet's per-process halves.
+func CheckResult(e *envelope.Envelope, res gossip.NetResult) error {
+	if !res.Completed {
+		return fmt.Errorf("netcheck: real run incomplete (rounds=%d)", res.Rounds)
+	}
+	return e.Check(curve.FromInformedAt(res.InformedAt))
+}
+
+// RunChan executes the full spec on an in-process goroutine mesh:
+// build the simulator envelope, run Trials real-mesh executions, and
+// classify each. The report carries every trial; Passed() is the
+// verdict.
+func RunChan(spec Spec) (Report, error) {
+	spec = spec.withDefaults()
+	env, err := BuildSimEnvelope(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Name: spec.Name, Envelope: env}
+	for i := 0; i < spec.Trials; i++ {
+		mesh := transport.NewChanMesh(spec.CSR.N(), 0)
+		res, err := gossip.RunNet(gossip.NetConfig{
+			Mesh:      mesh,
+			CSR:       spec.CSR,
+			Driver:    spec.Driver,
+			Opts:      spec.Opts,
+			Round:     spec.Round,
+			MaxRounds: Horizon(env),
+		})
+		mesh.Close()
+		if err != nil {
+			return rep, fmt.Errorf("netcheck: trial %d: %w", i, err)
+		}
+		tr := TrialResult{
+			Completed: res.Completed,
+			Rounds:    res.Rounds,
+			Messages:  res.Messages,
+			Drops:     res.Drops,
+		}
+		if cerr := CheckResult(env, res); cerr != nil {
+			tr.Violation = cerr.Error()
+		}
+		rep.Trials = append(rep.Trials, tr)
+	}
+	return rep, nil
+}

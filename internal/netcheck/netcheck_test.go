@@ -1,0 +1,163 @@
+package netcheck
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+
+	"gossip/internal/gossip"
+	"gossip/internal/graph"
+	"gossip/internal/graphgen"
+)
+
+// The tier-1 netcheck: real goroutine-mesh runs of push-pull and flood
+// on two graph families, each classified against a simulator-derived
+// ICC envelope. `make netcheck` runs exactly these tests. They are the
+// only intentionally nondeterministic tests in the repository — the
+// envelope tolerances (Dilation, completion horizon) are sized so that
+// a healthy run passes with wide margin and a protocol or transport
+// regression (stalls, lost completions, wrong spread shape) fails.
+
+func expanderCSR(t *testing.T) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(11, 11))
+	g, err := graphgen.RandomRegular(48, 4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.CSR()
+}
+
+func gridCSR() *graph.CSR { return graphgen.Grid(7, 7, 1).CSR() }
+
+func runSpec(t *testing.T, spec Spec) {
+	t.Helper()
+	rep, err := RunChan(spec)
+	if err != nil {
+		t.Fatalf("RunChan: %v", err)
+	}
+	t.Log(rep.String())
+	if !rep.Passed() {
+		t.Fatalf("netcheck failed:\n%s", rep.String())
+	}
+}
+
+func TestNetCheckPushPullExpander(t *testing.T) {
+	runSpec(t, Spec{
+		Name:   "push-pull/expander",
+		CSR:    expanderCSR(t),
+		Driver: "push-pull",
+		Opts:   gossip.DriverOptions{Seed: 100, MaxRounds: 4000},
+	})
+}
+
+func TestNetCheckPushPullGrid(t *testing.T) {
+	runSpec(t, Spec{
+		Name:   "push-pull/grid",
+		CSR:    gridCSR(),
+		Driver: "push-pull",
+		Opts:   gossip.DriverOptions{Seed: 200, MaxRounds: 4000},
+	})
+}
+
+func TestNetCheckFloodExpander(t *testing.T) {
+	runSpec(t, Spec{
+		Name:   "flood/expander",
+		CSR:    expanderCSR(t),
+		Driver: "flood",
+		Opts:   gossip.DriverOptions{Seed: 300, MaxRounds: 4000},
+	})
+}
+
+func TestNetCheckFloodGrid(t *testing.T) {
+	runSpec(t, Spec{
+		Name:   "flood/grid",
+		CSR:    gridCSR(),
+		Driver: "flood",
+		Opts:   gossip.DriverOptions{Seed: 400, MaxRounds: 4000},
+	})
+}
+
+// TestBuildSimEnvelopeDeterministic pins that the envelope half of the
+// harness is exactly as deterministic as the simulator underneath it.
+func TestBuildSimEnvelopeDeterministic(t *testing.T) {
+	spec := Spec{
+		CSR:    gridCSR(),
+		Driver: "push-pull",
+		Opts:   gossip.DriverOptions{Seed: 5, MaxRounds: 4000},
+	}
+	a, err := BuildSimEnvelope(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSimEnvelope(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two envelope builds over the same spec differ")
+	}
+	if h := Horizon(a); h <= a.RoundsHi {
+		t.Fatalf("Horizon %d not above the slowest replica %d", h, a.RoundsHi)
+	}
+}
+
+// TestCheckResultRejectsIncomplete pins that a real run that never
+// informs everyone fails regardless of its curve shape.
+func TestCheckResultRejectsIncomplete(t *testing.T) {
+	spec := Spec{
+		CSR:    gridCSR(),
+		Driver: "push-pull",
+		Opts:   gossip.DriverOptions{Seed: 5, MaxRounds: 4000},
+	}
+	env, err := BuildSimEnvelope(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckResult(env, gossip.NetResult{Completed: false, Rounds: 10}); err == nil {
+		t.Fatal("incomplete run passed")
+	}
+}
+
+func TestReportPassed(t *testing.T) {
+	if (Report{}).Passed() {
+		t.Fatal("empty report passed")
+	}
+	r := Report{Trials: []TrialResult{{Completed: true}}}
+	if !r.Passed() {
+		t.Fatal("clean trial failed")
+	}
+	// Below five trials no outlier is tolerated.
+	r.Trials = append(r.Trials, TrialResult{Completed: true, Violation: "x"})
+	if r.Passed() {
+		t.Fatal("violating trial passed with < 5 trials")
+	}
+	// At five trials, exactly one envelope outlier is tolerated...
+	clean := TrialResult{Completed: true}
+	r.Trials = []TrialResult{clean, clean, clean, clean, {Completed: true, Violation: "x"}}
+	if !r.Passed() {
+		t.Fatal("single outlier among 5 trials failed")
+	}
+	// ...two are not.
+	r.Trials[3].Violation = "y"
+	if r.Passed() {
+		t.Fatal("two outliers among 5 trials passed")
+	}
+	// An incomplete trial always fails, outlier budget or not.
+	r.Trials = []TrialResult{clean, clean, clean, clean, {Completed: false}}
+	if r.Passed() {
+		t.Fatal("incomplete trial passed")
+	}
+}
+
+// TestSpecDefaults pins the documented defaults.
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{}.withDefaults()
+	if s.Replicas != 16 || s.Trials != 5 || s.Round != 2*time.Millisecond {
+		t.Fatalf("defaults = %+v", s)
+	}
+	if s.Envelope.Levels != 32 || s.Envelope.Dilation != 3 || s.Envelope.BandTolerance != 0.2 {
+		t.Fatalf("envelope defaults = %+v", s.Envelope)
+	}
+}

@@ -36,6 +36,16 @@ type JobSpec struct {
 	// any value, so it is an execution knob excluded from the cache key.
 	// Requires a fleet (-peers) and a distributable driver.
 	Shards int `json:"shards,omitempty"`
+	// Transport selects the execution fabric: "" or "sim" is the
+	// deterministic calendar engine; "chan" runs the same protocol code
+	// on a real in-process goroutine mesh (gossip.RunNet over
+	// transport.ChanMesh). Like workers and shards it is an execution
+	// knob excluded from the cache key — but a real-transport run is
+	// nondeterministic, so "chan" jobs additionally bypass the cache in
+	// both directions: they never replay a memoized body and their own
+	// results are never memoized. Requires a single-phase driver
+	// (push-pull, flood) and a benign, unsharded request.
+	Transport string `json:"transport,omitempty"`
 	// MaxRounds overrides the driver's horizon (0 = driver default).
 	MaxRounds int `json:"max_rounds,omitempty"`
 	// FaultSpec is the adversity DSL (see package adversity), e.g.

@@ -60,11 +60,17 @@ const MaxFramePayload = 1 << 28
 // own request key from it and refuses on mismatch, so a version-skewed
 // fleet fails loudly instead of diverging.
 type ShardJob struct {
-	SchemaVersion int             `json:"schema_version"`
-	Shard         int             `json:"shard"`
-	Shards        int             `json:"shards"`
-	RequestKey    string          `json:"request_key"`
-	Request       json.RawMessage `json:"request"`
+	SchemaVersion int    `json:"schema_version"`
+	Shard         int    `json:"shard"`
+	Shards        int    `json:"shards"`
+	RequestKey    string `json:"request_key"`
+	// TimeoutMS is the coordinator's effective per-job execution timeout.
+	// The worker derives its session idle window from it (plus relay
+	// slack, clamped to the worker's own ceiling): once the coordinator
+	// has abandoned the job, a worker waiting longer only pins a dead
+	// session. Zero (an older coordinator) means the worker's ceiling.
+	TimeoutMS int             `json:"timeout_ms,omitempty"`
+	Request   json.RawMessage `json:"request"`
 }
 
 // ShardResult is the decoded FrameResult payload: the worker's partial

@@ -74,6 +74,7 @@ func (s *Server) coordinate(jb *job) (gossip.DriverResult, error) {
 			Shard:         i,
 			Shards:        jb.shards,
 			RequestKey:    jb.key,
+			TimeoutMS:     int(jb.timeout / time.Millisecond),
 			Request:       canJSON,
 		})
 		if err != nil {
@@ -129,8 +130,13 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	if err := brw.Flush(); err != nil {
 		return
 	}
-	deadline := time.Now().Add(s.cfg.MaxTimeout + 30*time.Second)
-	if err := cluster.ServeShard(conn, brw, deadline, s.runShardJob); err != nil {
+	// The ceiling for one idle window: no coordinator may make this
+	// worker wait longer than its own timeout policy allows. ServeShard
+	// tightens the window to the job's carried timeout once it arrives,
+	// and refreshes it at every barrier — an absolute session deadline
+	// here used to kill healthy long runs mid-barrier.
+	maxIdle := s.cfg.MaxTimeout + 30*time.Second
+	if err := cluster.ServeShard(conn, brw, maxIdle, s.runShardJob); err != nil {
 		s.met.shardFailures.Add(1)
 	}
 }

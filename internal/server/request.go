@@ -61,13 +61,17 @@ type canonical struct {
 
 // job is a validated, normalized simulation request ready to execute.
 type job struct {
-	can     canonical
-	key     string
-	workers int
-	shards  int
-	timeout time.Duration
-	points  int // progress_points: serve-time curve sampling cap
-	spec    *adversity.Spec
+	can canonical
+	key string
+	// transport is the execution fabric: "" = the calendar engine,
+	// "chan" = a real goroutine mesh (nondeterministic; bypasses the
+	// cache in both directions).
+	transport string
+	workers   int
+	shards    int
+	timeout   time.Duration
+	points    int // progress_points: serve-time curve sampling cap
+	spec      *adversity.Spec
 }
 
 // variants lists the admissible Variant values per driver; drivers whose
@@ -219,7 +223,35 @@ func (s *Server) validate(req Request) (*job, *FieldError) {
 		}
 	}
 
-	jb := &job{can: can, workers: req.Workers, shards: req.Shards, timeout: timeout, points: points, spec: spec}
+	// The transport knob is execution-only, like workers and shards: it
+	// never reaches the canonical form. "chan" runs the job for real
+	// (gossip.RunNet), which supports exactly what the net mode supports
+	// — a single-phase driver, a benign schedule, one process.
+	transport := strings.ToLower(strings.TrimSpace(req.Transport))
+	switch transport {
+	case "", "sim":
+		transport = ""
+	case "chan":
+		if d.Prepare == nil {
+			return nil, fieldErrf("transport", "driver %q is multi-phase and has no real-transport mode (single-phase: push-pull, flood)", d.Name)
+		}
+		if req.Shards != 0 {
+			return nil, fieldErrf("transport", "transport \"chan\" runs in one process; it cannot be combined with shards")
+		}
+		if spec != nil {
+			return nil, fieldErrf("transport", "transport \"chan\" does not support fault_spec (the real fabric supplies its own adversity)")
+		}
+		if can.MaxInPerRound > 0 {
+			return nil, fieldErrf("transport", "transport \"chan\" does not support max_in_per_round")
+		}
+		if can.Objective != "" && can.Objective != "broadcast" {
+			return nil, fieldErrf("transport", "transport \"chan\" completion is broadcast-only, not %q", can.Objective)
+		}
+	default:
+		return nil, fieldErrf("transport", "unknown transport %q (have sim, chan)", req.Transport)
+	}
+
+	jb := &job{can: can, transport: transport, workers: req.Workers, shards: req.Shards, timeout: timeout, points: points, spec: spec}
 	jb.key = requestKey(can)
 	return jb, nil
 }

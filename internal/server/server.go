@@ -29,9 +29,11 @@ import (
 
 	"gossip/internal/cluster"
 	"gossip/internal/gossip"
+	"gossip/internal/graph"
 	"gossip/internal/graphgen"
 	"gossip/internal/runner"
 	"gossip/internal/server/api"
+	"gossip/internal/transport"
 )
 
 // Config tunes one Server. The zero value is production-serviceable.
@@ -231,6 +233,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.drainCtx, cancel)
 	defer stop()
 
+	// A real-transport job is nondeterministic: it must not replay a
+	// memoized calendar body for the same canonical request, must not
+	// coalesce with (or lead a flight for) deterministic requests, and
+	// its own outcome is never memoized (runLeader sees it as a
+	// transient success). It bypasses the cache machinery — lookup,
+	// fleet routing, flights — and executes uncoalesced.
+	if jb.transport != "" {
+		if s.Draining() {
+			writeUnavailable(w)
+			return
+		}
+		s.runLeader(w, ctx, jb, nil)
+		return
+	}
+
 	// Fleet cache routing: the key's ring owner holds the fleet's one
 	// authoritative cache slot for this request, so a non-owner forwards
 	// after missing locally — unless the request was already forwarded
@@ -398,6 +415,14 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 			out <- outcome{err: fmt.Errorf("building graph: %w", err)}
 			return
 		}
+		if jb.transport != "" {
+			// Real-transport execution: nondeterministic by nature, so
+			// success and failure alike are transient — streamed, never
+			// memoized.
+			res, err := runChanTransport(jb, g)
+			out <- outcome{res: res, err: err, transient: true}
+			return
+		}
 		res, err := gossip.Dispatch(jb.can.Driver, g, jb.driverOptions())
 		out <- outcome{res: res, err: err}
 	}()
@@ -430,6 +455,18 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 			flushWrite(w, body[len(accepted):])
 			return
 		}
+		if o.transient {
+			// A nondeterministic success (real-transport run): stream and
+			// count it, but never memoize — an identical request must
+			// execute again, and no follower may inherit this body.
+			if f != nil {
+				s.resolve(jb.key, f, nil)
+			}
+			s.met.completed.Add(1)
+			s.met.rounds.Add(int64(o.res.Rounds))
+			flushWrite(w, sampleStream(resultLines(o.res), jb.points))
+			return
+		}
 		// Publish (and resolve followers with) the full-resolution body;
 		// this request's own stream is sampled to its progress_points.
 		tail := resultLines(o.res)
@@ -449,6 +486,34 @@ func (s *Server) runLeader(w http.ResponseWriter, ctx context.Context, jb *job, 
 		s.met.failed.Add(1)
 		flushWrite(w, errorLine(fmt.Sprintf("job exceeded its %v execution timeout", jb.timeout)))
 	}
+}
+
+// runChanTransport executes jb for real on an in-process goroutine mesh
+// — the server face of `gossipsim -mode net`'s execution half. The
+// driver's own protocol structs run one goroutine per node on real
+// clocks (gossip.RunNet); the result is nondeterministic and the caller
+// marks the outcome transient so it is never memoized.
+func runChanTransport(jb *job, g *graph.Graph) (gossip.DriverResult, error) {
+	csr := g.CSR()
+	mesh := transport.NewChanMesh(csr.N(), 0)
+	defer mesh.Close()
+	res, err := gossip.RunNet(gossip.NetConfig{
+		Mesh:      mesh,
+		CSR:       csr,
+		Driver:    jb.can.Driver,
+		Opts:      jb.driverOptions(),
+		MaxRounds: jb.can.MaxRounds,
+	})
+	if err != nil {
+		return gossip.DriverResult{}, err
+	}
+	return gossip.DriverResult{
+		Rounds:     res.Rounds,
+		Completed:  res.Completed,
+		Messages:   res.Messages,
+		Dropped:    res.Drops,
+		InformedAt: res.InformedAt,
+	}, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,111 @@
+// Package transport is the real-message-mesh half of the execution
+// abstraction: where the calendar engine (internal/sim) simulates
+// message motion deterministically, a Mesh moves real bytes between
+// per-node inboxes on real clocks — an in-process goroutine mesh
+// (ChanMesh) or TCP connections between processes (TCPMesh), behind one
+// interface, so the protocol-side runner (internal/gossip RunNet) is
+// transport-agnostic.
+//
+// A Mesh is deliberately dumb: it routes opaque payloads from node to
+// node and drops on congestion (bounded inboxes) exactly like a real
+// datagram fabric. Everything protocol-shaped — what the payloads mean,
+// when to send, when a run is over — belongs to the runner above.
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Packet is one routed message: an opaque payload from node From to node
+// To. Payload ownership transfers to the receiver.
+type Packet struct {
+	From, To int
+	Payload  []byte
+}
+
+// Mesh routes packets between nodes. Implementations host a subset of
+// the node id space locally (all of it for ChanMesh, a contiguous range
+// per process for TCPMesh) and deliver to local inboxes; sends to
+// remote nodes cross whatever fabric the implementation wraps.
+type Mesh interface {
+	// Send routes payload to node to's inbox. A full destination inbox
+	// drops the packet (counted, like a congested switch) rather than
+	// blocking the sender; only transport breakage returns an error.
+	Send(from, to int, payload []byte) error
+	// Inbox is the receive channel of a locally hosted node. The channel
+	// is closed by Close.
+	Inbox(node int) <-chan Packet
+	// Local returns the locally hosted node ids in ascending order.
+	Local() []int
+	// Drops counts packets dropped on full inboxes so far.
+	Drops() int64
+	// Close tears the mesh down and closes every local inbox.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: mesh closed")
+
+// DefaultInboxDepth is the per-node inbox bound used when a mesh is
+// built with depth 0: deep enough that a node that merely lags a few
+// rounds loses nothing, bounded so a stalled node cannot hold the whole
+// run's memory.
+const DefaultInboxDepth = 256
+
+// inboxes is the shared local-delivery half of both mesh
+// implementations: bounded per-node channels with drop-on-full. The
+// RWMutex serializes delivery against close so a late packet is dropped
+// instead of hitting a closed channel.
+type inboxes struct {
+	lo    int // first locally hosted node id
+	chans []chan Packet
+	drops atomic.Int64
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newInboxes(lo, count, depth int) *inboxes {
+	if depth <= 0 {
+		depth = DefaultInboxDepth
+	}
+	ib := &inboxes{lo: lo, chans: make([]chan Packet, count)}
+	for i := range ib.chans {
+		ib.chans[i] = make(chan Packet, depth)
+	}
+	return ib
+}
+
+// deliver routes a packet to its local inbox, dropping on overflow or
+// after close (a packet racing Close is indistinguishable from one lost
+// in flight — exactly the semantics a real socket teardown has).
+func (ib *inboxes) deliver(p Packet) {
+	ib.mu.RLock()
+	defer ib.mu.RUnlock()
+	if ib.closed {
+		ib.drops.Add(1)
+		return
+	}
+	select {
+	case ib.chans[p.To-ib.lo] <- p:
+	default:
+		ib.drops.Add(1)
+	}
+}
+
+func (ib *inboxes) inbox(node int) <-chan Packet { return ib.chans[node-ib.lo] }
+
+// close closes every inbox; subsequent deliveries drop. Idempotent.
+func (ib *inboxes) close() {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return
+	}
+	ib.closed = true
+	for _, c := range ib.chans {
+		close(c)
+	}
+}

@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChanMeshRouting(t *testing.T) {
+	m := NewChanMesh(4, 0)
+	defer m.Close()
+	if got := m.Local(); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("Local() = %v, want [0 1 2 3]", got)
+	}
+	if err := m.Send(1, 3, []byte("hi")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	p := <-m.Inbox(3)
+	if p.From != 1 || p.To != 3 || string(p.Payload) != "hi" {
+		t.Fatalf("got packet %+v", p)
+	}
+	if err := m.Send(0, 4, nil); err == nil {
+		t.Fatal("Send to out-of-range node succeeded")
+	}
+	if err := m.Send(0, -1, nil); err == nil {
+		t.Fatal("Send to negative node succeeded")
+	}
+}
+
+func TestChanMeshDropOnFull(t *testing.T) {
+	m := NewChanMesh(2, 1)
+	defer m.Close()
+	for i := 0; i < 3; i++ {
+		if err := m.Send(0, 1, []byte{byte(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if got := m.Drops(); got != 2 {
+		t.Fatalf("Drops() = %d, want 2 (inbox depth 1, 3 sends)", got)
+	}
+	if p := <-m.Inbox(1); p.Payload[0] != 0 {
+		t.Fatalf("surviving packet = %v, want the first", p.Payload)
+	}
+}
+
+// TestChanMeshCloseRace hammers Send from many goroutines while Close
+// runs: no send may panic on a closed channel, late packets just count
+// as drops.
+func TestChanMeshCloseRace(t *testing.T) {
+	m := NewChanMesh(8, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = m.Send(g, (g+i)%8, []byte{1})
+			}
+		}(g)
+	}
+	time.Sleep(time.Millisecond)
+	m.Close()
+	wg.Wait()
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestChanMeshInboxClosedAfterClose(t *testing.T) {
+	m := NewChanMesh(2, 0)
+	m.Close()
+	if _, open := <-m.Inbox(0); open {
+		t.Fatal("inbox still open after Close")
+	}
+}
+
+func TestNodeRange(t *testing.T) {
+	for _, tc := range []struct{ n, procs int }{
+		{10, 2}, {10, 3}, {7, 3}, {4, 4}, {100, 7},
+	} {
+		prev := 0
+		for i := 0; i < tc.procs; i++ {
+			lo, hi := NodeRange(tc.n, tc.procs, i)
+			if lo != prev {
+				t.Fatalf("n=%d procs=%d: proc %d starts at %d, want %d", tc.n, tc.procs, i, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d procs=%d: proc %d has inverted range [%d,%d)", tc.n, tc.procs, i, lo, hi)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d procs=%d: partition covers %d nodes", tc.n, tc.procs, prev)
+		}
+	}
+}
+
+// freeAddrs reserves count distinct loopback ports by listening and
+// immediately closing; the tiny reuse race is acceptable in tests.
+func freeAddrs(t *testing.T, count int) []string {
+	t.Helper()
+	addrs := make([]string, count)
+	lns := make([]net.Listener, count)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserving port: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// startTCPMeshes boots a full fleet of TCP meshes in-process and waits
+// out the HELLO barrier on all of them.
+func startTCPMeshes(t *testing.T, addrs []string, n int) []*TCPMesh {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	meshes := make([]*TCPMesh, len(addrs))
+	for i := range addrs {
+		m, err := NewTCPMesh(i, addrs, n, 0)
+		if err != nil {
+			t.Fatalf("NewTCPMesh(%d): %v", i, err)
+		}
+		meshes[i] = m
+		t.Cleanup(func() { m.Close() })
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(meshes))
+	for i, m := range meshes {
+		wg.Add(1)
+		go func(i int, m *TCPMesh) {
+			defer wg.Done()
+			errs[i] = m.Start(ctx)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Start(%d): %v", i, err)
+		}
+	}
+	return meshes
+}
+
+func TestTCPMeshRoutesAcrossProcesses(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	meshes := startTCPMeshes(t, addrs, 10)
+	if got := meshes[0].Local(); len(got) != 5 || got[0] != 0 {
+		t.Fatalf("mesh 0 Local() = %v", got)
+	}
+	if got := meshes[1].Local(); len(got) != 5 || got[0] != 5 {
+		t.Fatalf("mesh 1 Local() = %v", got)
+	}
+	// Local delivery on mesh 0.
+	if err := meshes[0].Send(1, 2, []byte("local")); err != nil {
+		t.Fatalf("local Send: %v", err)
+	}
+	if p := <-meshes[0].Inbox(2); string(p.Payload) != "local" {
+		t.Fatalf("local packet = %+v", p)
+	}
+	// Cross-process delivery 0 -> 1 and back.
+	if err := meshes[0].Send(3, 7, []byte("over")); err != nil {
+		t.Fatalf("remote Send: %v", err)
+	}
+	select {
+	case p := <-meshes[1].Inbox(7):
+		if p.From != 3 || p.To != 7 || string(p.Payload) != "over" {
+			t.Fatalf("remote packet = %+v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("remote packet never arrived")
+	}
+	if err := meshes[1].Send(9, 0, []byte("back")); err != nil {
+		t.Fatalf("reverse Send: %v", err)
+	}
+	select {
+	case p := <-meshes[0].Inbox(0):
+		if p.From != 9 || string(p.Payload) != "back" {
+			t.Fatalf("reverse packet = %+v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reverse packet never arrived")
+	}
+}
+
+func TestTCPMeshControlChannel(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	meshes := startTCPMeshes(t, addrs, 9)
+	for i := 1; i < 3; i++ {
+		if err := meshes[i].SendControl(0, []byte{byte('a' + i)}); err != nil {
+			t.Fatalf("SendControl(%d): %v", i, err)
+		}
+	}
+	got := map[int]string{}
+	for len(got) < 2 {
+		select {
+		case cm := <-meshes[0].Control():
+			got[cm.FromProc] = string(cm.Payload)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("control messages missing, have %v", got)
+		}
+	}
+	if got[1] != "b" || got[2] != "c" {
+		t.Fatalf("control payloads = %v", got)
+	}
+}
+
+// TestTCPMeshRejectsPartitionDisagreement gives the two processes
+// different ideas of n; HELLOs fail the cross-check, so the readiness
+// barrier must fail rather than silently misroute packets.
+func TestTCPMeshRejectsPartitionDisagreement(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	a, err := NewTCPMesh(0, addrs, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPMesh(1, addrs, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = a.Start(ctx) }()
+	go func() { defer wg.Done(); errB = b.Start(ctx) }()
+	wg.Wait()
+	if errA == nil || errB == nil {
+		t.Fatalf("barrier passed despite partition disagreement: a=%v b=%v", errA, errB)
+	}
+}
+
+func TestTCPMeshSendAfterClose(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	meshes := startTCPMeshes(t, addrs, 4)
+	meshes[0].Close()
+	if err := meshes[0].Send(0, 3, []byte("x")); err == nil {
+		t.Fatal("Send after Close succeeded")
+	}
+}
+
+func TestNewTCPMeshValidation(t *testing.T) {
+	if _, err := NewTCPMesh(0, []string{"a"}, 4, 0); err == nil {
+		t.Fatal("single-process mesh accepted")
+	}
+	if _, err := NewTCPMesh(2, []string{"a", "b"}, 4, 0); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := NewTCPMesh(0, []string{"a", "b", "c"}, 2, 0); err == nil {
+		t.Fatal("fewer nodes than processes accepted")
+	}
+}
