@@ -5,7 +5,7 @@ GO ?= go
 
 # Drivers checked by the determinism target: every protocol registered in
 # internal/gossip (keep in sync with gossip.Names()).
-DRIVERS := auto dtg flood pattern push-pull rr spanner superstep
+DRIVERS := auto dtg echo election flood pattern push-pull rr spanner superstep
 
 # Ratcheted total-coverage minimum for `make cover`: raised at the
 # /v1/estimates PR, which measured 85.3% (scheduler-dependent test
@@ -16,7 +16,7 @@ COVER_MIN := 84.5
 
 .PHONY: all build test race bench bench-json bench-baseline bench-compare \
 	determinism cover fuzz-smoke staticcheck fmt vet experiments serve \
-	load-smoke distributed-smoke netcheck clean
+	load-smoke distributed-smoke netcheck docs docs-check lint-docs clean
 
 all: build test
 
@@ -85,7 +85,7 @@ determinism:
 	$(GO) run ./cmd/experiments -id E7 -quick -parallel 1 -json > $$tmp/e7w1.json; \
 	$(GO) run ./cmd/experiments -id E7 -quick -parallel 8 -json > $$tmp/e7w8.json; \
 	cmp $$tmp/e7w1.json $$tmp/e7w8.json && echo "determinism: experiment grid OK (parallel 1 == 8)"; \
-	$(GO) test -count=1 ./internal/invariant && echo "determinism: invariant harness OK (8 drivers x families x {benign,lossy,churny})"
+	$(GO) test -count=1 ./internal/invariant && echo "determinism: invariant harness OK (10 drivers x families x {benign,lossy,churny})"
 
 # Total-statement coverage with a ratcheted minimum: fails below
 # COVER_MIN, the percentage recorded when this gate merged. CI runs it;
@@ -184,6 +184,26 @@ distributed-smoke:
 	$$tmp/gossipnode -index 1 -peers '$(NODE_PEERS)' -graph grid -n 49 -seed 11 & pids="$$pids $$!"; \
 	$$tmp/gossipnode -index 0 -peers '$(NODE_PEERS)' -graph grid -n 49 -seed 11; \
 	echo "distributed-smoke: gossipnode TCP fleet landed inside the simulator envelope"
+
+# Regenerate the generated documentation layer (docs/DRIVERS.md from the
+# driver registry, docs/API.md from the internal/server/api doc
+# comments). Run after changing a driver registration or the wire schema
+# and commit the result; docs-check (CI and TestCommittedDocsAreCurrent)
+# fails when the committed files drift from the code.
+docs:
+	$(GO) run ./cmd/gossipdoc
+
+docs-check:
+	$(GO) run ./cmd/gossipdoc -check
+
+# Every package must carry a package doc comment — the godoc surface the
+# generated docs and pkg.go.dev render from.
+lint-docs:
+	@out=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./... | grep . || :); \
+	if [ -n "$$out" ]; then \
+		echo "lint-docs: packages missing a package doc comment:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "lint-docs: every package documented"
 
 clean:
 	rm -rf results

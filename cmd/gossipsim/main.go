@@ -6,7 +6,12 @@
 //	gossipsim -graph dumbbell -n 16 -latency 64 -algo auto -seed 3
 //
 // Graphs: clique, star, path, cycle, grid, tree, er, regular, dumbbell,
-// ring, gadget. Algorithms: auto, push-pull, spanner, pattern, flood.
+// ring, gadget. The -algo value resolves through the internal/gossip
+// driver registry, so every registered protocol — dissemination (auto,
+// push-pull, spanner, pattern, flood, dtg, superstep, rr) and
+// coordination (election, echo) alike — is runnable from here;
+// `gossipsim -h` lists the live set. -mode net replays a single-phase
+// driver on a real goroutine mesh instead of the calendar engine.
 package main
 
 import (

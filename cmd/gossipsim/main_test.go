@@ -1,9 +1,12 @@
 package main
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"gossip/internal/core"
+	"gossip/internal/gossip"
 )
 
 func TestParseArgs(t *testing.T) {
@@ -67,6 +70,96 @@ func TestParseAlgoNames(t *testing.T) {
 		}
 		if o.algo != want {
 			t.Fatalf("-algo %q = %v, want %v", name, o.algo, want)
+		}
+	}
+}
+
+// TestUsageListsEveryDriver is the usage golden test: the -algo surface
+// is generated from the driver registry (core.Algorithms() ==
+// gossip.Names()), every registered name parses, and the package doc
+// comment — the one place a list is hand-written — names every
+// registered driver, so registering a new protocol without updating the
+// doc fails here instead of shipping stale help text.
+func TestUsageListsEveryDriver(t *testing.T) {
+	names := gossip.Names()
+	algos := core.Algorithms()
+	if len(algos) != len(names) {
+		t.Fatalf("core.Algorithms() = %v, registry has %v", algos, names)
+	}
+	for i, n := range names {
+		if algos[i] != n {
+			t.Fatalf("core.Algorithms()[%d] = %q, registry says %q", i, algos[i], n)
+		}
+		if _, err := parseArgs([]string{"-algo", n}); err != nil {
+			t.Fatalf("registered driver %q rejected by -algo: %v", n, err)
+		}
+	}
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, ok := strings.Cut(string(src), "package main")
+	if !ok {
+		t.Fatal("main.go has no package clause")
+	}
+	for _, n := range names {
+		if !strings.Contains(doc, n) {
+			t.Errorf("package doc comment does not mention registered driver %q", n)
+		}
+	}
+}
+
+// TestReadmeCoordinationExamples pins the README's "Coordination
+// protocols" section: every single-line gossipsim example there (the
+// election-under-churn run and the echo wave) must parse through the
+// real flag surface and complete, so the published commands cannot rot.
+func TestReadmeCoordinationExamples(t *testing.T) {
+	src, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var examples [][]string
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.Contains(line, "cmd/gossipsim") {
+			continue
+		}
+		if !strings.Contains(line, "-algo election") && !strings.Contains(line, "-algo echo") {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f == "./cmd/gossipsim" {
+				examples = append(examples, fields[i+1:])
+				break
+			}
+		}
+	}
+	if len(examples) < 2 {
+		t.Fatalf("README carries %d coordination gossipsim examples, want the election and echo runs", len(examples))
+	}
+	for _, args := range examples {
+		o, err := parseArgs(args)
+		if err != nil {
+			t.Fatalf("README example %v does not parse: %v", args, err)
+		}
+		g, err := buildGraph(o.graphName, o.n, o.latency, o.p, o.layers, o.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.Disseminate(g, core.Options{
+			Algorithm:      o.algo,
+			Source:         o.source,
+			KnownLatencies: o.known,
+			Seed:           o.seed,
+			Workers:        o.workers,
+			Adversity:      o.adversity,
+		})
+		if err != nil {
+			t.Fatalf("README example %v failed: %v", args, err)
+		}
+		if !out.Completed {
+			t.Fatalf("README example %v did not complete (rounds=%d)", args, out.Rounds)
 		}
 	}
 }

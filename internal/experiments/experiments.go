@@ -126,6 +126,8 @@ func All() []Experiment {
 		expE27WarmSweep,
 		expE28Distributed,
 		expE29Estimate,
+		expE30Election,
+		expE31Echo,
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 29 {
-		t.Fatalf("registered %d experiments, want 29", len(all))
+	if len(all) != 31 {
+		t.Fatalf("registered %d experiments, want 31", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -17,6 +17,8 @@ var distributable = map[string]bool{
 	"flood":     true,
 	"dtg":       true,
 	"superstep": true,
+	"election":  true,
+	"echo":      true,
 }
 
 // Distributable reports whether the named driver supports distributed
@@ -37,7 +39,7 @@ func PrepareDist(name string, g *graph.Graph, opts DriverOptions) (sim.Config, s
 		return sim.Config{}, nil, nil, fmt.Errorf("gossip: unknown driver %q", name)
 	}
 	if !distributable[d.Name] {
-		return sim.Config{}, nil, nil, fmt.Errorf("gossip: driver %q does not support distributed execution (distributable: push-pull, flood, dtg, superstep)", d.Name)
+		return sim.Config{}, nil, nil, fmt.Errorf("gossip: driver %q does not support distributed execution (distributable: push-pull, flood, dtg, superstep, election, echo)", d.Name)
 	}
 	if opts.Stop != nil {
 		// A caller-supplied closure cannot be shipped to workers, and a

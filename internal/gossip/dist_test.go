@@ -15,6 +15,9 @@ func TestDistributable(t *testing.T) {
 		"flood":     true,
 		"dtg":       true,
 		"superstep": true,
+		"election":  true,
+		"leader":    true, // alias resolves first
+		"echo":      true,
 		"auto":      false,
 		"pattern":   false,
 		"spanner":   false,
@@ -55,7 +58,7 @@ func TestPrepareDistRejects(t *testing.T) {
 // exactly, for every distributable driver, at 2 and 3 shards.
 func TestDispatchLocalShardedMatchesDispatch(t *testing.T) {
 	g := graphgen.Dumbbell(8, 6)
-	for _, name := range []string{"push-pull", "flood", "dtg", "superstep"} {
+	for _, name := range []string{"push-pull", "flood", "dtg", "superstep", "election", "echo"} {
 		opts := DriverOptions{Source: 0, Seed: 11, MaxRounds: 1 << 14}
 		serial, err := Dispatch(name, g, opts)
 		if err != nil {

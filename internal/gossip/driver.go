@@ -116,6 +116,14 @@ type DriverOptions struct {
 	// SkipCheck drops the Termination_Check accounting phase of the
 	// spanner/pattern pipelines when D is known.
 	SkipCheck bool
+	// SuspectAfter is the election staleness window: rounds without
+	// evidence of the leader before a node suspects it (0 = graph-derived
+	// default).
+	SuspectAfter int
+	// StableRounds is the election decision window: rounds a node's
+	// leader choice must survive unchanged to count as decided (0 =
+	// graph-derived default).
+	StableRounds int
 	// Stop, when non-nil, additionally ends single-phase runs early.
 	Stop sim.StopFunc
 }
@@ -190,6 +198,8 @@ var requestKeyVocab = map[string]bool{
 	"fault_tolerant":   true,
 	"lb_timeout":       true,
 	"skip_check":       true,
+	"suspect_after":    true,
+	"stable_rounds":    true,
 	"seed":             true,
 	"max_rounds":       true,
 	"workers":          true,

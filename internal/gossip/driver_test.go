@@ -7,7 +7,7 @@ import (
 )
 
 func TestDriverRegistryNames(t *testing.T) {
-	want := []string{"auto", "dtg", "flood", "pattern", "push-pull", "rr", "spanner", "superstep"}
+	want := []string{"auto", "dtg", "echo", "election", "flood", "pattern", "push-pull", "rr", "spanner", "superstep"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -119,6 +119,8 @@ func TestDriverRequestKeys(t *testing.T) {
 		"spanner":   {"d", "fault_spec", "fault_tolerant", "known_latencies", "lb_timeout", "max_rounds", "seed", "skip_check", "workers"},
 		"pattern":   {"d", "fault_spec", "max_rounds", "seed", "skip_check", "workers"},
 		"auto":      {"d", "fault_spec", "known_latencies", "max_rounds", "seed", "source", "workers"},
+		"election":  {"fault_spec", "max_rounds", "seed", "stable_rounds", "suspect_after", "workers"},
+		"echo":      {"fault_spec", "max_rounds", "seed", "source", "workers"},
 	}
 	for _, name := range Names() {
 		d, _ := Lookup(name)

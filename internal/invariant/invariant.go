@@ -35,6 +35,7 @@ import (
 	"gossip/internal/gossip"
 	"gossip/internal/graph"
 	"gossip/internal/graphgen"
+	"gossip/internal/sim"
 )
 
 // Family is one topology of the suite.
@@ -280,6 +281,60 @@ func Check(driver string, fam Family, sc Scenario, seed uint64) []Violation {
 		}
 	}
 
+	// Leader agreement safety: a completed election means every survivor
+	// decided on the same leader, and that leader is itself a survivor —
+	// the unique-leader invariant, judged through the LeaderReporter
+	// facet over exactly the nodes StopLeaderStable quantifies.
+	if objectiveOf[driver] == objLeader && r1.Completed {
+		elected := -1
+		for u := range w.Views {
+			if spec.NeverReturns(u) {
+				continue
+			}
+			lr, ok := w.Protos[u].(sim.LeaderReporter)
+			if !ok {
+				report("leader-agreement", "survivor %d has no LeaderReporter facet", u)
+				continue
+			}
+			l, decided := lr.Leader()
+			switch {
+			case !decided:
+				report("leader-agreement", "completed at round %d but survivor %d is undecided", r1.Rounds, u)
+			case elected == -1:
+				elected = l
+			case l != elected:
+				report("leader-agreement", "survivor %d decided on %d, others on %d", u, l, elected)
+			}
+		}
+		if elected >= 0 && spec.NeverReturns(elected) {
+			report("leader-agreement", "elected leader %d never returns under the schedule", elected)
+		}
+	}
+
+	// Echo completion and no-phantom-ack: a completed wave means the
+	// root heard every survivor, and — when no amnesia can wipe a node
+	// after it acked — every ack the root holds is from a node that
+	// heard the root's token (an exchange exporting a node's rumor
+	// always imports the initiator's set, and only token-holders
+	// initiate).
+	if objectiveOf[driver] == objEcho {
+		root := w.Views[0]
+		if r1.Completed {
+			for u := range w.Views {
+				if !spec.NeverReturns(u) && !root.Knows(graph.NodeID(u)) {
+					report("echo-completion", "completed at round %d but root lacks survivor %d's ack", r1.Rounds, u)
+				}
+			}
+		}
+		if !spec.HasAmnesia() {
+			for u := 1; u < len(w.Views); u++ {
+				if root.Knows(graph.NodeID(u)) && !w.Views[u].Knows(0) {
+					report("echo-phantom-ack", "root holds node %d's ack but %d never heard the token", u, u)
+				}
+			}
+		}
+	}
+
 	// Local-broadcast quiescence on a benign network really means local
 	// broadcast: every node ends holding each graph neighbor's rumor.
 	if objectiveOf[driver] == objLocal && spec.Empty() && r1.Completed {
@@ -335,6 +390,8 @@ func warmReplay(driver string, g *graph.Graph, spec *adversity.Spec, seed uint64
 const (
 	objBroadcast = "broadcast"
 	objLocal     = "local"
+	objLeader    = "leader"
+	objEcho      = "echo"
 )
 
 var objectiveOf = map[string]string{
@@ -342,6 +399,8 @@ var objectiveOf = map[string]string{
 	"flood":     objBroadcast,
 	"dtg":       objLocal,
 	"superstep": objLocal,
+	"election":  objLeader,
+	"echo":      objEcho,
 }
 
 // CheckAll sweeps every registered driver × family × scenario cell.

@@ -21,8 +21,8 @@ func TestInvariants(t *testing.T) {
 		t.Fatalf("suite has %d families, the harness contract wants >= 4", len(fams))
 	}
 	drivers := gossip.Names()
-	if len(drivers) != 8 {
-		t.Fatalf("expected all 8 registered drivers, have %v", drivers)
+	if len(drivers) != 10 {
+		t.Fatalf("expected all 10 registered drivers, have %v", drivers)
 	}
 	for _, driver := range drivers {
 		for _, fam := range fams {

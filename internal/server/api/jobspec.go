@@ -79,6 +79,8 @@ type JobSpec struct {
 	FaultTolerant  *bool   `json:"fault_tolerant,omitempty"`
 	LBTimeout      *int    `json:"lb_timeout,omitempty"`
 	SkipCheck      *bool   `json:"skip_check,omitempty"`
+	SuspectAfter   *int    `json:"suspect_after,omitempty"`
+	StableRounds   *int    `json:"stable_rounds,omitempty"`
 }
 
 // GraphSpec is the request form of graphgen.Spec.

@@ -34,8 +34,10 @@ const (
 	// ShardPath is the worker-side endpoint of the shard RPC.
 	ShardPath = "/v1/cluster/shard"
 	// ShardProtocol is the Upgrade token of the handshake; it carries the
-	// wire-format version.
-	ShardProtocol = "gossipd-shard/1"
+	// wire-format version. Version 2 added the per-shard leader summaries
+	// (LeadPre/LeadPost) to the round frame; a mixed-version fleet fails
+	// the handshake instead of mis-framing.
+	ShardProtocol = "gossipd-shard/2"
 	// ForwardedHeader marks a simulation request forwarded by a fleet
 	// member to the cache key's owner; its value is the forwarder's
 	// advertised address. A request carrying it is never re-forwarded.
@@ -199,6 +201,10 @@ func AppendRoundFrame(dst []byte, f *sim.DistFrame) []byte {
 	dst = appendWake(dst, f.SleeperWake)
 	// NextDeliver uses -1 as "no pending delivery"; shift by one.
 	dst = binary.AppendUvarint(dst, uint64(f.NextDeliver+1))
+	// Leader summaries use sentinels down to sim.LeaderAgnostic (-2);
+	// shift by two.
+	dst = binary.AppendUvarint(dst, uint64(f.LeadPre+2))
+	dst = binary.AppendUvarint(dst, uint64(f.LeadPost+2))
 	dst = binary.AppendUvarint(dst, uint64(len(f.Intents)))
 	for i := range f.Intents {
 		in := &f.Intents[i]
@@ -256,6 +262,14 @@ func DecodeRoundFrame(p []byte, f *sim.DistFrame) error {
 		return err
 	}
 	f.NextDeliver = int(v) - 1
+	if v, p, err = readUvarint(p); err != nil {
+		return err
+	}
+	f.LeadPre = int32(v) - 2
+	if v, p, err = readUvarint(p); err != nil {
+		return err
+	}
+	f.LeadPost = int32(v) - 2
 	if v, p, err = readUvarint(p); err != nil {
 		return err
 	}

@@ -57,6 +57,8 @@ type canonical struct {
 	FaultTolerant  bool      `json:"fault_tolerant"`
 	LBTimeout      int       `json:"lb_timeout"`
 	SkipCheck      bool      `json:"skip_check"`
+	SuspectAfter   int       `json:"suspect_after"`
+	StableRounds   int       `json:"stable_rounds"`
 }
 
 // job is a validated, normalized simulation request ready to execute.
@@ -216,7 +218,7 @@ func (s *Server) validate(req Request) (*job, *FieldError) {
 			return nil, fieldErrf("shards", "shards %d exceeds the fleet's %d workers", req.Shards, len(workers))
 		}
 		if !gossip.Distributable(d.Name) {
-			return nil, fieldErrf("shards", "driver %q does not support distributed execution (distributable: push-pull, flood, dtg, superstep)", d.Name)
+			return nil, fieldErrf("shards", "driver %q does not support distributed execution (distributable: push-pull, flood, dtg, superstep, election, echo)", d.Name)
 		}
 		if can.MaxInPerRound > 0 {
 			return nil, fieldErrf("shards", "distributed execution does not support max_in_per_round")
@@ -345,6 +347,12 @@ func applyDriverFields(d *gossip.Driver, req Request, can *canonical) *FieldErro
 	if ferr := nonNeg("lb_timeout", req.LBTimeout, &can.LBTimeout); ferr != nil {
 		return ferr
 	}
+	if ferr := nonNeg("suspect_after", req.SuspectAfter, &can.SuspectAfter); ferr != nil {
+		return ferr
+	}
+	if ferr := nonNeg("stable_rounds", req.StableRounds, &can.StableRounds); ferr != nil {
+		return ferr
+	}
 	if req.KnownLatencies != nil {
 		if !d.AcceptsKey("known_latencies") {
 			return reject("known_latencies")
@@ -420,6 +428,8 @@ func (j *job) driverOptions() gossip.DriverOptions {
 		FaultTolerant:  j.can.FaultTolerant,
 		LBTimeout:      j.can.LBTimeout,
 		SkipCheck:      j.can.SkipCheck,
+		SuspectAfter:   j.can.SuspectAfter,
+		StableRounds:   j.can.StableRounds,
 		ExecOptions: gossip.ExecOptions{
 			Adversity: j.spec,
 			Workers:   j.workers,

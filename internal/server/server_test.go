@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"gossip/internal/gossip"
 )
 
 // postJob submits a request and returns status, cache header and body.
@@ -437,12 +439,27 @@ func TestDriversEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != 8 {
-		t.Fatalf("%d drivers, want 8", len(infos))
+	// The endpoint is the registry, verbatim: every registered driver,
+	// in Names() order, each with a non-empty schema. A driver added to
+	// the registry shows up here with no server change.
+	names := gossip.Names()
+	if len(infos) != len(names) {
+		t.Fatalf("%d drivers listed, registry has %d (%v)", len(infos), len(names), names)
 	}
-	for _, info := range infos {
-		if len(info.RequestKeys) == 0 || info.Description == "" {
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Fatalf("driver %d is %q, registry order says %q", i, info.Name, names[i])
+		}
+		if info.Description == "" {
+			t.Fatalf("driver %q has no description", info.Name)
+		}
+		if len(info.RequestKeys) == 0 || len(info.Options) == 0 {
 			t.Fatalf("driver %q missing schema: %+v", info.Name, info)
+		}
+		for _, o := range info.Options {
+			if o.Name == "" || o.Doc == "" {
+				t.Fatalf("driver %q option undocumented: %+v", info.Name, o)
+			}
 		}
 	}
 }

@@ -91,6 +91,12 @@ type DistFrame struct {
 	// state.
 	DonePre  bool
 	DonePost bool
+	// LeadPre/LeadPost are the shard's leader summaries at the same two
+	// capture points (see ownedLeader): the unanimously decided leader of
+	// the shard's owned survivors, or a LeaderAgnostic/LeaderUnsettled
+	// sentinel.
+	LeadPre  int32
+	LeadPost int32
 	// MetaCapable marks a shard owning MetaProducer protocols; a meta
 	// sub-barrier runs whenever any capable shard sees a cross-shard
 	// intent.
@@ -108,6 +114,7 @@ func (f *DistFrame) reset(round, shard int) {
 	f.NextDeliver = -1
 	f.Pending, f.Idle, f.Called, f.Waiting = false, false, false, false
 	f.DonePre, f.DonePost, f.MetaCapable = false, false, false
+	f.LeadPre, f.LeadPost = LeaderAgnostic, LeaderAgnostic
 	f.Err = ""
 }
 
@@ -251,6 +258,7 @@ func RunDist(cfg Config, dc DistConfig, factory Factory, stop StopFunc) (Result,
 	}
 	e.dist = d
 	e.world.distDone = make([]bool, dc.Shards)
+	e.world.distLeader = make([]int32, dc.Shards)
 	if d.stats != nil {
 		// Pin the goroutine so ComputeNS can read this OS thread's CPU
 		// clock (see DistStats); barrier blocking releases the CPU, so
@@ -440,6 +448,41 @@ func (e *engine) ownedAllDone() bool {
 	return true
 }
 
+// ownedLeader captures the per-shard conjunct of StopLeaderStable:
+// scanning the owned survivors (survivorship is config-derived, so every
+// shard computes it identically), it returns their unanimously decided
+// leader, LeaderUnsettled when some owned survivor is down, undecided,
+// facet-less or disagreeing, or LeaderAgnostic when the shard owns no
+// survivors. On non-coordination protocols (no LeaderReporter facets)
+// the first owned survivor short-circuits to LeaderUnsettled, keeping
+// the per-round cost O(1) off the election path.
+func (e *engine) ownedLeader() int32 {
+	w := e.world
+	leader := LeaderAgnostic
+	for u := e.dist.lo; u < e.dist.hi; u++ {
+		if e.cfg.CrashAt != nil && e.cfg.CrashAt[u] >= 0 {
+			continue
+		}
+		if e.cfg.Adversity.NeverReturns(u) {
+			continue
+		}
+		lr := w.leaders[u]
+		if lr == nil || !w.Alive(u) {
+			return LeaderUnsettled
+		}
+		l, decided := lr.Leader()
+		if !decided {
+			return LeaderUnsettled
+		}
+		if leader == LeaderAgnostic {
+			leader = int32(l)
+		} else if leader != int32(l) {
+			return LeaderUnsettled
+		}
+	}
+	return leader
+}
+
 // ownedWaiting reports a live Waiter on the owned range.
 func (e *engine) ownedWaiting(round int) bool {
 	for u := e.dist.lo; u < e.dist.hi; u++ {
@@ -450,14 +493,17 @@ func (e *engine) ownedWaiting(round int) bool {
 	return false
 }
 
-// loadDone publishes the bundle's captured per-shard done flags for the
-// next stop evaluation (pre- or post-activation capture).
+// loadDone publishes the bundle's captured per-shard done flags and
+// leader summaries for the next stop evaluation (pre- or post-activation
+// capture).
 func (d *distRun) loadDone(w *World, frames []*DistFrame, post bool) {
 	for i, f := range frames {
 		if post {
 			w.distDone[i] = f.DonePost
+			w.distLeader[i] = f.LeadPost
 		} else {
 			w.distDone[i] = f.DonePre
+			w.distLeader[i] = f.LeadPre
 		}
 	}
 }
@@ -627,8 +673,10 @@ func (e *engine) runDist(stop StopFunc) (Result, error) {
 		// conjunct at both points so either evaluation sees the state the
 		// serial engine would.
 		f.DonePre = !d.hasDones || e.ownedAllDone()
+		f.LeadPre = e.ownedLeader()
 		e.activateShard(s, round)
 		f.DonePost = !d.hasDones || e.ownedAllDone()
+		f.LeadPost = e.ownedLeader()
 		e.exportIntents(s, round, f)
 		f.Idle, f.Called = s.idle, s.called
 		f.MinWake, f.SleeperWake = s.minWake, s.sleeperWake

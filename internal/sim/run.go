@@ -55,6 +55,14 @@ type World struct {
 	// protocol facets are not materialized on a worker, so StopAllDone
 	// consults these instead of scanning dones). Nil in serial runs.
 	distDone []bool
+	// leaders caches the LeaderReporter facet per node (nil entries for
+	// protocols without one), mirroring dones.
+	leaders []LeaderReporter
+	// distLeader, on a distributed shard worker, holds every shard's
+	// captured leader summary for the stop evaluation in progress — a
+	// node ID when the shard's owned survivors unanimously decided it,
+	// or a LeaderAgnostic/LeaderUnsettled sentinel. Nil in serial runs.
+	distLeader []int32
 }
 
 // Alive reports whether node u is up (not crashed, not churned out) as
@@ -456,6 +464,7 @@ func newEngineShard(cfg Config, factory Factory, shardIdx, shardCount int) (*eng
 	e.meta = make([]MetaProducer, n)
 	e.amnesiac = make([]AmnesiaReseter, n)
 	dones := make([]DoneReporter, n)
+	leaders := make([]LeaderReporter, n)
 	for u := ownLo; u < ownHi; u++ {
 		protos[u] = factory(views[u])
 		if protos[u] == nil {
@@ -475,6 +484,9 @@ func newEngineShard(cfg Config, factory Factory, shardIdx, shardCount int) (*eng
 		}
 		if d, ok := protos[u].(DoneReporter); ok {
 			dones[u] = d
+		}
+		if l, ok := protos[u].(LeaderReporter); ok {
+			leaders[u] = l
 		}
 	}
 
@@ -517,7 +529,7 @@ func newEngineShard(cfg Config, factory Factory, shardIdx, shardCount int) (*eng
 	e.world = &World{
 		Graph: cfg.Graph, CSR: csr, Views: views, Protos: protos,
 		crashAt: cfg.CrashAt, adv: sched, watched: watched, informed: informed,
-		alive: alive, dones: dones,
+		alive: alive, dones: dones, leaders: leaders,
 	}
 	e.res.InformedAt = informedAt
 	e.res.World = e.world

@@ -188,6 +188,15 @@ type DoneReporter interface {
 	Done() bool
 }
 
+// LeaderReporter is an optional Protocol extension for coordination
+// protocols: Leader returns the node this protocol currently considers
+// leader and whether that choice has stabilized (the protocol's own
+// decision criterion — e.g. "no change for k rounds"). Leader-quantified
+// stop conditions (StopLeaderStable) read it at round barriers only.
+type LeaderReporter interface {
+	Leader() (leader int, decided bool)
+}
+
 // AmnesiaReseter is an optional Protocol extension for protocols that
 // keep node-local state beyond the engine-owned rumor set — heard sets,
 // done flags, round-robin cursors, in-flight markers. When a node

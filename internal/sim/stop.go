@@ -124,6 +124,121 @@ func StopAllSurvivorsInformed(r graph.NodeID, crashAt []int, spec *adversity.Spe
 	}
 }
 
+// Per-shard leader summaries of a distributed run (World.distLeader):
+// a non-negative value is the node every owned survivor of the shard has
+// unanimously decided on; the sentinels mark shards with nothing to say
+// or with an owned survivor still down, undecided or disagreeing.
+const (
+	// LeaderAgnostic marks a shard owning no survivors: it cannot veto.
+	LeaderAgnostic int32 = -2
+	// LeaderUnsettled marks a shard where some owned survivor is down,
+	// undecided, or disagrees with the others.
+	LeaderUnsettled int32 = -1
+)
+
+// StopLeaderStable stops when every survivor — every node the failure
+// model never permanently removes — is currently up, reports a decided
+// leader through the LeaderReporter facet, all survivors name the same
+// leader, and that leader is itself a survivor. A temporarily-down node
+// rejoins and must still converge, so the run cannot end while it is
+// away (the StopAllSurvivorsInformed semantics). Nodes without the
+// facet count as undecided. On a distributed shard worker the check
+// combines the per-shard leader summaries every owner captured at the
+// same point of the round the serial engine would read its facets.
+func StopLeaderStable(crashAt []int, spec *adversity.Spec) StopFunc {
+	var survivors *bitset.Set
+	ensure := func(w *World) {
+		if survivors != nil {
+			return
+		}
+		survivors = bitset.New(len(w.Views))
+		for u := range w.Views {
+			if crashAt != nil && crashAt[u] >= 0 {
+				continue
+			}
+			if spec.NeverReturns(u) {
+				continue
+			}
+			survivors.Add(u)
+		}
+	}
+	return func(w *World) bool {
+		ensure(w)
+		leader := LeaderAgnostic
+		if w.distLeader != nil {
+			for _, l := range w.distLeader {
+				switch {
+				case l == LeaderAgnostic:
+				case l == LeaderUnsettled:
+					return false
+				case leader == LeaderAgnostic:
+					leader = l
+				case leader != l:
+					return false
+				}
+			}
+		} else {
+			for u := range w.Views {
+				if !survivors.Contains(u) {
+					continue
+				}
+				lr := w.leaders[u]
+				if lr == nil || !w.Alive(u) {
+					return false
+				}
+				l, decided := lr.Leader()
+				if !decided {
+					return false
+				}
+				switch {
+				case leader == LeaderAgnostic:
+					leader = int32(l)
+				case leader != int32(l):
+					return false
+				}
+			}
+		}
+		// No survivors at all: vacuously stable. Otherwise the elected
+		// node must itself be a survivor.
+		return leader == LeaderAgnostic || survivors.Contains(int(leader))
+	}
+}
+
+// StopRootAcked stops when root's rumor set contains the rumor of every
+// survivor — the echo/convergecast completion criterion: each node's own
+// rumor doubles as its ack, so the wave is complete exactly when the
+// root has heard the full survivor set. The check reads only rumor
+// state, which distributed workers replicate for all nodes, so it is
+// shard-safe with no extra barrier traffic.
+func StopRootAcked(root graph.NodeID, crashAt []int, spec *adversity.Spec) StopFunc {
+	var survivors *bitset.Set
+	return func(w *World) bool {
+		if survivors == nil {
+			survivors = bitset.New(len(w.Views))
+			for u := range w.Views {
+				if crashAt != nil && crashAt[u] >= 0 {
+					continue
+				}
+				if spec.NeverReturns(u) {
+					continue
+				}
+				survivors.Add(u)
+			}
+		}
+		rv := w.Views[root]
+		if len(rv.journal) < survivors.Count() {
+			return false
+		}
+		acked := true
+		survivors.ForEach(func(u int) {
+			if acked && !rv.rum.contains(int32(u)) {
+				acked = false
+			}
+		})
+		return acked
+	}
+}
+
 // StopAllDone stops when every live node's protocol implementing
 // DoneReporter reports done (protocols without DoneReporter count as
 // done; crashed nodes are excluded — their state can never change). The
